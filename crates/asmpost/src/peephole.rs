@@ -1,0 +1,678 @@
+//! The peephole postprocessor ("A Postprocessor" section).
+//!
+//! "It first performs a simple global, intraprocedural analysis that
+//! allows us to identify possible uses of register values. It subsequently
+//! looks for one of the following three patterns inside each basic block
+//! and transforms them appropriately:
+//!
+//! 1. `add x,y,z; …; ld [z]`   →  `…; ld [x+y]`
+//! 2. `mov x,z;   …; …z…`      →  `…; …x…`
+//! 3. `add x,y,z; mov z,w`     →  `add x,y,w`
+//!
+//! … the important \[constraint\] is that the register z should have no
+//! other uses. … The transformation could not apply if z were originally
+//! mentioned as the second argument of a KEEP_LIVE."
+//!
+//! The "no other uses" condition is a *value*-level condition checked with
+//! a global register liveness analysis (the paper's "simple global,
+//! intraprocedural analysis"): the value in `z` must die at its single
+//! consumer. `KEEP_LIVE` markers participate: a marker's base registers
+//! are live (that is the marker's whole point) and block any rewrite that
+//! would lose them — the paper's safety arguments (1)–(3) hold verbatim.
+
+use crate::asm::{AsmFunc, AsmInstr, Reg, RegImm};
+use std::collections::HashSet;
+
+/// What the postprocessor did to one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeepholeStats {
+    /// Pattern 1 applications (load folding).
+    pub loads_folded: usize,
+    /// Pattern 2 applications (copy forwarding).
+    pub movs_forwarded: usize,
+    /// Pattern 3 applications (add/mov fusion).
+    pub add_movs_fused: usize,
+}
+
+impl PeepholeStats {
+    /// Total rewrites applied.
+    pub fn total(&self) -> usize {
+        self.loads_folded + self.movs_forwarded + self.add_movs_fused
+    }
+
+    fn merge(&mut self, other: PeepholeStats) {
+        self.loads_folded += other.loads_folded;
+        self.movs_forwarded += other.movs_forwarded;
+        self.add_movs_fused += other.add_movs_fused;
+    }
+}
+
+/// Runs the postprocessor over a whole program.
+pub fn postprocess_program(funcs: &mut [AsmFunc]) -> PeepholeStats {
+    let mut stats = PeepholeStats::default();
+    for f in funcs {
+        stats.merge(postprocess(f));
+    }
+    stats
+}
+
+/// Runs the postprocessor over one function until no pattern applies.
+pub fn postprocess(f: &mut AsmFunc) -> PeepholeStats {
+    let mut stats = PeepholeStats::default();
+    loop {
+        let round = one_round(f);
+        if round.total() == 0 {
+            return stats;
+        }
+        stats.merge(round);
+    }
+}
+
+/// Successor block indices of block `bi` (Bcc targets, Ba target, and the
+/// fallthrough when the block does not end in `ba`/`ret`).
+fn successors(f: &AsmFunc, bi: usize) -> Vec<usize> {
+    let b = &f.blocks[bi];
+    let mut out = Vec::new();
+    for ins in &b.instrs {
+        if let AsmInstr::Bcc { target, .. } = ins {
+            out.push(*target as usize);
+        }
+    }
+    match b.instrs.last() {
+        Some(AsmInstr::Ba { target }) => out.push(*target as usize),
+        Some(AsmInstr::Ret) => {}
+        _ => {
+            if bi + 1 < f.blocks.len() {
+                out.push(bi + 1);
+            }
+        }
+    }
+    out.retain(|&s| s < f.blocks.len());
+    out
+}
+
+/// Global register liveness over the assembly — the paper's "simple
+/// global, intraprocedural analysis".
+pub struct AsmLiveness {
+    /// Registers live at each block entry.
+    pub live_in: Vec<HashSet<Reg>>,
+    live_out: Vec<HashSet<Reg>>,
+}
+
+impl AsmLiveness {
+    /// Computes liveness for a function. `KEEP_LIVE` markers read both
+    /// their value and base registers, so protected values stay live.
+    pub fn compute(f: &AsmFunc) -> AsmLiveness {
+        let nb = f.blocks.len();
+        let mut live_in = vec![HashSet::new(); nb];
+        let mut live_out = vec![HashSet::new(); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..nb).rev() {
+                let mut out: HashSet<Reg> = HashSet::new();
+                for s in successors(f, bi) {
+                    out.extend(live_in[s].iter().copied());
+                }
+                let mut cur = out.clone();
+                for ins in f.blocks[bi].instrs.iter().rev() {
+                    if let Some(d) = ins.writes() {
+                        cur.remove(&d);
+                    }
+                    for r in ins.reads() {
+                        cur.insert(r);
+                    }
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if cur != live_in[bi] {
+                    live_in[bi] = cur;
+                    changed = true;
+                }
+            }
+        }
+        AsmLiveness { live_in, live_out }
+    }
+
+    /// Whether register `r` is live immediately *after* instruction `idx`
+    /// of block `bi`.
+    pub fn live_after(&self, f: &AsmFunc, bi: usize, idx: usize, r: Reg) -> bool {
+        let b = &f.blocks[bi];
+        let mut cur = self.live_out[bi].clone();
+        for j in (idx + 1..b.instrs.len()).rev() {
+            let ins = &b.instrs[j];
+            if let Some(d) = ins.writes() {
+                cur.remove(&d);
+            }
+            for x in ins.reads() {
+                cur.insert(x);
+            }
+        }
+        cur.contains(&r)
+    }
+}
+
+fn one_round(f: &mut AsmFunc) -> PeepholeStats {
+    let mut stats = PeepholeStats::default();
+    for bi in 0..f.blocks.len() {
+        let lv = AsmLiveness::compute(f);
+        stats.merge(pattern1_fold_load(f, bi, &lv));
+        let lv = AsmLiveness::compute(f);
+        stats.merge(pattern3_fuse_add_mov(f, bi, &lv));
+        let lv = AsmLiveness::compute(f);
+        stats.merge(pattern2_forward_mov(f, bi, &lv));
+    }
+    stats
+}
+
+/// Whether any instruction in `instrs` writes `r`.
+fn writes_reg(instrs: &[AsmInstr], r: Reg) -> bool {
+    instrs.iter().any(|i| i.writes() == Some(r))
+}
+
+/// Whether any instruction in `instrs` reads `r`, ignoring `KEEP_LIVE`
+/// *value* mentions (those are retargeted when a rewrite applies) but
+/// counting marker *bases* (the paper's constraint).
+fn reads_reg_strict(instrs: &[AsmInstr], r: Reg) -> bool {
+    instrs.iter().any(|i| match i {
+        AsmInstr::KeepLive { base, .. } => *base == Some(r),
+        other => other.reads().contains(&r),
+    })
+}
+
+/// Whether `r` is mentioned as a `KEEP_LIVE` base anywhere in `instrs`.
+fn is_marker_base(instrs: &[AsmInstr], r: Reg) -> bool {
+    instrs
+        .iter()
+        .any(|i| matches!(i, AsmInstr::KeepLive { base: Some(b), .. } if *b == r))
+}
+
+/// Pattern 1: `add x,y,z; …; ld/st [z+0]` → indexed access. Valid when the
+/// value in `z` dies at the access (either the access overwrites `z` or
+/// `z` is dead afterwards), nothing between reads `z` (marker values are
+/// retargeted), `x`/`y` survive untouched, and `z` is not a marker base in
+/// the region.
+fn pattern1_fold_load(f: &mut AsmFunc, bi: usize, lv: &AsmLiveness) -> PeepholeStats {
+    let mut stats = PeepholeStats::default();
+    let mut i = 0;
+    while i < f.blocks[bi].instrs.len() {
+        let AsmInstr::Alu { op: crate::asm::AluOp::Add, rd: z, rs: x, op2 } =
+            f.blocks[bi].instrs[i]
+        else {
+            i += 1;
+            continue;
+        };
+        // Note z == x (or z == y) is *allowed*: deleting the add leaves the
+        // old source value in the register, and the folded `ld [x+y]`
+        // recombines it — the same value reaches memory. The safety checks
+        // below (no reads of z in between, z dead after the access) make
+        // this sound.
+        // Find the consuming memory access.
+        let mut consumer = None;
+        {
+            let b = &f.blocks[bi];
+            for j in i + 1..b.instrs.len() {
+                match &b.instrs[j] {
+                    AsmInstr::Ld { base, off: RegImm::Imm(0), .. } if *base == z => {
+                        consumer = Some(j);
+                        break;
+                    }
+                    AsmInstr::St { base, off: RegImm::Imm(0), rs, .. }
+                        if *base == z && *rs != z =>
+                    {
+                        consumer = Some(j);
+                        break;
+                    }
+                    other => {
+                        if other.writes() == Some(z) {
+                            break;
+                        }
+                        if reads_reg_strict(std::slice::from_ref(other), z) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let Some(j) = consumer else {
+            i += 1;
+            continue;
+        };
+        let b = &f.blocks[bi];
+        let between = &b.instrs[i + 1..j];
+        // Safety constraints, per the paper's argument (1).
+        let x_ok = !writes_reg(between, x);
+        let y_ok = match op2 {
+            RegImm::Reg(y) => !writes_reg(between, y),
+            RegImm::Imm(_) => true,
+        };
+        let z_not_base = !is_marker_base(&b.instrs[i..=j], z);
+        // The value in z must die at the access.
+        let z_dies = b.instrs[j].writes() == Some(z) || !lv.live_after(f, bi, j, z);
+        if !x_ok || !y_ok || !z_not_base || !z_dies {
+            i += 1;
+            continue;
+        }
+        // Apply: rewrite the access, retarget markers whose value is z to
+        // the base x (their protected pointer is now represented by x+y),
+        // and delete the add.
+        let b = &mut f.blocks[bi];
+        match &mut b.instrs[j] {
+            AsmInstr::Ld { base, off, .. } | AsmInstr::St { base, off, .. } => {
+                *base = x;
+                *off = op2;
+            }
+            _ => unreachable!("consumer is a memory access"),
+        }
+        for mid in &mut b.instrs[i + 1..j] {
+            if let AsmInstr::KeepLive { value, .. } = mid {
+                if *value == z {
+                    *value = x;
+                }
+            }
+        }
+        b.instrs.remove(i);
+        stats.loads_folded += 1;
+        return stats; // liveness is stale; the driver loops
+    }
+    stats
+}
+
+/// Pattern 3: `add x,y,z; mov z,w` → `add x,y,w` when the value in `z`
+/// dies at the mov and `z` is not a marker base in between.
+fn pattern3_fuse_add_mov(f: &mut AsmFunc, bi: usize, lv: &AsmLiveness) -> PeepholeStats {
+    let mut stats = PeepholeStats::default();
+    let mut i = 0;
+    while i + 1 < f.blocks[bi].instrs.len() {
+        let AsmInstr::Alu { op, rd: z, rs, op2 } = f.blocks[bi].instrs[i] else {
+            i += 1;
+            continue;
+        };
+        let AsmInstr::Mov { rd: w, src: RegImm::Reg(src) } = f.blocks[bi].instrs[i + 1]
+        else {
+            i += 1;
+            continue;
+        };
+        let z_dies = !lv.live_after(f, bi, i + 1, z);
+        if src != z
+            || w == z
+            || w == rs
+            || op2 == RegImm::Reg(w)
+            || !z_dies
+            || is_marker_base(&f.blocks[bi].instrs[i..=i + 1], z)
+        {
+            i += 1;
+            continue;
+        }
+        let b = &mut f.blocks[bi];
+        b.instrs[i] = AsmInstr::Alu { op, rd: w, rs, op2 };
+        b.instrs.remove(i + 1);
+        stats.add_movs_fused += 1;
+        return stats;
+    }
+    stats
+}
+
+/// Pattern 2: `mov x,z; …z…` → rewrite the uses of `z` to `x` while both
+/// registers stay unmodified; delete the mov when the value in `z` dies
+/// within the rewritten region.
+fn pattern2_forward_mov(f: &mut AsmFunc, bi: usize, lv: &AsmLiveness) -> PeepholeStats {
+    let mut stats = PeepholeStats::default();
+    let mut i = 0;
+    while i < f.blocks[bi].instrs.len() {
+        let AsmInstr::Mov { rd: z, src: RegImm::Reg(x) } = f.blocks[bi].instrs[i] else {
+            i += 1;
+            continue;
+        };
+        if z == x || is_marker_base(&f.blocks[bi].instrs, z) {
+            i += 1;
+            continue;
+        }
+        // Scan forward: the region ends when x or z is redefined.
+        let b = &f.blocks[bi];
+        let mut end = b.instrs.len();
+        for j in i + 1..b.instrs.len() {
+            let ins = &b.instrs[j];
+            if ins.writes() == Some(x) || ins.writes() == Some(z) {
+                end = j;
+                break;
+            }
+        }
+        // z must be dead at the end of the region (either redefined there
+        // or not live past it).
+        let z_dead_after = if end < b.instrs.len() {
+            b.instrs[end].writes() == Some(z)
+                || !region_reads(&b.instrs[end..], z) && !lv.live_after(f, bi, b.instrs.len() - 1, z)
+        } else {
+            !lv.live_after(f, bi, b.instrs.len() - 1, z)
+        };
+        let any_use = region_reads(&f.blocks[bi].instrs[i + 1..end], z);
+        if !z_dead_after || !any_use {
+            i += 1;
+            continue;
+        }
+        let b = &mut f.blocks[bi];
+        for j in i + 1..end {
+            replace_reads(&mut b.instrs[j], z, x);
+        }
+        b.instrs.remove(i);
+        stats.movs_forwarded += 1;
+        return stats;
+    }
+    stats
+}
+
+fn region_reads(instrs: &[AsmInstr], r: Reg) -> bool {
+    instrs.iter().any(|i| i.reads().contains(&r))
+}
+
+fn replace_reads(ins: &mut AsmInstr, from: Reg, to: Reg) {
+    let fix = |r: &mut Reg| {
+        if *r == from {
+            *r = to;
+        }
+    };
+    let fix_ri = |ri: &mut RegImm| {
+        if let RegImm::Reg(r) = ri {
+            if *r == from {
+                *r = to;
+            }
+        }
+    };
+    match ins {
+        AsmInstr::Alu { rs, op2, .. } => {
+            fix(rs);
+            fix_ri(op2);
+        }
+        AsmInstr::Mov { src, .. } => fix_ri(src),
+        AsmInstr::SetImm { .. } => {}
+        AsmInstr::Ld { base, off, .. } => {
+            fix(base);
+            fix_ri(off);
+        }
+        AsmInstr::St { rs, base, off, .. } => {
+            fix(rs);
+            fix(base);
+            fix_ri(off);
+        }
+        AsmInstr::SetCc { a, b, .. } | AsmInstr::Bcc { a, b, .. } => {
+            fix(a);
+            fix_ri(b);
+        }
+        AsmInstr::Ba { .. } | AsmInstr::Ret => {}
+        AsmInstr::Call { target, .. } => {
+            if let crate::asm::AsmCallTarget::Indirect(r) = target {
+                fix(r);
+            }
+        }
+        AsmInstr::KeepLive { value, base } => {
+            fix(value);
+            if let Some(b) = base {
+                fix(b);
+            }
+        }
+        AsmInstr::CheckSame { value, base } => {
+            fix(value);
+            fix(base);
+        }
+        AsmInstr::BlockCopy { dst, src, .. } => {
+            fix(dst);
+            fix(src);
+        }
+    }
+}
+
+/// Checks that every `KEEP_LIVE` marker's base register set is unchanged
+/// between two versions of a function — the postprocessor "cannot
+/// invalidate KEEP_LIVE semantics".
+pub fn keep_live_bases_preserved(before: &AsmFunc, after: &AsmFunc) -> bool {
+    let collect = |f: &AsmFunc| -> Vec<Option<Reg>> {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match i {
+                AsmInstr::KeepLive { base, .. } => Some(*base),
+                _ => None,
+            })
+            .collect()
+    };
+    collect(before) == collect(after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{AluOp, AsmBlock};
+
+    fn block(instrs: Vec<AsmInstr>) -> AsmFunc {
+        AsmFunc { name: "t".into(), blocks: vec![AsmBlock { instrs }], spill_count: 0 }
+    }
+
+    fn add(z: u8, x: u8, y: RegImm) -> AsmInstr {
+        AsmInstr::Alu { op: AluOp::Add, rd: Reg(z), rs: Reg(x), op2: y }
+    }
+
+    fn ld(rd: u8, base: u8) -> AsmInstr {
+        AsmInstr::Ld { rd: Reg(rd), base: Reg(base), off: RegImm::Imm(0), width: 8, signed: false }
+    }
+
+    #[test]
+    fn pattern1_folds_the_papers_sequence() {
+        // add %o0,1,%g2 ; ! keep_live ; ldsb [%g2] → ldsb [%o0+1]
+        let mut f = block(vec![
+            add(2, 1, RegImm::Imm(1)),
+            AsmInstr::KeepLive { value: Reg(2), base: Some(Reg(1)) },
+            ld(3, 2),
+            AsmInstr::Ret,
+        ]);
+        let stats = postprocess(&mut f);
+        assert_eq!(stats.loads_folded, 1);
+        let listing = f.listing();
+        assert!(listing.contains("[%r1+1]"), "{listing}");
+        assert!(listing.contains("keep_live"), "marker survives: {listing}");
+    }
+
+    #[test]
+    fn pattern1_folds_with_register_reuse() {
+        // Coalesced form: add r1,r2,r1 ; keep_live r1 ; ld [r1+0],r1 — the
+        // value in r1 dies at the load; deleting the add leaves old r1,
+        // and ld [r1+r2] recomputes the same address.
+        let mut f = block(vec![
+            add(1, 1, RegImm::Reg(Reg(2))),
+            AsmInstr::KeepLive { value: Reg(1), base: Some(Reg(3)) },
+            ld(1, 1),
+            AsmInstr::Ret,
+        ]);
+        let stats = postprocess(&mut f);
+        assert_eq!(stats.loads_folded, 1, "{}", f.listing());
+        assert!(f.listing().contains("[%r1+%r2]"), "{}", f.listing());
+        // Distinct registers fold too.
+        let mut f = block(vec![
+            add(4, 1, RegImm::Reg(Reg(2))),
+            AsmInstr::KeepLive { value: Reg(4), base: Some(Reg(3)) },
+            ld(4, 4),
+            AsmInstr::Ret,
+        ]);
+        let stats = postprocess(&mut f);
+        assert_eq!(stats.loads_folded, 1);
+        assert!(f.listing().contains("[%r1+%r2]"), "{}", f.listing());
+    }
+
+    #[test]
+    fn pattern1_refuses_protected_base() {
+        // z is itself a KEEP_LIVE base: must not fold.
+        let mut f = block(vec![
+            add(2, 1, RegImm::Imm(1)),
+            AsmInstr::KeepLive { value: Reg(4), base: Some(Reg(2)) },
+            ld(3, 2),
+            AsmInstr::Ret,
+        ]);
+        let before = f.clone();
+        let stats = postprocess(&mut f);
+        assert_eq!(stats.loads_folded, 0);
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn pattern1_refuses_when_x_redefined() {
+        let mut f = block(vec![
+            add(2, 1, RegImm::Imm(1)),
+            AsmInstr::SetImm { rd: Reg(1), value: 0 }, // clobbers x
+            ld(3, 2),
+            AsmInstr::Ret,
+        ]);
+        let stats = postprocess(&mut f);
+        assert_eq!(stats.loads_folded, 0);
+    }
+
+    #[test]
+    fn pattern1_refuses_when_z_live_after() {
+        let mut f = block(vec![
+            add(2, 1, RegImm::Imm(1)),
+            ld(3, 2),
+            AsmInstr::Mov { rd: Reg(5), src: RegImm::Reg(Reg(2)) }, // z read later
+            AsmInstr::Ret,
+        ]);
+        let stats = postprocess(&mut f);
+        assert_eq!(stats.loads_folded, 0);
+    }
+
+    #[test]
+    fn pattern3_fuses_add_mov() {
+        let mut f = block(vec![
+            add(2, 1, RegImm::Reg(Reg(4))),
+            AsmInstr::Mov { rd: Reg(5), src: RegImm::Reg(Reg(2)) },
+            AsmInstr::St { rs: Reg(5), base: Reg(6), off: RegImm::Imm(0), width: 8 },
+            AsmInstr::Ret,
+        ]);
+        let stats = postprocess(&mut f);
+        assert!(stats.add_movs_fused >= 1);
+        assert!(matches!(
+            f.blocks[0].instrs[0],
+            AsmInstr::Alu { rd: Reg(5), .. }
+        ));
+    }
+
+    #[test]
+    fn pattern2_forwards_copies() {
+        let mut f = block(vec![
+            AsmInstr::Mov { rd: Reg(2), src: RegImm::Reg(Reg(1)) },
+            AsmInstr::Alu { op: AluOp::Add, rd: Reg(3), rs: Reg(2), op2: RegImm::Imm(4) },
+            AsmInstr::Ret,
+        ]);
+        let stats = postprocess(&mut f);
+        assert_eq!(stats.movs_forwarded, 1);
+        assert!(matches!(
+            f.blocks[0].instrs[0],
+            AsmInstr::Alu { rs: Reg(1), .. }
+        ));
+    }
+
+    #[test]
+    fn pattern2_keeps_mov_when_x_clobbered() {
+        let mut f = block(vec![
+            AsmInstr::Mov { rd: Reg(2), src: RegImm::Reg(Reg(1)) },
+            AsmInstr::SetImm { rd: Reg(1), value: 9 },
+            AsmInstr::Alu { op: AluOp::Add, rd: Reg(3), rs: Reg(2), op2: RegImm::Imm(4) },
+            AsmInstr::Ret,
+        ]);
+        let stats = postprocess(&mut f);
+        assert_eq!(stats.movs_forwarded, 0, "z used after x changed: keep the mov");
+    }
+
+    #[test]
+    fn postprocess_reduces_size_and_preserves_markers() {
+        let mut f = block(vec![
+            add(2, 1, RegImm::Imm(8)),
+            AsmInstr::KeepLive { value: Reg(2), base: Some(Reg(1)) },
+            ld(3, 2),
+            AsmInstr::Ret,
+        ]);
+        let before = f.clone();
+        let before_size = f.size_bytes();
+        postprocess(&mut f);
+        assert!(f.size_bytes() < before_size);
+        assert!(keep_live_bases_preserved(&before, &f));
+    }
+
+    #[test]
+    fn liveness_respects_branches() {
+        // r1 live into the branch target.
+        let f = AsmFunc {
+            name: "t".into(),
+            blocks: vec![
+                AsmBlock {
+                    instrs: vec![
+                        AsmInstr::SetImm { rd: Reg(1), value: 5 },
+                        AsmInstr::Bcc {
+                            cond: crate::asm::Cond::Ne,
+                            a: Reg(2),
+                            b: RegImm::Imm(0),
+                            target: 1,
+                        },
+                    ],
+                },
+                AsmBlock {
+                    instrs: vec![
+                        AsmInstr::Mov { rd: Reg(3), src: RegImm::Reg(Reg(1)) },
+                        AsmInstr::Ret,
+                    ],
+                },
+            ],
+            spill_count: 0,
+        };
+        let lv = AsmLiveness::compute(&f);
+        assert!(lv.live_in[1].contains(&Reg(1)));
+        assert!(lv.live_after(&f, 0, 0, Reg(1)));
+    }
+}
+
+/// Def-before-use sanity check over a function's assembly: every register
+/// read must be preceded by a write on every path (parameters and the
+/// frame pointer are implicitly defined). Used by tests to prove the
+/// postprocessor never manufactures reads of undefined registers.
+pub fn defined_before_use(f: &AsmFunc, predefined: &[Reg]) -> bool {
+    use std::collections::HashSet;
+    // Forward dataflow: set of definitely-defined registers per block entry.
+    let nb = f.blocks.len();
+    let all: HashSet<Reg> = (0..=255u8).map(Reg).collect();
+    let mut defined_in: Vec<HashSet<Reg>> = vec![all; nb];
+    defined_in[0] = predefined.iter().copied().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 0..nb {
+            let mut cur = defined_in[bi].clone();
+            for ins in &f.blocks[bi].instrs {
+                if let Some(d) = ins.writes() {
+                    cur.insert(d);
+                }
+            }
+            for s in successors(f, bi) {
+                let merged: HashSet<Reg> =
+                    defined_in[s].intersection(&cur).copied().collect();
+                if merged != defined_in[s] {
+                    defined_in[s] = merged;
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Check every read.
+    for (bi, entry) in defined_in.iter().enumerate() {
+        let mut cur = entry.clone();
+        for ins in &f.blocks[bi].instrs {
+            for r in ins.reads() {
+                if !cur.contains(&r) {
+                    return false;
+                }
+            }
+            if let Some(d) = ins.writes() {
+                cur.insert(d);
+            }
+        }
+    }
+    true
+}

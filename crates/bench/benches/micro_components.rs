@@ -1,0 +1,68 @@
+//! Component microbenchmarks: the substrates' hot paths (parser, sema,
+//! annotator, collector, page-map lookups) plus an ablation of the
+//! annotator's optimizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcheap::{GcHeap, Memory, RootSet};
+
+fn bench(c: &mut Criterion) {
+    let src = workloads::by_name("gs").expect("exists").source;
+
+    let mut g = c.benchmark_group("components");
+    g.sample_size(20);
+
+    g.bench_function("parse_gs", |b| b.iter(|| cfront::parse(src).expect("parses")));
+
+    g.bench_function("annotate_gs_safe", |b| {
+        b.iter(|| gcsafe::annotate_program(src, &gcsafe::Config::gc_safe()).expect("annotates"))
+    });
+
+    g.bench_function("annotate_gs_checked", |b| {
+        b.iter(|| gcsafe::annotate_program(src, &gcsafe::Config::checked()).expect("annotates"))
+    });
+
+    // Ablation: optimization 1 (copy suppression) off.
+    let no_opt1 = gcsafe::Config { skip_copies: false, ..gcsafe::Config::gc_safe() };
+    g.bench_function("annotate_gs_no_opt1", |b| {
+        b.iter(|| gcsafe::annotate_program(src, &no_opt1).expect("annotates"))
+    });
+
+    g.bench_function("gc_alloc_collect_cycle", |b| {
+        b.iter(|| {
+            let mut mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+            let mut heap = GcHeap::with_defaults(&mem);
+            let mut keep = Vec::new();
+            for i in 0..2000u64 {
+                let a = heap.alloc(&mut mem, 32).expect("fits");
+                if i % 7 == 0 {
+                    keep.push(a);
+                }
+            }
+            let mut roots = RootSet::new();
+            for &k in &keep {
+                roots.add_word(k);
+            }
+            heap.collect(&mut mem, &roots);
+            heap.stats().objects_live
+        })
+    });
+
+    g.bench_function("page_map_base_lookup", |b| {
+        let mut mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+        let mut heap = GcHeap::with_defaults(&mem);
+        let objs: Vec<u64> =
+            (0..512).map(|_| heap.alloc(&mut mem, 48).expect("fits")).collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &o in &objs {
+                acc = acc.wrapping_add(heap.base(o + 17).expect("interior resolves"));
+            }
+            acc
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E4: regenerates the paper's object-code-size table, then times the
+//! codegen stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcbench::{codesize_table, collect};
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    match collect(Scale::Tiny) {
+        Ok(data) => {
+            println!("\n=== E4: code size expansion ===");
+            println!("{}", codesize_table(&data));
+        }
+        Err(e) => eprintln!("table generation failed: {e}"),
+    }
+    let w = workloads::by_name("gs").expect("exists");
+    let prog = cvm::compile(w.source, &cvm::CompileOptions::optimized_safe()).expect("compiles");
+    let machine = asmpost::Machine::sparc10();
+    let mut g = c.benchmark_group("table_codesize");
+    g.sample_size(10);
+    g.bench_function("codegen_gs_safe", |b| {
+        b.iter(|| asmpost::codegen_program(&prog, &machine));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E5: regenerates the paper's postprocessor table, then times the
+//! peephole pass itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcbench::{collect, postprocessor_table};
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    match collect(Scale::Tiny) {
+        Ok(data) => {
+            println!("\n=== E5: after the peephole postprocessor ===");
+            println!("{}", postprocessor_table(&data));
+        }
+        Err(e) => eprintln!("table generation failed: {e}"),
+    }
+    let w = workloads::by_name("cordtest").expect("exists");
+    let prog = cvm::compile(w.source, &cvm::CompileOptions::optimized_safe()).expect("compiles");
+    let machine = asmpost::Machine::sparc10();
+    let asm = asmpost::codegen_program(&prog, &machine);
+    let mut g = c.benchmark_group("table_postprocessor");
+    g.sample_size(10);
+    g.bench_function("peephole_cordtest", |b| {
+        b.iter(|| {
+            let mut copy = asm.clone();
+            asmpost::postprocess_program(&mut copy)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1–E3: regenerates the paper's three slowdown tables, then times the
+//! full measurement pipeline on the smallest workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcbench::{collect, slowdown_table};
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    // Print the actual paper tables once (paper scale).
+    match collect(Scale::Paper) {
+        Ok(data) => {
+            println!("\n=== E1–E3: run-time slowdown relative to -O ===");
+            for key in ["sparc2", "sparc10", "pentium90"] {
+                println!("{}", slowdown_table(&data, key));
+            }
+        }
+        Err(e) => eprintln!("table generation failed: {e}"),
+    }
+    let mut g = c.benchmark_group("table_slowdown");
+    g.sample_size(10);
+    g.bench_function("measure_cordtest_tiny", |b| {
+        let w = workloads::by_name("cordtest").expect("exists");
+        b.iter(|| gc_safety::measure_workload(&w, Scale::Tiny).expect("runs"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Prints every table and figure of the paper.
+//!
+//! Usage: `tables [sparc2|sparc10|pentium90|codesize|postprocessor|analysis|all] [--tiny]`
+
+use gcbench::*;
+use workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let scale = if args.iter().any(|a| a == "--tiny") { Scale::Tiny } else { Scale::Paper };
+
+    if what == "analysis" {
+        println!("{}", analysis_listing());
+        return;
+    }
+    if what == "spills" {
+        println!("{}", register_pressure_report());
+        return;
+    }
+    let data = match collect(scale) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    match what {
+        "sparc2" => print!("{}", slowdown_table(&data, "sparc2")),
+        "sparc10" => print!("{}", slowdown_table(&data, "sparc10")),
+        "pentium90" => print!("{}", slowdown_table(&data, "pentium90")),
+        "codesize" => print!("{}", codesize_table(&data)),
+        "postprocessor" => print!("{}", postprocessor_table(&data)),
+        "ablations" => print!("{}", ablation_table(scale)),
+        "compare" => print!("{}", paper_comparison(&data)),
+        "all" => {
+            println!("Run-time slowdown relative to '-O' (E1-E3)\n");
+            for key in ["sparc2", "sparc10", "pentium90"] {
+                println!("{}", slowdown_table(&data, key));
+            }
+            println!("{}", codesize_table(&data));
+            println!();
+            println!("{}", postprocessor_table(&data));
+            println!();
+            println!("{}", ablation_table(scale));
+            println!();
+            println!("Paper vs measured (shape verdicts):\n{}", paper_comparison(&data));
+            println!("{}", register_pressure_report());
+
+            println!("Analysis listing (F1):\n{}", analysis_listing());
+        }
+        other => {
+            eprintln!("unknown table '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

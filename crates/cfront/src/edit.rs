@@ -1,0 +1,187 @@
+//! Source edit list: the paper's preprocessor mechanism.
+//!
+//! "In the process it generates a list of insertions and deletions, sorted
+//! by character position in the original source string. After parsing is
+//! complete, the insertions and deletions are applied to the original
+//! source." This module is exactly that data structure.
+
+use std::fmt;
+
+/// One edit against the original source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// Byte position in the *original* source where the edit applies.
+    pub pos: usize,
+    /// Number of original bytes deleted starting at `pos`.
+    pub delete: usize,
+    /// Text inserted at `pos` (after the deletion).
+    pub insert: String,
+}
+
+/// An ordered collection of edits applied in one pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EditList {
+    edits: Vec<Edit>,
+}
+
+/// Error returned when edits overlap or run past the end of the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edit error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl EditList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an insertion of `text` at byte `pos`.
+    pub fn insert(&mut self, pos: usize, text: impl Into<String>) {
+        self.edits.push(Edit { pos, delete: 0, insert: text.into() });
+    }
+
+    /// Records a deletion of `len` bytes at `pos`.
+    pub fn delete(&mut self, pos: usize, len: usize) {
+        self.edits.push(Edit { pos, delete: len, insert: String::new() });
+    }
+
+    /// Records a replacement of `len` bytes at `pos` by `text`.
+    pub fn replace(&mut self, pos: usize, len: usize, text: impl Into<String>) {
+        self.edits.push(Edit { pos, delete: len, insert: text.into() });
+    }
+
+    /// Number of recorded edits.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Whether no edits are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Iterates over the edits in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Edit> {
+        self.edits.iter()
+    }
+
+    /// Applies all edits to `source`, producing the transformed text.
+    ///
+    /// Edits are sorted by position (stable, so multiple insertions at the
+    /// same position keep their recording order — the outermost wrapper
+    /// must be recorded first for prefix text and last for suffix text,
+    /// which is how the annotator records them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] if deletions overlap or extend past the end of
+    /// the source.
+    pub fn apply(&self, source: &str) -> Result<String, EditError> {
+        let mut sorted: Vec<&Edit> = self.edits.iter().collect();
+        sorted.sort_by_key(|e| e.pos);
+        let mut out = String::with_capacity(source.len() + 64);
+        let mut cursor = 0usize;
+        for e in sorted {
+            if e.pos < cursor {
+                return Err(EditError {
+                    message: format!(
+                        "overlapping edits: position {} already consumed (cursor {})",
+                        e.pos, cursor
+                    ),
+                });
+            }
+            if e.pos + e.delete > source.len() {
+                return Err(EditError {
+                    message: format!(
+                        "edit at {} deletes {} bytes past end of source (len {})",
+                        e.pos,
+                        e.delete,
+                        source.len()
+                    ),
+                });
+            }
+            out.push_str(&source[cursor..e.pos]);
+            out.push_str(&e.insert);
+            cursor = e.pos + e.delete;
+        }
+        out.push_str(&source[cursor..]);
+        Ok(out)
+    }
+}
+
+impl Extend<Edit> for EditList {
+    fn extend<T: IntoIterator<Item = Edit>>(&mut self, iter: T) {
+        self.edits.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_only() {
+        let mut el = EditList::new();
+        el.insert(3, "XY");
+        assert_eq!(el.apply("abcdef").unwrap(), "abcXYdef");
+    }
+
+    #[test]
+    fn delete_and_replace() {
+        let mut el = EditList::new();
+        el.delete(1, 2);
+        el.replace(4, 1, "Z");
+        assert_eq!(el.apply("abcdef").unwrap(), "adZf");
+    }
+
+    #[test]
+    fn stable_order_at_same_position() {
+        // Wrapping `e` as KEEP_LIVE(e, b): record prefix then suffix at the
+        // expression bounds; nested wrappers at the same start keep order.
+        let mut el = EditList::new();
+        el.insert(0, "KEEP_LIVE(");
+        el.insert(0, "(");
+        el.insert(1, ", b)");
+        assert_eq!(el.apply("e").unwrap(), "KEEP_LIVE((e, b)");
+    }
+
+    #[test]
+    fn unsorted_recording_is_fine() {
+        let mut el = EditList::new();
+        el.insert(4, "B");
+        el.insert(2, "A");
+        assert_eq!(el.apply("wxyz").unwrap(), "wxAyzB");
+    }
+
+    #[test]
+    fn overlap_is_error() {
+        let mut el = EditList::new();
+        el.delete(0, 3);
+        el.delete(1, 1);
+        assert!(el.apply("abcdef").is_err());
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let mut el = EditList::new();
+        el.delete(4, 10);
+        assert!(el.apply("abcdef").is_err());
+    }
+
+    #[test]
+    fn empty_list_is_identity() {
+        let el = EditList::new();
+        assert_eq!(el.apply("abc").unwrap(), "abc");
+        assert!(el.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Frontend error type shared by the lexer, parser, and semantic analysis.
+
+use crate::span::{line_col, Span};
+use std::error::Error;
+use std::fmt;
+
+/// Which frontend phase produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking / name resolution.
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Sema => write!(f, "sema"),
+        }
+    }
+}
+
+/// An error produced while processing C source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontError {
+    /// Producing phase.
+    pub phase: Phase,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Source location of the problem.
+    pub span: Span,
+}
+
+impl FrontError {
+    /// Creates a new error.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
+        FrontError { phase, message: message.into(), span }
+    }
+
+    /// Renders the error with line/column information resolved against `source`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start);
+        format!("{}:{}: {} error: {}", line, col, self.phase, self.message)
+    }
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for FrontError {}
+
+/// Result alias for frontend operations.
+pub type FrontResult<T> = Result<T, FrontError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_resolves_line_col() {
+        let err = FrontError::new(Phase::Parse, "expected ';'", Span::new(4, 5));
+        let rendered = err.render("int\nx y");
+        assert_eq!(rendered, "2:1: parse error: expected ';'");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let err = FrontError::new(Phase::Lex, "bad char", Span::point(0));
+        assert!(!err.to_string().is_empty());
+    }
+}

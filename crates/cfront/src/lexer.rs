@@ -1,0 +1,516 @@
+//! Hand-written lexer for the ANSI C subset.
+//!
+//! Produces a token stream with byte spans. Comments (`/* */` and `//`) and
+//! whitespace are skipped but their extents remain recoverable through the
+//! spans of neighbouring tokens, which is what the source-to-source edit
+//! list needs.
+
+use crate::error::{FrontError, FrontResult, Phase};
+use crate::span::Span;
+use std::fmt;
+
+/// Lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (value already folded; `char` literals also become this).
+    IntLit(i64),
+    /// String literal (escape sequences resolved).
+    StrLit(String),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::IntLit(v) => write!(f, "{v}"),
+            Tok::StrLit(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::Punct(p) => write!(f, "{}", p.as_str()),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// C keywords recognised by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Void, Char, Int, Long, Unsigned, Signed, Short,
+    Struct, Union, Enum, Typedef,
+    If, Else, While, Do, For, Switch, Case, Default,
+    Break, Continue, Return, Sizeof,
+    Static, Extern, Const, Register, Volatile, Auto,
+}
+
+fn keyword(word: &str) -> Option<Kw> {
+    Some(match word {
+        "void" => Kw::Void,
+        "char" => Kw::Char,
+        "int" => Kw::Int,
+        "long" => Kw::Long,
+        "unsigned" => Kw::Unsigned,
+        "signed" => Kw::Signed,
+        "short" => Kw::Short,
+        "struct" => Kw::Struct,
+        "union" => Kw::Union,
+        "enum" => Kw::Enum,
+        "typedef" => Kw::Typedef,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "do" => Kw::Do,
+        "for" => Kw::For,
+        "switch" => Kw::Switch,
+        "case" => Kw::Case,
+        "default" => Kw::Default,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "return" => Kw::Return,
+        "sizeof" => Kw::Sizeof,
+        "static" => Kw::Static,
+        "extern" => Kw::Extern,
+        "const" => Kw::Const,
+        "register" => Kw::Register,
+        "volatile" => Kw::Volatile,
+        "auto" => Kw::Auto,
+        _ => return None,
+    })
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Dot, Arrow, Ellipsis,
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    AmpAmp, PipePipe,
+    Question, Colon,
+    Assign,
+    PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+    AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
+}
+
+impl Punct {
+    /// The literal source spelling of the token.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(", RParen => ")", LBrace => "{", RBrace => "}",
+            LBracket => "[", RBracket => "]",
+            Semi => ";", Comma => ",", Dot => ".", Arrow => "->", Ellipsis => "...",
+            Plus => "+", Minus => "-", Star => "*", Slash => "/", Percent => "%",
+            PlusPlus => "++", MinusMinus => "--",
+            Amp => "&", Pipe => "|", Caret => "^", Tilde => "~", Bang => "!",
+            Shl => "<<", Shr => ">>",
+            Lt => "<", Gt => ">", Le => "<=", Ge => ">=", EqEq => "==", NotEq => "!=",
+            AmpAmp => "&&", PipePipe => "||",
+            Question => "?", Colon => ":",
+            Assign => "=",
+            PlusEq => "+=", MinusEq => "-=", StarEq => "*=", SlashEq => "/=",
+            PercentEq => "%=", AmpEq => "&=", PipeEq => "|=", CaretEq => "^=",
+            ShlEq => "<<=", ShrEq => ">>=",
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub tok: Tok,
+    /// Byte extent in the original source.
+    pub span: Span,
+}
+
+/// Tokenises `source` into a vector ending with a single [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`FrontError`] for unterminated comments/strings, malformed
+/// numeric or character literals, and characters outside the language.
+pub fn lex(source: &str) -> FrontResult<Vec<Token>> {
+    Lexer { src: source.as_bytes(), pos: 0, toks: Vec::new() }.run(source)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    toks: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, source: &str) -> FrontResult<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(&c) = self.src.get(self.pos) else {
+                self.toks.push(Token { tok: Tok::Eof, span: Span::point(self.pos) });
+                return Ok(self.toks);
+            };
+            let tok = match c {
+                b'0'..=b'9' => self.number()?,
+                b'\'' => self.char_lit()?,
+                b'"' => self.string_lit()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.punct(source)?,
+            };
+            self.toks.push(Token { tok, span: Span::new(start, self.pos) });
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>, start: usize) -> FrontError {
+        FrontError::new(Phase::Lex, msg, Span::new(start, self.pos.min(self.src.len())))
+    }
+
+    fn skip_trivia(&mut self) -> FrontResult<()> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.src.len() {
+                            return Err(self.err("unterminated block comment", start));
+                        }
+                        if self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // `#` directives are not part of the subset; treat a whole
+                // line starting with '#' as trivia so pre-expanded sources
+                // with #line markers still lex.
+                Some(b'#') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> FrontResult<Tok> {
+        let start = self.pos;
+        let mut value: i64 = 0;
+        if self.src[self.pos] == b'0'
+            && matches!(self.src.get(self.pos + 1), Some(b'x' | b'X'))
+        {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while let Some(&c) = self.src.get(self.pos) {
+                let d = match c {
+                    b'0'..=b'9' => (c - b'0') as i64,
+                    b'a'..=b'f' => (c - b'a' + 10) as i64,
+                    b'A'..=b'F' => (c - b'A' + 10) as i64,
+                    _ => break,
+                };
+                value = value.wrapping_mul(16).wrapping_add(d);
+                self.pos += 1;
+            }
+            if self.pos == digits_start {
+                return Err(self.err("hex literal with no digits", start));
+            }
+        } else {
+            while let Some(&c) = self.src.get(self.pos) {
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                value = value.wrapping_mul(10).wrapping_add((c - b'0') as i64);
+                self.pos += 1;
+            }
+        }
+        // Swallow integer suffixes.
+        while matches!(self.src.get(self.pos), Some(b'u' | b'U' | b'l' | b'L')) {
+            self.pos += 1;
+        }
+        if matches!(self.src.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("floating-point literals are not supported", start));
+        }
+        Ok(Tok::IntLit(value))
+    }
+
+    fn escape(&mut self, start: usize) -> FrontResult<u8> {
+        let Some(&c) = self.src.get(self.pos) else {
+            return Err(self.err("unterminated escape sequence", start));
+        };
+        self.pos += 1;
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            b'a' => 7,
+            b'b' => 8,
+            b'f' => 12,
+            b'v' => 11,
+            _ => return Err(self.err(format!("unknown escape '\\{}'", c as char), start)),
+        })
+    }
+
+    fn char_lit(&mut self) -> FrontResult<Tok> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let Some(&c) = self.src.get(self.pos) else {
+            return Err(self.err("unterminated character literal", start));
+        };
+        let value = if c == b'\\' {
+            self.pos += 1;
+            self.escape(start)?
+        } else {
+            self.pos += 1;
+            c
+        };
+        if self.src.get(self.pos) != Some(&b'\'') {
+            return Err(self.err("unterminated character literal", start));
+        }
+        self.pos += 1;
+        Ok(Tok::IntLit(value as i64))
+    }
+
+    fn string_lit(&mut self) -> FrontResult<Tok> {
+        let start = self.pos;
+        let mut out = String::new();
+        loop {
+            // Adjacent string literals concatenate, per C.
+            if self.src.get(self.pos) != Some(&b'"') {
+                break;
+            }
+            self.pos += 1;
+            loop {
+                let Some(&c) = self.src.get(self.pos) else {
+                    return Err(self.err("unterminated string literal", start));
+                };
+                match c {
+                    b'"' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        self.pos += 1;
+                        let b = self.escape(start)?;
+                        out.push(b as char);
+                    }
+                    b'\n' => return Err(self.err("newline in string literal", start)),
+                    _ => {
+                        out.push(c as char);
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Skip whitespace between adjacent literals only (not comments,
+            // to keep the span contiguous enough for editing).
+            let save = self.pos;
+            while matches!(self.src.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+            if self.src.get(self.pos) != Some(&b'"') {
+                self.pos = save;
+                break;
+            }
+        }
+        Ok(Tok::StrLit(out))
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.pos;
+        while let Some(&c) = self.src.get(self.pos) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match keyword(word) {
+            Some(kw) => Tok::Kw(kw),
+            None => Tok::Ident(word.to_string()),
+        }
+    }
+
+    fn punct(&mut self, _source: &str) -> FrontResult<Tok> {
+        use Punct::*;
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        let table: &[(&[u8], Punct)] = &[
+            (b"...", Ellipsis),
+            (b"<<=", ShlEq),
+            (b">>=", ShrEq),
+            (b"->", Arrow),
+            (b"++", PlusPlus),
+            (b"--", MinusMinus),
+            (b"<<", Shl),
+            (b">>", Shr),
+            (b"<=", Le),
+            (b">=", Ge),
+            (b"==", EqEq),
+            (b"!=", NotEq),
+            (b"&&", AmpAmp),
+            (b"||", PipePipe),
+            (b"+=", PlusEq),
+            (b"-=", MinusEq),
+            (b"*=", StarEq),
+            (b"/=", SlashEq),
+            (b"%=", PercentEq),
+            (b"&=", AmpEq),
+            (b"|=", PipeEq),
+            (b"^=", CaretEq),
+            (b"(", LParen),
+            (b")", RParen),
+            (b"{", LBrace),
+            (b"}", RBrace),
+            (b"[", LBracket),
+            (b"]", RBracket),
+            (b";", Semi),
+            (b",", Comma),
+            (b".", Dot),
+            (b"+", Plus),
+            (b"-", Minus),
+            (b"*", Star),
+            (b"/", Slash),
+            (b"%", Percent),
+            (b"&", Amp),
+            (b"|", Pipe),
+            (b"^", Caret),
+            (b"~", Tilde),
+            (b"!", Bang),
+            (b"<", Lt),
+            (b">", Gt),
+            (b"?", Question),
+            (b":", Colon),
+            (b"=", Assign),
+        ];
+        for (pat, punct) in table {
+            if rest.starts_with(pat) {
+                self.pos += pat.len();
+                return Ok(Tok::Punct(*punct));
+            }
+        }
+        self.pos += 1;
+        Err(self.err(format!("unexpected character '{}'", self.src[start] as char), start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Ident("x".into()),
+                Tok::Punct(Punct::Assign),
+                Tok::IntLit(42),
+                Tok::Punct(Punct::Semi),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_for_operators() {
+        assert_eq!(
+            kinds("a+++b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct(Punct::PlusPlus),
+                Tok::Punct(Punct::Plus),
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(kinds("x<<=1")[1], Tok::Punct(Punct::ShlEq));
+        assert_eq!(kinds("p->f")[1], Tok::Punct(Punct::Arrow));
+    }
+
+    #[test]
+    fn hex_and_suffixes() {
+        assert_eq!(kinds("0x1fUL")[0], Tok::IntLit(0x1f));
+        assert_eq!(kinds("10L")[0], Tok::IntLit(10));
+    }
+
+    #[test]
+    fn char_literals_and_escapes() {
+        assert_eq!(kinds("'a'")[0], Tok::IntLit(97));
+        assert_eq!(kinds("'\\n'")[0], Tok::IntLit(10));
+        assert_eq!(kinds("'\\0'")[0], Tok::IntLit(0));
+    }
+
+    #[test]
+    fn string_concatenation() {
+        assert_eq!(kinds("\"ab\" \"cd\"")[0], Tok::StrLit("abcd".into()));
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        assert_eq!(
+            kinds("a /* mid */ b // tail\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_lines_skipped() {
+        assert_eq!(kinds("#include <stdio.h>\nint"), vec![Tok::Kw(Kw::Int), Tok::Eof]);
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn float_literal_rejected() {
+        assert!(lex("1.5").is_err());
+    }
+
+    #[test]
+    fn keywords_recognised() {
+        assert_eq!(kinds("while")[0], Tok::Kw(Kw::While));
+        assert_eq!(kinds("whilex")[0], Tok::Ident("whilex".into()));
+    }
+}

@@ -1,0 +1,962 @@
+//! Name resolution and type checking.
+//!
+//! Fills in [`Expr::ty`] on every expression, resolves identifiers to
+//! locals/globals/functions/builtins/enum constants, assigns stable
+//! [`VarId`]s per function, computes address-taken flags, and collects the
+//! pointer-hygiene warnings the paper's preprocessor reports (integer
+//! values converted to pointers, assumption (1) of the Source Checking
+//! section).
+//!
+//! Sema is idempotent: the GC-safety annotator inserts new nodes and then
+//! simply re-runs it.
+
+use crate::ast::*;
+use crate::error::{FrontError, FrontResult, Phase};
+use crate::span::Span;
+use crate::types::{FuncType, Type, TypeTable};
+use std::collections::HashMap;
+
+/// Per-function variable index (parameters first, then locals, in
+/// declaration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Built-in runtime functions known to the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Builtin {
+    /// `void *malloc(long)` — redirected to the collecting allocator, per
+    /// the paper's problem statement.
+    Malloc,
+    /// `void *calloc(long, long)` — collecting allocator, zeroed.
+    Calloc,
+    /// `void *realloc(void *, long)`.
+    Realloc,
+    /// `void free(void *)` — a no-op under the collector ("remove all calls
+    /// to free").
+    Free,
+    /// `long strlen(char *)`.
+    Strlen,
+    /// `int strcmp(char *, char *)`.
+    Strcmp,
+    /// `int strncmp(char *, char *, long)`.
+    Strncmp,
+    /// `char *strcpy(char *, char *)`.
+    Strcpy,
+    /// `void *memcpy(void *, void *, long)`.
+    Memcpy,
+    /// `void *memset(void *, int, long)`.
+    Memset,
+    /// `int memcmp(void *, void *, long)`.
+    Memcmp,
+    /// `int getchar(void)` — reads the harness-provided input, -1 at EOF.
+    Getchar,
+    /// `void putchar(int)`.
+    Putchar,
+    /// `void putstr(char *)` — writes a NUL-terminated string.
+    Putstr,
+    /// `void putint(long)` — writes a decimal integer.
+    Putint,
+    /// `void exit(int)`.
+    Exit,
+    /// `void abort(void)`.
+    Abort,
+    /// `void gc_collect(void)` — forces a collection (test hook).
+    GcCollect,
+    /// `long gc_heap_size(void)` — current live heap bytes (test hook).
+    GcHeapSize,
+    /// `void *GC_same_obj(void *, void *)` — checking-mode primitive:
+    /// verifies both arguments point into the same heap object and returns
+    /// the first.
+    GcSameObj,
+    /// `void *GC_pre_incr(void **, long)` — checked pre-increment.
+    GcPreIncr,
+    /// `void *GC_post_incr(void **, long)` — checked post-increment.
+    GcPostIncr,
+    /// `void *GC_base(void *)` — object base lookup (NULL if not heap).
+    GcBase,
+    /// `void *GC_keep_live(void *, void *)` — the paper's naive
+    /// `KEEP_LIVE` implementation: "a call to an external function whose
+    /// implementation is unavailable to the compiler for analysis, but
+    /// which actually just returns its first argument". Terribly
+    /// inefficient by design; used for the implementation-strategy
+    /// ablation.
+    KeepLiveFn,
+}
+
+impl Builtin {
+    /// All builtins with their C-level names.
+    pub const ALL: &'static [(&'static str, Builtin)] = &[
+        ("malloc", Builtin::Malloc),
+        ("calloc", Builtin::Calloc),
+        ("realloc", Builtin::Realloc),
+        ("free", Builtin::Free),
+        ("strlen", Builtin::Strlen),
+        ("strcmp", Builtin::Strcmp),
+        ("strncmp", Builtin::Strncmp),
+        ("strcpy", Builtin::Strcpy),
+        ("memcpy", Builtin::Memcpy),
+        ("memset", Builtin::Memset),
+        ("memcmp", Builtin::Memcmp),
+        ("getchar", Builtin::Getchar),
+        ("putchar", Builtin::Putchar),
+        ("putstr", Builtin::Putstr),
+        ("putint", Builtin::Putint),
+        ("exit", Builtin::Exit),
+        ("abort", Builtin::Abort),
+        ("gc_collect", Builtin::GcCollect),
+        ("gc_heap_size", Builtin::GcHeapSize),
+        ("GC_same_obj", Builtin::GcSameObj),
+        ("GC_pre_incr", Builtin::GcPreIncr),
+        ("GC_post_incr", Builtin::GcPostIncr),
+        ("GC_base", Builtin::GcBase),
+        ("GC_keep_live", Builtin::KeepLiveFn),
+    ];
+
+    /// Looks up a builtin by its C name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Self::ALL.iter().find(|(n, _)| *n == name).map(|(_, b)| *b)
+    }
+
+    /// The C-level function type of the builtin.
+    pub fn func_type(self) -> FuncType {
+        use Builtin::*;
+        fn vptr() -> Type {
+            Type::Void.ptr_to()
+        }
+        fn cptr() -> Type {
+            Type::Char.ptr_to()
+        }
+        match self {
+            Malloc => FuncType { ret: vptr(), params: vec![Type::Long], varargs: false },
+            Calloc => FuncType { ret: vptr(), params: vec![Type::Long, Type::Long], varargs: false },
+            Realloc => FuncType { ret: vptr(), params: vec![vptr(), Type::Long], varargs: false },
+            Free => FuncType { ret: Type::Void, params: vec![vptr()], varargs: false },
+            Strlen => FuncType { ret: Type::Long, params: vec![cptr()], varargs: false },
+            Strcmp => FuncType { ret: Type::Int, params: vec![cptr(), cptr()], varargs: false },
+            Strncmp => FuncType {
+                ret: Type::Int,
+                params: vec![cptr(), cptr(), Type::Long],
+                varargs: false,
+            },
+            Strcpy => FuncType { ret: cptr(), params: vec![cptr(), cptr()], varargs: false },
+            Memcpy => FuncType {
+                ret: vptr(),
+                params: vec![vptr(), vptr(), Type::Long],
+                varargs: false,
+            },
+            Memset => FuncType {
+                ret: vptr(),
+                params: vec![vptr(), Type::Int, Type::Long],
+                varargs: false,
+            },
+            Memcmp => FuncType {
+                ret: Type::Int,
+                params: vec![vptr(), vptr(), Type::Long],
+                varargs: false,
+            },
+            Getchar => FuncType { ret: Type::Int, params: vec![], varargs: false },
+            Putchar => FuncType { ret: Type::Void, params: vec![Type::Int], varargs: false },
+            Putstr => FuncType { ret: Type::Void, params: vec![cptr()], varargs: false },
+            Putint => FuncType { ret: Type::Void, params: vec![Type::Long], varargs: false },
+            Exit => FuncType { ret: Type::Void, params: vec![Type::Int], varargs: false },
+            Abort => FuncType { ret: Type::Void, params: vec![], varargs: false },
+            GcCollect => FuncType { ret: Type::Void, params: vec![], varargs: false },
+            GcHeapSize => FuncType { ret: Type::Long, params: vec![], varargs: false },
+            GcSameObj => FuncType { ret: vptr(), params: vec![vptr(), vptr()], varargs: false },
+            GcPreIncr => FuncType {
+                ret: vptr(),
+                params: vec![vptr().ptr_to(), Type::Long],
+                varargs: false,
+            },
+            GcPostIncr => FuncType {
+                ret: vptr(),
+                params: vec![vptr().ptr_to(), Type::Long],
+                varargs: false,
+            },
+            GcBase => FuncType { ret: vptr(), params: vec![vptr()], varargs: false },
+            KeepLiveFn => FuncType {
+                ret: vptr(),
+                params: vec![vptr(), vptr()],
+                varargs: false,
+            },
+        }
+    }
+}
+
+/// What an identifier refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resolution {
+    /// Local variable or parameter of the enclosing function.
+    Local(VarId),
+    /// Global variable, by index into [`Program::globals`].
+    Global(usize),
+    /// User-defined function, by name.
+    Func(String),
+    /// Runtime builtin.
+    Builtin(Builtin),
+    /// Enum constant value.
+    EnumConst(i64),
+}
+
+/// Information about one variable slot of a function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarInfo {
+    /// Source name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Whether the slot is a parameter.
+    pub is_param: bool,
+    /// Whether `&x` occurs anywhere (forces a memory home).
+    pub addr_taken: bool,
+}
+
+/// Per-function sema results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FuncInfo {
+    /// All variable slots, parameters first.
+    pub vars: Vec<VarInfo>,
+}
+
+impl FuncInfo {
+    /// Variable metadata by id.
+    pub fn var(&self, id: VarId) -> &VarInfo {
+        &self.vars[id.0 as usize]
+    }
+}
+
+/// A non-fatal diagnostic (the paper's preprocessor "issues warnings").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Location.
+    pub span: Span,
+    /// Message.
+    pub message: String,
+}
+
+/// Whole-program sema results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SemaInfo {
+    /// Identifier resolutions keyed by the `Ident` node id.
+    pub res: HashMap<NodeId, Resolution>,
+    /// Per-function info keyed by function name.
+    pub funcs: HashMap<String, FuncInfo>,
+    /// Pointer-hygiene warnings.
+    pub warnings: Vec<Warning>,
+}
+
+/// Runs semantic analysis over `prog`, filling expression types in place.
+///
+/// # Errors
+///
+/// Returns the first type or name-resolution error.
+pub fn analyze(prog: &mut Program) -> FrontResult<SemaInfo> {
+    let mut info = SemaInfo::default();
+    let mut globals_by_name: HashMap<String, (usize, Type)> = HashMap::new();
+    for (i, g) in prog.globals.iter().enumerate() {
+        globals_by_name.insert(g.name.clone(), (i, g.ty.clone()));
+    }
+    let mut func_sigs: HashMap<String, FuncType> = HashMap::new();
+    for f in &prog.funcs {
+        func_sigs.insert(
+            f.name.clone(),
+            FuncType {
+                ret: f.ret.clone(),
+                params: f.params.iter().map(|p| p.ty.decayed()).collect(),
+                varargs: f.varargs,
+            },
+        );
+    }
+    let enum_consts: HashMap<String, i64> = prog.enum_consts.iter().cloned().collect();
+
+    // Check global initializers (must type-check as expressions).
+    let types = prog.types.clone();
+    let mut globals = std::mem::take(&mut prog.globals);
+    for g in &mut globals {
+        if let Some(init) = &mut g.init {
+            let mut cx = Ctx {
+                types: &types,
+                globals_by_name: &globals_by_name,
+                func_sigs: &func_sigs,
+                enum_consts: &enum_consts,
+                info: &mut info,
+                scopes: vec![HashMap::new()],
+                vars: Vec::new(),
+                ret: Type::Void,
+            };
+            cx.check_init(init, &g.ty)?;
+        }
+    }
+    prog.globals = globals;
+
+    let mut funcs = std::mem::take(&mut prog.funcs);
+    for f in &mut funcs {
+        let Some(body) = &mut f.body else { continue };
+        let mut cx = Ctx {
+            types: &types,
+            globals_by_name: &globals_by_name,
+            func_sigs: &func_sigs,
+            enum_consts: &enum_consts,
+            info: &mut info,
+            scopes: vec![HashMap::new()],
+            vars: Vec::new(),
+            ret: f.ret.clone(),
+        };
+        for p in &f.params {
+            let id = cx.declare(&p.name, p.ty.decayed(), true);
+            // Parameters are resolvable through their decl node too.
+            cx.info.res.insert(p.id, Resolution::Local(id));
+        }
+        cx.block(body)?;
+        let vars = cx.vars;
+        info.funcs.insert(f.name.clone(), FuncInfo { vars });
+    }
+    prog.funcs = funcs;
+    Ok(info)
+}
+
+struct Ctx<'a> {
+    types: &'a TypeTable,
+    globals_by_name: &'a HashMap<String, (usize, Type)>,
+    func_sigs: &'a HashMap<String, FuncType>,
+    enum_consts: &'a HashMap<String, i64>,
+    info: &'a mut SemaInfo,
+    scopes: Vec<HashMap<String, VarId>>,
+    vars: Vec<VarInfo>,
+    ret: Type,
+}
+
+impl<'a> Ctx<'a> {
+    fn err(&self, span: Span, msg: impl Into<String>) -> FrontError {
+        FrontError::new(Phase::Sema, msg, span)
+    }
+
+    fn warn(&mut self, span: Span, msg: impl Into<String>) {
+        self.info.warnings.push(Warning { span, message: msg.into() });
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, is_param: bool) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("var count fits u32"));
+        self.vars.push(VarInfo {
+            name: name.to_string(),
+            ty,
+            is_param,
+            addr_taken: false,
+        });
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarId> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&id) = scope.get(name) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn check_init(&mut self, init: &mut Init, _target: &Type) -> FrontResult<()> {
+        match init {
+            Init::Scalar(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Init::List(items) => {
+                for item in items {
+                    self.check_init(item, _target)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn block(&mut self, b: &mut Block) -> FrontResult<()> {
+        self.scopes.push(HashMap::new());
+        for s in &mut b.stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &mut Stmt) -> FrontResult<()> {
+        match s {
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+            }
+            Stmt::Decl(decls) => {
+                for d in decls {
+                    if let Some(init) = &mut d.init {
+                        self.expr(init)?;
+                    }
+                    let id = self.declare(&d.name, d.ty.clone(), false);
+                    self.info.res.insert(d.id, Resolution::Local(id));
+                }
+            }
+            Stmt::Block(b) => self.block(b)?,
+            Stmt::If(c, t, e) => {
+                self.expr(c)?;
+                self.stmt(t)?;
+                if let Some(e) = e {
+                    self.stmt(e)?;
+                }
+            }
+            Stmt::While(c, b) => {
+                self.expr(c)?;
+                self.stmt(b)?;
+            }
+            Stmt::DoWhile(b, c) => {
+                self.stmt(b)?;
+                self.expr(c)?;
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.expr(c)?;
+                }
+                if let Some(st) = step {
+                    self.expr(st)?;
+                }
+                self.stmt(body)?;
+                self.scopes.pop();
+            }
+            Stmt::Switch(c, b) => {
+                self.expr(c)?;
+                self.stmt(b)?;
+            }
+            Stmt::Return(Some(e)) => {
+                self.expr(e)?;
+                if self.ret == Type::Void {
+                    return Err(self.err(e.span, "returning a value from a void function"));
+                }
+            }
+            Stmt::Case(_)
+            | Stmt::Default
+            | Stmt::Break
+            | Stmt::Continue
+            | Stmt::Return(None)
+            | Stmt::Empty => {}
+        }
+        Ok(())
+    }
+
+    /// Checks an lvalue path and returns its (non-decayed) type.
+    fn lvalue(&mut self, e: &mut Expr) -> FrontResult<Type> {
+        let ty = self.expr(e)?;
+        match &e.kind {
+            ExprKind::Ident(_) | ExprKind::Deref(_) | ExprKind::Index(..) | ExprKind::Member { .. } => {
+                Ok(ty)
+            }
+            _ => Err(self.err(e.span, "expression is not an lvalue")),
+        }
+    }
+
+    /// Marks address-taken when `&` is applied to a path rooted at a local.
+    fn mark_addr_taken(&mut self, e: &Expr) {
+        if let ExprKind::Ident(_) = &e.kind {
+            if let Some(Resolution::Local(id)) = self.info.res.get(&e.id) {
+                self.vars[id.0 as usize].addr_taken = true;
+            }
+        }
+        // For Member/Index the base variable is an aggregate and therefore
+        // already lives in memory; nothing to mark.
+    }
+
+    fn arith_common(a: &Type, b: &Type) -> Type {
+        // Usual arithmetic conversions, restricted to the subset's ranks.
+        fn rank(t: &Type) -> u8 {
+            match t {
+                Type::Char => 0,
+                Type::Int => 1,
+                Type::UInt => 2,
+                Type::Long => 3,
+                Type::ULong => 4,
+                _ => 1,
+            }
+        }
+        let (hi, _lo) = if rank(a) >= rank(b) { (a, b) } else { (b, a) };
+        match hi {
+            Type::Char => Type::Int, // promotion
+            other => other.clone(),
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) -> FrontResult<Type> {
+        let span = e.span;
+        let ty = match &mut e.kind {
+            ExprKind::IntLit(_) => Type::Int,
+            ExprKind::StrLit(s) => Type::Array(Box::new(Type::Char), Some(s.len() as u64 + 1)),
+            ExprKind::Ident(name) => {
+                let name = name.clone();
+                if let Some(id) = self.lookup(&name) {
+                    self.info.res.insert(e.id, Resolution::Local(id));
+                    self.vars[id.0 as usize].ty.clone()
+                } else if let Some((gi, gty)) = self.globals_by_name.get(&name) {
+                    self.info.res.insert(e.id, Resolution::Global(*gi));
+                    gty.clone()
+                } else if let Some(sig) = self.func_sigs.get(&name) {
+                    self.info.res.insert(e.id, Resolution::Func(name.clone()));
+                    Type::Func(Box::new(sig.clone()))
+                } else if let Some(b) = Builtin::by_name(&name) {
+                    self.info.res.insert(e.id, Resolution::Builtin(b));
+                    Type::Func(Box::new(b.func_type()))
+                } else if let Some(&v) = self.enum_consts.get(&name) {
+                    self.info.res.insert(e.id, Resolution::EnumConst(v));
+                    Type::Int
+                } else {
+                    return Err(self.err(span, format!("use of undeclared identifier '{name}'")));
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let t = self.expr(inner)?.decayed();
+                match op {
+                    UnOp::Not => Type::Int,
+                    _ => {
+                        if !t.is_integer() {
+                            return Err(self.err(span, "arithmetic on non-integer"));
+                        }
+                        Self::arith_common(&t, &Type::Int)
+                    }
+                }
+            }
+            ExprKind::Deref(inner) => {
+                let t = self.expr(inner)?.decayed();
+                match t {
+                    Type::Ptr(p) => match *p {
+                        Type::Void => return Err(self.err(span, "dereference of void pointer")),
+                        other => other,
+                    },
+                    _ => return Err(self.err(span, "dereference of non-pointer")),
+                }
+            }
+            ExprKind::AddrOf(inner) => {
+                let t = self.lvalue(inner)?;
+                self.mark_addr_taken(inner);
+                t.ptr_to()
+            }
+            ExprKind::Binary(op, l, r) => {
+                let op = *op;
+                let lt = self.expr(l)?.decayed();
+                let rt = self.expr(r)?.decayed();
+                match op {
+                    BinOp::Add => match (&lt, &rt) {
+                        (Type::Ptr(_), t) if t.is_integer() => lt,
+                        (t, Type::Ptr(_)) if t.is_integer() => rt,
+                        (a, b) if a.is_integer() && b.is_integer() => {
+                            Self::arith_common(a, b)
+                        }
+                        _ => return Err(self.err(span, "invalid operands to '+'")),
+                    },
+                    BinOp::Sub => match (&lt, &rt) {
+                        (Type::Ptr(_), t) if t.is_integer() => lt,
+                        (Type::Ptr(_), Type::Ptr(_)) => Type::Long,
+                        (a, b) if a.is_integer() && b.is_integer() => {
+                            Self::arith_common(a, b)
+                        }
+                        _ => return Err(self.err(span, "invalid operands to '-'")),
+                    },
+                    _ if op.is_comparison() => Type::Int,
+                    BinOp::LogAnd | BinOp::LogOr => Type::Int,
+                    _ => {
+                        if !lt.is_integer() || !rt.is_integer() {
+                            return Err(self.err(
+                                span,
+                                format!("invalid operands to '{}'", op.as_str()),
+                            ));
+                        }
+                        Self::arith_common(&lt, &rt)
+                    }
+                }
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let op = *op;
+                let lt = self.lvalue(lhs)?;
+                let rt = self.expr(rhs)?.decayed();
+                let lt_val = lt.decayed();
+                if let Some(op) = op {
+                    // Compound: lhs must be scalar; ptr += int allowed.
+                    match (&lt_val, op) {
+                        (Type::Ptr(_), BinOp::Add | BinOp::Sub) if rt.is_integer() => {}
+                        (a, _) if a.is_integer() && rt.is_integer() => {}
+                        _ => {
+                            return Err(self.err(span, "invalid compound assignment operands"))
+                        }
+                    }
+                } else {
+                    self.check_assignable(&lt, &rt, span, rhs);
+                }
+                lt_val
+            }
+            ExprKind::IncDec { target, .. } => {
+                let t = self.lvalue(target)?.decayed();
+                if !t.is_integer() && !t.is_ptr() {
+                    return Err(self.err(span, "++/-- on non-scalar"));
+                }
+                t
+            }
+            ExprKind::Cond(c, t, f) => {
+                self.expr(c)?;
+                let tt = self.expr(t)?.decayed();
+                let ft = self.expr(f)?.decayed();
+                match (&tt, &ft) {
+                    (Type::Ptr(_), _) => tt,
+                    (_, Type::Ptr(_)) => ft,
+                    _ => Self::arith_common(&tt, &ft),
+                }
+            }
+            ExprKind::Comma(l, r) => {
+                self.expr(l)?;
+                self.expr(r)?.decayed()
+            }
+            ExprKind::Call(callee, args) => {
+                let ct = self.expr(callee)?;
+                let sig = match &ct {
+                    Type::Func(ft) => (**ft).clone(),
+                    Type::Ptr(inner) => match inner.as_ref() {
+                        Type::Func(ft) => (**ft).clone(),
+                        _ => return Err(self.err(span, "call of non-function pointer")),
+                    },
+                    _ => return Err(self.err(span, "call of non-function")),
+                };
+                if args.len() < sig.params.len()
+                    || (!sig.varargs && args.len() > sig.params.len())
+                {
+                    return Err(self.err(
+                        span,
+                        format!(
+                            "wrong number of arguments: expected {}{}, got {}",
+                            sig.params.len(),
+                            if sig.varargs { "+" } else { "" },
+                            args.len()
+                        ),
+                    ));
+                }
+                for a in args.iter_mut() {
+                    self.expr(a)?;
+                }
+                // The paper's Source Checking assumption (2): pointers can
+                // be hidden "with a call to memcpy or memmove with
+                // arguments whose types don't match. Thus this should be
+                // easily checkable" — so we check it.
+                if let ExprKind::Ident(_) = &callee.kind {
+                    if let Some(Resolution::Builtin(Builtin::Memcpy)) =
+                        self.info.res.get(&callee.id)
+                    {
+                        if args.len() >= 2 {
+                            let dst_t = args[0].ty.as_ref().map(Type::decayed);
+                            let src_t = args[1].ty.as_ref().map(Type::decayed);
+                            if let (Some(Type::Ptr(d)), Some(Type::Ptr(s))) = (dst_t, src_t) {
+                                let transparent = |t: &Type| {
+                                    matches!(t, Type::Void | Type::Char)
+                                };
+                                if !transparent(&d)
+                                    && !transparent(&s)
+                                    && *d != *s
+                                {
+                                    self.warn(
+                                        span,
+                                        "memcpy between differently typed objects may hide pointers from the collector",
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                sig.ret
+            }
+            ExprKind::Index(arr, idx) => {
+                let at = self.expr(arr)?.decayed();
+                let it = self.expr(idx)?.decayed();
+                if !it.is_integer() {
+                    return Err(self.err(span, "array subscript is not an integer"));
+                }
+                match at {
+                    Type::Ptr(p) => *p,
+                    _ => return Err(self.err(span, "subscripted value is not a pointer")),
+                }
+            }
+            ExprKind::Member { obj, field, arrow } => {
+                let arrow = *arrow;
+                let field = field.clone();
+                let ot = self.expr(obj)?;
+                let rec_ty = if arrow {
+                    match ot.decayed() {
+                        Type::Ptr(inner) => *inner,
+                        _ => return Err(self.err(span, "'->' on non-pointer")),
+                    }
+                } else {
+                    ot
+                };
+                let Type::Record(id) = rec_ty else {
+                    return Err(self.err(span, "member access on non-struct"));
+                };
+                let rec = self.types.record(id);
+                match rec.field(&field) {
+                    Some(f) => f.ty.clone(),
+                    None => {
+                        return Err(self.err(span, format!("no field named '{field}'")))
+                    }
+                }
+            }
+            ExprKind::Cast(ty, inner) => {
+                let ty = ty.clone();
+                let from = self.expr(inner)?.decayed();
+                if ty.is_ptr() && from.is_integer() && !matches!(inner.kind, ExprKind::IntLit(0)) {
+                    self.warn(
+                        span,
+                        "integer value converted to pointer (may hide a pointer from the collector)"
+                            .to_string(),
+                    );
+                }
+                ty
+            }
+            ExprKind::SizeofType(ty) => {
+                let _ = ty
+                    .size(self.types)
+                    .ok_or_else(|| self.err(span, "sizeof applied to incomplete type"))?;
+                Type::Long
+            }
+            ExprKind::SizeofExpr(inner) => {
+                let t = self.expr(inner)?;
+                let _ = t
+                    .size(self.types)
+                    .ok_or_else(|| self.err(span, "sizeof applied to incomplete type"))?;
+                Type::Long
+            }
+            ExprKind::KeepLive { value, base } => {
+                let vt = self.expr(value)?.decayed();
+                if let Some(b) = base {
+                    self.expr(b)?;
+                }
+                vt
+            }
+            ExprKind::CheckSame { value, base } => {
+                let vt = self.expr(value)?.decayed();
+                self.expr(base)?;
+                vt
+            }
+        };
+        e.ty = Some(ty.clone());
+        Ok(ty)
+    }
+
+    fn check_assignable(&mut self, lhs: &Type, rhs: &Type, span: Span, rhs_expr: &Expr) {
+        let l = lhs.decayed();
+        if l.is_ptr() && rhs.is_integer() {
+            // `p = 0` is the null constant; anything else is the hazard the
+            // paper's checker warns about.
+            if !matches!(rhs_expr.kind, ExprKind::IntLit(0)) {
+                self.warn(span, "integer assigned to pointer without a cast".to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> (crate::ast::Program, SemaInfo) {
+        let mut p = parse(src).expect("parses");
+        let info = analyze(&mut p).expect("analyzes");
+        (p, info)
+    }
+
+    fn analyze_err(src: &str) -> FrontError {
+        let mut p = parse(src).expect("parses");
+        analyze(&mut p).expect_err("must fail sema")
+    }
+
+    #[test]
+    fn resolves_params_and_locals() {
+        let (_, info) = analyze_src("int f(int a) { int b = a + 1; return b; }");
+        let fi = &info.funcs["f"];
+        assert_eq!(fi.vars.len(), 2);
+        assert!(fi.vars[0].is_param);
+        assert_eq!(fi.vars[0].name, "a");
+        assert!(!fi.vars[1].is_param);
+        assert_eq!(fi.vars[1].name, "b");
+    }
+
+    #[test]
+    fn shadowing_in_nested_scopes() {
+        let (_, info) = analyze_src(
+            "int f(void) { int x = 1; { int x = 2; x++; } return x; }",
+        );
+        let fi = &info.funcs["f"];
+        assert_eq!(fi.vars.iter().filter(|v| v.name == "x").count(), 2);
+    }
+
+    #[test]
+    fn addr_taken_is_computed() {
+        let (_, info) = analyze_src("long g(long *); long f(void) { long v = 3; long w = 4; g(&v); return v + w; }");
+        let fi = &info.funcs["f"];
+        let v = fi.vars.iter().find(|x| x.name == "v").expect("v");
+        let w = fi.vars.iter().find(|x| x.name == "w").expect("w");
+        assert!(v.addr_taken);
+        assert!(!w.addr_taken);
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        let (p, _) = analyze_src("char *f(char *p, long i) { return p + i; }");
+        let f = p.func("f").expect("f");
+        let crate::ast::Stmt::Return(Some(e)) = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*e.ty(), Type::Char.ptr_to());
+    }
+
+    #[test]
+    fn ptr_minus_ptr_is_long() {
+        let (p, _) = analyze_src("long f(char *a, char *b) { return a - b; }");
+        let f = p.func("f").expect("f");
+        let crate::ast::Stmt::Return(Some(e)) = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*e.ty(), Type::Long);
+    }
+
+    #[test]
+    fn array_decays_in_arithmetic() {
+        let (p, _) = analyze_src("char f(void) { char buf[8]; return *(buf + 2); }");
+        assert!(p.func("f").is_some());
+    }
+
+    #[test]
+    fn builtins_resolve() {
+        let (_, info) = analyze_src("int main(void) { return (int) strlen(\"x\"); }");
+        assert!(info
+            .res
+            .values()
+            .any(|r| matches!(r, Resolution::Builtin(Builtin::Strlen))));
+    }
+
+    #[test]
+    fn enum_constants_resolve() {
+        let (_, info) = analyze_src("enum { N = 5 }; int main(void) { return N; }");
+        assert!(info.res.values().any(|r| matches!(r, Resolution::EnumConst(5))));
+    }
+
+    #[test]
+    fn undeclared_identifier_is_an_error() {
+        let e = analyze_err("int main(void) { return nope; }");
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn dereferencing_non_pointer_is_an_error() {
+        let e = analyze_err("int main(void) { int x = 3; return *x; }");
+        assert!(e.message.contains("dereference"));
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let e = analyze_err("int f(int a) { return a; } int main(void) { return f(1, 2); }");
+        assert!(e.message.contains("arguments"));
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let e = analyze_err(
+            "struct s { int a; }; int main(void) { struct s x; x.a = 1; return x.b; }",
+        );
+        assert!(e.message.contains("no field"));
+    }
+
+    #[test]
+    fn assigning_to_rvalue_is_an_error() {
+        let e = analyze_err("int main(void) { 3 = 4; return 0; }");
+        assert!(e.message.contains("lvalue"));
+    }
+
+    #[test]
+    fn int_to_pointer_cast_warns() {
+        let (_, info) =
+            analyze_src("int main(void) { char *p = (char *) 42; return p != 0; }");
+        assert_eq!(info.warnings.len(), 1);
+        assert!(info.warnings[0].message.contains("converted to pointer"));
+    }
+
+    #[test]
+    fn null_constant_does_not_warn() {
+        let (_, info) = analyze_src("int main(void) { char *p = 0; return p == 0; }");
+        assert!(info.warnings.is_empty());
+    }
+
+    #[test]
+    fn integer_assignment_to_pointer_warns() {
+        let (_, info) =
+            analyze_src("int main(void) { char *p; int x = 5; p = x; return 0; }");
+        assert!(!info.warnings.is_empty());
+    }
+
+    #[test]
+    fn sema_is_idempotent() {
+        let src = "struct n { int v; struct n *next; };\n\
+                   int f(struct n *x) { return x->next->v; }";
+        let mut p = parse(src).expect("parses");
+        let first = analyze(&mut p).expect("first run");
+        let second = analyze(&mut p).expect("second run");
+        assert_eq!(first.funcs["f"].vars, second.funcs["f"].vars);
+    }
+
+    #[test]
+    fn arithmetic_promotions() {
+        let (p, _) = analyze_src("long f(char c, int i, unsigned u, long l) { return c + i + u + l; }");
+        let f = p.func("f").expect("f");
+        let crate::ast::Stmt::Return(Some(e)) = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*e.ty(), Type::Long, "widest operand wins");
+    }
+
+    #[test]
+    fn function_pointer_call_types() {
+        let (p, _) = analyze_src(
+            "int add(int a, int b) { return a + b; }\n\
+             int main(void) { int (*f)(int, int) = add; return f(2, 3); }",
+        );
+        assert!(p.func("main").is_some());
+    }
+
+    #[test]
+    fn memcpy_type_mismatch_warns() {
+        let (_, info) = analyze_src(
+            "struct a { long x; }; struct b { char y[8]; };\n\
+             void f(struct a *p, struct b *q) { memcpy(p, q, 8); }",
+        );
+        assert!(
+            info.warnings.iter().any(|w| w.message.contains("memcpy")),
+            "warnings: {:?}",
+            info.warnings
+        );
+    }
+
+    #[test]
+    fn memcpy_via_char_or_void_does_not_warn() {
+        let (_, info) = analyze_src(
+            "struct a { long x; };\n\
+             void f(struct a *p, struct a *q) {\n\
+                 memcpy(p, q, 8);\n\
+                 memcpy((void *) p, (char *) q, 8);\n\
+             }",
+        );
+        assert!(info.warnings.is_empty(), "warnings: {:?}", info.warnings);
+    }
+
+    #[test]
+    fn void_function_returning_value_is_an_error() {
+        let e = analyze_err("void f(void) { return 3; }");
+        assert!(e.message.contains("void"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Byte-offset spans into the original source text.
+//!
+//! The paper's preprocessor records "a list of insertions and deletions,
+//! sorted by character position in the original source string"; spans are
+//! the character positions that make that possible.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "span start {start} exceeds end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: usize) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Computes 1-based (line, column) for a byte offset, for diagnostics.
+pub fn line_col(source: &str, pos: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in source.char_indices() {
+        if i >= pos {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::point(4).len(), 0);
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn invalid_span_panics() {
+        let _ = Span::new(5, 3);
+    }
+}

@@ -1,0 +1,261 @@
+//! The paper's inductive BASE / BASEADDR definition.
+//!
+//! `BASE(e)` is "the pointer variable from which the value of `e` is
+//! computed, or NIL if there is no such pointer variable; that is … `e` and
+//! `BASE(e)` are guaranteed to point to the same object whenever `e` points
+//! to a heap object". `BASEADDR(e)` is "the possible base pointer for
+//! `&e`".
+//!
+//! We extend the paper's two-valued answer (variable / NIL) with a third,
+//! *Opaque*: the value flows from a **generating expression** (pointer
+//! dereference, function call, conditional). The paper assumes temporaries
+//! have been introduced so generating results always sit in named
+//! variables; working directly on the tree, Opaque marks exactly those
+//! places, and the annotator protects them with a base-less `KEEP_LIVE`
+//! (pure opacity — the value itself stays visible), which is what the
+//! temporary would have bought.
+
+use cfront::ast::{BinOp, Expr, ExprKind};
+use cfront::sema::{Resolution, SemaInfo};
+use cfront::types::Type;
+
+/// Outcome of a BASE / BASEADDR query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base {
+    /// No base pointer exists and the value provably never points into the
+    /// collected heap (literals, addresses of variables, string literals,
+    /// array-typed variables — all of which live in GC-roots).
+    Nil,
+    /// The named pointer variable is a valid base: it points into the same
+    /// object whenever the expression points into the heap.
+    Var(String),
+    /// The value flows from a generating expression (dereference, call,
+    /// conditional); no *named* base exists, but the value may well be a
+    /// heap pointer.
+    Opaque,
+}
+
+impl Base {
+    /// The BASEADDR subscript rule: first non-NIL of the two operands.
+    fn or(self, other: Base) -> Base {
+        match self {
+            Base::Var(_) => self,
+            Base::Nil => other,
+            Base::Opaque => match other {
+                Base::Var(_) => other,
+                _ => Base::Opaque,
+            },
+        }
+    }
+}
+
+/// Computes BASE / BASEADDR against sema results.
+#[derive(Debug, Clone, Copy)]
+pub struct BaseAnalysis<'a> {
+    sema: &'a SemaInfo,
+}
+
+impl<'a> BaseAnalysis<'a> {
+    /// Creates an analysis bound to one sema run.
+    pub fn new(sema: &'a SemaInfo) -> Self {
+        BaseAnalysis { sema }
+    }
+
+    /// Whether `e` is a *possible heap pointer* variable reference: a
+    /// pointer-typed local or global. Array-typed variables decay to
+    /// pointers into GC-roots and are excluded, as are function names.
+    fn heap_pointer_var(&self, e: &Expr) -> Option<String> {
+        let ExprKind::Ident(name) = &e.kind else { return None };
+        if !matches!(e.ty.as_ref(), Some(Type::Ptr(_))) {
+            return None;
+        }
+        match self.sema.res.get(&e.id) {
+            Some(Resolution::Local(_) | Resolution::Global(_)) => Some(name.clone()),
+            _ => None,
+        }
+    }
+
+    /// BASE(e) per the paper's table.
+    pub fn base(&self, e: &Expr) -> Base {
+        match &e.kind {
+            // BASE(0) = NIL; all literals and sizeofs are non-pointers.
+            ExprKind::IntLit(_)
+            | ExprKind::SizeofType(_)
+            | ExprKind::SizeofExpr(_)
+            | ExprKind::Unary(..) => Base::Nil,
+            // String literals live in statically allocated memory.
+            ExprKind::StrLit(_) => Base::Nil,
+            // BASE(x) = x if x is a variable and possible heap pointer.
+            ExprKind::Ident(_) => match self.heap_pointer_var(e) {
+                Some(name) => Base::Var(name),
+                None => Base::Nil,
+            },
+            // BASE(x = e) = x if x is a pointer variable, else BASE(e).
+            ExprKind::Assign { op, lhs, rhs } => {
+                if let Some(name) = self.heap_pointer_var(lhs) {
+                    Base::Var(name)
+                } else if op.is_some() {
+                    // Compound on a non-pointer lvalue is integer arithmetic.
+                    Base::Nil
+                } else {
+                    self.base(rhs)
+                }
+            }
+            // BASE(e1 ++) = BASE(++ e1) = BASE(e1) (same for --).
+            ExprKind::IncDec { target, .. } => self.base(target),
+            // BASE(e1 + e2) = BASE(e1) where e1 is the pointer-typed one;
+            // BASE(e1 - e2) = BASE(e1).
+            ExprKind::Binary(op, l, r) => match op {
+                BinOp::Add => {
+                    let l_ptr = matches!(
+                        l.ty.as_ref().map(Type::decayed),
+                        Some(Type::Ptr(_))
+                    );
+                    if l_ptr {
+                        self.base(l)
+                    } else {
+                        self.base(r)
+                    }
+                }
+                BinOp::Sub => self.base(l),
+                _ => Base::Nil,
+            },
+            // BASE(e1, e2) = BASE(e2).
+            ExprKind::Comma(_, r) => self.base(r),
+            // BASE(&e1) = BASEADDR(e1).
+            ExprKind::AddrOf(inner) => self.base_addr(inner),
+            // Casts are transparent for provenance.
+            ExprKind::Cast(_, inner) => self.base(inner),
+            // Generating expressions: BASE is not defined; the value may be
+            // a heap pointer without a named base.
+            ExprKind::Deref(_)
+            | ExprKind::Call(..)
+            | ExprKind::Cond(..)
+            | ExprKind::Index(..)
+            | ExprKind::Member { .. } => Base::Opaque,
+            // Already-annotated values are opaque and visible by
+            // construction: re-protecting them is never needed.
+            ExprKind::KeepLive { .. } | ExprKind::CheckSame { .. } => Base::Opaque,
+        }
+    }
+
+    /// BASEADDR(e) per the paper's table.
+    pub fn base_addr(&self, e: &Expr) -> Base {
+        match &e.kind {
+            // BASEADDR(x) = NIL if x is a variable: its address is a root.
+            ExprKind::Ident(_) => Base::Nil,
+            // BASEADDR(e1[e2]) = BASE(e1), or BASE(e2) if that is NIL.
+            ExprKind::Index(a, i) => self.base(a).or(self.base(i)),
+            // BASEADDR(e1 -> x) = BASE(e1).
+            ExprKind::Member { obj, arrow: true, .. } => self.base(obj),
+            // `.` on an lvalue shares the lvalue's base address.
+            ExprKind::Member { obj, arrow: false, .. } => self.base_addr(obj),
+            // &*e ≡ e, so BASEADDR(*e) = BASE(e).
+            ExprKind::Deref(inner) => self.base(inner),
+            ExprKind::Cast(_, inner) => self.base_addr(inner),
+            // Everything else is not an lvalue; & may not be applied.
+            _ => Base::Nil,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfront::{analyze, parse};
+
+    /// Parses a function whose last statement is `sink = <expr>;` and
+    /// returns BASE of that expression.
+    fn base_of(body: &str) -> Base {
+        let src = format!("char *sink;\nvoid f(char *p, char *q, long i) {{ {body} }}");
+        let mut prog = parse(&src).unwrap();
+        let sema = analyze(&mut prog).unwrap();
+        let f = prog.func("f").unwrap();
+        let block = f.body.as_ref().unwrap();
+        let last = block.stmts.last().unwrap();
+        let cfront::ast::Stmt::Expr(e) = last else { panic!("want expr stmt") };
+        let cfront::ast::ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!("want assignment")
+        };
+        BaseAnalysis::new(&sema).base(rhs)
+    }
+
+    #[test]
+    fn base_of_zero_is_nil() {
+        assert_eq!(base_of("sink = 0;"), Base::Nil);
+    }
+
+    #[test]
+    fn base_of_pointer_var_is_itself() {
+        assert_eq!(base_of("sink = p;"), Base::Var("p".into()));
+    }
+
+    #[test]
+    fn base_of_pointer_plus_int() {
+        assert_eq!(base_of("sink = p + i;"), Base::Var("p".into()));
+        assert_eq!(base_of("sink = i + p;"), Base::Var("p".into()));
+        assert_eq!(base_of("sink = p - i;"), Base::Var("p".into()));
+    }
+
+    #[test]
+    fn base_of_assignment_chain() {
+        assert_eq!(base_of("sink = (q = p + 4);"), Base::Var("q".into()));
+    }
+
+    #[test]
+    fn base_of_incdec() {
+        assert_eq!(base_of("sink = p++;"), Base::Var("p".into()));
+        assert_eq!(base_of("sink = --q;"), Base::Var("q".into()));
+    }
+
+    #[test]
+    fn base_of_comma_is_rhs() {
+        assert_eq!(base_of("sink = (p, q);"), Base::Var("q".into()));
+    }
+
+    #[test]
+    fn base_of_addr_of_subscript() {
+        assert_eq!(base_of("sink = &p[i];"), Base::Var("p".into()));
+    }
+
+    #[test]
+    fn base_addr_of_local_array_is_nil() {
+        assert_eq!(base_of("char buf[16]; sink = &buf[i];"), Base::Nil);
+        assert_eq!(base_of("char buf[16]; sink = buf + i;"), Base::Nil);
+    }
+
+    #[test]
+    fn base_of_deref_is_opaque() {
+        assert_eq!(base_of("char **pp; pp = 0; sink = *pp;"), Base::Opaque);
+    }
+
+    #[test]
+    fn base_of_call_is_opaque() {
+        assert_eq!(base_of("sink = (char *) malloc(8);"), Base::Opaque);
+    }
+
+    #[test]
+    fn base_of_cast_is_transparent() {
+        assert_eq!(base_of("sink = (char *)(p + 2);"), Base::Var("p".into()));
+    }
+
+    #[test]
+    fn base_of_addr_of_arrow_field() {
+        let src = "struct s { long a; char c[4]; };\n\
+                   char *sink;\n\
+                   void f(struct s *sp) { sink = (char *)&sp->a; }";
+        let mut prog = parse(src).unwrap();
+        let sema = analyze(&mut prog).unwrap();
+        let f = prog.func("f").unwrap();
+        let cfront::ast::Stmt::Expr(e) = f.body.as_ref().unwrap().stmts.last().unwrap() else {
+            panic!()
+        };
+        let cfront::ast::ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        assert_eq!(BaseAnalysis::new(&sema).base(rhs), Base::Var("sp".into()));
+    }
+
+    #[test]
+    fn base_of_string_literal_is_nil() {
+        assert_eq!(base_of("sink = \"abc\";"), Base::Nil);
+    }
+}

@@ -1,0 +1,496 @@
+//! # cvm — compiler backend and executing VM
+//!
+//! Plays the role of gcc + the target machine in the paper's pipeline:
+//!
+//! * [`lower`] — AST → three-address [`ir`], with a register regime
+//!   (`-O`-style) and an everything-in-memory regime (`-g`-style);
+//! * [`opt`] — the optimizer, including the pointer-*disguising* passes
+//!   the paper warns about (displacement reassociation, eager scheduling)
+//!   and full support for the `KEEP_LIVE` barrier semantics;
+//! * [`liveness`] — temp liveness; dead registers are not GC roots, which
+//!   is what makes the hazard real;
+//! * [`vm`] — an interpreter over the simulated address space with the
+//!   conservative collector attached and per-block execution profiles;
+//! * [`machine`] — cycle cost models for the paper's three machines.
+//!
+//! ## Example: allocate, mutate, survive
+//!
+//! ```
+//! use cvm::{compile, run_compiled, CompileOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = r#"
+//!     int main(void) {
+//!         char *p = (char *) malloc(8);
+//!         p[0] = 42;
+//!         return p[0];
+//!     }
+//! "#;
+//! let prog = compile(src, &CompileOptions::optimized())?;
+//! let outcome = run_compiled(&prog, &cvm::VmOptions::default())?;
+//! assert_eq!(outcome.exit_code, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ir;
+pub mod liveness;
+pub mod lower;
+pub mod machine;
+pub mod opt;
+pub mod verify;
+pub mod vm;
+
+pub use ir::{BinIr, Block, BlockId, CallTarget, FuncIr, Instr, Operand, ProgramIr, Temp};
+pub use liveness::{gc_root_maps, Liveness, TempSet};
+pub use lower::{lower, LowerError, LowerOptions};
+pub use machine::Machine;
+pub use opt::{optimize, optimize_func, OptOptions};
+pub use verify::{verify_func, verify_program, Violation};
+pub use vm::{run, ExecOutcome, Profile, VmError, VmOptions};
+
+use gcsafe::Config as AnnotConfig;
+
+/// End-to-end compilation options: the paper's measurement axes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileOptions {
+    /// Annotation config, if the gcsafe/checked preprocessor runs.
+    pub annotate: Option<AnnotConfig>,
+    /// Optimizer settings.
+    pub opt: OptOptions,
+    /// Lowering regime.
+    pub lower: LowerOptions,
+}
+
+impl CompileOptions {
+    /// `-O`: plain optimized build (the baseline).
+    pub fn optimized() -> Self {
+        CompileOptions {
+            annotate: None,
+            opt: OptOptions::full(),
+            lower: LowerOptions::default(),
+        }
+    }
+
+    /// `-O safe`: annotated for GC-safety, then optimized.
+    pub fn optimized_safe() -> Self {
+        CompileOptions { annotate: Some(AnnotConfig::gc_safe()), ..Self::optimized() }
+    }
+
+    /// `-O safe` with the paper's strawman `KEEP_LIVE` implementation: a
+    /// real call to an opaque identity function ("terribly inefficient").
+    pub fn optimized_safe_naive() -> Self {
+        let mut o = Self::optimized_safe();
+        o.lower.keep_live_as_call = true;
+        o
+    }
+
+    /// `-g`: fully debuggable (all locals in memory, no optimizer).
+    pub fn debug() -> Self {
+        CompileOptions {
+            annotate: None,
+            opt: OptOptions::none(),
+            lower: LowerOptions { all_locals_in_memory: true, keep_live_as_call: false },
+        }
+    }
+
+    /// `-g checked`: debuggable plus pointer-arithmetic checking.
+    pub fn debug_checked() -> Self {
+        CompileOptions { annotate: Some(AnnotConfig::checked()), ..Self::debug() }
+    }
+}
+
+/// Compiles C-subset source through parse → (annotate) → lower →
+/// (optimize).
+///
+/// # Errors
+///
+/// Returns a rendered parse/sema/lowering error message.
+pub fn compile(source: &str, options: &CompileOptions) -> Result<ProgramIr, String> {
+    let mut program = match &options.annotate {
+        Some(cfg) => {
+            gcsafe::annotate_program(source, cfg).map_err(|e| e.render(source))?.program
+        }
+        None => cfront::parse(source).map_err(|e| e.render(source))?,
+    };
+    let sema = cfront::analyze(&mut program).map_err(|e| e.render(source))?;
+    let mut ir = lower(&program, &sema, options.lower).map_err(|e| e.to_string())?;
+    optimize(&mut ir, options.opt);
+    Ok(ir)
+}
+
+/// Runs a compiled program.
+///
+/// # Errors
+///
+/// Propagates [`VmError`].
+pub fn run_compiled(prog: &ProgramIr, opts: &VmOptions) -> Result<ExecOutcome, VmError> {
+    vm::run(prog, opts)
+}
+
+/// Compiles and runs in one call.
+///
+/// # Errors
+///
+/// Compilation errors are rendered into [`VmError::Malformed`].
+pub fn compile_and_run(
+    source: &str,
+    copts: &CompileOptions,
+    vopts: &VmOptions,
+) -> Result<ExecOutcome, VmError> {
+    let prog = compile(source, copts).map_err(VmError::Malformed)?;
+    run_compiled(&prog, vopts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(src: &str) -> ExecOutcome {
+        compile_and_run(src, &CompileOptions::optimized(), &VmOptions::default())
+            .expect("program runs")
+    }
+
+    fn run_all_modes(src: &str, input: &[u8]) -> Vec<(String, ExecOutcome)> {
+        let modes = [
+            ("-O", CompileOptions::optimized()),
+            ("-O safe", CompileOptions::optimized_safe()),
+            ("-g", CompileOptions::debug()),
+            ("-g checked", CompileOptions::debug_checked()),
+        ];
+        modes
+            .into_iter()
+            .map(|(name, c)| {
+                let mut v = VmOptions::default();
+                v.input = input.to_vec();
+                let out = compile_and_run(src, &c, &v)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                (name.to_string(), out)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = r#"
+            int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+            int main(void) { return fib(10); }
+        "#;
+        assert_eq!(run_src(src).exit_code, 55);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let src = r#"
+            int main(void) {
+                int a[10];
+                int i;
+                int s = 0;
+                for (i = 0; i < 10; i++) a[i] = i * i;
+                for (i = 0; i < 10; i++) s += a[i];
+                return s;
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 285);
+    }
+
+    #[test]
+    fn heap_linked_list() {
+        let src = r#"
+            struct node { long v; struct node *next; };
+            int main(void) {
+                struct node *head = 0;
+                long i;
+                long s = 0;
+                for (i = 0; i < 100; i++) {
+                    struct node *n = (struct node *) malloc(sizeof(struct node));
+                    n->v = i;
+                    n->next = head;
+                    head = n;
+                }
+                while (head) { s += head->v; head = head->next; }
+                return (int)(s % 256);
+            }
+        "#;
+        // sum 0..99 = 4950; 4950 % 256 = 86
+        assert_eq!(run_src(src).exit_code, 86);
+    }
+
+    #[test]
+    fn strings_and_io() {
+        let src = r#"
+            int main(void) {
+                char *msg = "hi";
+                putstr(msg);
+                putchar('!');
+                putint(123);
+                return 0;
+            }
+        "#;
+        assert_eq!(run_src(src).output, b"hi!123");
+    }
+
+    #[test]
+    fn getchar_consumes_input() {
+        let src = r#"
+            int main(void) {
+                int c;
+                int n = 0;
+                while ((c = getchar()) != -1) { if (c == 'x') n++; }
+                return n;
+            }
+        "#;
+        let mut v = VmOptions::default();
+        v.input = b"axxbx".to_vec();
+        let out = compile_and_run(src, &CompileOptions::optimized(), &v).unwrap();
+        assert_eq!(out.exit_code, 3);
+    }
+
+    #[test]
+    fn switch_with_fallthrough() {
+        let src = r#"
+            int classify(int c) {
+                int r = 0;
+                switch (c) {
+                    case 1:
+                    case 2: r = 10; break;
+                    case 3: r = 20; break;
+                    default: r = 30;
+                }
+                return r;
+            }
+            int main(void) {
+                return classify(1) + classify(2) + classify(3) + classify(9);
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 10 + 10 + 20 + 30);
+    }
+
+    #[test]
+    fn function_pointers_dispatch() {
+        let src = r#"
+            int add(int a, int b) { return a + b; }
+            int mul(int a, int b) { return a * b; }
+            int main(void) {
+                int (*ops[2])(int, int);
+                ops[0] = add;
+                ops[1] = mul;
+                return ops[0](3, 4) + ops[1](3, 4);
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 19);
+    }
+
+    #[test]
+    fn all_modes_agree_on_output() {
+        let src = r#"
+            struct cell { long v; struct cell *next; };
+            struct cell *push(struct cell *head, long v) {
+                struct cell *c = (struct cell *) malloc(sizeof(struct cell));
+                c->v = v;
+                c->next = head;
+                return c;
+            }
+            int main(void) {
+                struct cell *head = 0;
+                long i;
+                long sum = 0;
+                char buf[32];
+                for (i = 1; i <= 50; i++) head = push(head, i * 3);
+                while (head) { sum += head->v; head = head->next; }
+                buf[0] = 'S'; buf[1] = 0;
+                putstr(buf);
+                putint(sum);
+                return 0;
+            }
+        "#;
+        let results = run_all_modes(src, b"");
+        let baseline = &results[0].1;
+        assert_eq!(baseline.output, b"S3825");
+        for (name, out) in &results[1..] {
+            assert_eq!(out.output, baseline.output, "{name} output diverges");
+            assert_eq!(out.exit_code, baseline.exit_code, "{name} exit diverges");
+        }
+    }
+
+    #[test]
+    fn gc_reclaims_garbage_during_run() {
+        let src = r#"
+            int main(void) {
+                long i;
+                char *keep = (char *) malloc(64);
+                keep[0] = 7;
+                for (i = 0; i < 50000; i++) {
+                    char *junk = (char *) malloc(64);
+                    junk[0] = (char) i;
+                }
+                return keep[0];
+            }
+        "#;
+        let mut v = VmOptions::default();
+        v.heap_bytes = 4 << 20; // 4 MiB forces many collections
+        let out = compile_and_run(src, &CompileOptions::optimized(), &v).unwrap();
+        assert_eq!(out.exit_code, 7, "reachable object survives");
+        assert!(out.heap.collections > 0, "collections happened");
+        assert!(out.heap.objects_freed > 10_000, "garbage was reclaimed");
+    }
+
+    #[test]
+    fn checked_mode_catches_out_of_object_arithmetic() {
+        // The classic one-before-the-array idiom the paper calls "a common
+        // bug (sometimes referred to incorrectly as a 'technique')".
+        let src = r#"
+            int main(void) {
+                long *a = (long *) malloc(10 * sizeof(long));
+                long *one_based = a - 1;
+                one_based[1] = 5;
+                return (int) one_based[1];
+            }
+        "#;
+        let ok = compile_and_run(src, &CompileOptions::optimized(), &VmOptions::default());
+        assert!(ok.is_ok(), "unchecked build tolerates the idiom");
+        let checked =
+            compile_and_run(src, &CompileOptions::debug_checked(), &VmOptions::default());
+        match checked {
+            Err(VmError::CheckFailed { .. }) => {}
+            other => panic!("checked mode must fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_mode_allows_legal_arithmetic() {
+        let src = r#"
+            int main(void) {
+                char *s = (char *) malloc(16);
+                char *p = s;
+                int i;
+                for (i = 0; i < 15; i++) *p++ = 'a';
+                *p = 0;
+                return (int) strlen(s);
+            }
+        "#;
+        let out =
+            compile_and_run(src, &CompileOptions::debug_checked(), &VmOptions::default())
+                .expect("legal arithmetic passes the checker");
+        assert_eq!(out.exit_code, 15);
+    }
+
+    #[test]
+    fn struct_copy_assignment() {
+        let src = r#"
+            struct pair { long a; long b; };
+            int main(void) {
+                struct pair x;
+                struct pair y;
+                x.a = 3; x.b = 4;
+                y = x;
+                y.b = 9;
+                return (int)(x.a + x.b + y.a + y.b);
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 19);
+    }
+
+    #[test]
+    fn global_variables_and_initializers() {
+        let src = r#"
+            int counter = 5;
+            long table[4] = {10, 20, 30, 40};
+            char *greeting = "yo";
+            int bump(void) { counter++; return counter; }
+            int main(void) {
+                bump(); bump();
+                return counter + (int) table[2] + (int) strlen(greeting);
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 7 + 30 + 2);
+    }
+
+    #[test]
+    fn ternary_and_logical_ops() {
+        let src = r#"
+            int crash(void) { abort(); return 0; }
+            int main(void) {
+                int a = 5;
+                int b = 0;
+                int c = (a && !b) ? 10 : 20;
+                int d = (a || b) ? 1 : 2;
+                int e = (b && crash()) ? 99 : 3;
+                return c + d + e;
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 14);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let src = "int main(void) { for(;;); return 0; }";
+        let mut v = VmOptions::default();
+        v.max_steps = 10_000;
+        let r = compile_and_run(src, &CompileOptions::optimized(), &v);
+        assert_eq!(r.unwrap_err(), VmError::StepLimit);
+    }
+
+    #[test]
+    fn profile_counts_blocks() {
+        let src = r#"
+            int main(void) {
+                int i;
+                int s = 0;
+                for (i = 0; i < 17; i++) s += i;
+                return s;
+            }
+        "#;
+        let out = run_src(src);
+        let total: u64 = out.profile.block_counts.iter().flatten().sum();
+        assert!(total >= 17, "loop blocks counted: {total}");
+    }
+
+    #[test]
+    fn naive_keep_live_is_correct_but_much_slower() {
+        // The paper: the external-identity-function implementation "is,
+        // of course, terribly inefficient".
+        let src = r#"
+            int main(void) {
+                char *a = (char *) malloc(64);
+                long i;
+                long s = 0;
+                for (i = 0; i < 60; i++) a[i] = (char)(i & 7);
+                for (i = 0; i < 60; i++) s += a[i];
+                putint(s);
+                return 0;
+            }
+        "#;
+        let fast = compile_and_run(src, &CompileOptions::optimized_safe(), &VmOptions::default())
+            .expect("asm-style KEEP_LIVE runs");
+        let naive = compile_and_run(
+            src,
+            &CompileOptions::optimized_safe_naive(),
+            &VmOptions::default(),
+        )
+        .expect("call-style KEEP_LIVE runs");
+        assert_eq!(fast.output, naive.output, "same semantics");
+        let count_calls = |o: &ExecOutcome| {
+            o.profile
+                .builtin_calls
+                .get(&cfront::sema::Builtin::KeepLiveFn)
+                .copied()
+                .unwrap_or(0)
+        };
+        assert_eq!(count_calls(&fast), 0);
+        assert!(count_calls(&naive) >= 120, "a call per protected access");
+    }
+
+    #[test]
+    fn safe_mode_ir_contains_keep_live() {
+        let src = "char f(char *p, long i) { return p[i - 1000]; } int main(void){ return 0; }";
+        let base = compile(src, &CompileOptions::optimized()).unwrap();
+        let safe = compile(src, &CompileOptions::optimized_safe()).unwrap();
+        let f_base = &base.funcs[base.func_index("f").unwrap()];
+        let f_safe = &safe.funcs[safe.func_index("f").unwrap()];
+        assert!(!f_base.dump().contains("keep_live"));
+        assert!(f_safe.dump().contains("keep_live"), "{}", f_safe.dump());
+    }
+}

@@ -1,0 +1,176 @@
+//! Machine cost models.
+//!
+//! The paper measures a Weitek-processor SPARCstation 2 (SunOS 4.1.4), a
+//! SPARCstation 10 (Solaris 2.5), and a Pentium 90 (Linux 1.81). We model
+//! each as a cycle-cost table over the SPARC-like virtual ISA plus a
+//! register budget for the allocator. The models are *not* calibrated to
+//! absolute hardware timings — the paper reports only relative slowdowns —
+//! but they encode the architectural contrasts the paper's analysis leans
+//! on:
+//!
+//! * SPARCs allow "a free addition in the load instruction" (indexed
+//!   loads), which is exactly what a `KEEP_LIVE` barrier forfeits;
+//! * the SPARCstation 2 has slower memory accesses than the 10;
+//! * the Pentium has "substantially fewer registers", so if safe-mode
+//!   overhead were register pressure it would blow up there — the paper
+//!   observes it does not.
+
+use cfront::sema::Builtin;
+
+/// A machine cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Model name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// General-purpose registers available to the allocator.
+    pub regs: usize,
+    /// Cycles for a load.
+    pub load_cost: u64,
+    /// Cycles for a store.
+    pub store_cost: u64,
+    /// Cycles for a simple ALU op / move.
+    pub alu_cost: u64,
+    /// Cycles for an integer multiply.
+    pub mul_cost: u64,
+    /// Cycles for an integer divide.
+    pub div_cost: u64,
+    /// Call/return overhead in cycles (save/restore, linkage).
+    pub call_cost: u64,
+    /// Taken-branch cost.
+    pub branch_cost: u64,
+    /// Cycles for one `GC_same_obj` page-map lookup (call overhead
+    /// included) — the checking mode's unit cost.
+    pub check_cost: u64,
+    /// Per-byte cycle cost of block builtins (memcpy, strlen, …).
+    pub byte_work_cost_milli: u64,
+    /// Fixed per-builtin-call overhead.
+    pub builtin_overhead: u64,
+}
+
+impl Machine {
+    /// The Weitek SPARCstation 2 model.
+    pub fn sparc2() -> Machine {
+        Machine {
+            name: "SPARCstation 2",
+            regs: 16,
+            load_cost: 2,
+            store_cost: 3,
+            alu_cost: 1,
+            mul_cost: 5,
+            div_cost: 18,
+            call_cost: 6,
+            branch_cost: 2,
+            check_cost: 38,
+            byte_work_cost_milli: 1500,
+            builtin_overhead: 8,
+        }
+    }
+
+    /// The SPARCstation 10 model (`-O2` rows).
+    pub fn sparc10() -> Machine {
+        Machine {
+            name: "SPARC 10",
+            regs: 16,
+            load_cost: 1,
+            store_cost: 1,
+            alu_cost: 1,
+            mul_cost: 4,
+            div_cost: 12,
+            call_cost: 5,
+            branch_cost: 1,
+            check_cost: 32,
+            byte_work_cost_milli: 800,
+            builtin_overhead: 6,
+        }
+    }
+
+    /// The Pentium 90 model: few registers, cheap memory ops, pricier
+    /// divides and calls.
+    pub fn pentium90() -> Machine {
+        Machine {
+            name: "Pentium 90",
+            regs: 6,
+            load_cost: 1,
+            store_cost: 1,
+            alu_cost: 1,
+            mul_cost: 9,
+            div_cost: 25,
+            call_cost: 7,
+            branch_cost: 2,
+            check_cost: 30,
+            byte_work_cost_milli: 700,
+            builtin_overhead: 6,
+        }
+    }
+
+    /// All three models in paper order.
+    pub fn all() -> Vec<Machine> {
+        vec![Machine::sparc2(), Machine::sparc10(), Machine::pentium90()]
+    }
+
+    /// Looks a model up by a short key (`sparc2`, `sparc10`, `pentium90`).
+    pub fn by_key(key: &str) -> Option<Machine> {
+        match key {
+            "sparc2" => Some(Machine::sparc2()),
+            "sparc10" => Some(Machine::sparc10()),
+            "pentium90" => Some(Machine::pentium90()),
+            _ => None,
+        }
+    }
+
+    /// Per-call fixed cost of a builtin beyond its byte work (models the
+    /// hand-written library routine's own linkage).
+    pub fn builtin_call_cost(&self, b: Builtin) -> u64 {
+        use Builtin::*;
+        match b {
+            // Allocation does size-class lookup and free-list pop.
+            Malloc | Calloc | Realloc => self.builtin_overhead + 14 * self.alu_cost,
+            Free => self.builtin_overhead,
+            // Checking-mode runtime entry points: one page-map lookup each
+            // plus the store-back for the increment forms.
+            GcSameObj => self.check_cost,
+            // The naive KEEP_LIVE: full call linkage for an identity
+            // function.
+            KeepLiveFn => self.call_cost + self.builtin_overhead,
+            GcPreIncr | GcPostIncr => self.check_cost + self.load_cost + self.store_cost,
+            GcBase => self.check_cost,
+            // I/O and termination.
+            Getchar | Putchar => self.builtin_overhead,
+            Putstr | Putint => self.builtin_overhead + 4,
+            Exit | Abort | GcCollect | GcHeapSize => self.builtin_overhead,
+            // Byte-work builtins: fixed part only; variable part is charged
+            // via `byte_work_cost_milli`.
+            Strlen | Strcmp | Strncmp | Strcpy | Memcpy | Memset | Memcmp => {
+                self.builtin_overhead
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_key() {
+        assert_eq!(Machine::by_key("sparc2").unwrap().name, "SPARCstation 2");
+        assert_eq!(Machine::by_key("pentium90").unwrap().regs, 6);
+        assert!(Machine::by_key("vax").is_none());
+    }
+
+    #[test]
+    fn architectural_contrasts_hold() {
+        let s2 = Machine::sparc2();
+        let s10 = Machine::sparc10();
+        let p90 = Machine::pentium90();
+        assert!(s2.load_cost > s10.load_cost, "SS2 memory is slower");
+        assert!(p90.regs < s10.regs, "Pentium has fewer registers");
+        assert!(s10.check_cost > 10 * s10.alu_cost, "checks dominate arithmetic");
+    }
+
+    #[test]
+    fn all_returns_paper_order() {
+        let names: Vec<&str> = Machine::all().iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["SPARCstation 2", "SPARC 10", "Pentium 90"]);
+    }
+}

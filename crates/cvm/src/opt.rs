@@ -1,0 +1,994 @@
+//! The optimizer.
+//!
+//! The same passes run for the `-O` baseline and the `-O safe` (annotated)
+//! build — the paper's point is that `KEEP_LIVE` does **not** require
+//! suppressing optimizations, only preserving values longer. Two of the
+//! passes are exactly the kind that "disguise" pointers:
+//!
+//! * [`reassociate`] rewrites `p + (i - c)` into `(p - c) + i`, creating an
+//!   intermediate that may point *outside* the object (the paper's opening
+//!   `p[i-1000]` example);
+//! * [`schedule_early`] hoists pure arithmetic upward, past calls — so the
+//!   out-of-object intermediate can be the only surviving value when a
+//!   collection triggers inside an allocation call.
+//!
+//! With annotations, neither pass is blocked; the `KeepLive` *base* use
+//! simply keeps the original pointer live across the call, which is the
+//! whole trick.
+
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptOptions {
+    /// Master switch (false = `-g`-style unoptimized code).
+    pub enabled: bool,
+    /// Run the displacement reassociation pass.
+    pub reassociate: bool,
+    /// Run the eager scheduler.
+    pub schedule: bool,
+    /// Run loop-invariant code motion.
+    pub licm: bool,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions { enabled: true, reassociate: true, schedule: true, licm: true }
+    }
+}
+
+impl OptOptions {
+    /// Full optimization (the `-O` rows).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// No optimization (the `-g` rows).
+    pub fn none() -> Self {
+        OptOptions { enabled: false, reassociate: false, schedule: false, licm: false }
+    }
+}
+
+/// Optimizes every function of a program in place.
+pub fn optimize(prog: &mut ProgramIr, opts: OptOptions) {
+    if !opts.enabled {
+        return;
+    }
+    for f in &mut prog.funcs {
+        optimize_func(f, opts);
+    }
+}
+
+/// Optimizes a single function in place.
+pub fn optimize_func(f: &mut FuncIr, opts: OptOptions) {
+    for _ in 0..3 {
+        copy_prop(f);
+        const_fold(f);
+        if opts.reassociate {
+            reassociate(f);
+        }
+        cse(f);
+        copy_prop(f);
+        dce(f);
+    }
+    if opts.licm {
+        licm(f);
+        dce(f);
+    }
+    if opts.schedule {
+        schedule_early(f);
+    }
+}
+
+/// Block-local copy and constant propagation.
+pub fn copy_prop(f: &mut FuncIr) {
+    for b in &mut f.blocks {
+        let mut env: HashMap<Temp, Operand> = HashMap::new();
+        for ins in &mut b.instrs {
+            // Rewrite uses through the environment (one step is enough
+            // because the environment is kept transitively resolved).
+            rewrite_operands(ins, |o| match o {
+                Operand::Temp(t) => env.get(&t).copied().unwrap_or(o),
+                c => c,
+            });
+            // Kill mappings clobbered by this def.
+            if let Some(d) = ins.dst() {
+                env.remove(&d);
+                env.retain(|_, v| v.as_temp() != Some(d));
+            }
+            // Record new copies.
+            match ins {
+                Instr::Mov { dst, src } if src.as_temp() != Some(*dst) => {
+                    env.insert(*dst, *src);
+                }
+                Instr::Const { dst, value } => {
+                    env.insert(*dst, Operand::Const(*value));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Constant folding and algebraic simplification.
+pub fn const_fold(f: &mut FuncIr) {
+    for b in &mut f.blocks {
+        for ins in &mut b.instrs {
+            let replacement = match ins {
+                Instr::Bin { dst, op, a, b } => match (a.as_const(), b.as_const()) {
+                    (Some(x), Some(y)) => {
+                        Some(Instr::Const { dst: *dst, value: op.eval(x, y) })
+                    }
+                    (None, Some(0)) if matches!(op, BinIr::Add | BinIr::Sub | BinIr::Or | BinIr::Xor | BinIr::Shl | BinIr::Sar | BinIr::Shr) => {
+                        Some(Instr::Mov { dst: *dst, src: *a })
+                    }
+                    (Some(0), None) if *op == BinIr::Add => {
+                        Some(Instr::Mov { dst: *dst, src: *b })
+                    }
+                    (None, Some(1)) if matches!(op, BinIr::Mul | BinIr::Div | BinIr::DivU) => {
+                        Some(Instr::Mov { dst: *dst, src: *a })
+                    }
+                    (Some(1), None) if *op == BinIr::Mul => {
+                        Some(Instr::Mov { dst: *dst, src: *b })
+                    }
+                    (None, Some(0)) if *op == BinIr::Mul => {
+                        Some(Instr::Const { dst: *dst, value: 0 })
+                    }
+                    (None, Some(c)) if *op == BinIr::Mul && c.count_ones() == 1 && c > 0 => {
+                        // Strength reduction: multiply by power of two.
+                        Some(Instr::Bin {
+                            dst: *dst,
+                            op: BinIr::Shl,
+                            a: *a,
+                            b: Operand::Const(c.trailing_zeros() as i64),
+                        })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(r) = replacement {
+                *ins = r;
+            }
+        }
+        // Fold constant branches.
+        if let Some(Instr::Branch { cond: Operand::Const(c), if_true, if_false }) =
+            b.instrs.last().cloned()
+        {
+            let target = if c != 0 { if_true } else { if_false };
+            *b.instrs.last_mut().expect("non-empty block") = Instr::Jump { target };
+        }
+    }
+}
+
+/// Displacement reassociation: `t1 = i ± c; t2 = p + t1` becomes
+/// `t3 = p ± c; t2 = t3 + i` when `t1` has no other use. The new `t3` may
+/// point outside any object — this is the paper's disguising hazard,
+/// reproduced as an honest strength-style optimization (it enables LICM
+/// and scheduling of the displaced base).
+pub fn reassociate(f: &mut FuncIr) {
+    let uses = count_uses(f);
+    let mut next_temp = f.temp_count;
+    for b in &mut f.blocks {
+        // dst → (op, i-operand, c) for `dst = i op c` still valid here.
+        let mut defs: HashMap<Temp, (BinIr, Operand, i64)> = HashMap::new();
+        let mut new_instrs: Vec<Instr> = Vec::with_capacity(b.instrs.len());
+        let invalidate = |defs: &mut HashMap<Temp, (BinIr, Operand, i64)>, d: Temp| {
+            // A redefinition kills both the entry for d and any entry whose
+            // recorded operand would now read a different value.
+            defs.remove(&d);
+            defs.retain(|_, (_, i_op, _)| i_op.as_temp() != Some(d));
+        };
+        for ins in b.instrs.drain(..) {
+            match ins {
+                Instr::Bin { dst, op: op @ (BinIr::Add | BinIr::Sub), a, b: Operand::Const(c) }
+                    if a.as_temp() != Some(dst) =>
+                {
+                    invalidate(&mut defs, dst);
+                    defs.insert(dst, (op, a, c));
+                    new_instrs.push(Instr::Bin { dst, op, a, b: Operand::Const(c) });
+                }
+                Instr::Bin { dst, op: BinIr::Add, a: Operand::Temp(p), b: Operand::Temp(t1) }
+                    if t1 != dst
+                        && p != dst
+                        && defs.contains_key(&t1)
+                        && uses.get(&t1).copied().unwrap_or(0) == 1
+                        && !defs.contains_key(&p) =>
+                {
+                    // p + (i ± c)  →  (p ± c) + i
+                    let (op1, i_op, c) = defs[&t1];
+                    let t3 = Temp(next_temp);
+                    next_temp += 1;
+                    new_instrs.push(Instr::Bin {
+                        dst: t3,
+                        op: op1,
+                        a: Operand::Temp(p),
+                        b: Operand::Const(c),
+                    });
+                    new_instrs.push(Instr::Bin {
+                        dst,
+                        op: BinIr::Add,
+                        a: Operand::Temp(t3),
+                        b: i_op,
+                    });
+                    invalidate(&mut defs, dst);
+                }
+                other => {
+                    if let Some(d) = other.dst() {
+                        invalidate(&mut defs, d);
+                    }
+                    new_instrs.push(other);
+                }
+            }
+        }
+        b.instrs = new_instrs;
+    }
+    f.temp_count = next_temp;
+    // The original displacement adds may now be dead.
+    dce(f);
+}
+
+/// Block-local common-subexpression elimination (value numbering over
+/// pure ops, plus redundant-load elimination up to the next clobber).
+pub fn cse(f: &mut FuncIr) {
+    for b in &mut f.blocks {
+        let mut avail: HashMap<String, Temp> = HashMap::new();
+        let mut loads: HashMap<(Operand, u8, bool), Temp> = HashMap::new();
+        for ins in &mut b.instrs {
+            // Compute the lookup key first (on the unmodified instruction).
+            let key = match ins {
+                Instr::Bin { op, a, b, .. } => Some(format!("{op:?}|{a}|{b}|")),
+                Instr::FrameAddr { offset, .. } => Some(format!("fp|{offset}|")),
+                _ => None,
+            };
+            let hit = key.as_ref().and_then(|k| avail.get(k).copied());
+            let load_key = match ins {
+                Instr::Load { addr, width, signed, .. } => Some((*addr, *width, *signed)),
+                _ => None,
+            };
+            let load_hit = load_key.and_then(|k| loads.get(&k).copied());
+            // Rewrite hits into copies.
+            if let (Some(_), Some(prev)) = (&key, hit) {
+                let dst = ins.dst().expect("pure ops define");
+                *ins = Instr::Mov { dst, src: prev.into() };
+            }
+            if let (Some(_), Some(prev)) = (load_key, load_hit) {
+                let dst = ins.dst().expect("loads define");
+                *ins = Instr::Mov { dst, src: prev.into() };
+            }
+            // Clobbers kill all remembered loads.
+            if matches!(ins, Instr::Store { .. } | Instr::MemCopy { .. } | Instr::Call { .. }) {
+                loads.clear();
+            }
+            // The def invalidates every fact mentioning it…
+            if let Some(d) = ins.dst() {
+                let dn = format!("|{d}|");
+                let dn_first = format!("|{d}|");
+                let _ = &dn_first;
+                avail.retain(|k, v| *v != d && !k.contains(&dn));
+                loads.retain(|(a, _, _), v| *v != d && a.as_temp() != Some(d));
+            }
+            // …after which fresh facts become available.
+            if let (Some(k), None) = (key, hit) {
+                if let Some(dst) = ins.dst() {
+                    avail.insert(k, dst);
+                }
+            }
+            if let (Some(k), None, Some(dst)) = (load_key, load_hit, ins.dst()) {
+                if matches!(ins, Instr::Load { .. }) {
+                    loads.insert(k, dst);
+                }
+            }
+        }
+    }
+}
+
+/// Global dead-code elimination over temps.
+pub fn dce(f: &mut FuncIr) {
+    loop {
+        let uses = count_uses(f);
+        let mut changed = false;
+        for b in &mut f.blocks {
+            let before = b.instrs.len();
+            b.instrs.retain(|ins| {
+                if ins.has_side_effects() || ins.is_terminator() {
+                    return true;
+                }
+                match ins.dst() {
+                    Some(d) => uses.get(&d).copied().unwrap_or(0) > 0,
+                    None => true,
+                }
+            });
+            // Drop no-op moves.
+            b.instrs.retain(
+                |ins| !matches!(ins, Instr::Mov { dst, src } if src.as_temp() == Some(*dst)),
+            );
+            if b.instrs.len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Eager scheduling: moves pure instructions as early in their block as
+/// their operands allow — in particular above calls (conventional latency
+/// hiding). `KeepLive` / `CheckSame` are ordering points and never move;
+/// loads don't move above stores/calls.
+pub fn schedule_early(f: &mut FuncIr) {
+    for b in &mut f.blocks {
+        let n = b.instrs.len();
+        if n < 2 {
+            continue;
+        }
+        let mut i = 1;
+        while i < n {
+            if movable(&b.instrs[i]) {
+                // Find the earliest legal slot, honouring true, anti, and
+                // output dependences.
+                let mut deps = Vec::new();
+                b.instrs[i].uses(&mut deps);
+                let our_dst = b.instrs[i].dst();
+                let mut slot = i;
+                while slot > 0 {
+                    let prev = &b.instrs[slot - 1];
+                    let prev_dst = prev.dst();
+                    let true_dep = prev_dst.map(|d| deps.contains(&d)).unwrap_or(false);
+                    let mut prev_uses = Vec::new();
+                    prev.uses(&mut prev_uses);
+                    let anti_dep =
+                        our_dst.map(|d| prev_uses.contains(&d)).unwrap_or(false);
+                    let output_dep = our_dst.is_some() && prev_dst == our_dst;
+                    if true_dep || anti_dep || output_dep || is_ordering_point(prev) {
+                        break;
+                    }
+                    slot -= 1;
+                }
+                if slot < i {
+                    let ins = b.instrs.remove(i);
+                    b.instrs.insert(slot, ins);
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+fn movable(ins: &Instr) -> bool {
+    matches!(
+        ins,
+        Instr::Bin { .. } | Instr::Const { .. } | Instr::FrameAddr { .. } | Instr::Mov { .. }
+    )
+}
+
+fn is_ordering_point(ins: &Instr) -> bool {
+    // KeepLive/CheckSame pin the schedule (the paper's "explicit program
+    // point"); terminators end blocks.
+    matches!(ins, Instr::KeepLive { .. } | Instr::CheckSame { .. }) || ins.is_terminator()
+}
+
+fn count_uses(f: &FuncIr) -> HashMap<Temp, usize> {
+    let mut uses: HashMap<Temp, usize> = HashMap::new();
+    let mut buf = Vec::new();
+    for b in &f.blocks {
+        for ins in &b.instrs {
+            buf.clear();
+            ins.uses(&mut buf);
+            for &t in &buf {
+                *uses.entry(t).or_insert(0) += 1;
+            }
+        }
+    }
+    uses
+}
+
+fn rewrite_operands(ins: &mut Instr, f: impl Fn(Operand) -> Operand) {
+    match ins {
+        Instr::Mov { src, .. } => *src = f(*src),
+        Instr::Bin { a, b, .. } => {
+            *a = f(*a);
+            *b = f(*b);
+        }
+        Instr::Load { addr, .. } => *addr = f(*addr),
+        Instr::Store { addr, value, .. } => {
+            *addr = f(*addr);
+            *value = f(*value);
+        }
+        Instr::MemCopy { dst_addr, src_addr, .. } => {
+            *dst_addr = f(*dst_addr);
+            *src_addr = f(*src_addr);
+        }
+        Instr::Call { target, args, .. } => {
+            if let CallTarget::Indirect(o) = target {
+                *o = f(*o);
+            }
+            for a in args {
+                *a = f(*a);
+            }
+        }
+        Instr::KeepLive { value, base, .. } => {
+            *value = f(*value);
+            if let Some(b) = base {
+                *b = f(*b);
+            }
+        }
+        Instr::CheckSame { value, base, .. } => {
+            *value = f(*value);
+            *base = f(*base);
+        }
+        Instr::Ret { value: Some(v) } => *v = f(*v),
+        Instr::Branch { cond, .. } => *cond = f(*cond),
+        Instr::Const { .. }
+        | Instr::FrameAddr { .. }
+        | Instr::Ret { value: None }
+        | Instr::Jump { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> Temp {
+        Temp(n)
+    }
+
+    fn func(instrs: Vec<Instr>, temp_count: u32) -> FuncIr {
+        FuncIr {
+            name: "test".into(),
+            blocks: vec![Block { instrs }],
+            temp_count,
+            param_temps: vec![],
+            frame_size: 0,
+            returns_value: true,
+        }
+    }
+
+    #[test]
+    fn const_fold_arithmetic() {
+        let mut f = func(
+            vec![
+                Instr::Const { dst: t(0), value: 6 },
+                Instr::Const { dst: t(1), value: 7 },
+                Instr::Bin { dst: t(2), op: BinIr::Mul, a: t(0).into(), b: t(1).into() },
+                Instr::Ret { value: Some(t(2).into()) },
+            ],
+            3,
+        );
+        copy_prop(&mut f);
+        const_fold(&mut f);
+        copy_prop(&mut f);
+        dce(&mut f);
+        assert_eq!(
+            f.blocks[0].instrs,
+            vec![Instr::Ret { value: Some(Operand::Const(42)) }]
+        );
+    }
+
+    #[test]
+    fn mul_by_power_of_two_becomes_shift() {
+        let mut f = func(
+            vec![
+                Instr::Bin { dst: t(1), op: BinIr::Mul, a: t(0).into(), b: Operand::Const(8) },
+                Instr::Ret { value: Some(t(1).into()) },
+            ],
+            2,
+        );
+        const_fold(&mut f);
+        assert!(matches!(
+            f.blocks[0].instrs[0],
+            Instr::Bin { op: BinIr::Shl, b: Operand::Const(3), .. }
+        ));
+    }
+
+    #[test]
+    fn cse_merges_repeated_address_computation() {
+        let mut f = func(
+            vec![
+                Instr::Bin { dst: t(1), op: BinIr::Add, a: t(0).into(), b: Operand::Const(8) },
+                Instr::Bin { dst: t(2), op: BinIr::Add, a: t(0).into(), b: Operand::Const(8) },
+                Instr::Bin { dst: t(3), op: BinIr::Add, a: t(1).into(), b: t(2).into() },
+                Instr::Ret { value: Some(t(3).into()) },
+            ],
+            4,
+        );
+        cse(&mut f);
+        copy_prop(&mut f);
+        dce(&mut f);
+        let adds = f.blocks[0]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Bin { op: BinIr::Add, b: Operand::Const(8), .. }))
+            .count();
+        assert_eq!(adds, 1, "duplicate add folded: {:?}", f.blocks[0].instrs);
+    }
+
+    #[test]
+    fn redundant_load_removed_until_store() {
+        let mut f = func(
+            vec![
+                Instr::Load { dst: t(1), addr: t(0).into(), width: 8, signed: false },
+                Instr::Load { dst: t(2), addr: t(0).into(), width: 8, signed: false },
+                Instr::Store { addr: t(0).into(), value: Operand::Const(1), width: 8 },
+                Instr::Load { dst: t(3), addr: t(0).into(), width: 8, signed: false },
+                Instr::Bin { dst: t(4), op: BinIr::Add, a: t(1).into(), b: t(2).into() },
+                Instr::Bin { dst: t(5), op: BinIr::Add, a: t(4).into(), b: t(3).into() },
+                Instr::Ret { value: Some(t(5).into()) },
+            ],
+            6,
+        );
+        cse(&mut f);
+        let load_count = f.blocks[0]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Load { .. }))
+            .count();
+        assert_eq!(load_count, 2, "second load folded, post-store load kept");
+    }
+
+    #[test]
+    fn dce_removes_dead_but_keeps_side_effects() {
+        let mut f = func(
+            vec![
+                Instr::Const { dst: t(0), value: 1 },
+                Instr::Const { dst: t(1), value: 2 },
+                Instr::Store { addr: Operand::Const(0x10000), value: t(1).into(), width: 8 },
+                Instr::Ret { value: None },
+            ],
+            2,
+        );
+        dce(&mut f);
+        assert_eq!(f.blocks[0].instrs.len(), 3, "dead const removed, store kept");
+    }
+
+    #[test]
+    fn dead_keep_live_is_removable() {
+        let mut f = func(
+            vec![
+                Instr::KeepLive { dst: t(1), value: t(0).into(), base: None },
+                Instr::Ret { value: None },
+            ],
+            2,
+        );
+        dce(&mut f);
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn reassociate_creates_displaced_base() {
+        // t1 = i - 1000 ; t2 = p + t1  →  t3 = p - 1000 ; t2 = t3 + i
+        let mut f = func(
+            vec![
+                Instr::Bin { dst: t(2), op: BinIr::Sub, a: t(1).into(), b: Operand::Const(1000) },
+                Instr::Bin { dst: t(3), op: BinIr::Add, a: t(0).into(), b: t(2).into() },
+                Instr::Ret { value: Some(t(3).into()) },
+            ],
+            4,
+        );
+        reassociate(&mut f);
+        let dump = f.dump();
+        assert!(
+            dump.contains("Sub(t0, 1000)"),
+            "displaced base created:\n{dump}"
+        );
+    }
+
+    #[test]
+    fn schedule_hoists_arithmetic_above_calls() {
+        let mut f = func(
+            vec![
+                Instr::Bin { dst: t(1), op: BinIr::Sub, a: t(0).into(), b: Operand::Const(4) },
+                Instr::Call {
+                    dst: Some(t(2)),
+                    target: CallTarget::Builtin(cfront::Builtin::Malloc),
+                    args: vec![Operand::Const(8)],
+                },
+                Instr::Bin { dst: t(3), op: BinIr::Add, a: t(1).into(), b: Operand::Const(1) },
+                Instr::Ret { value: Some(t(3).into()) },
+            ],
+            4,
+        );
+        schedule_early(&mut f);
+        // The add depending only on t1 moves above the call.
+        assert!(matches!(f.blocks[0].instrs[1], Instr::Bin { op: BinIr::Add, .. }));
+        assert!(matches!(f.blocks[0].instrs[2], Instr::Call { .. }));
+    }
+
+    #[test]
+    fn schedule_respects_keep_live_ordering() {
+        let mut f = func(
+            vec![
+                Instr::KeepLive { dst: t(1), value: t(0).into(), base: Some(t(0).into()) },
+                Instr::Call {
+                    dst: Some(t(2)),
+                    target: CallTarget::Builtin(cfront::Builtin::Malloc),
+                    args: vec![Operand::Const(8)],
+                },
+                Instr::Bin { dst: t(3), op: BinIr::Add, a: t(1).into(), b: Operand::Const(1) },
+                Instr::Ret { value: Some(t(3).into()) },
+            ],
+            4,
+        );
+        schedule_early(&mut f);
+        // t3's add uses t1 (the keep_live result): it may hoist above the
+        // call but never above the keep_live.
+        let kl_pos = f.blocks[0]
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::KeepLive { .. }))
+            .expect("keep_live kept");
+        let add_pos = f.blocks[0]
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Bin { op: BinIr::Add, .. }))
+            .expect("add kept");
+        assert!(add_pos > kl_pos);
+    }
+
+    #[test]
+    fn copy_prop_through_chain() {
+        let mut f = func(
+            vec![
+                Instr::Const { dst: t(0), value: 5 },
+                Instr::Mov { dst: t(1), src: t(0).into() },
+                Instr::Mov { dst: t(2), src: t(1).into() },
+                Instr::Ret { value: Some(t(2).into()) },
+            ],
+            3,
+        );
+        copy_prop(&mut f);
+        dce(&mut f);
+        assert_eq!(
+            f.blocks[0].instrs,
+            vec![Instr::Ret { value: Some(Operand::Const(5)) }]
+        );
+    }
+
+    #[test]
+    fn optimizer_never_folds_through_keep_live() {
+        // t1 = keeplive(7); t2 = t1 + 1 — t2 must not become Const(8).
+        let mut f = func(
+            vec![
+                Instr::KeepLive { dst: t(1), value: Operand::Const(7), base: None },
+                Instr::Bin { dst: t(2), op: BinIr::Add, a: t(1).into(), b: Operand::Const(1) },
+                Instr::Ret { value: Some(t(2).into()) },
+            ],
+            3,
+        );
+        optimize_func(&mut f, OptOptions::full());
+        let dump = f.dump();
+        assert!(dump.contains("keep_live"), "keep_live survives: {dump}");
+        assert!(!dump.contains("ret 8"), "no folding through the barrier: {dump}");
+    }
+}
+
+/// Loop-invariant code motion.
+///
+/// The paper's opening hazard is precisely a loop optimization: hoisting
+/// the displaced base `p - 1000` out of a loop that evaluates `p[i-1000]`
+/// leaves only the out-of-object pointer live inside the loop. This pass
+/// performs that hoisting honestly: natural loops are found via back
+/// edges (our structured lowering emits headers before bodies), a
+/// preheader is inserted, and pure single-def instructions whose operands
+/// are loop-invariant move to it. `KeepLive`/`CheckSame` are ordering
+/// points and never move — but they don't need to: their *base* operand
+/// keeps the object visible wherever the arithmetic lands.
+pub fn licm(f: &mut FuncIr) {
+    // True back edges only: u→v with v dominating u (switch lowering also
+    // produces harmless backward-numbered forward edges).
+    let dom = dominators(f);
+    let mut back_edges: Vec<(usize, usize)> = Vec::new(); // (latch, header)
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for s in b.successors() {
+            let h = s.0 as usize;
+            if dom[bi].contains(&h) {
+                back_edges.push((bi, h));
+            }
+        }
+    }
+    back_edges.sort();
+    back_edges.dedup();
+    for (latch, header) in back_edges {
+        if header == 0 {
+            continue; // entry block cannot take a preheader safely
+        }
+        hoist_loop(f, latch, header);
+    }
+}
+
+/// Dominator sets per block (iterative dataflow; CFGs here are tiny).
+fn dominators(f: &FuncIr) -> Vec<std::collections::HashSet<usize>> {
+    use std::collections::HashSet;
+    let n = f.blocks.len();
+    let all: HashSet<usize> = (0..n).collect();
+    let mut dom: Vec<HashSet<usize>> = vec![all; n];
+    dom[0] = HashSet::from([0]);
+    let preds: Vec<Vec<usize>> = (0..n).map(|b| crate::opt::preds(f, b)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            let mut new: Option<HashSet<usize>> = None;
+            for &p in &preds[b] {
+                new = Some(match new {
+                    None => dom[p].clone(),
+                    Some(acc) => acc.intersection(&dom[p]).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(b);
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+fn preds(f: &FuncIr, target: usize) -> Vec<usize> {
+    (0..f.blocks.len())
+        .filter(|&bi| f.blocks[bi].successors().iter().any(|s| s.0 as usize == target))
+        .collect()
+}
+
+/// Natural loop of the back edge latch→header: header plus every block
+/// that reaches the latch without passing through the header.
+fn loop_blocks(f: &FuncIr, latch: usize, header: usize) -> Vec<usize> {
+    let mut in_loop = vec![false; f.blocks.len()];
+    in_loop[header] = true;
+    let mut work = vec![latch];
+    while let Some(b) = work.pop() {
+        if in_loop[b] {
+            continue;
+        }
+        in_loop[b] = true;
+        for p in preds(f, b) {
+            work.push(p);
+        }
+    }
+    (0..f.blocks.len()).filter(|&b| in_loop[b]).collect()
+}
+
+fn hoist_loop(f: &mut FuncIr, latch: usize, header: usize) {
+    use crate::liveness::Liveness;
+    let blocks = loop_blocks(f, latch, header);
+    let in_loop = |b: usize| blocks.contains(&b);
+    // Definition counts inside the loop.
+    let mut defs_in_loop: HashMap<Temp, usize> = HashMap::new();
+    for &bi in &blocks {
+        for ins in &f.blocks[bi].instrs {
+            if let Some(d) = ins.dst() {
+                *defs_in_loop.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    let lv = Liveness::compute(f);
+    // Collect hoistable instructions to a fixpoint.
+    let mut invariant: std::collections::HashSet<Temp> = std::collections::HashSet::new();
+    let mut to_hoist: Vec<(usize, usize)> = Vec::new(); // (block, instr idx)
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &bi in &blocks {
+            for (ii, ins) in f.blocks[bi].instrs.iter().enumerate() {
+                if to_hoist.contains(&(bi, ii)) {
+                    continue;
+                }
+                let pure = matches!(
+                    ins,
+                    Instr::Bin { .. } | Instr::Const { .. } | Instr::FrameAddr { .. }
+                );
+                if !pure {
+                    continue;
+                }
+                let Some(d) = ins.dst() else { continue };
+                if defs_in_loop.get(&d).copied().unwrap_or(0) != 1 {
+                    continue;
+                }
+                // The def must be fresh inside the loop (not carried in).
+                if lv.live_in[header].contains(d) {
+                    continue;
+                }
+                let mut ops = Vec::new();
+                ins.uses(&mut ops);
+                let invariant_ops = ops.iter().all(|t| {
+                    invariant.contains(t) || defs_in_loop.get(t).copied().unwrap_or(0) == 0
+                });
+                if invariant_ops {
+                    to_hoist.push((bi, ii));
+                    invariant.insert(d);
+                    changed = true;
+                }
+            }
+        }
+    }
+    if to_hoist.is_empty() {
+        return;
+    }
+    // Build the preheader with the hoisted instructions in dependency
+    // order (original program order across blocks is sufficient because
+    // operands are invariant).
+    to_hoist.sort();
+    let mut pre_instrs: Vec<Instr> = Vec::new();
+    // Remove from the back so indices stay valid.
+    for &(bi, ii) in to_hoist.iter().rev() {
+        let ins = f.blocks[bi].instrs.remove(ii);
+        pre_instrs.push(ins);
+    }
+    pre_instrs.reverse();
+    let pre_id = BlockId(f.blocks.len() as u32);
+    pre_instrs.push(Instr::Jump { target: BlockId(header as u32) });
+    f.blocks.push(Block { instrs: pre_instrs });
+    // Redirect non-loop predecessors of the header to the preheader.
+    for bi in 0..f.blocks.len() - 1 {
+        if in_loop(bi) {
+            continue;
+        }
+        let block = &mut f.blocks[bi];
+        if let Some(last) = block.instrs.last_mut() {
+            match last {
+                Instr::Jump { target } if target.0 as usize == header => *target = pre_id,
+                Instr::Branch { if_true, if_false, .. } => {
+                    if if_true.0 as usize == header {
+                        *if_true = pre_id;
+                    }
+                    if if_false.0 as usize == header {
+                        *if_false = pre_id;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod licm_tests {
+    use super::*;
+
+    fn t(n: u32) -> Temp {
+        Temp(n)
+    }
+
+    /// bb0: t0=100; jump bb1
+    /// bb1: t1 = t0 - 7  (invariant); t2 = t2 + t1; br t2 ? bb1 : bb2
+    /// bb2: ret t2
+    fn loopy() -> FuncIr {
+        FuncIr {
+            name: "l".into(),
+            blocks: vec![
+                Block {
+                    instrs: vec![
+                        Instr::Const { dst: t(0), value: 100 },
+                        Instr::Const { dst: t(2), value: 0 },
+                        Instr::Jump { target: BlockId(1) },
+                    ],
+                },
+                Block {
+                    instrs: vec![
+                        Instr::Bin {
+                            dst: t(1),
+                            op: BinIr::Sub,
+                            a: t(0).into(),
+                            b: Operand::Const(7),
+                        },
+                        Instr::Bin {
+                            dst: t(2),
+                            op: BinIr::Add,
+                            a: t(2).into(),
+                            b: t(1).into(),
+                        },
+                        Instr::Bin {
+                            dst: t(3),
+                            op: BinIr::CmpLt,
+                            a: t(2).into(),
+                            b: Operand::Const(1000),
+                        },
+                        Instr::Branch {
+                            cond: t(3).into(),
+                            if_true: BlockId(1),
+                            if_false: BlockId(2),
+                        },
+                    ],
+                },
+                Block { instrs: vec![Instr::Ret { value: Some(t(2).into()) }] },
+            ],
+            temp_count: 4,
+            param_temps: vec![],
+            frame_size: 0,
+            returns_value: true,
+        }
+    }
+
+    #[test]
+    fn hoists_invariant_computation() {
+        let mut f = loopy();
+        licm(&mut f);
+        // The Sub moved to a new preheader block.
+        assert_eq!(f.blocks.len(), 4, "{}", f.dump());
+        let body = &f.blocks[1].instrs;
+        assert!(
+            !body.iter().any(|i| matches!(i, Instr::Bin { op: BinIr::Sub, .. })),
+            "sub left the loop:\n{}",
+            f.dump()
+        );
+        let pre = &f.blocks[3].instrs;
+        assert!(pre.iter().any(|i| matches!(i, Instr::Bin { op: BinIr::Sub, .. })));
+        // bb0 now enters through the preheader.
+        assert_eq!(f.blocks[0].successors(), vec![BlockId(3)]);
+        assert_eq!(f.blocks[3].successors(), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn does_not_hoist_variant_computation() {
+        let mut f = loopy();
+        licm(&mut f);
+        // t2 = t2 + t1 stays (t2 is loop-carried).
+        let body = &f.blocks[1].instrs;
+        assert!(body.iter().any(|i| matches!(i, Instr::Bin { op: BinIr::Add, .. })));
+    }
+
+    #[test]
+    fn keep_live_is_never_hoisted() {
+        let mut f = loopy();
+        // Insert a keep_live of an invariant value inside the loop.
+        f.temp_count = 5;
+        f.blocks[1].instrs.insert(
+            1,
+            Instr::KeepLive { dst: t(4), value: t(1).into(), base: Some(t(0).into()) },
+        );
+        // Make its result used so DCE-style reasoning can't drop it.
+        f.blocks[2].instrs.insert(
+            0,
+            Instr::Bin { dst: t(2), op: BinIr::Add, a: t(2).into(), b: t(4).into() },
+        );
+        licm(&mut f);
+        assert!(
+            f.blocks[1]
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::KeepLive { .. })),
+            "keep_live stays in the loop:\n{}",
+            f.dump()
+        );
+    }
+}
+
+#[cfg(test)]
+mod allocation_preservation_tests {
+    use super::*;
+    use crate::{compile, CompileOptions};
+
+    /// The paper's compiler assumption (0): "Every allocation call in the
+    /// source results in a corresponding call to an allocation function in
+    /// the object code." Our DCE must never elide a malloc whose result is
+    /// unused.
+    #[test]
+    fn unused_allocation_calls_survive_optimization() {
+        let src = r#"
+            int main(void) {
+                malloc(64);
+                (void *) malloc(128);
+                return 0;
+            }
+        "#;
+        let prog = compile(src, &CompileOptions::optimized()).expect("compiles");
+        let main = &prog.funcs[prog.main];
+        let allocs = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Call { target: CallTarget::Builtin(cfront::Builtin::Malloc), .. }
+                )
+            })
+            .count();
+        assert_eq!(allocs, 2, "{}", main.dump());
+    }
+}

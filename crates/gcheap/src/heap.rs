@@ -1,0 +1,772 @@
+//! The conservative mark-sweep collector.
+//!
+//! Reproduces the collector interface the paper relies on ([Boehm95] in
+//! its default configuration):
+//!
+//! * every object is allocated "with at least one extra byte at the end"
+//!   so one-past-the-end pointers stay inside the object;
+//! * "the garbage collector recognizes any address corresponding to some
+//!   place inside a heap allocated object as a valid pointer" — interior
+//!   pointers are valid (a configuration switch implements the paper's
+//!   *Extensions* mode where heap-resident pointers must point at bases);
+//! * `GC_base` / `GC_same_obj` are backed by the page map, and are only as
+//!   accurate as the rounded size classes (exactly the paper's caveat).
+
+use crate::mem::{Memory, HEAP_BASE};
+use crate::pagemap::{PageDesc, PageMap, SmallPage, PAGE_SIZE};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Small-object size classes in bytes. Requests above the largest class
+/// become multi-page "large" objects.
+pub const SIZE_CLASSES: &[u32] = &[16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048];
+
+/// How the collector treats interior pointers found in the heap.
+///
+/// Roots (stack, registers, statics) always recognise interior pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PointerPolicy {
+    /// Interior pointers are valid everywhere (the paper's main setting).
+    #[default]
+    InteriorEverywhere,
+    /// Interior pointers are valid "only if they originate from the stack
+    /// or registers"; heap-resident words must point at object bases (the
+    /// paper's *Extensions* section).
+    InteriorFromRootsOnly,
+}
+
+/// Collector configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapConfig {
+    /// Interior-pointer recognition policy.
+    pub policy: PointerPolicy,
+    /// Allocate one extra byte per object (paper default: on).
+    pub extra_byte: bool,
+    /// Overwrite freed memory with `0xDD` so premature collection is
+    /// observable (used by the GC-unsafety demonstrations).
+    pub poison: bool,
+    /// Bytes allocated between automatic collections.
+    pub gc_threshold: u64,
+    /// \[Boehm93\]-style page blacklisting: candidate words observed during
+    /// marking that point into *free* heap pages mark those pages as
+    /// unusable, so a future allocation cannot be falsely retained by a
+    /// pre-existing spurious bit pattern. (The paper cites this as what
+    /// makes the everywhere-interior-pointer assumption affordable.)
+    pub blacklisting: bool,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            policy: PointerPolicy::InteriorEverywhere,
+            extra_byte: true,
+            poison: true,
+            gc_threshold: 256 * 1024,
+            blacklisting: false,
+        }
+    }
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// The request that failed, in bytes.
+    pub requested: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "heap exhausted allocating {} bytes", self.requested)
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Collector statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Number of completed collections.
+    pub collections: u64,
+    /// Objects allocated over the heap's lifetime.
+    pub allocations: u64,
+    /// Bytes requested over the heap's lifetime (pre-rounding).
+    pub bytes_requested: u64,
+    /// Objects reclaimed by sweeps.
+    pub objects_freed: u64,
+    /// Objects currently live (allocated minus freed).
+    pub objects_live: u64,
+    /// Bytes currently live (rounded slot sizes).
+    pub bytes_live: u64,
+    /// `GC_same_obj`-style checks performed.
+    pub same_obj_checks: u64,
+    /// Checks that failed (pointer left its object).
+    pub same_obj_failures: u64,
+    /// Pages withdrawn from allocation by blacklisting.
+    pub blacklisted_pages: u64,
+}
+
+/// The set of GC-roots for one collection: address ranges (stack, statics)
+/// plus bare register words.
+#[derive(Debug, Clone, Default)]
+pub struct RootSet {
+    /// Half-open address ranges scanned conservatively word-by-word.
+    pub ranges: Vec<(u64, u64)>,
+    /// Individual candidate words (the register file).
+    pub words: Vec<u64>,
+}
+
+impl RootSet {
+    /// Creates an empty root set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an address range.
+    pub fn add_range(&mut self, start: u64, end: u64) -> &mut Self {
+        self.ranges.push((start, end));
+        self
+    }
+
+    /// Adds a register word.
+    pub fn add_word(&mut self, word: u64) -> &mut Self {
+        self.words.push(word);
+        self
+    }
+}
+
+/// The conservative garbage-collected heap.
+#[derive(Debug)]
+pub struct GcHeap {
+    map: PageMap,
+    config: HeapConfig,
+    free_lists: Vec<Vec<u64>>,
+    next_page: usize,
+    free_pages: Vec<usize>,
+    blacklist: HashSet<usize>,
+    bytes_since_gc: u64,
+    stats: HeapStats,
+}
+
+impl GcHeap {
+    /// Creates a collector managing the heap region of `mem`.
+    pub fn new(mem: &Memory, config: HeapConfig) -> Self {
+        GcHeap {
+            map: PageMap::new(HEAP_BASE, mem.heap_size() as u64),
+            config,
+            free_lists: vec![Vec::new(); SIZE_CLASSES.len()],
+            next_page: 0,
+            free_pages: Vec::new(),
+            blacklist: HashSet::new(),
+            bytes_since_gc: 0,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Creates a collector with the default configuration.
+    pub fn with_defaults(mem: &Memory) -> Self {
+        GcHeap::new(mem, HeapConfig::default())
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Whether enough allocation has happened that the mutator should
+    /// trigger a collection at its next safe point.
+    pub fn should_collect(&self) -> bool {
+        self.bytes_since_gc >= self.config.gc_threshold
+    }
+
+    fn class_index(size: u64) -> Option<usize> {
+        SIZE_CLASSES.iter().position(|&c| c as u64 >= size)
+    }
+
+    fn take_page(&mut self) -> Option<usize> {
+        while let Some(p) = self.free_pages.pop() {
+            if !self.blacklist.contains(&p) {
+                return Some(p);
+            }
+            // Blacklisted recycled pages are simply abandoned — the real
+            // cost of blacklisting is lost capacity.
+        }
+        while self.next_page < self.map.page_count() {
+            let p = self.next_page;
+            self.next_page += 1;
+            if !self.blacklist.contains(&p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    fn take_pages(&mut self, n: usize) -> Option<usize> {
+        // Large objects need contiguous pages; only the bump region
+        // guarantees contiguity. Skip over blacklisted stretches.
+        'outer: while self.next_page + n <= self.map.page_count() {
+            for i in 0..n {
+                if self.blacklist.contains(&(self.next_page + i)) {
+                    self.next_page += i + 1;
+                    continue 'outer;
+                }
+            }
+            let p = self.next_page;
+            self.next_page += n;
+            return Some(p);
+        }
+        None
+    }
+
+    /// Allocates `size` bytes (plus the configured extra byte), zeroed.
+    /// Returns the object base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when neither the free lists nor fresh pages
+    /// can satisfy the request; the caller should collect and retry via
+    /// [`GcHeap::alloc_with_roots`] or fail.
+    pub fn alloc(&mut self, mem: &mut Memory, size: u64) -> Result<u64, OutOfMemory> {
+        let effective = size + u64::from(self.config.extra_byte);
+        let effective = effective.max(1);
+        self.stats.allocations += 1;
+        self.stats.bytes_requested += size;
+        let addr = if let Some(ci) = Self::class_index(effective) {
+            self.alloc_small(ci).ok_or(OutOfMemory { requested: size })?
+        } else {
+            self.alloc_large(effective).ok_or(OutOfMemory { requested: size })?
+        };
+        let (base, extent) = self
+            .map
+            .object_extent(addr)
+            .expect("freshly allocated object must have an extent");
+        debug_assert_eq!(base, addr);
+        mem.fill(addr, 0, extent as usize).expect("object memory is mapped");
+        self.bytes_since_gc += extent;
+        self.stats.objects_live += 1;
+        self.stats.bytes_live += extent;
+        Ok(addr)
+    }
+
+    /// Allocates with automatic collection: if the threshold has been
+    /// reached or memory is exhausted, collects using `roots` and retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if the heap is exhausted even after a
+    /// collection.
+    pub fn alloc_with_roots(
+        &mut self,
+        mem: &mut Memory,
+        size: u64,
+        roots: &RootSet,
+    ) -> Result<u64, OutOfMemory> {
+        if self.should_collect() {
+            self.collect(mem, roots);
+        }
+        match self.alloc(mem, size) {
+            Ok(a) => Ok(a),
+            Err(_) => {
+                self.collect(mem, roots);
+                self.alloc(mem, size)
+            }
+        }
+    }
+
+    fn alloc_small(&mut self, ci: usize) -> Option<u64> {
+        if let Some(addr) = self.free_lists[ci].pop() {
+            let idx = self.map.page_index(addr).expect("free-list address in heap");
+            let page_start = self.map.page_addr(idx);
+            if let PageDesc::Small(sp) = self.map.desc_mut(idx) {
+                let slot = ((addr - page_start) / sp.obj_size as u64) as usize;
+                debug_assert!(!sp.alloc[slot]);
+                sp.alloc[slot] = true;
+            } else {
+                unreachable!("free-list entry on non-small page");
+            }
+            return Some(addr);
+        }
+        // Carve a fresh page.
+        let obj_size = SIZE_CLASSES[ci];
+        let page = self.take_page()?;
+        let mut sp = SmallPage::new(obj_size);
+        sp.alloc[0] = true;
+        let page_start = self.map.page_addr(page);
+        for slot in (1..sp.slots()).rev() {
+            self.free_lists[ci].push(page_start + slot as u64 * obj_size as u64);
+        }
+        *self.map.desc_mut(page) = PageDesc::Small(sp);
+        Some(page_start)
+    }
+
+    fn alloc_large(&mut self, size: u64) -> Option<u64> {
+        let pages = size.div_ceil(PAGE_SIZE) as usize;
+        let head = self.take_pages(pages)?;
+        *self.map.desc_mut(head) = PageDesc::LargeHead {
+            size: pages as u64 * PAGE_SIZE,
+            marked: false,
+            allocated: true,
+        };
+        for i in 1..pages {
+            *self.map.desc_mut(head + i) = PageDesc::LargeCont(i as u32);
+        }
+        Some(self.map.page_addr(head))
+    }
+
+    /// `GC_base`: the base of the allocated object containing `addr`.
+    pub fn base(&self, addr: u64) -> Option<u64> {
+        self.map.object_base(addr)
+    }
+
+    /// The rounded extent of the object containing `addr`.
+    pub fn extent(&self, addr: u64) -> Option<(u64, u64)> {
+        self.map.object_extent(addr)
+    }
+
+    /// Whether `addr` points into a currently allocated object.
+    pub fn is_allocated(&self, addr: u64) -> bool {
+        self.map.object_base(addr).is_some()
+    }
+
+    /// `GC_same_obj`: whether `p` and `q` point into the same allocated
+    /// heap object. Updates the check statistics.
+    pub fn same_obj(&mut self, p: u64, q: u64) -> bool {
+        self.stats.same_obj_checks += 1;
+        let ok = self.map.same_object(p, q);
+        if !ok {
+            self.stats.same_obj_failures += 1;
+        }
+        ok
+    }
+
+    /// Runs a full stop-the-world mark-sweep collection.
+    pub fn collect(&mut self, mem: &mut Memory, roots: &RootSet) {
+        self.stats.collections += 1;
+        self.bytes_since_gc = 0;
+        // --- mark ---
+        let mut worklist: Vec<u64> = Vec::new();
+        for &(start, end) in &roots.ranges {
+            for word in mem.aligned_words(start, end) {
+                self.mark_candidate(word, true, &mut worklist);
+            }
+        }
+        for &word in &roots.words {
+            self.mark_candidate(word, true, &mut worklist);
+        }
+        while let Some(base) = worklist.pop() {
+            let (start, size) = self
+                .map
+                .object_extent(base)
+                .expect("marked object must have an extent");
+            for word in mem.aligned_words(start, start + size) {
+                self.mark_candidate(word, false, &mut worklist);
+            }
+        }
+        // --- sweep ---
+        self.sweep(mem);
+    }
+
+    /// If `word` looks like a pointer into a live object, marks it and
+    /// pushes it on the worklist. `from_root` selects the interior-pointer
+    /// rule per the configured policy.
+    fn mark_candidate(&mut self, word: u64, from_root: bool, worklist: &mut Vec<u64>) {
+        let interior_ok =
+            from_root || self.config.policy == PointerPolicy::InteriorEverywhere;
+        let Some(base) = self.map.object_base(word) else {
+            // A heap-range bit pattern with no object behind it is a false
+            // pointer in waiting: blacklist its page so nothing is ever
+            // allocated where a spurious root already points.
+            if self.config.blacklisting {
+                if let Some(idx) = self.map.page_index(word) {
+                    if matches!(self.map.desc(idx), PageDesc::Free)
+                        && self.blacklist.insert(idx)
+                    {
+                        self.stats.blacklisted_pages += 1;
+                    }
+                }
+            }
+            return;
+        };
+        if !interior_ok && base != word {
+            return;
+        }
+        let idx = self.map.page_index(base).expect("object base is in heap");
+        let page_start = self.map.page_addr(idx);
+        match self.map.desc_mut(idx) {
+            PageDesc::Small(sp) => {
+                let slot = ((base - page_start) / sp.obj_size as u64) as usize;
+                if !sp.mark[slot] {
+                    sp.mark[slot] = true;
+                    worklist.push(base);
+                }
+            }
+            PageDesc::LargeHead { marked, .. } => {
+                if !*marked {
+                    *marked = true;
+                    worklist.push(base);
+                }
+            }
+            _ => unreachable!("object base resolves to a head page"),
+        }
+    }
+
+    fn sweep(&mut self, mem: &mut Memory) {
+        let poison = self.config.poison;
+        let mut freed: Vec<(u64, u64)> = Vec::new();
+        let mut large_frees: Vec<(usize, usize)> = Vec::new();
+        for idx in 0..self.next_page {
+            let page_start = self.map.page_addr(idx);
+            match self.map.desc_mut(idx) {
+                PageDesc::Free | PageDesc::LargeCont(_) => {}
+                PageDesc::Small(sp) => {
+                    let obj = sp.obj_size as u64;
+                    for slot in 0..sp.slots() {
+                        if sp.alloc[slot] && !sp.mark[slot] {
+                            sp.alloc[slot] = false;
+                            freed.push((page_start + slot as u64 * obj, obj));
+                        }
+                        sp.mark[slot] = false;
+                    }
+                }
+                PageDesc::LargeHead { size, marked, allocated } => {
+                    if *allocated && !*marked {
+                        *allocated = false;
+                        let pages = (*size / PAGE_SIZE) as usize;
+                        freed.push((page_start, *size));
+                        large_frees.push((idx, pages));
+                    }
+                    *marked = false;
+                }
+            }
+        }
+        for (addr, size) in &freed {
+            self.stats.objects_freed += 1;
+            self.stats.objects_live -= 1;
+            self.stats.bytes_live -= size;
+            if poison {
+                mem.fill(*addr, 0xDD, *size as usize).expect("freed object is mapped");
+            }
+        }
+        // Return small slots to free lists.
+        for (addr, size) in &freed {
+            if let Some(ci) = SIZE_CLASSES.iter().position(|&c| c as u64 == *size) {
+                self.free_lists[ci].push(*addr);
+            }
+        }
+        // Release large-object pages.
+        for (head, pages) in large_frees {
+            for i in 0..pages {
+                *self.map.desc_mut(head + i) = PageDesc::Free;
+            }
+            // Contiguity cannot be guaranteed once recycled, so these pages
+            // feed small-object allocation only.
+            for i in 0..pages {
+                self.free_pages.push(head + i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Memory, GcHeap) {
+        let mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+        let heap = GcHeap::with_defaults(&mem);
+        (mem, heap)
+    }
+
+    #[test]
+    fn alloc_returns_zeroed_distinct_objects() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.alloc(&mut mem, 24).unwrap();
+        let b = heap.alloc(&mut mem, 24).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(mem.read(a, 8).unwrap(), 0);
+        assert_eq!(heap.base(a + 10), Some(a));
+        assert_eq!(heap.base(b + 10), Some(b));
+    }
+
+    #[test]
+    fn extra_byte_keeps_one_past_end_inside() {
+        let (mut mem, mut heap) = setup();
+        // 32 bytes + 1 extra → 48-byte class; one-past-end of the request
+        // (base+32) must still resolve to the object.
+        let a = heap.alloc(&mut mem, 32).unwrap();
+        assert_eq!(heap.base(a + 32), Some(a));
+    }
+
+    #[test]
+    fn same_obj_rounds_like_the_paper_says() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.alloc(&mut mem, 20).unwrap(); // 21 → 32-byte class
+        assert!(heap.same_obj(a, a + 31));
+        assert!(!heap.same_obj(a, a + 32));
+        assert_eq!(heap.stats().same_obj_failures, 1);
+    }
+
+    #[test]
+    fn collect_frees_unreachable_keeps_reachable() {
+        let (mut mem, mut heap) = setup();
+        let keep = heap.alloc(&mut mem, 40).unwrap();
+        let lose = heap.alloc(&mut mem, 40).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(keep);
+        heap.collect(&mut mem, &roots);
+        assert!(heap.is_allocated(keep));
+        assert!(!heap.is_allocated(lose));
+        assert_eq!(heap.stats().objects_freed, 1);
+        // Freed memory is poisoned.
+        assert_eq!(mem.read(lose, 1).unwrap(), 0xDD);
+    }
+
+    #[test]
+    fn interior_pointer_roots_retain() {
+        let (mut mem, mut heap) = setup();
+        let obj = heap.alloc(&mut mem, 100).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(obj + 57); // interior
+        heap.collect(&mut mem, &roots);
+        assert!(heap.is_allocated(obj));
+    }
+
+    #[test]
+    fn heap_chain_is_traced() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.alloc(&mut mem, 16).unwrap();
+        let b = heap.alloc(&mut mem, 16).unwrap();
+        let c = heap.alloc(&mut mem, 16).unwrap();
+        mem.write(a, 8, b).unwrap();
+        mem.write(b, 8, c).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(a);
+        heap.collect(&mut mem, &roots);
+        assert!(heap.is_allocated(a));
+        assert!(heap.is_allocated(b));
+        assert!(heap.is_allocated(c));
+    }
+
+    #[test]
+    fn base_only_policy_drops_heap_interior_pointers() {
+        let mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig { policy: PointerPolicy::InteriorFromRootsOnly, ..HeapConfig::default() },
+        );
+        let mut mem = mem;
+        let a = heap.alloc(&mut mem, 16).unwrap();
+        let b = heap.alloc(&mut mem, 64).unwrap();
+        // a holds an *interior* pointer to b — not a base.
+        mem.write(a, 8, b + 8).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(a);
+        heap.collect(&mut mem, &roots);
+        assert!(heap.is_allocated(a));
+        assert!(!heap.is_allocated(b), "interior heap pointer must not retain");
+        // But a root interior pointer still works.
+        let c = heap.alloc(&mut mem, 64).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(c + 8);
+        heap.collect(&mut mem, &roots);
+        assert!(heap.is_allocated(c));
+    }
+
+    #[test]
+    fn large_objects_allocate_and_free() {
+        let (mut mem, mut heap) = setup();
+        let big = heap.alloc(&mut mem, 3 * 4096).unwrap();
+        assert_eq!(heap.base(big + 9000), Some(big));
+        heap.collect(&mut mem, &RootSet::new());
+        assert!(!heap.is_allocated(big));
+    }
+
+    #[test]
+    fn reuse_after_collection() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.alloc(&mut mem, 24).unwrap();
+        heap.collect(&mut mem, &RootSet::new());
+        let b = heap.alloc(&mut mem, 24).unwrap();
+        assert_eq!(a, b, "slot is recycled through the free list");
+    }
+
+    #[test]
+    fn stack_range_roots() {
+        let (mut mem, mut heap) = setup();
+        let obj = heap.alloc(&mut mem, 48).unwrap();
+        let sp = crate::mem::STACK_BASE + 256;
+        mem.write(sp + 16, 8, obj).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_range(sp, sp + 64);
+        heap.collect(&mut mem, &roots);
+        assert!(heap.is_allocated(obj));
+    }
+
+    #[test]
+    fn non_pointer_words_do_not_retain() {
+        let (mut mem, mut heap) = setup();
+        let obj = heap.alloc(&mut mem, 48).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(12345); // small integer, not a heap address
+        roots.add_word(obj - 1); // just below the object (unallocated slot area)
+        heap.collect(&mut mem, &roots);
+        assert!(!heap.is_allocated(obj) || obj == 0);
+    }
+
+    #[test]
+    fn oom_then_collect_recovers() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 14); // 4 pages of heap
+        let mut heap = GcHeap::with_defaults(&mem);
+        let mut mem = mem;
+        // Exhaust: 4 pages of 2048-byte objects = 8 objects.
+        for _ in 0..8 {
+            heap.alloc(&mut mem, 1500).unwrap();
+        }
+        assert!(heap.alloc(&mut mem, 1500).is_err());
+        let got = heap.alloc_with_roots(&mut mem, 1500, &RootSet::new());
+        assert!(got.is_ok(), "collection reclaims everything");
+    }
+
+    #[test]
+    fn blacklisting_withdraws_falsely_pointed_pages() {
+        use crate::pagemap::PAGE_SIZE;
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 16); // 16 heap pages
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig { blacklisting: true, ..HeapConfig::default() },
+        );
+        let mut mem = mem;
+        // A spurious root pointing into the (still free) page 3.
+        let bogus = crate::mem::HEAP_BASE + 3 * PAGE_SIZE + 40;
+        let mut roots = RootSet::new();
+        roots.add_word(bogus);
+        heap.collect(&mut mem, &roots);
+        assert_eq!(heap.stats().blacklisted_pages, 1);
+        // Fill the heap: no allocation may land on page 3.
+        while let Ok(a) = heap.alloc(&mut mem, 3000) {
+            let page = (a - crate::mem::HEAP_BASE) / PAGE_SIZE;
+            assert_ne!(page, 3, "allocation on a blacklisted page");
+        }
+    }
+
+    #[test]
+    fn without_blacklisting_the_page_is_usable() {
+        use crate::pagemap::PAGE_SIZE;
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 16);
+        let mut heap = GcHeap::with_defaults(&mem);
+        let mut mem = mem;
+        let bogus = crate::mem::HEAP_BASE + 3 * PAGE_SIZE + 40;
+        let mut roots = RootSet::new();
+        roots.add_word(bogus);
+        heap.collect(&mut mem, &roots);
+        assert_eq!(heap.stats().blacklisted_pages, 0);
+        let mut hit = false;
+        while let Ok(a) = heap.alloc(&mut mem, 3000) {
+            if (a - crate::mem::HEAP_BASE) / PAGE_SIZE == 3 {
+                hit = true;
+            }
+        }
+        assert!(hit, "page 3 is allocatable without blacklisting");
+    }
+
+    #[test]
+    fn allocated_pages_are_never_blacklisted() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 16);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig { blacklisting: true, ..HeapConfig::default() },
+        );
+        let mut mem = mem;
+        let live = heap.alloc(&mut mem, 100).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(live + 50); // interior pointer to a real object
+        heap.collect(&mut mem, &roots);
+        assert_eq!(heap.stats().blacklisted_pages, 0);
+        assert!(heap.is_allocated(live));
+    }
+
+    #[test]
+    fn should_collect_after_threshold() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 20);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig { gc_threshold: 1024, ..HeapConfig::default() },
+        );
+        let mut mem = mem;
+        assert!(!heap.should_collect());
+        for _ in 0..40 {
+            heap.alloc(&mut mem, 30).unwrap();
+        }
+        assert!(heap.should_collect());
+        heap.collect(&mut mem, &RootSet::new());
+        assert!(!heap.should_collect());
+    }
+}
+
+impl GcHeap {
+    /// Renders a one-line-per-page summary of heap occupancy — a
+    /// diagnostic analogous to the Boehm collector's `GC_dump`.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "heap: {} pages used, {} free-listed, {} blacklisted; {} objects / {} bytes live",
+            self.next_page,
+            self.free_pages.len(),
+            self.blacklist.len(),
+            self.stats.objects_live,
+            self.stats.bytes_live
+        );
+        for idx in 0..self.next_page {
+            match self.map.desc(idx) {
+                PageDesc::Free => {
+                    let _ = writeln!(out, "  page {idx:4}: free");
+                }
+                PageDesc::Small(sp) => {
+                    let used = sp.alloc.iter().filter(|b| **b).count();
+                    let _ = writeln!(
+                        out,
+                        "  page {idx:4}: {}-byte objects, {used}/{} slots live",
+                        sp.obj_size,
+                        sp.slots()
+                    );
+                }
+                PageDesc::LargeHead { size, allocated, .. } => {
+                    let _ = writeln!(
+                        out,
+                        "  page {idx:4}: large head, {size} bytes, {}",
+                        if *allocated { "live" } else { "free" }
+                    );
+                }
+                PageDesc::LargeCont(back) => {
+                    let _ = writeln!(out, "  page {idx:4}: large continuation (-{back})");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod dump_tests {
+    use super::*;
+
+    #[test]
+    fn dump_reflects_heap_shape() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 16);
+        let mut heap = GcHeap::with_defaults(&mem);
+        let mut mem = mem;
+        heap.alloc(&mut mem, 24).unwrap();
+        heap.alloc(&mut mem, 24).unwrap();
+        heap.alloc(&mut mem, 5000).unwrap();
+        let d = heap.dump();
+        assert!(d.contains("32-byte objects, 2/"), "{d}");
+        assert!(d.contains("large head, 8192 bytes, live"), "{d}");
+        assert!(d.contains("3 pages used"), "pages counted: {d}");
+    }
+}

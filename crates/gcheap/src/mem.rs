@@ -1,0 +1,336 @@
+//! Simulated flat address space shared by the VM and the collector.
+//!
+//! Three fixed regions mirror a conventional process image:
+//!
+//! * **globals** (statically allocated data) starting at [`GLOBAL_BASE`];
+//! * **stack** starting at [`STACK_BASE`] and growing downward from
+//!   `STACK_BASE + stack_size`;
+//! * **heap** starting at [`HEAP_BASE`], managed by the collector.
+//!
+//! The paper's GC-roots are "the machine stack, registers, and statically
+//! allocated memory" — the first two regions plus the VM register file.
+
+use std::fmt;
+
+/// Base address of the globals region.
+pub const GLOBAL_BASE: u64 = 0x0001_0000;
+/// Base address of the stack region.
+pub const STACK_BASE: u64 = 0x0040_0000;
+/// Base address of the heap region.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+
+/// A simulated memory access error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemFault {
+    /// Offending address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: u32,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory fault: {} of {} bytes at {:#x}",
+            if self.write { "write" } else { "read" },
+            self.width,
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Result alias for memory accesses.
+pub type MemResult<T> = Result<T, MemFault>;
+
+/// Which region an address falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Statically allocated data.
+    Globals,
+    /// The machine stack.
+    Stack,
+    /// The collected heap.
+    Heap,
+}
+
+/// The simulated address space.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    globals: Vec<u8>,
+    stack: Vec<u8>,
+    heap: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates an address space with the given region capacities in bytes.
+    pub fn new(global_size: usize, stack_size: usize, heap_size: usize) -> Self {
+        Memory {
+            globals: vec![0; global_size],
+            stack: vec![0; stack_size],
+            heap: vec![0; heap_size],
+        }
+    }
+
+    /// Creates an address space with workload-sized defaults
+    /// (1 MiB globals, 1 MiB stack, 32 MiB heap).
+    pub fn with_defaults() -> Self {
+        Memory::new(1 << 20, 1 << 20, 32 << 20)
+    }
+
+    /// Capacity of the heap region in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Capacity of the stack region in bytes.
+    pub fn stack_size(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Highest valid stack address + 1 (the initial stack pointer).
+    pub fn stack_top(&self) -> u64 {
+        STACK_BASE + self.stack.len() as u64
+    }
+
+    /// Classifies an address, if it is mapped.
+    pub fn region_of(&self, addr: u64) -> Option<Region> {
+        if (GLOBAL_BASE..GLOBAL_BASE + self.globals.len() as u64).contains(&addr) {
+            Some(Region::Globals)
+        } else if (STACK_BASE..STACK_BASE + self.stack.len() as u64).contains(&addr) {
+            Some(Region::Stack)
+        } else if (HEAP_BASE..HEAP_BASE + self.heap.len() as u64).contains(&addr) {
+            Some(Region::Heap)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `addr` lies in the heap region.
+    pub fn in_heap(&self, addr: u64) -> bool {
+        matches!(self.region_of(addr), Some(Region::Heap))
+    }
+
+    fn locate(&self, addr: u64, width: u32, write: bool) -> MemResult<(Region, usize)> {
+        let region = self
+            .region_of(addr)
+            .ok_or(MemFault { addr, width, write })?;
+        let (base, len) = match region {
+            Region::Globals => (GLOBAL_BASE, self.globals.len()),
+            Region::Stack => (STACK_BASE, self.stack.len()),
+            Region::Heap => (HEAP_BASE, self.heap.len()),
+        };
+        let off = (addr - base) as usize;
+        if off + width as usize > len {
+            return Err(MemFault { addr, width, write });
+        }
+        Ok((region, off))
+    }
+
+    fn buf(&self, region: Region) -> &[u8] {
+        match region {
+            Region::Globals => &self.globals,
+            Region::Stack => &self.stack,
+            Region::Heap => &self.heap,
+        }
+    }
+
+    fn buf_mut(&mut self, region: Region) -> &mut [u8] {
+        match region {
+            Region::Globals => &mut self.globals,
+            Region::Stack => &mut self.stack,
+            Region::Heap => &mut self.heap,
+        }
+    }
+
+    /// Reads `width` (1, 4, or 8) bytes, little-endian, sign-agnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] for unmapped or out-of-range accesses.
+    pub fn read(&self, addr: u64, width: u32) -> MemResult<u64> {
+        let (region, off) = self.locate(addr, width, false)?;
+        let buf = self.buf(region);
+        Ok(match width {
+            1 => buf[off] as u64,
+            2 => u16::from_le_bytes(buf[off..off + 2].try_into().expect("width 2")) as u64,
+            4 => u32::from_le_bytes(buf[off..off + 4].try_into().expect("width 4")) as u64,
+            8 => u64::from_le_bytes(buf[off..off + 8].try_into().expect("width 8")),
+            _ => panic!("unsupported access width {width}"),
+        })
+    }
+
+    /// Writes `width` (1, 4, or 8) bytes, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] for unmapped or out-of-range accesses.
+    pub fn write(&mut self, addr: u64, width: u32, value: u64) -> MemResult<()> {
+        let (region, off) = self.locate(addr, width, true)?;
+        let buf = self.buf_mut(region);
+        match width {
+            1 => buf[off] = value as u8,
+            2 => buf[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            4 => buf[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+            8 => buf[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+            _ => panic!("unsupported access width {width}"),
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes within the address space (regions may differ;
+    /// overlapping ranges behave like `memmove`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if either range is invalid.
+    pub fn copy(&mut self, dst: u64, src: u64, len: usize) -> MemResult<()> {
+        // Validate both full ranges first.
+        if len == 0 {
+            return Ok(());
+        }
+        self.locate(src, 1, false)?;
+        self.locate(src + len as u64 - 1, 1, false)?;
+        self.locate(dst, 1, true)?;
+        self.locate(dst + len as u64 - 1, 1, true)?;
+        let bytes: Vec<u8> = (0..len)
+            .map(|i| self.read(src + i as u64, 1).map(|v| v as u8))
+            .collect::<MemResult<_>>()?;
+        for (i, b) in bytes.into_iter().enumerate() {
+            self.write(dst + i as u64, 1, b as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if the range is invalid.
+    pub fn fill(&mut self, addr: u64, byte: u8, len: usize) -> MemResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        self.locate(addr, 1, true)?;
+        let (region, off) = self.locate(addr + len as u64 - 1, 1, true)?;
+        let start = off + 1 - len;
+        self.buf_mut(region)[start..=off].fill(byte);
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated C string starting at `addr` (capped at 1 MiB).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if the string runs off mapped memory.
+    pub fn read_cstr(&self, addr: u64) -> MemResult<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let b = self.read(a, 1)? as u8;
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            a += 1;
+            if out.len() > (1 << 20) {
+                return Err(MemFault { addr: a, width: 1, write: false });
+            }
+        }
+    }
+
+    /// Iterates over the aligned words of an address range, conservatively,
+    /// the way the collector scans roots: only 8-byte-aligned full words.
+    pub fn aligned_words(&self, start: u64, end: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut a = (start + 7) & !7;
+        while a + 8 <= end {
+            if let Ok(w) = self.read(a, 8) {
+                out.push(w);
+            }
+            a += 8;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_widths() {
+        let mut m = Memory::new(4096, 4096, 4096);
+        for &(width, value) in &[(1u32, 0xABu64), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)] {
+            m.write(GLOBAL_BASE + 16, width, value).unwrap();
+            assert_eq!(m.read(GLOBAL_BASE + 16, width).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn unaligned_access_works() {
+        let mut m = Memory::new(4096, 4096, 4096);
+        m.write(HEAP_BASE + 3, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read(HEAP_BASE + 3, 8).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = Memory::new(4096, 4096, 4096);
+        assert!(m.read(0, 8).is_err());
+        assert!(m.read(GLOBAL_BASE + 4095, 8).is_err());
+        assert!(m.read(HEAP_BASE + 4096, 1).is_err());
+    }
+
+    #[test]
+    fn region_classification() {
+        let m = Memory::new(4096, 4096, 4096);
+        assert_eq!(m.region_of(GLOBAL_BASE), Some(Region::Globals));
+        assert_eq!(m.region_of(STACK_BASE + 10), Some(Region::Stack));
+        assert_eq!(m.region_of(HEAP_BASE), Some(Region::Heap));
+        assert_eq!(m.region_of(1), None);
+        assert!(m.in_heap(HEAP_BASE + 1));
+    }
+
+    #[test]
+    fn copy_handles_overlap() {
+        let mut m = Memory::new(4096, 4096, 4096);
+        for i in 0..8u64 {
+            m.write(GLOBAL_BASE + i, 1, i + 1).unwrap();
+        }
+        m.copy(GLOBAL_BASE + 2, GLOBAL_BASE, 6).unwrap();
+        let got: Vec<u64> =
+            (0..8).map(|i| m.read(GLOBAL_BASE + i, 1).unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn cstr_roundtrip() {
+        let mut m = Memory::new(4096, 4096, 4096);
+        for (i, b) in b"hello\0".iter().enumerate() {
+            m.write(STACK_BASE + i as u64, 1, *b as u64).unwrap();
+        }
+        assert_eq!(m.read_cstr(STACK_BASE).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn fill_sets_range() {
+        let mut m = Memory::new(4096, 4096, 4096);
+        m.fill(HEAP_BASE + 8, 0xDD, 16).unwrap();
+        assert_eq!(m.read(HEAP_BASE + 8, 1).unwrap(), 0xDD);
+        assert_eq!(m.read(HEAP_BASE + 23, 1).unwrap(), 0xDD);
+        assert_eq!(m.read(HEAP_BASE + 24, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn aligned_words_skips_partial() {
+        let mut m = Memory::new(4096, 4096, 4096);
+        m.write(STACK_BASE + 8, 8, 42).unwrap();
+        let words = m.aligned_words(STACK_BASE + 3, STACK_BASE + 16);
+        assert_eq!(words, vec![42]);
+    }
+}

@@ -1,0 +1,276 @@
+//! `cfrac` — a miniature of the Zorn suite's factoring program.
+//!
+//! The original is a continued-fraction factorizer built on a small
+//! arbitrary-precision integer package; like it, this workload spends its
+//! time allocating short-lived bignums (base-10000 digit vectors) while
+//! running trial division and a Pollard-rho stage. The numbers to factor
+//! are read from the input stream.
+
+/// The C source of the workload.
+pub const SOURCE: &str = r#"
+/* cfrac: factoring with a tiny heap-allocated bignum package. */
+
+struct big {
+    int n;       /* digit count */
+    int *d;      /* base-10000 digits, little endian */
+};
+
+int read_int(void) {
+    int c;
+    int v = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n') c = getchar();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        c = getchar();
+    }
+    return v;
+}
+
+long read_long(void) {
+    int c;
+    long v = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n') c = getchar();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        c = getchar();
+    }
+    return v;
+}
+
+struct big *big_alloc(int n) {
+    struct big *b = (struct big *) malloc(sizeof(struct big));
+    b->n = n;
+    b->d = (int *) malloc(n * sizeof(int));
+    return b;
+}
+
+struct big *big_from_long(long v) {
+    struct big *b;
+    int n = 0;
+    long t = v;
+    if (v == 0) {
+        b = big_alloc(1);
+        b->d[0] = 0;
+        return b;
+    }
+    while (t > 0) { n++; t /= 10000; }
+    b = big_alloc(n);
+    n = 0;
+    while (v > 0) {
+        b->d[n++] = (int)(v % 10000);
+        v /= 10000;
+    }
+    return b;
+}
+
+long big_to_long(struct big *b) {
+    long v = 0;
+    int i;
+    for (i = b->n - 1; i >= 0; i--) v = v * 10000 + b->d[i];
+    return v;
+}
+
+int big_is_zero(struct big *b) {
+    int i;
+    for (i = 0; i < b->n; i++) if (b->d[i]) return 0;
+    return 1;
+}
+
+int big_cmp_small(struct big *b, int s) {
+    long v;
+    if (b->n > 2) return 1;
+    v = big_to_long(b);
+    if (v < s) return -1;
+    if (v > s) return 1;
+    return 0;
+}
+
+/* remainder of b mod m (m < 10000 * 10000 fits intermediate in long) */
+long big_mod_small(struct big *b, long m) {
+    long r = 0;
+    int i;
+    for (i = b->n - 1; i >= 0; i--) {
+        r = (r * 10000 + b->d[i]) % m;
+    }
+    return r;
+}
+
+/* quotient b / m as a fresh bignum */
+struct big *big_div_small(struct big *b, long m) {
+    struct big *q = big_alloc(b->n);
+    long r = 0;
+    int i;
+    for (i = b->n - 1; i >= 0; i--) {
+        long cur = r * 10000 + b->d[i];
+        q->d[i] = (int)(cur / m);
+        r = cur % m;
+    }
+    /* trim leading zero digits */
+    while (q->n > 1 && q->d[q->n - 1] == 0) q->n--;
+    return q;
+}
+
+struct big *big_mul_small(struct big *b, long m) {
+    struct big *p = big_alloc(b->n + 3);
+    long carry = 0;
+    int i;
+    for (i = 0; i < b->n; i++) {
+        long cur = (long) b->d[i] * m + carry;
+        p->d[i] = (int)(cur % 10000);
+        carry = cur / 10000;
+    }
+    while (carry > 0) {
+        p->d[i++] = (int)(carry % 10000);
+        carry /= 10000;
+    }
+    while (i < p->n) p->d[i++] = 0;
+    while (p->n > 1 && p->d[p->n - 1] == 0) p->n--;
+    return p;
+}
+
+void big_print(struct big *b) {
+    int i;
+    putint(b->d[b->n - 1]);
+    for (i = b->n - 2; i >= 0; i--) {
+        int d = b->d[i];
+        putchar('0' + (char)(d / 1000));
+        putchar('0' + (char)((d / 100) % 10));
+        putchar('0' + (char)((d / 10) % 10));
+        putchar('0' + (char)(d % 10));
+    }
+}
+
+long gcd(long a, long b) {
+    while (b != 0) {
+        long t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+/* Pollard rho on a long composite; returns a nontrivial factor or n. */
+long rho(long n) {
+    long x = 2;
+    long y = 2;
+    long d = 1;
+    long count = 0;
+    if (n % 2 == 0) return 2;
+    while (d == 1 && count < 200000) {
+        x = (x * x + 1) % n;
+        y = (y * y + 1) % n;
+        y = (y * y + 1) % n;
+        d = gcd(x > y ? x - y : y - x, n);
+        count++;
+    }
+    if (d == 0 || d == n) return n;
+    return d;
+}
+
+/* Factor v, printing factors in ascending order. Uses bignums for the
+ * division chain to stay allocation-intensive like the original. */
+void factor(long v) {
+    struct big *n = big_from_long(v);
+    long p;
+    long factors[64];
+    int nf = 0;
+    int i;
+    int j;
+    /* trial division by small primes via bignum arithmetic */
+    for (p = 2; p < 4000; p++) {
+        while (big_mod_small(n, p) == 0) {
+            factors[nf++] = p;
+            n = big_div_small(n, p);
+        }
+        if (big_cmp_small(n, 1) == 0) break;
+    }
+    /* whatever remains fits a long here; crack it with rho */
+    while (big_cmp_small(n, 1) != 0) {
+        long rest = big_to_long(n);
+        long f = rho(rest);
+        if (f == rest) {
+            factors[nf++] = rest;   /* prime */
+            n = big_from_long(1);
+        } else {
+            long q;
+            while (rest % f == 0) {
+                factors[nf++] = f;
+                rest /= f;
+            }
+            q = f;
+            /* factor f further if composite (small, try trial division) */
+            for (p = 2; p * p <= q; p++) {
+                while (q % p == 0) {
+                    factors[nf - 1] = p;
+                    q /= p;
+                    if (q > 1) factors[nf++] = q;
+                }
+            }
+            n = big_from_long(rest);
+        }
+    }
+    /* insertion sort */
+    for (i = 1; i < nf; i++) {
+        long key = factors[i];
+        for (j = i - 1; j >= 0 && factors[j] > key; j--)
+            factors[j + 1] = factors[j];
+        factors[j + 1] = key;
+    }
+    putint(v);
+    putstr(" =");
+    for (i = 0; i < nf; i++) {
+        putchar(' ');
+        putint(factors[i]);
+    }
+    putchar('\n');
+}
+
+int main(void) {
+    int count = read_int();
+    int i;
+    long check = 0;
+    for (i = 0; i < count; i++) {
+        long v = read_long();
+        factor(v);
+        /* verify by rebuilding the number with bignum multiplies */
+        {
+            struct big *acc = big_from_long(v);
+            long m = big_mod_small(acc, 9973);
+            check = (check * 31 + m) & 0xffffff;
+        }
+    }
+    putstr("cfrac ");
+    putint(check);
+    putchar('\n');
+    return 0;
+}
+"#;
+
+/// Generates the input: a count followed by that many numbers to factor.
+pub fn input(numbers: &[i64]) -> Vec<u8> {
+    let mut s = format!("{}\n", numbers.len());
+    for n in numbers {
+        s.push_str(&format!("{n}\n"));
+    }
+    s.into_bytes()
+}
+
+/// A default number set sized like the paper's "second largest input".
+pub fn default_numbers(count: usize) -> Vec<i64> {
+    // Deterministic mix of smooth and semi-prime values.
+    let mut out = Vec::with_capacity(count);
+    let mut seed: i64 = 1234567;
+    for i in 0..count {
+        seed = (seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            .rem_euclid(1 << 40);
+        let v = match i % 3 {
+            0 => 2 * 3 * 5 * 7 * 11 * 13 * (1 + (seed % 1000)),
+            1 => (10007 + (seed % 5000)) * (10009 + (seed % 3000)),
+            _ => seed % 100_000_000 + 2,
+        };
+        out.push(v.max(2));
+    }
+    out
+}

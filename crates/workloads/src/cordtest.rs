@@ -1,0 +1,282 @@
+//! `cordtest` — a miniature of the paper's "cord" string package test.
+//!
+//! The paper: "5 Iterations of the test normally distributed with our
+//! 'cord' string package. This was run with our garbage collector."
+//! Cords are immutable balanced-ish concatenation trees over character
+//! arrays; the test builds large cords from words, takes substrings,
+//! flattens, fetches characters, and hashes — all heavily allocating and
+//! pointer-chasing, like the original.
+//!
+//! The number of iterations is read from the input stream.
+
+/// The C source of the workload.
+pub const SOURCE: &str = r#"
+/* cordtest: rope-like immutable strings over the collector. */
+
+struct cord {
+    int len;
+    int depth;
+    char *leaf;          /* non-null for leaf nodes */
+    struct cord *left;
+    struct cord *right;
+};
+
+int read_int(void) {
+    int c;
+    int v = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n') c = getchar();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        c = getchar();
+    }
+    return v;
+}
+
+char *copy_str(char *s) {
+    char *d = (char *) malloc(strlen(s) + 1);
+    strcpy(d, s);
+    return d;
+}
+
+struct cord *cord_leaf(char *s) {
+    struct cord *c = (struct cord *) malloc(sizeof(struct cord));
+    c->len = (int) strlen(s);
+    c->depth = 0;
+    c->leaf = s;
+    c->left = 0;
+    c->right = 0;
+    return c;
+}
+
+int cord_depth(struct cord *c) {
+    if (c == 0) return 0;
+    return c->depth;
+}
+
+int cord_len(struct cord *c) {
+    if (c == 0) return 0;
+    return c->len;
+}
+
+struct cord *cord_cat(struct cord *a, struct cord *b) {
+    struct cord *c;
+    int da;
+    int db;
+    if (a == 0) return b;
+    if (b == 0) return a;
+    c = (struct cord *) malloc(sizeof(struct cord));
+    c->len = a->len + b->len;
+    da = cord_depth(a);
+    db = cord_depth(b);
+    c->depth = 1 + (da > db ? da : db);
+    c->leaf = 0;
+    c->left = a;
+    c->right = b;
+    return c;
+}
+
+int cord_fetch(struct cord *c, int i) {
+    while (c->leaf == 0) {
+        if (i < c->left->len) {
+            c = c->left;
+        } else {
+            i -= c->left->len;
+            c = c->right;
+        }
+    }
+    return c->leaf[i];
+}
+
+void cord_flatten_into(struct cord *c, char *buf) {
+    if (c == 0) return;
+    if (c->leaf) {
+        memcpy(buf, c->leaf, c->len);
+        return;
+    }
+    cord_flatten_into(c->left, buf);
+    cord_flatten_into(c->right, buf + c->left->len);
+}
+
+char *cord_flatten(struct cord *c) {
+    char *buf = (char *) malloc(cord_len(c) + 1);
+    cord_flatten_into(c, buf);
+    buf[cord_len(c)] = 0;
+    return buf;
+}
+
+/* Substring as a new tree sharing leaves where possible. */
+struct cord *cord_substr(struct cord *c, int start, int n) {
+    char *piece;
+    char *flat;
+    int i;
+    if (n <= 0 || c == 0) return 0;
+    if (start < 0) { n += start; start = 0; }
+    if (start >= c->len) return 0;
+    if (start + n > c->len) n = c->len - start;
+    if (c->leaf) {
+        piece = (char *) malloc(n + 1);
+        flat = c->leaf + start;
+        for (i = 0; i < n; i++) piece[i] = flat[i];
+        piece[n] = 0;
+        return cord_leaf(piece);
+    }
+    if (start + n <= c->left->len)
+        return cord_substr(c->left, start, n);
+    if (start >= c->left->len)
+        return cord_substr(c->right, start - c->left->len, n);
+    return cord_cat(
+        cord_substr(c->left, start, c->left->len - start),
+        cord_substr(c->right, 0, start + n - c->left->len));
+}
+
+/* Rebalance by flattening runs deeper than a threshold. */
+struct cord *cord_balance(struct cord *c) {
+    if (c == 0) return 0;
+    if (cord_depth(c) <= 12) return c;
+    return cord_leaf(cord_flatten(c));
+}
+
+long cord_hash(struct cord *c) {
+    long h = 5381;
+    int i;
+    int n = cord_len(c);
+    for (i = 0; i < n; i++) {
+        h = h * 33 + cord_fetch(c, i);
+        h = h & 0xffffff;
+    }
+    return h;
+}
+
+long flat_hash(char *s) {
+    long h = 5381;
+    while (*s) {
+        h = h * 33 + *s++;
+        h = h & 0xffffff;
+    }
+    return h;
+}
+
+/* Lexicographic comparison without flattening (CORD_cmp). */
+int cord_cmp(struct cord *a, struct cord *b) {
+    int la = cord_len(a);
+    int lb = cord_len(b);
+    int n = la < lb ? la : lb;
+    int i;
+    for (i = 0; i < n; i++) {
+        int ca = cord_fetch(a, i);
+        int cb = cord_fetch(b, i);
+        if (ca != cb) return ca < cb ? -1 : 1;
+    }
+    if (la == lb) return 0;
+    return la < lb ? -1 : 1;
+}
+
+/* First occurrence of ch at or after `from` (CORD_chr); -1 if absent. */
+int cord_chr(struct cord *c, int from, int ch) {
+    int n = cord_len(c);
+    int i;
+    for (i = from; i < n; i++) {
+        if (cord_fetch(c, i) == ch) return i;
+    }
+    return -1;
+}
+
+/* Naive substring search (CORD_str); -1 if absent. */
+int cord_str(struct cord *hay, char *needle) {
+    int n = cord_len(hay);
+    int m = (int) strlen(needle);
+    int i;
+    int j;
+    if (m == 0) return 0;
+    for (i = 0; i + m <= n; i++) {
+        for (j = 0; j < m; j++) {
+            if (cord_fetch(hay, i + j) != needle[j]) break;
+        }
+        if (j == m) return i;
+    }
+    return -1;
+}
+
+/* Structure-reversing cord (leaves reversed in place, children swapped). */
+struct cord *cord_reverse(struct cord *c) {
+    if (c == 0) return 0;
+    if (c->leaf) {
+        int n = c->len;
+        char *r = (char *) malloc(n + 1);
+        int i;
+        for (i = 0; i < n; i++) r[i] = c->leaf[n - 1 - i];
+        r[n] = 0;
+        return cord_leaf(r);
+    }
+    return cord_cat(cord_reverse(c->right), cord_reverse(c->left));
+}
+
+char *word_for(int i) {
+    char *w = (char *) malloc(12);
+    int k = 0;
+    w[k++] = 'w';
+    w[k++] = (char)('a' + i % 26);
+    w[k++] = (char)('a' + (i / 26) % 26);
+    w[k++] = (char)('a' + (i / 676) % 26);
+    w[k] = 0;
+    return w;
+}
+
+int main(void) {
+    int iters = read_int();
+    int words = read_int();
+    int iter;
+    long checksum = 0;
+    for (iter = 0; iter < iters; iter++) {
+        struct cord *c = 0;
+        struct cord *mid;
+        struct cord *rev;
+        char *flat;
+        int i;
+        /* Build a big cord out of generated words. */
+        for (i = 0; i < words; i++) {
+            c = cord_cat(c, cord_leaf(word_for(i + iter)));
+            if (i % 16 == 15) c = cord_balance(c);
+        }
+        /* Substring walk. */
+        mid = cord_substr(c, cord_len(c) / 4, cord_len(c) / 2);
+        rev = cord_cat(mid, cord_substr(c, 0, 40));
+        /* Flatten and compare hashes computed two ways. */
+        flat = cord_flatten(rev);
+        if (flat_hash(flat) != cord_hash(rev)) {
+            putstr("HASH MISMATCH\n");
+            abort();
+        }
+        checksum = (checksum * 31 + cord_hash(rev)) & 0xffffff;
+        /* Random fetches. */
+        for (i = 0; i < 100; i++) {
+            checksum = (checksum + cord_fetch(c, (i * 37) % cord_len(c))) & 0xffffff;
+        }
+        /* Comparison, search, and reversal. */
+        {
+            struct cord *r = cord_reverse(mid);
+            struct cord *rr = cord_reverse(r);
+            if (cord_cmp(mid, rr) != 0) {
+                putstr("REVERSE MISMATCH\n");
+                abort();
+            }
+            if (cord_cmp(mid, r) != 0) {
+                checksum = (checksum * 7 + 13) & 0xffffff;
+            }
+            checksum = (checksum + cord_chr(c, iter, 'w')) & 0xffffff;
+            checksum = (checksum + cord_str(c, "waa")) & 0xffffff;
+            checksum = (checksum * 31 + cord_cmp(c, mid)) & 0xffffff;
+        }
+    }
+    putstr("cordtest ");
+    putint(checksum);
+    putchar('\n');
+    return 0;
+}
+"#;
+
+/// Generates the input stream (iteration and word counts).
+pub fn input(iters: u32, words: u32) -> Vec<u8> {
+    format!("{iters} {words}\n").into_bytes()
+}

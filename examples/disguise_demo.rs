@@ -1,0 +1,77 @@
+//! The paper's headline hazard, reproduced end to end (experiment F2).
+//!
+//! "A conventional C compiler may replace a final reference `p[i-1000]`
+//! … by the sequence `p = p - 1000; … p[i] …`. If a garbage collection is
+//! triggered between the replacement of p and the reference to p[i], there
+//! may be no recognizable pointer to the object referenced by p."
+//!
+//! Our optimizer performs exactly that rewrite (displacement
+//! reassociation + eager scheduling past the allocation call). With
+//! collections at every allocation:
+//!
+//! * the `-O` build **loses the object** — the VM traps the access to
+//!   freed memory;
+//! * the `-O safe` build (same optimizations!) survives, because
+//!   `KEEP_LIVE`'s base operand keeps `p` live across the call.
+
+use cvm::{compile, compile_and_run, CompileOptions, VmError, VmOptions};
+use gcheap::HeapConfig;
+
+const SRC: &str = r#"
+    char hazard(char *p) {
+        /* An allocation between the (about to be disguised) address
+           computation and the use of the derived pointer. */
+        char *trigger = (char *) malloc(64);
+        long i = (long) trigger[0] + 2000;   /* i depends on the call */
+        return p[i - 1000];                  /* the paper's p[i-1000] */
+    }
+
+    int main(void) {
+        char *buf = (char *) malloc(4000);
+        long j;
+        for (j = 0; j < 4000; j++) buf[j] = (char)(j % 50);
+        /* After this call starts, buf's only copy is hazard's parameter. */
+        return hazard(buf);
+    }
+"#;
+
+fn vm_opts() -> VmOptions {
+    let mut v = VmOptions::default();
+    // Collect at every allocation — the asynchronous-collector worst case.
+    v.heap_config = HeapConfig { gc_threshold: 1, ..HeapConfig::default() };
+    v
+}
+
+fn main() {
+    println!("== the generated code ==\n");
+    let prog = compile(SRC, &CompileOptions::optimized()).expect("compiles");
+    let f = &prog.funcs[prog.func_index("hazard").expect("defined")];
+    println!("-O IR for hazard() — note `Sub(p, 1000)` hoisted above the call,\nand p dead afterwards:\n\n{}", f.dump());
+
+    let safe_prog = compile(SRC, &CompileOptions::optimized_safe()).expect("compiles");
+    let fs = &safe_prog.funcs[safe_prog.func_index("hazard").expect("defined")];
+    println!("-O safe IR — same rewrite, but keep_live keeps p visible:\n\n{}", fs.dump());
+
+    println!("== running with a collection at every allocation ==\n");
+    for (name, opts) in [
+        ("-O        ", CompileOptions::optimized()),
+        ("-O safe   ", CompileOptions::optimized_safe()),
+        ("-g        ", CompileOptions::debug()),
+        ("-g checked", CompileOptions::debug_checked()),
+    ] {
+        match compile_and_run(SRC, &opts, &vm_opts()) {
+            Ok(out) => println!("{name}  exit={}  (object survived)", out.exit_code),
+            Err(VmError::UseAfterFree { addr, .. }) => {
+                println!("{name}  PREMATURE COLLECTION — access to freed object at {addr:#x}")
+            }
+            Err(e) => println!("{name}  error: {e}"),
+        }
+    }
+    println!(
+        "\nThe -O build loses the object: the only remaining value is the\n\
+         out-of-object intermediate p-1000, which the conservative collector\n\
+         rightly does not recognize. KEEP_LIVE(e, BASE(e)) does not suppress\n\
+         the optimization — it just keeps the base pointer live until the\n\
+         derived value is visible. That is the paper's entire point."
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: annotate a function for GC-safety, see the transformation,
+//! and run the paper's measurement pipeline on a toy program.
+
+use gc_safety::{measure_source, Mode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's opening example: a final reference p[i-1000] that an
+    // optimizer may rewrite so the only pointer to the object is disguised.
+    let src = r#"
+        char f(char *p, long i) { return p[i - 1000]; }
+        int main(void) {
+            char *buf = (char *) malloc(2000);
+            long i;
+            for (i = 0; i < 2000; i++) buf[i] = (char)(i % 100);
+            putint(f(buf + 0, 1500));
+            putchar('\n');
+            return 0;
+        }
+    "#;
+
+    // 1. The source-to-source preprocessor (GC-safe mode).
+    let annotated = gcsafe::annotate_program(src, &gcsafe::Config::gc_safe())?;
+    println!("--- annotated source (KEEP_LIVE inserted) ---");
+    println!("{}", annotated.annotated_source.trim());
+    println!("inserted {} KEEP_LIVE wrappers\n", annotated.result.stats.keep_lives);
+
+    // 2. Compile + run + cost every mode on every machine.
+    for mode in Mode::all() {
+        let m = measure_source(src, b"", mode)?;
+        let out = m
+            .outcome
+            .as_ref()
+            .map(|o| String::from_utf8_lossy(&o.output).trim().to_string())
+            .unwrap_or_else(|e| format!("<{e}>"));
+        print!("{:14} output={out:6}", mode.label());
+        for (machine, cost) in &m.costs {
+            print!("  {machine}: {} cycles / {} bytes", cost.cycles, cost.size_bytes);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,311 @@
+//! # gc-safety — end-to-end reproduction pipeline
+//!
+//! Ties the substrates together into the paper's experiment harness:
+//!
+//! ```text
+//! C source ──(gcsafe annotate?)──► AST ──► IR ──(optimize?)──► VM run
+//!                                            │                   │
+//!                                            ▼                   ▼
+//!                                     asmpost codegen      block profile
+//!                                            │                   │
+//!                                  (peephole postprocess?)       │
+//!                                            └─────── measure ◄──┘
+//! ```
+//!
+//! [`Mode`] enumerates the paper's measurement axes; [`measure_workload`]
+//! produces one table row; the `gcbench` crate prints every table.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+pub use asmpost::{AsmFunc, CostReport, Machine, PeepholeStats};
+pub use cvm::{CompileOptions, ExecOutcome, ProgramIr, VmError, VmOptions};
+pub use gcsafe::Config as AnnotConfig;
+pub use workloads::{Scale, Workload};
+
+/// The paper's compilation/measurement modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mode {
+    /// `-O`: optimized baseline.
+    O,
+    /// `-O safe`: GC-safety annotations, then full optimization.
+    OSafe,
+    /// `-O safe` + the peephole postprocessor.
+    OSafePost,
+    /// `-g`: fully debuggable code.
+    G,
+    /// `-g checked`: debuggable plus pointer-arithmetic checking.
+    GChecked,
+}
+
+impl Mode {
+    /// Display name matching the paper's column headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::O => "-O",
+            Mode::OSafe => "-O, safe",
+            Mode::OSafePost => "-O, safe+post",
+            Mode::G => "-g",
+            Mode::GChecked => "-g, checked",
+        }
+    }
+
+    /// The compile options implementing this mode.
+    pub fn compile_options(self) -> CompileOptions {
+        match self {
+            Mode::O => CompileOptions::optimized(),
+            Mode::OSafe | Mode::OSafePost => CompileOptions::optimized_safe(),
+            Mode::G => CompileOptions::debug(),
+            Mode::GChecked => CompileOptions::debug_checked(),
+        }
+    }
+
+    /// All modes in table order.
+    pub fn all() -> [Mode; 5] {
+        [Mode::O, Mode::OSafe, Mode::OSafePost, Mode::G, Mode::GChecked]
+    }
+}
+
+/// One fully measured build of one program.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Which mode.
+    pub mode: Mode,
+    /// Execution result (checking mode may legitimately fail).
+    pub outcome: Result<ExecOutcome, VmError>,
+    /// Cost per machine (keyed by machine name).
+    pub costs: BTreeMap<&'static str, CostReport>,
+    /// Peephole statistics for [`Mode::OSafePost`].
+    pub peephole: Option<PeepholeStats>,
+}
+
+impl Measured {
+    /// The program output, if the run succeeded.
+    pub fn output(&self) -> Option<&[u8]> {
+        self.outcome.as_ref().ok().map(|o| o.output.as_slice())
+    }
+}
+
+/// Compiles `source` in `mode`, runs it on `input`, and costs the
+/// assembly on every machine in [`Machine::all`].
+///
+/// # Errors
+///
+/// Returns `Err` only for *build* failures; run-time failures (e.g. a
+/// pointer-arithmetic check firing) are reported inside
+/// [`Measured::outcome`].
+pub fn measure_source(source: &str, input: &[u8], mode: Mode) -> Result<Measured, String> {
+    let prog = cvm::compile(source, &mode.compile_options())?;
+    let vm_opts = VmOptions { input: input.to_vec(), ..VmOptions::default() };
+    let outcome = cvm::run_compiled(&prog, &vm_opts);
+    let mut costs = BTreeMap::new();
+    let mut peephole = None;
+    for machine in Machine::all() {
+        let mut asm = asmpost::codegen_program(&prog, &machine);
+        // The `-O` baseline is postprocessed as well: gcc's -O2 output (the
+        // paper's baseline) is already peephole-clean, while our one-pass
+        // code generator leaves generic copy/fusion slack that would
+        // otherwise understate every overhead column.
+        if matches!(mode, Mode::OSafePost | Mode::O) {
+            let stats = asmpost::postprocess_program(&mut asm);
+            if mode == Mode::OSafePost {
+                peephole.get_or_insert(stats);
+            }
+        }
+        if let Ok(out) = &outcome {
+            costs.insert(machine.name, asmpost::measure(&asm, &out.profile, &machine));
+        }
+    }
+    Ok(Measured { mode, outcome, costs, peephole })
+}
+
+/// A table cell: a percentage, a failure marker, or absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// Percent slowdown / expansion relative to the baseline.
+    Pct(i64),
+    /// The run failed (the paper's `<fails>` for checked gawk).
+    Fails,
+    /// Not measured.
+    Dash,
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Pct(p) => write!(f, "{p}%"),
+            Cell::Fails => write!(f, "<fails>"),
+            Cell::Dash => write!(f, "-"),
+        }
+    }
+}
+
+/// One row of a slowdown/size table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Cells keyed by mode.
+    pub cells: Vec<(Mode, Cell)>,
+}
+
+/// Measures one workload in every mode.
+///
+/// # Errors
+///
+/// Returns `Err` if any build fails or if two successful modes disagree on
+/// program output (a miscompilation guard).
+pub fn measure_workload(
+    w: &Workload,
+    scale: Scale,
+) -> Result<BTreeMap<Mode, Measured>, String> {
+    let input = (w.input)(scale);
+    let mut results = BTreeMap::new();
+    for mode in Mode::all() {
+        let m = measure_source(w.source, &input, mode)?;
+        results.insert(mode, m);
+    }
+    // Output agreement check across successful runs.
+    let baseline = results[&Mode::O]
+        .output()
+        .ok_or_else(|| format!("{}: baseline run failed: {:?}", w.name, results[&Mode::O].outcome))?
+        .to_vec();
+    for (mode, m) in &results {
+        match &m.outcome {
+            Ok(out) => {
+                if out.output != baseline {
+                    return Err(format!(
+                        "{}: {} output diverges from baseline",
+                        w.name,
+                        mode.label()
+                    ));
+                }
+            }
+            Err(VmError::CheckFailed { .. }) if *mode == Mode::GChecked && w.checked_fails => {}
+            Err(e) => {
+                return Err(format!("{}: {} failed: {e}", w.name, mode.label()));
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Builds the slowdown row for one workload on one machine
+/// (`-O safe`, `-g`, `-g checked` relative to `-O`).
+pub fn slowdown_row(results: &BTreeMap<Mode, Measured>, machine: &str, name: &'static str) -> Row {
+    let base = &results[&Mode::O].costs[machine];
+    let cell = |mode: Mode| -> Cell {
+        let m = &results[&mode];
+        match &m.outcome {
+            Ok(_) => Cell::Pct(m.costs[machine].slowdown_pct(base)),
+            Err(_) => Cell::Fails,
+        }
+    };
+    Row {
+        name,
+        cells: vec![
+            (Mode::OSafe, cell(Mode::OSafe)),
+            (Mode::G, cell(Mode::G)),
+            (Mode::GChecked, cell(Mode::GChecked)),
+        ],
+    }
+}
+
+/// Builds the code-size expansion row (static bytes, processed code only).
+pub fn codesize_row(results: &BTreeMap<Mode, Measured>, machine: &str, name: &'static str) -> Row {
+    let base = &results[&Mode::O].costs[machine];
+    let cell = |mode: Mode| -> Cell {
+        let m = &results[&mode];
+        if m.costs.contains_key(machine) {
+            Cell::Pct(m.costs[machine].expansion_pct(base))
+        } else {
+            Cell::Fails
+        }
+    };
+    Row {
+        name,
+        cells: vec![
+            (Mode::OSafe, cell(Mode::OSafe)),
+            (Mode::G, cell(Mode::G)),
+            (Mode::GChecked, cell(Mode::GChecked)),
+        ],
+    }
+}
+
+/// Builds the postprocessor row: residual running-time and code-size
+/// degradation of postprocessed safe code vs the optimized baseline.
+pub fn postprocessor_row(
+    results: &BTreeMap<Mode, Measured>,
+    machine: &str,
+    name: &'static str,
+) -> Row {
+    let base = &results[&Mode::O].costs[machine];
+    let post = &results[&Mode::OSafePost];
+    let time = match &post.outcome {
+        Ok(_) => Cell::Pct(post.costs[machine].slowdown_pct(base)),
+        Err(_) => Cell::Fails,
+    };
+    let size = Cell::Pct(post.costs[machine].expansion_pct(base));
+    Row { name, cells: vec![(Mode::OSafePost, time), (Mode::OSafePost, size)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = r#"
+        char f(char *p, long i) { return p[i - 3]; }
+        int main(void) {
+            char *b = (char *) malloc(64);
+            long i;
+            for (i = 0; i < 64; i++) b[i] = (char)(i * 2);
+            putint(f(b, 13));
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn mode_labels_and_options() {
+        assert_eq!(Mode::O.label(), "-O");
+        assert_eq!(Mode::GChecked.label(), "-g, checked");
+        assert!(Mode::OSafe.compile_options().annotate.is_some());
+        assert!(Mode::G.compile_options().lower.all_locals_in_memory);
+        assert_eq!(Mode::all().len(), 5);
+    }
+
+    #[test]
+    fn cell_display() {
+        assert_eq!(Cell::Pct(12).to_string(), "12%");
+        assert_eq!(Cell::Fails.to_string(), "<fails>");
+        assert_eq!(Cell::Dash.to_string(), "-");
+    }
+
+    #[test]
+    fn measure_source_produces_costs_for_all_machines() {
+        for mode in Mode::all() {
+            let m = measure_source(TOY, b"", mode).expect("builds");
+            let out = m.outcome.expect("runs");
+            assert_eq!(out.output, b"20");
+            assert_eq!(m.costs.len(), 3, "{:?}", m.costs.keys());
+            for cost in m.costs.values() {
+                assert!(cost.cycles > 0);
+                assert!(cost.size_bytes > 0);
+            }
+            if mode == Mode::OSafePost {
+                assert!(m.peephole.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn safe_mode_costs_at_least_baseline() {
+        let base = measure_source(TOY, b"", Mode::O).expect("builds");
+        let safe = measure_source(TOY, b"", Mode::OSafe).expect("builds");
+        for (machine, b) in &base.costs {
+            let s = &safe.costs[machine];
+            assert!(s.cycles >= b.cycles, "{machine}");
+            assert!(s.size_bytes >= b.size_bytes, "{machine}");
+        }
+    }
+}

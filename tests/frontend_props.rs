@@ -1,0 +1,145 @@
+//! Property tests for the frontend: pretty-print/re-parse round trips
+//! over randomly generated programs, and edit-list algebra.
+
+use cfront::edit::EditList;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random C program generation (well-formed by construction).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CExpr {
+    Var(usize),
+    Lit(i64),
+    Bin(&'static str, Box<CExpr>, Box<CExpr>),
+    Neg(Box<CExpr>),
+    Ternary(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+}
+
+impl CExpr {
+    fn print(&self) -> String {
+        match self {
+            CExpr::Var(i) => format!("x{}", i % 3),
+            CExpr::Lit(v) => format!("{v}"),
+            CExpr::Bin(op, a, b) => format!("({} {op} {})", a.print(), b.print()),
+            CExpr::Neg(a) => format!("(-({}))", a.print()),
+            CExpr::Ternary(c, t, f) => {
+                format!("({} ? {} : {})", c.print(), t.print(), f.print())
+            }
+        }
+    }
+}
+
+fn cexpr() -> impl Strategy<Value = CExpr> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(CExpr::Var),
+        (-99i64..99).prop_map(CExpr::Lit),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        let ops = prop_oneof![
+            Just("+"),
+            Just("-"),
+            Just("*"),
+            Just("&"),
+            Just("|"),
+            Just("^"),
+            Just("<<"),
+            Just("<"),
+            Just("=="),
+            Just("&&"),
+        ];
+        prop_oneof![
+            (ops, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| CExpr::Bin(op, a.into(), b.into())),
+            inner.clone().prop_map(|a| CExpr::Neg(a.into())),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| CExpr::Ternary(c.into(), t.into(), f.into())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// parse → pretty-print → parse → pretty-print is a fixpoint: the
+    /// second print must equal the first (printer/parser agree on
+    /// precedence and associativity).
+    #[test]
+    fn pretty_print_roundtrip_is_a_fixpoint(e in cexpr()) {
+        let src = format!(
+            "long f(long x0, long x1, long x2) {{ return {}; }}",
+            e.print()
+        );
+        let prog1 = cfront::parse(&src).expect("generated source parses");
+        let printed1 = cfront::pretty::program_to_c(&prog1);
+        let prog2 = cfront::parse(&printed1)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed1}"));
+        let printed2 = cfront::pretty::program_to_c(&prog2);
+        prop_assert_eq!(printed1, printed2);
+    }
+
+    /// The printed program is semantically identical to the original:
+    /// both compile and compute the same value.
+    #[test]
+    fn pretty_printed_program_computes_the_same(e in cexpr()) {
+        let body = e.print();
+        let src = format!(
+            "int main(void) {{ long x0 = 5; long x1 = -3; long x2 = 7;\n\
+             putint(({body}) & 0xffff); return 0; }}"
+        );
+        let printed = cfront::pretty::program_to_c(&cfront::parse(&src).expect("parses"));
+        let run = |s: &str| {
+            cvm::compile_and_run(
+                s,
+                &cvm::CompileOptions::optimized(),
+                &cvm::VmOptions::default(),
+            )
+            .expect("runs")
+            .output
+        };
+        prop_assert_eq!(run(&src), run(&printed));
+    }
+
+    /// Non-overlapping edits: bytes outside all edited ranges survive
+    /// application verbatim, in order.
+    #[test]
+    fn edits_preserve_untouched_bytes(
+        src in "[a-z]{20,60}",
+        cuts in proptest::collection::vec((0usize..50, 1usize..4, "[A-Z]{0,5}"), 0..6),
+    ) {
+        // Normalise to sorted, non-overlapping edits inside the string.
+        let mut spans: Vec<(usize, usize, String)> = Vec::new();
+        let mut last_end = 0usize;
+        let mut sorted = cuts;
+        sorted.sort_by_key(|c| c.0);
+        for (pos, len, ins) in sorted {
+            let pos = pos.min(src.len());
+            if pos < last_end { continue; }
+            let len = len.min(src.len() - pos);
+            spans.push((pos, len, ins));
+            last_end = pos + len;
+        }
+        let mut el = EditList::new();
+        for (pos, len, ins) in &spans {
+            el.replace(*pos, *len, ins.clone());
+        }
+        let out = el.apply(&src).expect("valid edits apply");
+        // Reconstruct the expectation directly.
+        let mut expect = String::new();
+        let mut cursor = 0usize;
+        for (pos, len, ins) in &spans {
+            expect.push_str(&src[cursor..*pos]);
+            expect.push_str(ins);
+            cursor = pos + len;
+        }
+        expect.push_str(&src[cursor..]);
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Applying an empty edit list is the identity for any source.
+    #[test]
+    fn empty_edit_list_is_identity(src in ".{0,200}") {
+        prop_assert_eq!(EditList::new().apply(&src).expect("applies"), src);
+    }
+}

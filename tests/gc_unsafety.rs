@@ -1,0 +1,168 @@
+//! Experiment F2: the paper's headline hazard, as a test.
+//!
+//! The optimizer rewrites a final `p[i-1000]` so the only surviving value
+//! points outside the object; with a collection at every allocation the
+//! `-O` build loses the object, while the annotated build survives *with
+//! the same optimizations enabled*.
+
+use cvm::{compile, compile_and_run, CompileOptions, VmError, VmOptions};
+use gcheap::HeapConfig;
+
+const SRC: &str = r#"
+    char hazard(char *p) {
+        char *trigger = (char *) malloc(64);
+        long i = (long) trigger[0] + 2000;
+        return p[i - 1000];
+    }
+    int main(void) {
+        char *buf = (char *) malloc(4000);
+        long j;
+        for (j = 0; j < 4000; j++) buf[j] = (char)(j % 50);
+        return hazard(buf);
+    }
+"#;
+
+fn aggressive_vm() -> VmOptions {
+    let mut v = VmOptions::default();
+    v.heap_config = HeapConfig { gc_threshold: 1, ..HeapConfig::default() };
+    v
+}
+
+#[test]
+fn optimized_build_suffers_premature_collection() {
+    let r = compile_and_run(SRC, &CompileOptions::optimized(), &aggressive_vm());
+    match r {
+        Err(VmError::UseAfterFree { .. }) => {}
+        other => panic!("expected premature collection, got {other:?}"),
+    }
+}
+
+#[test]
+fn annotated_build_survives_the_same_optimizations() {
+    let r = compile_and_run(SRC, &CompileOptions::optimized_safe(), &aggressive_vm())
+        .expect("safe build runs to completion");
+    // p[1000] = 1000 % 50 = 0.
+    assert_eq!(r.exit_code, 0);
+}
+
+#[test]
+fn debug_build_is_safe_without_annotations() {
+    // "For most compilers, it is possible to guarantee GC-safety by
+    // generating fully debuggable code."
+    let r = compile_and_run(SRC, &CompileOptions::debug(), &aggressive_vm())
+        .expect("-g build runs");
+    assert_eq!(r.exit_code, 0);
+}
+
+#[test]
+fn disabling_the_disguising_passes_also_avoids_the_hazard() {
+    // "Such problems are in fact extremely rare with existing compilers" —
+    // without reassociation+scheduling the baseline happens to be safe.
+    let mut opts = CompileOptions::optimized();
+    opts.opt.reassociate = false;
+    opts.opt.schedule = false;
+    let r = compile_and_run(SRC, &opts, &aggressive_vm()).expect("tame optimizer is safe");
+    assert_eq!(r.exit_code, 0);
+}
+
+#[test]
+fn the_disguise_is_visible_in_the_ir() {
+    let prog = compile(SRC, &CompileOptions::optimized()).expect("compiles");
+    let f = &prog.funcs[prog.func_index("hazard").expect("defined")];
+    let dump = f.dump();
+    assert!(
+        dump.contains(", 1000)") && dump.contains("Sub(t"),
+        "displaced base present:\n{dump}"
+    );
+    // The displaced base is computed before the allocation call.
+    let block0 = dump
+        .lines()
+        .skip_while(|l| !l.starts_with("bb0"))
+        .take_while(|l| !l.starts_with("bb1"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let sub_pos = block0.find("Sub(t").expect("sub in entry block");
+    let call_pos = block0.find("call Malloc").expect("allocation in entry block");
+    assert!(sub_pos < call_pos, "sub hoisted above the call:\n{block0}");
+}
+
+#[test]
+fn safe_ir_keeps_the_base_alive_across_the_call() {
+    use cvm::ir::Instr;
+    use cvm::liveness::gc_root_maps;
+    let prog = compile(SRC, &CompileOptions::optimized_safe()).expect("compiles");
+    let fi = prog.func_index("hazard").expect("defined");
+    let f = &prog.funcs[fi];
+    // Find the param temp (p) and the allocation call.
+    let p = f.param_temps[0];
+    let maps = gc_root_maps(f);
+    let mut found_alloc = false;
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, ins) in b.instrs.iter().enumerate() {
+            if let Instr::Call { .. } = ins {
+                found_alloc = true;
+                let roots = &maps[&(bi as u32, ii as u32)];
+                assert!(
+                    roots.contains(&p),
+                    "KEEP_LIVE must keep p (t{}) live across the call; live: {roots:?}\n{}",
+                    p.0,
+                    f.dump()
+                );
+            }
+        }
+    }
+    assert!(found_alloc, "hazard contains an allocation call");
+}
+
+// ---------------------------------------------------------------------
+// The loop form of the hazard: LICM hoists the displaced base to the
+// preheader, so inside the loop the only derived value points outside
+// the object while allocations trigger collections — the paper's
+// "induction variable optimizations" scenario.
+// ---------------------------------------------------------------------
+
+const LOOP_SRC: &str = r#"
+    long hazard_loop(char *p) {
+        long s = 0;
+        long j;
+        for (j = 0; j < 3; j++) {
+            char *t = (char *) malloc(32);   /* GC trigger inside the loop */
+            long i = (long) t[0] + 1500;
+            s += p[i - 1000];
+        }
+        return s;
+    }
+    int main(void) {
+        char *buf = (char *) malloc(4000);
+        long j;
+        for (j = 0; j < 4000; j++) buf[j] = (char)(j % 50);
+        return (int)(hazard_loop(buf) % 256);
+    }
+"#;
+
+#[test]
+fn loop_hoisted_disguise_also_bites() {
+    let r = compile_and_run(LOOP_SRC, &CompileOptions::optimized(), &aggressive_vm());
+    match r {
+        Err(VmError::UseAfterFree { .. }) => {}
+        other => panic!("expected premature collection in the loop form, got {other:?}"),
+    }
+}
+
+#[test]
+fn loop_form_is_safe_when_annotated() {
+    let r = compile_and_run(LOOP_SRC, &CompileOptions::optimized_safe(), &aggressive_vm())
+        .expect("annotated loop survives");
+    // p[500] = 500 % 50 = 0, three times.
+    assert_eq!(r.exit_code, 0);
+}
+
+#[test]
+fn disabling_licm_hides_the_loop_hazard() {
+    let mut opts = CompileOptions::optimized();
+    opts.opt.licm = false;
+    opts.opt.schedule = false;
+    let r = compile_and_run(LOOP_SRC, &opts, &aggressive_vm())
+        .expect("without hoisting the base survives in-loop");
+    assert_eq!(r.exit_code, 0);
+}

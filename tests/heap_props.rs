@@ -1,0 +1,205 @@
+//! Property tests for the conservative collector: against a Rust-side
+//! shadow object graph, a collection must keep exactly the shadow-
+//! reachable objects (conservatism can only over-retain via ambiguous
+//! roots, which this harness avoids by using precise root words).
+
+use gcheap::{GcHeap, HeapConfig, Memory, PointerPolicy, RootSet};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate an object of the given size, rooted.
+    Alloc(u16),
+    /// Drop the root of object #i (modulo population).
+    Unroot(u8),
+    /// Store a pointer to object #b into a word of object #a.
+    Link(u8, u8),
+    /// Clear the first pointer word of object #a.
+    Unlink(u8),
+    /// Run a collection.
+    Collect,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (8u16..600).prop_map(Op::Alloc),
+        any::<u8>().prop_map(Op::Unroot),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+        any::<u8>().prop_map(Op::Unlink),
+        Just(Op::Collect),
+    ]
+}
+
+#[derive(Debug, Default)]
+struct Shadow {
+    /// All ever-allocated objects: address → outgoing links (slot → target).
+    objects: HashMap<u64, HashMap<u64, u64>>,
+    rooted: Vec<u64>,
+}
+
+impl Shadow {
+    fn reachable(&self) -> HashSet<u64> {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut work: Vec<u64> = self.rooted.clone();
+        while let Some(a) = work.pop() {
+            if !seen.insert(a) {
+                continue;
+            }
+            if let Some(links) = self.objects.get(&a) {
+                for &t in links.values() {
+                    work.push(t);
+                }
+            }
+        }
+        seen
+    }
+}
+
+fn run_ops(ops: &[Op], policy: PointerPolicy) {
+    let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
+    let mut heap = GcHeap::new(
+        &mem,
+        HeapConfig { policy, gc_threshold: u64::MAX, ..HeapConfig::default() },
+    );
+    let mut shadow = Shadow::default();
+    let mut order: Vec<u64> = Vec::new(); // allocation order, live or dead
+    for op in ops {
+        match op {
+            Op::Alloc(size) => {
+                if let Ok(addr) = heap.alloc(&mut mem, *size as u64) {
+                    shadow.objects.insert(addr, HashMap::new());
+                    shadow.rooted.push(addr);
+                    order.push(addr);
+                }
+            }
+            Op::Unroot(i) => {
+                if !shadow.rooted.is_empty() {
+                    let idx = *i as usize % shadow.rooted.len();
+                    shadow.rooted.swap_remove(idx);
+                }
+            }
+            Op::Link(a, b) => {
+                let live: Vec<u64> = shadow
+                    .objects
+                    .keys()
+                    .copied()
+                    .filter(|&o| heap.is_allocated(o))
+                    .collect();
+                if live.len() >= 2 {
+                    let mut live = live;
+                    live.sort();
+                    let src = live[*a as usize % live.len()];
+                    let dst = live[*b as usize % live.len()];
+                    // Store the pointer at the first word (base-aligned so
+                    // both pointer policies see it).
+                    mem.write(src, 8, dst).expect("object memory is mapped");
+                    shadow.objects.get_mut(&src).expect("known").insert(0, dst);
+                }
+            }
+            Op::Unlink(a) => {
+                let live: Vec<u64> = {
+                    let mut v: Vec<u64> = shadow
+                        .objects
+                        .keys()
+                        .copied()
+                        .filter(|&o| heap.is_allocated(o))
+                        .collect();
+                    v.sort();
+                    v
+                };
+                if !live.is_empty() {
+                    let src = live[*a as usize % live.len()];
+                    mem.write(src, 8, 0).expect("mapped");
+                    shadow.objects.get_mut(&src).expect("known").remove(&0);
+                }
+            }
+            Op::Collect => {
+                // Prune shadow facts about already-dead objects so the
+                // graph matches the heap.
+                let dead: Vec<u64> = shadow
+                    .objects
+                    .keys()
+                    .copied()
+                    .filter(|&o| !heap.is_allocated(o))
+                    .collect();
+                for d in dead {
+                    shadow.objects.remove(&d);
+                    shadow.rooted.retain(|&r| r != d);
+                    for links in shadow.objects.values_mut() {
+                        links.retain(|_, &mut t| t != d);
+                    }
+                }
+                let mut roots = RootSet::new();
+                for &r in &shadow.rooted {
+                    roots.add_word(r);
+                }
+                heap.collect(&mut mem, &roots);
+                let reachable = shadow.reachable();
+                for (&obj, _) in &shadow.objects {
+                    let alive = heap.is_allocated(obj);
+                    if reachable.contains(&obj) {
+                        assert!(alive, "reachable object {obj:#x} was collected");
+                    } else {
+                        assert!(!alive, "unreachable object {obj:#x} survived");
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn collection_matches_shadow_reachability(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        run_ops(&ops, PointerPolicy::InteriorEverywhere);
+    }
+
+    #[test]
+    fn base_only_policy_matches_when_links_are_bases(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        // All shadow links store base pointers, so the Extensions-section
+        // policy must agree with shadow reachability too.
+        run_ops(&ops, PointerPolicy::InteriorFromRootsOnly);
+    }
+
+    #[test]
+    fn base_resolves_everywhere_inside_and_only_inside(
+        size in 1u16..900,
+        probe in 0u16..1200,
+    ) {
+        let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
+        let mut heap = GcHeap::with_defaults(&mem);
+        let addr = heap.alloc(&mut mem, size as u64).expect("fits");
+        let (base, extent) = heap.extent(addr).expect("allocated");
+        prop_assert_eq!(base, addr);
+        // Requested size + 1 extra byte always fit inside the extent.
+        prop_assert!(extent >= size as u64 + 1);
+        let p = addr + probe as u64;
+        if (probe as u64) < extent {
+            prop_assert_eq!(heap.base(p), Some(addr));
+        }
+    }
+
+    #[test]
+    fn same_obj_is_an_equivalence_within_an_object(
+        size in 8u16..500,
+        a in 0u16..500,
+        b in 0u16..500,
+    ) {
+        let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
+        let mut heap = GcHeap::with_defaults(&mem);
+        let addr = heap.alloc(&mut mem, size as u64).expect("fits");
+        let (_, extent) = heap.extent(addr).expect("allocated");
+        let pa = addr + (a as u64) % extent;
+        let pb = addr + (b as u64) % extent;
+        prop_assert!(heap.same_obj(pa, pa), "reflexive");
+        prop_assert!(heap.same_obj(pa, pb), "interior pointers of one object");
+        prop_assert!(heap.same_obj(pb, pa), "symmetric");
+    }
+}

@@ -1,0 +1,97 @@
+//! Cross-mode agreement: every workload produces identical output under
+//! `-O`, `-O safe`, `-O safe+post`, and `-g`; `-g checked` agrees too
+//! unless the workload contains the pointer bug the checker exists to
+//! catch. This is the repository's strongest miscompilation guard.
+//!
+//! One measurement pass per workload feeds all assertions (measuring is
+//! the expensive part: 5 modes × VM run × 3 machine codegens).
+
+use gc_safety::{measure_workload, Mode, VmError};
+use workloads::Scale;
+
+#[test]
+fn workloads_behave_like_the_paper_says() {
+    let mut total_allocs = 0;
+    for w in workloads::all() {
+        let results = measure_workload(&w, Scale::Tiny)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+
+        // 1. Cross-mode output agreement.
+        let baseline = results[&Mode::O].output().expect("baseline runs").to_vec();
+        assert!(!baseline.is_empty(), "{} produces output", w.name);
+        for (mode, m) in &results {
+            match &m.outcome {
+                Ok(out) => assert_eq!(
+                    out.output, baseline,
+                    "{}: {} diverges",
+                    w.name,
+                    mode.label()
+                ),
+                Err(VmError::CheckFailed { func, .. })
+                    if *mode == Mode::GChecked && w.checked_fails =>
+                {
+                    // 2. The paper: gawk "immediately and correctly
+                    //    detected a pointer arithmetic error".
+                    assert_eq!(w.name, "gawk");
+                    assert_eq!(func, "main", "the fields-1 idiom lives in main");
+                }
+                Err(e) => panic!("{}: {} failed: {e}", w.name, mode.label()),
+            }
+        }
+
+        // 3. Clean workloads pass the checker (paper: gs had no errors;
+        //    cordtest passed after its one benign bug was fixed).
+        if !w.checked_fails {
+            assert!(
+                results[&Mode::GChecked].outcome.is_ok(),
+                "{} must pass checking: {:?}",
+                w.name,
+                results[&Mode::GChecked].outcome
+            );
+        }
+
+        // 4. Allocation intensity ("very pointer and allocation
+        //    intensive") and annotation coverage.
+        let heap = results[&Mode::O].outcome.as_ref().expect("ran").heap;
+        assert!(heap.allocations > 10, "{} barely allocates", w.name);
+        total_allocs += heap.allocations;
+
+        // 5. Safe-mode cost is bounded: never slower than the fully
+        //    debuggable build on any machine.
+        for machine in ["SPARCstation 2", "SPARC 10", "Pentium 90"] {
+            let base = &results[&Mode::O].costs[machine];
+            let safe = &results[&Mode::OSafe].costs[machine];
+            let g = &results[&Mode::G].costs[machine];
+            assert!(
+                safe.cycles >= base.cycles,
+                "{} on {machine}: safe cannot beat the baseline",
+                w.name
+            );
+            assert!(
+                safe.cycles <= g.cycles,
+                "{} on {machine}: safe must beat -g (safe={} -g={})",
+                w.name,
+                safe.cycles,
+                g.cycles
+            );
+        }
+
+        // 6. The postprocessor only removes cost, and never loses a
+        //    KEEP_LIVE base.
+        if results[&Mode::OSafePost].outcome.is_ok() {
+            for machine in ["SPARCstation 2", "SPARC 10", "Pentium 90"] {
+                let safe = &results[&Mode::OSafe].costs[machine];
+                let post = &results[&Mode::OSafePost].costs[machine];
+                assert!(
+                    post.cycles <= safe.cycles,
+                    "{} on {machine}: postprocessing must not slow code down",
+                    w.name
+                );
+                assert!(post.size_bytes <= safe.size_bytes);
+            }
+            let stats = results[&Mode::OSafePost].peephole.expect("post ran");
+            assert!(stats.total() > 0, "{}: the peephole found work", w.name);
+        }
+    }
+    assert!(total_allocs > 300, "suite-wide allocation volume: {total_allocs}");
+}

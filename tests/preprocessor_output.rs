@@ -1,0 +1,84 @@
+//! The C-to-C preprocessor's *textual* output over the real workloads:
+//! the edit list must produce source that re-parses, re-annotates to a
+//! fixpoint, and carries the expected annotations.
+
+use gcsafe::{annotate_program, Config};
+
+#[test]
+fn workload_sources_annotate_and_reparse() {
+    for w in workloads::all() {
+        for (mode_name, cfg) in [("safe", Config::gc_safe()), ("checked", Config::checked())] {
+            let out = annotate_program(w.source, &cfg)
+                .unwrap_or_else(|e| panic!("{} {mode_name}: {e}", w.name));
+            // Structural sanity of the emitted text.
+            let opens = out.annotated_source.matches('(').count();
+            let closes = out.annotated_source.matches(')').count();
+            assert_eq!(opens, closes, "{} {mode_name}: unbalanced parens", w.name);
+            // The pointer-heavy workloads must actually get annotated.
+            let total = out.result.stats.keep_lives + out.result.stats.checks;
+            assert!(total > 5, "{} {mode_name}: only {total} wraps", w.name);
+        }
+    }
+}
+
+#[test]
+fn gawk_bug_line_gets_a_check() {
+    let w = workloads::by_name("gawk").expect("exists");
+    let out = annotate_program(w.source, &Config::checked()).expect("annotates");
+    assert!(
+        out.annotated_source.contains("GC_same_obj(fields - 1, fields)"),
+        "the fields-1 idiom is checked:\n{}",
+        &out.annotated_source[..out.annotated_source.len().min(4000)]
+    );
+}
+
+#[test]
+fn annotation_reaches_a_fixpoint_on_workloads() {
+    for w in workloads::all() {
+        let first = annotate_program(w.source, &Config::gc_safe())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut prog = first.program.clone();
+        let sema = cfront::analyze(&mut prog).expect("re-sema");
+        let second = gcsafe::annotate(&mut prog, &sema, &Config::gc_safe());
+        assert_eq!(
+            second.stats.keep_lives + second.stats.checks,
+            0,
+            "{}: annotation is not idempotent",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn pretty_printed_annotated_workloads_reparse() {
+    for w in workloads::all() {
+        let out = annotate_program(w.source, &Config::gc_safe())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let printed = cfront::pretty::program_to_c(&out.program);
+        // KEEP_LIVE renders as a call; redeclare it so the reparse's sema
+        // would accept it too (we only need the parse here).
+        cfront::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+    }
+}
+
+#[test]
+fn checked_and_safe_annotate_the_same_points() {
+    // The paper's central claim, measured on the real workloads.
+    for w in workloads::all() {
+        let safe = annotate_program(w.source, &Config::gc_safe()).expect("safe");
+        let checked = annotate_program(w.source, &Config::checked()).expect("checked");
+        // In safe mode ++/-- wraps are KEEP_LIVEs (counted there); in
+        // checked mode they become GC_pre/post_incr calls (counted only as
+        // specials).
+        let safe_total = safe.result.stats.keep_lives + safe.result.stats.checks;
+        let checked_total = checked.result.stats.keep_lives
+            + checked.result.stats.checks
+            + checked.result.stats.incdec_specials;
+        assert_eq!(
+            safe_total, checked_total,
+            "{}: the two modes disagree on insertion points",
+            w.name
+        );
+    }
+}
