@@ -51,7 +51,19 @@ impl From<Reg> for RegImm {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum AluOp {
-    Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Sar, Shr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    DivU,
+    Rem,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Sar,
+    Shr,
 }
 
 impl AluOp {
@@ -79,7 +91,16 @@ impl AluOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Cond {
-    Eq, Ne, Lt, Le, Gt, Ge, LtU, LeU, GtU, GeU,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LtU,
+    LeU,
+    GtU,
+    GeU,
 }
 
 impl Cond {
@@ -272,9 +293,7 @@ impl AsmInstr {
             AsmInstr::Ret => m.branch_cost,
             AsmInstr::KeepLive { .. } => 0,
             AsmInstr::CheckSame { .. } => m.check_cost,
-            AsmInstr::BlockCopy { len, .. } => {
-                m.call_cost + (len * m.byte_work_cost_milli) / 1000
-            }
+            AsmInstr::BlockCopy { len, .. } => m.call_cost + (len * m.byte_work_cost_milli) / 1000,
         }
     }
 
@@ -353,7 +372,13 @@ impl fmt::Display for AsmInstr {
             }
             AsmInstr::Mov { rd, src } => write!(f, "mov {src},{rd}"),
             AsmInstr::SetImm { rd, value } => write!(f, "set {value},{rd}"),
-            AsmInstr::Ld { rd, base, off, width, signed } => {
+            AsmInstr::Ld {
+                rd,
+                base,
+                off,
+                width,
+                signed,
+            } => {
                 let suffix = match (width, signed) {
                     (1, true) => "sb",
                     (1, false) => "ub",
@@ -363,7 +388,12 @@ impl fmt::Display for AsmInstr {
                 };
                 write!(f, "ld{suffix} [{base}+{off}],{rd}")
             }
-            AsmInstr::St { rs, base, off, width } => {
+            AsmInstr::St {
+                rs,
+                base,
+                off,
+                width,
+            } => {
                 let suffix = match width {
                     1 => "b",
                     4 => "w",
@@ -452,7 +482,10 @@ mod tests {
 
     #[test]
     fn keep_live_is_free() {
-        let kl = AsmInstr::KeepLive { value: Reg(1), base: Some(Reg(2)) };
+        let kl = AsmInstr::KeepLive {
+            value: Reg(1),
+            base: Some(Reg(2)),
+        };
         assert_eq!(kl.size_bytes(), 0);
         assert_eq!(kl.cost(&Machine::sparc10()), 0);
         assert_eq!(kl.reads(), vec![Reg(1), Reg(2)]);
@@ -462,7 +495,10 @@ mod tests {
     #[test]
     fn check_is_expensive() {
         let m = Machine::sparc10();
-        let chk = AsmInstr::CheckSame { value: Reg(1), base: Reg(2) };
+        let chk = AsmInstr::CheckSame {
+            value: Reg(1),
+            base: Reg(2),
+        };
         assert!(chk.cost(&m) > 10 * m.alu_cost);
     }
 
@@ -488,7 +524,12 @@ mod tests {
         };
         assert_eq!(add.reads(), vec![Reg(1), Reg(2)]);
         assert_eq!(add.writes(), Some(Reg(3)));
-        let st = AsmInstr::St { rs: Reg(0), base: Reg(1), off: RegImm::Imm(4), width: 8 };
+        let st = AsmInstr::St {
+            rs: Reg(0),
+            base: Reg(1),
+            off: RegImm::Imm(4),
+            width: 8,
+        };
         assert_eq!(st.reads(), vec![Reg(0), Reg(1)]);
         assert_eq!(st.writes(), None);
     }

@@ -31,7 +31,10 @@ pub const FP: Reg = Reg(0);
 
 /// Generates assembly for every function of a program.
 pub fn codegen_program(prog: &cvm::ProgramIr, machine: &Machine) -> Vec<AsmFunc> {
-    prog.funcs.iter().map(|f| codegen_func(f, machine)).collect()
+    prog.funcs
+        .iter()
+        .map(|f| codegen_func(f, machine))
+        .collect()
 }
 
 /// Generates assembly for one function.
@@ -41,7 +44,11 @@ pub fn codegen_func(func: &FuncIr, machine: &Machine) -> AsmFunc {
     for (bi, b) in func.blocks.iter().enumerate() {
         blocks.push(emit_block(func, bi, b, &alloc));
     }
-    AsmFunc { name: func.name.clone(), blocks, spill_count: alloc.spill_count }
+    AsmFunc {
+        name: func.name.clone(),
+        blocks,
+        spill_count: alloc.spill_count,
+    }
 }
 
 struct Allocation {
@@ -101,9 +108,20 @@ fn allocate(func: &FuncIr, machine: &Machine) -> Allocation {
     for b in &func.blocks {
         for ins in &b.instrs {
             match ins {
-                Instr::Mov { dst, src: Operand::Temp(s) }
-                | Instr::KeepLive { dst, value: Operand::Temp(s), .. }
-                | Instr::CheckSame { dst, value: Operand::Temp(s), .. } => {
+                Instr::Mov {
+                    dst,
+                    src: Operand::Temp(s),
+                }
+                | Instr::KeepLive {
+                    dst,
+                    value: Operand::Temp(s),
+                    ..
+                }
+                | Instr::CheckSame {
+                    dst,
+                    value: Operand::Temp(s),
+                    ..
+                } => {
                     hints.insert(*dst, *s);
                 }
                 _ => {}
@@ -111,10 +129,8 @@ fn allocate(func: &FuncIr, machine: &Machine) -> Allocation {
         }
     }
     // Sort intervals by start.
-    let mut intervals: Vec<(Temp, u32, u32)> = start
-        .iter()
-        .map(|(&t, &s)| (t, s, end[&t]))
-        .collect();
+    let mut intervals: Vec<(Temp, u32, u32)> =
+        start.iter().map(|(&t, &s)| (t, s, end[&t])).collect();
     intervals.sort_by_key(|&(t, s, _)| (s, t));
     let mut active: Vec<(u32, Reg, Temp)> = Vec::new(); // (end, reg, temp)
     let mut free: Vec<Reg> = allocatable.clone();
@@ -178,7 +194,11 @@ fn allocate(func: &FuncIr, machine: &Machine) -> Allocation {
             }
         }
     }
-    Allocation { locs, spill_count, scratch }
+    Allocation {
+        locs,
+        spill_count,
+        scratch,
+    }
 }
 
 struct Emitter<'a> {
@@ -302,9 +322,18 @@ fn fold_decisions(func: &FuncIr, bi: usize) -> HashMap<usize, usize> {
     let mut folds = HashMap::new();
     for (ci, ins) in b.instrs.iter().enumerate() {
         let addr = match ins {
-            Instr::Load { addr: Operand::Temp(t), .. } => Some(*t),
-            Instr::Store { addr: Operand::Temp(t), .. } => Some(*t),
-            Instr::Branch { cond: Operand::Temp(t), .. } => Some(*t),
+            Instr::Load {
+                addr: Operand::Temp(t),
+                ..
+            } => Some(*t),
+            Instr::Store {
+                addr: Operand::Temp(t),
+                ..
+            } => Some(*t),
+            Instr::Branch {
+                cond: Operand::Temp(t),
+                ..
+            } => Some(*t),
             _ => None,
         };
         let Some(t) = addr else { continue };
@@ -312,10 +341,7 @@ fn fold_decisions(func: &FuncIr, bi: usize) -> HashMap<usize, usize> {
             continue;
         }
         // Find the producer earlier in this block.
-        let Some(pi) = b.instrs[..ci]
-            .iter()
-            .rposition(|p| p.dst() == Some(t))
-        else {
+        let Some(pi) = b.instrs[..ci].iter().rposition(|p| p.dst() == Some(t)) else {
             continue;
         };
         let foldable = match (&b.instrs[pi], ins) {
@@ -340,17 +366,14 @@ fn fold_decisions(func: &FuncIr, bi: usize) -> HashMap<usize, usize> {
     folds
 }
 
-fn emit_block(
-    func: &FuncIr,
-    bi: usize,
-    b: &cvm::ir::Block,
-    alloc: &Allocation,
-) -> AsmBlock {
+fn emit_block(func: &FuncIr, bi: usize, b: &cvm::ir::Block, alloc: &Allocation) -> AsmBlock {
     let folds = fold_decisions(func, bi);
     let folded_producers: HashMap<usize, usize> = folds.clone();
-    let consumer_of: HashMap<usize, usize> =
-        folds.iter().map(|(&p, &c)| (c, p)).collect();
-    let mut e = Emitter { alloc, out: Vec::new() };
+    let consumer_of: HashMap<usize, usize> = folds.iter().map(|(&p, &c)| (c, p)).collect();
+    let mut e = Emitter {
+        alloc,
+        out: Vec::new(),
+    };
     for (ii, ins) in b.instrs.iter().enumerate() {
         if folded_producers.contains_key(&ii) {
             continue; // folded into its consumer
@@ -374,18 +397,33 @@ fn emit_block(
                     let rs = e.use_op(*a, 0);
                     let op2 = e.use_ri(*rhs, 1);
                     let rd = e.def_reg(*dst);
-                    e.out.push(AsmInstr::Alu { op: alu, rd, rs, op2 });
+                    e.out.push(AsmInstr::Alu {
+                        op: alu,
+                        rd,
+                        rs,
+                        op2,
+                    });
                     e.finish_def(*dst, rd);
                 } else {
                     let cond = bin_to_cond(*op).expect("compare op");
                     let ra = e.use_op(*a, 0);
                     let rb = e.use_ri(*rhs, 1);
                     let rd = e.def_reg(*dst);
-                    e.out.push(AsmInstr::SetCc { cond, rd, a: ra, b: rb });
+                    e.out.push(AsmInstr::SetCc {
+                        cond,
+                        rd,
+                        a: ra,
+                        b: rb,
+                    });
                     e.finish_def(*dst, rd);
                 }
             }
-            Instr::Load { dst, addr, width, signed } => {
+            Instr::Load {
+                dst,
+                addr,
+                width,
+                signed,
+            } => {
                 let (base, off) = match consumer_of.get(&ii).map(|p| &b.instrs[*p]) {
                     Some(Instr::Bin { a, b: rhs, .. }) => {
                         let base = e.use_op(*a, 0);
@@ -395,7 +433,13 @@ fn emit_block(
                     _ => (e.use_op(*addr, 0), RegImm::Imm(0)),
                 };
                 let rd = e.def_reg(*dst);
-                e.out.push(AsmInstr::Ld { rd, base, off, width: *width, signed: *signed });
+                e.out.push(AsmInstr::Ld {
+                    rd,
+                    base,
+                    off,
+                    width: *width,
+                    signed: *signed,
+                });
                 e.finish_def(*dst, rd);
             }
             Instr::Store { addr, value, width } => {
@@ -408,7 +452,12 @@ fn emit_block(
                     _ => (e.use_op(*addr, 0), RegImm::Imm(0)),
                 };
                 let rs = e.use_op(*value, 1);
-                e.out.push(AsmInstr::St { rs, base, off, width: *width });
+                e.out.push(AsmInstr::St {
+                    rs,
+                    base,
+                    off,
+                    width: *width,
+                });
             }
             Instr::FrameAddr { dst, offset } => {
                 let rd = e.def_reg(*dst);
@@ -420,16 +469,27 @@ fn emit_block(
                 });
                 e.finish_def(*dst, rd);
             }
-            Instr::MemCopy { dst_addr, src_addr, len } => {
+            Instr::MemCopy {
+                dst_addr,
+                src_addr,
+                len,
+            } => {
                 let d = e.use_op(*dst_addr, 0);
                 let s = e.use_op(*src_addr, 1);
-                e.out.push(AsmInstr::BlockCopy { dst: d, src: s, len: *len });
+                e.out.push(AsmInstr::BlockCopy {
+                    dst: d,
+                    src: s,
+                    len: *len,
+                });
             }
             Instr::Call { dst, target, args } => {
                 // Argument moves into the (conceptual) out registers.
                 for (i, a) in args.iter().enumerate() {
                     let src = e.use_ri(*a, i % 2);
-                    e.out.push(AsmInstr::Mov { rd: e.alloc.scratch[0], src });
+                    e.out.push(AsmInstr::Mov {
+                        rd: e.alloc.scratch[0],
+                        src,
+                    });
                 }
                 let t = match target {
                     CallTarget::Func(_) => AsmCallTarget::Named(format!("fn{target:?}")),
@@ -439,7 +499,10 @@ fn emit_block(
                         AsmCallTarget::Indirect(r)
                     }
                 };
-                e.out.push(AsmInstr::Call { target: t, args: args.len() as u8 });
+                e.out.push(AsmInstr::Call {
+                    target: t,
+                    args: args.len() as u8,
+                });
                 if let Some(d) = dst {
                     let rd = e.def_reg(*d);
                     e.out.push(AsmInstr::Mov {
@@ -455,26 +518,41 @@ fn emit_block(
                 // The paper's empty asm: the value must occupy the same
                 // location as the result.
                 let rd = e.def_reg(*dst);
-                e.out.push(AsmInstr::KeepLive { value: v, base: b_reg });
+                e.out.push(AsmInstr::KeepLive {
+                    value: v,
+                    base: b_reg,
+                });
                 if rd != v {
-                    e.out.push(AsmInstr::Mov { rd, src: RegImm::Reg(v) });
+                    e.out.push(AsmInstr::Mov {
+                        rd,
+                        src: RegImm::Reg(v),
+                    });
                 }
                 e.finish_def(*dst, rd);
             }
             Instr::CheckSame { dst, value, base } => {
                 let v = e.use_op(*value, 0);
                 let b_reg = e.use_op(*base, 1);
-                e.out.push(AsmInstr::CheckSame { value: v, base: b_reg });
+                e.out.push(AsmInstr::CheckSame {
+                    value: v,
+                    base: b_reg,
+                });
                 let rd = e.def_reg(*dst);
                 if rd != v {
-                    e.out.push(AsmInstr::Mov { rd, src: RegImm::Reg(v) });
+                    e.out.push(AsmInstr::Mov {
+                        rd,
+                        src: RegImm::Reg(v),
+                    });
                 }
                 e.finish_def(*dst, rd);
             }
             Instr::Ret { value } => {
                 if let Some(v) = value {
                     let src = e.use_ri(*v, 0);
-                    e.out.push(AsmInstr::Mov { rd: e.alloc.scratch[0], src });
+                    e.out.push(AsmInstr::Mov {
+                        rd: e.alloc.scratch[0],
+                        src,
+                    });
                 }
                 e.out.push(AsmInstr::Ret);
             }
@@ -483,13 +561,22 @@ fn emit_block(
                     e.out.push(AsmInstr::Ba { target: target.0 });
                 }
             }
-            Instr::Branch { cond, if_true, if_false } => {
+            Instr::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 match consumer_of.get(&ii).map(|p| &b.instrs[*p]) {
                     Some(Instr::Bin { op, a, b: rhs, .. }) => {
                         let c = bin_to_cond(*op).expect("fold checked");
                         let ra = e.use_op(*a, 0);
                         let rb = e.use_ri(*rhs, 1);
-                        e.out.push(AsmInstr::Bcc { cond: c, a: ra, b: rb, target: if_true.0 });
+                        e.out.push(AsmInstr::Bcc {
+                            cond: c,
+                            a: ra,
+                            b: rb,
+                            target: if_true.0,
+                        });
                     }
                     _ => {
                         let r = e.use_op(*cond, 0);
@@ -550,8 +637,7 @@ mod tests {
         codegen_program(&prog, &Machine::sparc10())
     }
 
-    const PAPER_F: &str =
-        "char f(char *x) { return x[1]; } int main(void) { return 0; }";
+    const PAPER_F: &str = "char f(char *x) { return x[1]; } int main(void) { return 0; }";
 
     #[test]
     fn baseline_folds_indexed_load() {
@@ -599,7 +685,10 @@ mod tests {
         let funcs = gen(src, &CompileOptions::optimized());
         let listing = funcs[0].listing();
         assert!(listing.contains("bl "), "fused compare-branch:\n{listing}");
-        assert!(!listing.contains("movbl"), "no SetCc for the loop test:\n{listing}");
+        assert!(
+            !listing.contains("movbl"),
+            "no SetCc for the loop test:\n{listing}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub mod peephole;
 pub use asm::{AsmBlock, AsmFunc, AsmInstr, Reg, RegImm};
 pub use codegen::{codegen_func, codegen_program};
 pub use cost::{measure, CostReport, Machine};
-pub use peephole::{keep_live_bases_preserved, postprocess, postprocess_program, PeepholeStats};
+pub use peephole::{
+    keep_live_bases_preserved, postprocess, postprocess_program, postprocess_program_traced,
+    PeepholeStats,
+};
 
 #[cfg(test)]
 mod postprocess_integration {

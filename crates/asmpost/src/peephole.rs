@@ -21,6 +21,7 @@
 //! would lose them — the paper's safety arguments (1)–(3) hold verbatim.
 
 use crate::asm::{AsmFunc, AsmInstr, Reg, RegImm};
+use gctrace::{Event, TraceHandle};
 use std::collections::HashSet;
 
 /// What the postprocessor did to one function.
@@ -45,13 +46,64 @@ impl PeepholeStats {
         self.movs_forwarded += other.movs_forwarded;
         self.add_movs_fused += other.add_movs_fused;
     }
+
+    /// Serializes the stats as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = gctrace::json::Writer::new();
+        w.uint_field("loads_folded", self.loads_folded as u64);
+        w.uint_field("movs_forwarded", self.movs_forwarded as u64);
+        w.uint_field("add_movs_fused", self.add_movs_fused as u64);
+        w.finish()
+    }
+
+    /// Parses stats previously written by [`PeepholeStats::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not a JSON object or a field is
+    /// missing or mistyped.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let obj = gctrace::json::parse_object(text)?;
+        let get = |key: &str| -> Result<usize, String> {
+            obj.get(key)
+                .and_then(|v| v.as_u64())
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+        };
+        Ok(PeepholeStats {
+            loads_folded: get("loads_folded")?,
+            movs_forwarded: get("movs_forwarded")?,
+            add_movs_fused: get("add_movs_fused")?,
+        })
+    }
 }
 
 /// Runs the postprocessor over a whole program.
 pub fn postprocess_program(funcs: &mut [AsmFunc]) -> PeepholeStats {
+    postprocess_program_traced(funcs, &TraceHandle::disabled())
+}
+
+/// [`postprocess_program`] with a trace: emits one
+/// `("peephole", "function")` event per function whose code the
+/// postprocessor changed, carrying the per-pattern rewrite counts and the
+/// size delta.
+pub fn postprocess_program_traced(funcs: &mut [AsmFunc], trace: &TraceHandle) -> PeepholeStats {
     let mut stats = PeepholeStats::default();
     for f in funcs {
-        stats.merge(postprocess(f));
+        let size_before = f.size_bytes();
+        let fs = postprocess(f);
+        stats.merge(fs);
+        if fs.total() > 0 {
+            trace.emit(|| {
+                Event::new("peephole", "function")
+                    .field("func", f.name.as_str())
+                    .field("loads_folded", fs.loads_folded)
+                    .field("movs_forwarded", fs.movs_forwarded)
+                    .field("add_movs_fused", fs.add_movs_fused)
+                    .field("size_before", size_before)
+                    .field("size_after", f.size_bytes())
+            });
+        }
     }
     stats
 }
@@ -198,8 +250,12 @@ fn pattern1_fold_load(f: &mut AsmFunc, bi: usize, lv: &AsmLiveness) -> PeepholeS
     let mut stats = PeepholeStats::default();
     let mut i = 0;
     while i < f.blocks[bi].instrs.len() {
-        let AsmInstr::Alu { op: crate::asm::AluOp::Add, rd: z, rs: x, op2 } =
-            f.blocks[bi].instrs[i]
+        let AsmInstr::Alu {
+            op: crate::asm::AluOp::Add,
+            rd: z,
+            rs: x,
+            op2,
+        } = f.blocks[bi].instrs[i]
         else {
             i += 1;
             continue;
@@ -215,13 +271,20 @@ fn pattern1_fold_load(f: &mut AsmFunc, bi: usize, lv: &AsmLiveness) -> PeepholeS
             let b = &f.blocks[bi];
             for j in i + 1..b.instrs.len() {
                 match &b.instrs[j] {
-                    AsmInstr::Ld { base, off: RegImm::Imm(0), .. } if *base == z => {
+                    AsmInstr::Ld {
+                        base,
+                        off: RegImm::Imm(0),
+                        ..
+                    } if *base == z => {
                         consumer = Some(j);
                         break;
                     }
-                    AsmInstr::St { base, off: RegImm::Imm(0), rs, .. }
-                        if *base == z && *rs != z =>
-                    {
+                    AsmInstr::St {
+                        base,
+                        off: RegImm::Imm(0),
+                        rs,
+                        ..
+                    } if *base == z && *rs != z => {
                         consumer = Some(j);
                         break;
                     }
@@ -290,7 +353,10 @@ fn pattern3_fuse_add_mov(f: &mut AsmFunc, bi: usize, lv: &AsmLiveness) -> Peepho
             i += 1;
             continue;
         };
-        let AsmInstr::Mov { rd: w, src: RegImm::Reg(src) } = f.blocks[bi].instrs[i + 1]
+        let AsmInstr::Mov {
+            rd: w,
+            src: RegImm::Reg(src),
+        } = f.blocks[bi].instrs[i + 1]
         else {
             i += 1;
             continue;
@@ -322,7 +388,11 @@ fn pattern2_forward_mov(f: &mut AsmFunc, bi: usize, lv: &AsmLiveness) -> Peephol
     let mut stats = PeepholeStats::default();
     let mut i = 0;
     while i < f.blocks[bi].instrs.len() {
-        let AsmInstr::Mov { rd: z, src: RegImm::Reg(x) } = f.blocks[bi].instrs[i] else {
+        let AsmInstr::Mov {
+            rd: z,
+            src: RegImm::Reg(x),
+        } = f.blocks[bi].instrs[i]
+        else {
             i += 1;
             continue;
         };
@@ -344,7 +414,8 @@ fn pattern2_forward_mov(f: &mut AsmFunc, bi: usize, lv: &AsmLiveness) -> Peephol
         // or not live past it).
         let z_dead_after = if end < b.instrs.len() {
             b.instrs[end].writes() == Some(z)
-                || !region_reads(&b.instrs[end..], z) && !lv.live_after(f, bi, b.instrs.len() - 1, z)
+                || !region_reads(&b.instrs[end..], z)
+                    && !lv.live_after(f, bi, b.instrs.len() - 1, z)
         } else {
             !lv.live_after(f, bi, b.instrs.len() - 1, z)
         };
@@ -447,15 +518,30 @@ mod tests {
     use crate::asm::{AluOp, AsmBlock};
 
     fn block(instrs: Vec<AsmInstr>) -> AsmFunc {
-        AsmFunc { name: "t".into(), blocks: vec![AsmBlock { instrs }], spill_count: 0 }
+        AsmFunc {
+            name: "t".into(),
+            blocks: vec![AsmBlock { instrs }],
+            spill_count: 0,
+        }
     }
 
     fn add(z: u8, x: u8, y: RegImm) -> AsmInstr {
-        AsmInstr::Alu { op: AluOp::Add, rd: Reg(z), rs: Reg(x), op2: y }
+        AsmInstr::Alu {
+            op: AluOp::Add,
+            rd: Reg(z),
+            rs: Reg(x),
+            op2: y,
+        }
     }
 
     fn ld(rd: u8, base: u8) -> AsmInstr {
-        AsmInstr::Ld { rd: Reg(rd), base: Reg(base), off: RegImm::Imm(0), width: 8, signed: false }
+        AsmInstr::Ld {
+            rd: Reg(rd),
+            base: Reg(base),
+            off: RegImm::Imm(0),
+            width: 8,
+            signed: false,
+        }
     }
 
     #[test]
@@ -463,7 +549,10 @@ mod tests {
         // add %o0,1,%g2 ; ! keep_live ; ldsb [%g2] → ldsb [%o0+1]
         let mut f = block(vec![
             add(2, 1, RegImm::Imm(1)),
-            AsmInstr::KeepLive { value: Reg(2), base: Some(Reg(1)) },
+            AsmInstr::KeepLive {
+                value: Reg(2),
+                base: Some(Reg(1)),
+            },
             ld(3, 2),
             AsmInstr::Ret,
         ]);
@@ -481,7 +570,10 @@ mod tests {
         // and ld [r1+r2] recomputes the same address.
         let mut f = block(vec![
             add(1, 1, RegImm::Reg(Reg(2))),
-            AsmInstr::KeepLive { value: Reg(1), base: Some(Reg(3)) },
+            AsmInstr::KeepLive {
+                value: Reg(1),
+                base: Some(Reg(3)),
+            },
             ld(1, 1),
             AsmInstr::Ret,
         ]);
@@ -491,7 +583,10 @@ mod tests {
         // Distinct registers fold too.
         let mut f = block(vec![
             add(4, 1, RegImm::Reg(Reg(2))),
-            AsmInstr::KeepLive { value: Reg(4), base: Some(Reg(3)) },
+            AsmInstr::KeepLive {
+                value: Reg(4),
+                base: Some(Reg(3)),
+            },
             ld(4, 4),
             AsmInstr::Ret,
         ]);
@@ -505,7 +600,10 @@ mod tests {
         // z is itself a KEEP_LIVE base: must not fold.
         let mut f = block(vec![
             add(2, 1, RegImm::Imm(1)),
-            AsmInstr::KeepLive { value: Reg(4), base: Some(Reg(2)) },
+            AsmInstr::KeepLive {
+                value: Reg(4),
+                base: Some(Reg(2)),
+            },
             ld(3, 2),
             AsmInstr::Ret,
         ]);
@@ -519,7 +617,10 @@ mod tests {
     fn pattern1_refuses_when_x_redefined() {
         let mut f = block(vec![
             add(2, 1, RegImm::Imm(1)),
-            AsmInstr::SetImm { rd: Reg(1), value: 0 }, // clobbers x
+            AsmInstr::SetImm {
+                rd: Reg(1),
+                value: 0,
+            }, // clobbers x
             ld(3, 2),
             AsmInstr::Ret,
         ]);
@@ -532,7 +633,10 @@ mod tests {
         let mut f = block(vec![
             add(2, 1, RegImm::Imm(1)),
             ld(3, 2),
-            AsmInstr::Mov { rd: Reg(5), src: RegImm::Reg(Reg(2)) }, // z read later
+            AsmInstr::Mov {
+                rd: Reg(5),
+                src: RegImm::Reg(Reg(2)),
+            }, // z read later
             AsmInstr::Ret,
         ]);
         let stats = postprocess(&mut f);
@@ -543,8 +647,16 @@ mod tests {
     fn pattern3_fuses_add_mov() {
         let mut f = block(vec![
             add(2, 1, RegImm::Reg(Reg(4))),
-            AsmInstr::Mov { rd: Reg(5), src: RegImm::Reg(Reg(2)) },
-            AsmInstr::St { rs: Reg(5), base: Reg(6), off: RegImm::Imm(0), width: 8 },
+            AsmInstr::Mov {
+                rd: Reg(5),
+                src: RegImm::Reg(Reg(2)),
+            },
+            AsmInstr::St {
+                rs: Reg(5),
+                base: Reg(6),
+                off: RegImm::Imm(0),
+                width: 8,
+            },
             AsmInstr::Ret,
         ]);
         let stats = postprocess(&mut f);
@@ -558,8 +670,16 @@ mod tests {
     #[test]
     fn pattern2_forwards_copies() {
         let mut f = block(vec![
-            AsmInstr::Mov { rd: Reg(2), src: RegImm::Reg(Reg(1)) },
-            AsmInstr::Alu { op: AluOp::Add, rd: Reg(3), rs: Reg(2), op2: RegImm::Imm(4) },
+            AsmInstr::Mov {
+                rd: Reg(2),
+                src: RegImm::Reg(Reg(1)),
+            },
+            AsmInstr::Alu {
+                op: AluOp::Add,
+                rd: Reg(3),
+                rs: Reg(2),
+                op2: RegImm::Imm(4),
+            },
             AsmInstr::Ret,
         ]);
         let stats = postprocess(&mut f);
@@ -573,20 +693,37 @@ mod tests {
     #[test]
     fn pattern2_keeps_mov_when_x_clobbered() {
         let mut f = block(vec![
-            AsmInstr::Mov { rd: Reg(2), src: RegImm::Reg(Reg(1)) },
-            AsmInstr::SetImm { rd: Reg(1), value: 9 },
-            AsmInstr::Alu { op: AluOp::Add, rd: Reg(3), rs: Reg(2), op2: RegImm::Imm(4) },
+            AsmInstr::Mov {
+                rd: Reg(2),
+                src: RegImm::Reg(Reg(1)),
+            },
+            AsmInstr::SetImm {
+                rd: Reg(1),
+                value: 9,
+            },
+            AsmInstr::Alu {
+                op: AluOp::Add,
+                rd: Reg(3),
+                rs: Reg(2),
+                op2: RegImm::Imm(4),
+            },
             AsmInstr::Ret,
         ]);
         let stats = postprocess(&mut f);
-        assert_eq!(stats.movs_forwarded, 0, "z used after x changed: keep the mov");
+        assert_eq!(
+            stats.movs_forwarded, 0,
+            "z used after x changed: keep the mov"
+        );
     }
 
     #[test]
     fn postprocess_reduces_size_and_preserves_markers() {
         let mut f = block(vec![
             add(2, 1, RegImm::Imm(8)),
-            AsmInstr::KeepLive { value: Reg(2), base: Some(Reg(1)) },
+            AsmInstr::KeepLive {
+                value: Reg(2),
+                base: Some(Reg(1)),
+            },
             ld(3, 2),
             AsmInstr::Ret,
         ]);
@@ -598,6 +735,59 @@ mod tests {
     }
 
     #[test]
+    fn peephole_stats_json_round_trips() {
+        let stats = PeepholeStats {
+            loads_folded: 3,
+            movs_forwarded: 14,
+            add_movs_fused: 1,
+        };
+        let text = stats.to_json();
+        let back = PeepholeStats::from_json(&text).expect("valid json");
+        assert_eq!(back, stats);
+        // Shape: exactly the three counter fields, all numeric.
+        let obj = gctrace::json::parse_object(&text).unwrap();
+        assert_eq!(obj.len(), 3, "{text}");
+        assert!(obj.values().all(|v| v.as_u64().is_some()), "{text}");
+        assert!(PeepholeStats::from_json("{\"loads_folded\":1}").is_err());
+    }
+
+    #[test]
+    fn traced_postprocess_reports_per_function_rewrites() {
+        let mut f = block(vec![
+            add(2, 1, RegImm::Imm(8)),
+            AsmInstr::KeepLive {
+                value: Reg(2),
+                base: Some(Reg(1)),
+            },
+            ld(3, 2),
+            AsmInstr::Ret,
+        ]);
+        let (trace, sink) = TraceHandle::memory();
+        let stats = postprocess_program_traced(std::slice::from_mut(&mut f), &trace);
+        assert_eq!(stats.loads_folded, 1);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 1, "one changed function, one event");
+        let e = &events[0];
+        assert_eq!((e.stage, e.kind), ("peephole", "function"));
+        assert_eq!(e.get("func"), Some(&gctrace::Value::Str("t".into())));
+        assert_eq!(e.get("loads_folded"), Some(&gctrace::Value::UInt(1)));
+        let before = match e.get("size_before") {
+            Some(gctrace::Value::UInt(v)) => *v,
+            other => panic!("size_before missing: {other:?}"),
+        };
+        let after = match e.get("size_after") {
+            Some(gctrace::Value::UInt(v)) => *v,
+            other => panic!("size_after missing: {other:?}"),
+        };
+        assert!(after < before, "folding shrank the code");
+        // Untouched functions stay silent.
+        let mut quiet = block(vec![AsmInstr::Ret]);
+        let (trace, sink) = TraceHandle::memory();
+        postprocess_program_traced(std::slice::from_mut(&mut quiet), &trace);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
     fn liveness_respects_branches() {
         // r1 live into the branch target.
         let f = AsmFunc {
@@ -605,7 +795,10 @@ mod tests {
             blocks: vec![
                 AsmBlock {
                     instrs: vec![
-                        AsmInstr::SetImm { rd: Reg(1), value: 5 },
+                        AsmInstr::SetImm {
+                            rd: Reg(1),
+                            value: 5,
+                        },
                         AsmInstr::Bcc {
                             cond: crate::asm::Cond::Ne,
                             a: Reg(2),
@@ -616,7 +809,10 @@ mod tests {
                 },
                 AsmBlock {
                     instrs: vec![
-                        AsmInstr::Mov { rd: Reg(3), src: RegImm::Reg(Reg(1)) },
+                        AsmInstr::Mov {
+                            rd: Reg(3),
+                            src: RegImm::Reg(Reg(1)),
+                        },
                         AsmInstr::Ret,
                     ],
                 },
@@ -651,8 +847,7 @@ pub fn defined_before_use(f: &AsmFunc, predefined: &[Reg]) -> bool {
                 }
             }
             for s in successors(f, bi) {
-                let merged: HashSet<Reg> =
-                    defined_in[s].intersection(&cur).copied().collect();
+                let merged: HashSet<Reg> = defined_in[s].intersection(&cur).copied().collect();
                 if merged != defined_in[s] {
                     defined_in[s] = merged;
                     changed = true;

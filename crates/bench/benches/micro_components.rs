@@ -1,68 +1,75 @@
 //! Component microbenchmarks: the substrates' hot paths (parser, sema,
 //! annotator, collector, page-map lookups) plus an ablation of the
-//! annotator's optimizations.
+//! annotator's optimizations, and the end-to-end `measure_workload`
+//! path with tracing disabled (the NullSink overhead guard).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+mod timing;
+
 use gcheap::{GcHeap, Memory, RootSet};
+use timing::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let src = workloads::by_name("gs").expect("exists").source;
 
-    let mut g = c.benchmark_group("components");
-    g.sample_size(20);
+    println!("== components ==");
 
-    g.bench_function("parse_gs", |b| b.iter(|| cfront::parse(src).expect("parses")));
+    bench("parse_gs", 2, 20, || cfront::parse(src).expect("parses"));
 
-    g.bench_function("annotate_gs_safe", |b| {
-        b.iter(|| gcsafe::annotate_program(src, &gcsafe::Config::gc_safe()).expect("annotates"))
+    bench("annotate_gs_safe", 2, 20, || {
+        gcsafe::annotate_program(src, &gcsafe::Config::gc_safe()).expect("annotates")
     });
 
-    g.bench_function("annotate_gs_checked", |b| {
-        b.iter(|| gcsafe::annotate_program(src, &gcsafe::Config::checked()).expect("annotates"))
+    bench("annotate_gs_checked", 2, 20, || {
+        gcsafe::annotate_program(src, &gcsafe::Config::checked()).expect("annotates")
     });
 
     // Ablation: optimization 1 (copy suppression) off.
-    let no_opt1 = gcsafe::Config { skip_copies: false, ..gcsafe::Config::gc_safe() };
-    g.bench_function("annotate_gs_no_opt1", |b| {
-        b.iter(|| gcsafe::annotate_program(src, &no_opt1).expect("annotates"))
+    let no_opt1 = gcsafe::Config {
+        skip_copies: false,
+        ..gcsafe::Config::gc_safe()
+    };
+    bench("annotate_gs_no_opt1", 2, 20, || {
+        gcsafe::annotate_program(src, &no_opt1).expect("annotates")
     });
 
-    g.bench_function("gc_alloc_collect_cycle", |b| {
-        b.iter(|| {
-            let mut mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
-            let mut heap = GcHeap::with_defaults(&mem);
-            let mut keep = Vec::new();
-            for i in 0..2000u64 {
-                let a = heap.alloc(&mut mem, 32).expect("fits");
-                if i % 7 == 0 {
-                    keep.push(a);
-                }
-            }
-            let mut roots = RootSet::new();
-            for &k in &keep {
-                roots.add_word(k);
-            }
-            heap.collect(&mut mem, &roots);
-            heap.stats().objects_live
-        })
-    });
-
-    g.bench_function("page_map_base_lookup", |b| {
+    bench("gc_alloc_collect_cycle", 2, 20, || {
         let mut mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
         let mut heap = GcHeap::with_defaults(&mem);
-        let objs: Vec<u64> =
-            (0..512).map(|_| heap.alloc(&mut mem, 48).expect("fits")).collect();
-        b.iter(|| {
+        let mut keep = Vec::new();
+        for i in 0..2000u64 {
+            let a = heap.alloc(&mut mem, 32).expect("fits");
+            if i % 7 == 0 {
+                keep.push(a);
+            }
+        }
+        let mut roots = RootSet::new();
+        for &k in &keep {
+            roots.add_word(k);
+        }
+        heap.collect(&mut mem, &roots);
+        heap.stats().objects_live
+    });
+
+    {
+        let mut mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+        let mut heap = GcHeap::with_defaults(&mem);
+        let objs: Vec<u64> = (0..512)
+            .map(|_| heap.alloc(&mut mem, 48).expect("fits"))
+            .collect();
+        bench("page_map_base_lookup", 2, 20, || {
             let mut acc = 0u64;
             for &o in &objs {
                 acc = acc.wrapping_add(heap.base(o + 17).expect("interior resolves"));
             }
             acc
-        })
+        });
+    }
+
+    // NullSink guard: the traced pipeline with tracing disabled must
+    // match the untraced seed path (<1% is the acceptance bar; compare
+    // this number across commits).
+    bench("measure_cordtest_nullsink", 1, 10, || {
+        let w = workloads::by_name("cordtest").expect("exists");
+        gc_safety::measure_workload(&w, workloads::Scale::Tiny).expect("runs")
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,13 @@
 //! E4: regenerates the paper's object-code-size table, then times the
 //! codegen stage.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+mod timing;
+
 use gcbench::{codesize_table, collect};
+use timing::bench;
 use workloads::Scale;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     match collect(Scale::Tiny) {
         Ok(data) => {
             println!("\n=== E4: code size expansion ===");
@@ -16,13 +18,7 @@ fn bench(c: &mut Criterion) {
     let w = workloads::by_name("gs").expect("exists");
     let prog = cvm::compile(w.source, &cvm::CompileOptions::optimized_safe()).expect("compiles");
     let machine = asmpost::Machine::sparc10();
-    let mut g = c.benchmark_group("table_codesize");
-    g.sample_size(10);
-    g.bench_function("codegen_gs_safe", |b| {
-        b.iter(|| asmpost::codegen_program(&prog, &machine));
+    bench("codegen_gs_safe", 1, 10, || {
+        asmpost::codegen_program(&prog, &machine)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,13 @@
 //! E5: regenerates the paper's postprocessor table, then times the
 //! peephole pass itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+mod timing;
+
 use gcbench::{collect, postprocessor_table};
+use timing::bench;
 use workloads::Scale;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     match collect(Scale::Tiny) {
         Ok(data) => {
             println!("\n=== E5: after the peephole postprocessor ===");
@@ -17,16 +19,8 @@ fn bench(c: &mut Criterion) {
     let prog = cvm::compile(w.source, &cvm::CompileOptions::optimized_safe()).expect("compiles");
     let machine = asmpost::Machine::sparc10();
     let asm = asmpost::codegen_program(&prog, &machine);
-    let mut g = c.benchmark_group("table_postprocessor");
-    g.sample_size(10);
-    g.bench_function("peephole_cordtest", |b| {
-        b.iter(|| {
-            let mut copy = asm.clone();
-            asmpost::postprocess_program(&mut copy)
-        });
+    bench("peephole_cordtest", 1, 10, || {
+        let mut copy = asm.clone();
+        asmpost::postprocess_program(&mut copy)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,13 @@
 //! E1–E3: regenerates the paper's three slowdown tables, then times the
 //! full measurement pipeline on the smallest workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+mod timing;
+
 use gcbench::{collect, slowdown_table};
+use timing::bench;
 use workloads::Scale;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Print the actual paper tables once (paper scale).
     match collect(Scale::Paper) {
         Ok(data) => {
@@ -16,14 +18,8 @@ fn bench(c: &mut Criterion) {
         }
         Err(e) => eprintln!("table generation failed: {e}"),
     }
-    let mut g = c.benchmark_group("table_slowdown");
-    g.sample_size(10);
-    g.bench_function("measure_cordtest_tiny", |b| {
-        let w = workloads::by_name("cordtest").expect("exists");
-        b.iter(|| gc_safety::measure_workload(&w, Scale::Tiny).expect("runs"));
+    let w = workloads::by_name("cordtest").expect("exists");
+    bench("measure_cordtest_tiny", 1, 10, || {
+        gc_safety::measure_workload(&w, Scale::Tiny).expect("runs")
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Minimal timing harness shared by the bench binaries: warm up, run a
+//! fixed iteration count, report min/median/mean wall-clock per
+//! iteration. No external benchmarking framework — the container
+//! builds offline.
+
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations (after `warmup` untimed runs) and
+/// prints a one-line summary. Returns the median nanoseconds.
+pub fn bench<R>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> u128 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<u128> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean: u128 = samples.iter().sum::<u128>() / samples.len() as u128;
+    println!(
+        "{name:<28} min {:>12}  median {:>12}  mean {:>12}  ({iters} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+    median
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}

@@ -1,14 +1,48 @@
 //! Prints every table and figure of the paper.
 //!
-//! Usage: `tables [sparc2|sparc10|pentium90|codesize|postprocessor|analysis|all] [--tiny]`
+//! Usage: `tables [sparc2|sparc10|pentium90|codesize|postprocessor|analysis|all]
+//!                [--tiny] [--trace <file.jsonl>]`
+//!
+//! With `--trace`, every pipeline stage's events (annotation audit,
+//! optimizer rewrites, verifier verdicts, GC timeline, peephole rewrites,
+//! VM run summaries) are appended to `<file.jsonl>` as one JSON object
+//! per line, and a human-readable summary is printed at the end.
 
+use gc_safety::{JsonlSink, TraceHandle};
 use gcbench::*;
+use std::sync::Arc;
 use workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    let scale = if args.iter().any(|a| a == "--tiny") { Scale::Tiny } else { Scale::Paper };
+    let what = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let scale = if args.iter().any(|a| a == "--tiny") {
+        Scale::Tiny
+    } else {
+        Scale::Paper
+    };
+    let trace_path: Option<&str> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let trace = match trace_path {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot create trace file '{path}': {e}");
+                    std::process::exit(1);
+                }
+            };
+            TraceHandle::new(Arc::new(JsonlSink::new(Box::new(file))))
+        }
+        None => TraceHandle::disabled(),
+    };
 
     if what == "analysis" {
         println!("{}", analysis_listing());
@@ -18,7 +52,7 @@ fn main() {
         println!("{}", register_pressure_report());
         return;
     }
-    let data = match collect(scale) {
+    let data = match collect_traced(scale, &trace) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
@@ -44,7 +78,10 @@ fn main() {
             println!();
             println!("{}", ablation_table(scale));
             println!();
-            println!("Paper vs measured (shape verdicts):\n{}", paper_comparison(&data));
+            println!(
+                "Paper vs measured (shape verdicts):\n{}",
+                paper_comparison(&data)
+            );
             println!("{}", register_pressure_report());
 
             println!("Analysis listing (F1):\n{}", analysis_listing());
@@ -52,6 +89,18 @@ fn main() {
         other => {
             eprintln!("unknown table '{other}'");
             std::process::exit(2);
+        }
+    }
+    if let Some(path) = trace_path {
+        // `File` writes are unbuffered, so the JSONL is already on disk
+        // even though `data` still holds handle clones.
+        match std::fs::read_to_string(path) {
+            Ok(jsonl) => {
+                println!();
+                print!("{}", trace_report(&jsonl));
+                println!("trace written to {path}");
+            }
+            Err(e) => eprintln!("error: cannot read back trace '{path}': {e}"),
         }
     }
 }

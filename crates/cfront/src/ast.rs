@@ -38,11 +38,24 @@ impl NodeIdGen {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BinOp {
-    Add, Sub, Mul, Div, Rem,
-    Shl, Shr,
-    Lt, Gt, Le, Ge, Eq, Ne,
-    BitAnd, BitOr, BitXor,
-    LogAnd, LogOr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
 }
 
 impl BinOp {
@@ -50,17 +63,33 @@ impl BinOp {
     pub fn as_str(self) -> &'static str {
         use BinOp::*;
         match self {
-            Add => "+", Sub => "-", Mul => "*", Div => "/", Rem => "%",
-            Shl => "<<", Shr => ">>",
-            Lt => "<", Gt => ">", Le => "<=", Ge => ">=", Eq => "==", Ne => "!=",
-            BitAnd => "&", BitOr => "|", BitXor => "^",
-            LogAnd => "&&", LogOr => "||",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            LogAnd => "&&",
+            LogOr => "||",
         }
     }
 
     /// Whether the operator yields a boolean (0/1) `int`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 }
 
@@ -106,7 +135,12 @@ pub struct Expr {
 impl Expr {
     /// Creates an untyped expression node.
     pub fn new(id: NodeId, span: Span, kind: ExprKind) -> Self {
-        Expr { id, span, ty: None, kind }
+        Expr {
+            id,
+            span,
+            ty: None,
+            kind,
+        }
     }
 
     /// The semantic type; panics if sema has not run.
@@ -115,7 +149,9 @@ impl Expr {
     ///
     /// Panics when called before semantic analysis.
     pub fn ty(&self) -> &Type {
-        self.ty.as_ref().expect("expression type queried before sema")
+        self.ty
+            .as_ref()
+            .expect("expression type queried before sema")
     }
 }
 
@@ -383,7 +419,12 @@ pub fn visit_exprs<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
             visit_exprs(b, f);
             visit_expr(c, f);
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(i) = init {
                 visit_exprs(i, f);
             }
@@ -482,7 +523,11 @@ mod tests {
         let e = Expr::new(
             g.fresh(),
             Span::point(0),
-            ExprKind::Binary(BinOp::Add, Box::new(lit(&mut g, 1)), Box::new(lit(&mut g, 2))),
+            ExprKind::Binary(
+                BinOp::Add,
+                Box::new(lit(&mut g, 1)),
+                Box::new(lit(&mut g, 2)),
+            ),
         );
         let mut seen = Vec::new();
         visit_expr(&e, &mut |x| seen.push(x.id));

@@ -47,17 +47,29 @@ impl EditList {
 
     /// Records an insertion of `text` at byte `pos`.
     pub fn insert(&mut self, pos: usize, text: impl Into<String>) {
-        self.edits.push(Edit { pos, delete: 0, insert: text.into() });
+        self.edits.push(Edit {
+            pos,
+            delete: 0,
+            insert: text.into(),
+        });
     }
 
     /// Records a deletion of `len` bytes at `pos`.
     pub fn delete(&mut self, pos: usize, len: usize) {
-        self.edits.push(Edit { pos, delete: len, insert: String::new() });
+        self.edits.push(Edit {
+            pos,
+            delete: len,
+            insert: String::new(),
+        });
     }
 
     /// Records a replacement of `len` bytes at `pos` by `text`.
     pub fn replace(&mut self, pos: usize, len: usize, text: impl Into<String>) {
-        self.edits.push(Edit { pos, delete: len, insert: text.into() });
+        self.edits.push(Edit {
+            pos,
+            delete: len,
+            insert: text.into(),
+        });
     }
 
     /// Number of recorded edits.

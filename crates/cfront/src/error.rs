@@ -39,7 +39,11 @@ pub struct FrontError {
 impl FrontError {
     /// Creates a new error.
     pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
-        FrontError { phase, message: message.into(), span }
+        FrontError {
+            phase,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Renders the error with line/column information resolved against `source`.

@@ -43,11 +43,35 @@ impl fmt::Display for Tok {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Kw {
-    Void, Char, Int, Long, Unsigned, Signed, Short,
-    Struct, Union, Enum, Typedef,
-    If, Else, While, Do, For, Switch, Case, Default,
-    Break, Continue, Return, Sizeof,
-    Static, Extern, Const, Register, Volatile, Auto,
+    Void,
+    Char,
+    Int,
+    Long,
+    Unsigned,
+    Signed,
+    Short,
+    Struct,
+    Union,
+    Enum,
+    Typedef,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Sizeof,
+    Static,
+    Extern,
+    Const,
+    Register,
+    Volatile,
+    Auto,
 }
 
 fn keyword(word: &str) -> Option<Kw> {
@@ -89,18 +113,52 @@ fn keyword(word: &str) -> Option<Kw> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Punct {
-    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
-    Semi, Comma, Dot, Arrow, Ellipsis,
-    Plus, Minus, Star, Slash, Percent,
-    PlusPlus, MinusMinus,
-    Amp, Pipe, Caret, Tilde, Bang,
-    Shl, Shr,
-    Lt, Gt, Le, Ge, EqEq, NotEq,
-    AmpAmp, PipePipe,
-    Question, Colon,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Ellipsis,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AmpAmp,
+    PipePipe,
+    Question,
+    Colon,
     Assign,
-    PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
-    AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
 }
 
 impl Punct {
@@ -108,20 +166,52 @@ impl Punct {
     pub fn as_str(self) -> &'static str {
         use Punct::*;
         match self {
-            LParen => "(", RParen => ")", LBrace => "{", RBrace => "}",
-            LBracket => "[", RBracket => "]",
-            Semi => ";", Comma => ",", Dot => ".", Arrow => "->", Ellipsis => "...",
-            Plus => "+", Minus => "-", Star => "*", Slash => "/", Percent => "%",
-            PlusPlus => "++", MinusMinus => "--",
-            Amp => "&", Pipe => "|", Caret => "^", Tilde => "~", Bang => "!",
-            Shl => "<<", Shr => ">>",
-            Lt => "<", Gt => ">", Le => "<=", Ge => ">=", EqEq => "==", NotEq => "!=",
-            AmpAmp => "&&", PipePipe => "||",
-            Question => "?", Colon => ":",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Ellipsis => "...",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            NotEq => "!=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Question => "?",
+            Colon => ":",
             Assign => "=",
-            PlusEq => "+=", MinusEq => "-=", StarEq => "*=", SlashEq => "/=",
-            PercentEq => "%=", AmpEq => "&=", PipeEq => "|=", CaretEq => "^=",
-            ShlEq => "<<=", ShrEq => ">>=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            AmpEq => "&=",
+            PipeEq => "|=",
+            CaretEq => "^=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
         }
     }
 }
@@ -142,7 +232,12 @@ pub struct Token {
 /// Returns a [`FrontError`] for unterminated comments/strings, malformed
 /// numeric or character literals, and characters outside the language.
 pub fn lex(source: &str) -> FrontResult<Vec<Token>> {
-    Lexer { src: source.as_bytes(), pos: 0, toks: Vec::new() }.run(source)
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        toks: Vec::new(),
+    }
+    .run(source)
 }
 
 struct Lexer<'a> {
@@ -157,7 +252,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let start = self.pos;
             let Some(&c) = self.src.get(self.pos) else {
-                self.toks.push(Token { tok: Tok::Eof, span: Span::point(self.pos) });
+                self.toks.push(Token {
+                    tok: Tok::Eof,
+                    span: Span::point(self.pos),
+                });
                 return Ok(self.toks);
             };
             let tok = match c {
@@ -167,12 +265,19 @@ impl<'a> Lexer<'a> {
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
                 _ => self.punct(source)?,
             };
-            self.toks.push(Token { tok, span: Span::new(start, self.pos) });
+            self.toks.push(Token {
+                tok,
+                span: Span::new(start, self.pos),
+            });
         }
     }
 
     fn err(&self, msg: impl Into<String>, start: usize) -> FrontError {
-        FrontError::new(Phase::Lex, msg, Span::new(start, self.pos.min(self.src.len())))
+        FrontError::new(
+            Phase::Lex,
+            msg,
+            Span::new(start, self.pos.min(self.src.len())),
+        )
     }
 
     fn skip_trivia(&mut self) -> FrontResult<()> {
@@ -214,9 +319,7 @@ impl<'a> Lexer<'a> {
     fn number(&mut self) -> FrontResult<Tok> {
         let start = self.pos;
         let mut value: i64 = 0;
-        if self.src[self.pos] == b'0'
-            && matches!(self.src.get(self.pos + 1), Some(b'x' | b'X'))
-        {
+        if self.src[self.pos] == b'0' && matches!(self.src.get(self.pos + 1), Some(b'x' | b'X')) {
             self.pos += 2;
             let digits_start = self.pos;
             while let Some(&c) = self.src.get(self.pos) {
@@ -411,7 +514,10 @@ impl<'a> Lexer<'a> {
             }
         }
         self.pos += 1;
-        Err(self.err(format!("unexpected character '{}'", self.src[start] as char), start))
+        Err(self.err(
+            format!("unexpected character '{}'", self.src[start] as char),
+            start,
+        ))
     }
 }
 
@@ -487,7 +593,10 @@ mod tests {
 
     #[test]
     fn hash_lines_skipped() {
-        assert_eq!(kinds("#include <stdio.h>\nint"), vec![Tok::Kw(Kw::Int), Tok::Eof]);
+        assert_eq!(
+            kinds("#include <stdio.h>\nint"),
+            vec![Tok::Kw(Kw::Int), Tok::Eof]
+        );
     }
 
     #[test]

@@ -112,7 +112,11 @@ impl Parser {
         if *self.peek() == Tok::Punct(p) {
             Ok(self.bump().span)
         } else {
-            Err(self.error(format!("expected '{}', found '{}'", p.as_str(), self.peek())))
+            Err(self.error(format!(
+                "expected '{}', found '{}'",
+                p.as_str(),
+                self.peek()
+            )))
         }
     }
 
@@ -186,7 +190,9 @@ impl Parser {
                     self.bump();
                     is_typedef = true;
                 }
-                Tok::Kw(Kw::Static | Kw::Extern | Kw::Const | Kw::Register | Kw::Volatile | Kw::Auto) => {
+                Tok::Kw(
+                    Kw::Static | Kw::Extern | Kw::Const | Kw::Register | Kw::Volatile | Kw::Auto,
+                ) => {
                     self.bump();
                 }
                 Tok::Kw(Kw::Void) => {
@@ -251,7 +257,11 @@ impl Parser {
             }
             None => {
                 if long_count > 0 {
-                    if unsigned { Type::ULong } else { Type::Long }
+                    if unsigned {
+                        Type::ULong
+                    } else {
+                        Type::Long
+                    }
                 } else if unsigned {
                     Type::UInt
                 } else if saw_int_kw || signed {
@@ -470,9 +480,11 @@ impl Parser {
         for suffix in suffixes.into_iter().rev() {
             ty = match suffix {
                 Suffix::Array(n) => Type::Array(Box::new(ty), n),
-                Suffix::Func(params, _names, varargs) => {
-                    Type::Func(Box::new(FuncType { ret: ty, params, varargs }))
-                }
+                Suffix::Func(params, _names, varargs) => Type::Func(Box::new(FuncType {
+                    ret: ty,
+                    params,
+                    varargs,
+                })),
             };
         }
         Ok(ty)
@@ -517,11 +529,11 @@ impl Parser {
     fn eval_const(&self, e: &Expr) -> FrontResult<i64> {
         match &e.kind {
             ExprKind::IntLit(v) => Ok(*v),
-            ExprKind::Ident(name) => self
-                .enum_lookup
-                .get(name)
-                .copied()
-                .ok_or_else(|| FrontError::new(Phase::Parse, "not a constant expression", e.span)),
+            ExprKind::Ident(name) => {
+                self.enum_lookup.get(name).copied().ok_or_else(|| {
+                    FrontError::new(Phase::Parse, "not a constant expression", e.span)
+                })
+            }
             ExprKind::Unary(UnOp::Neg, inner) => Ok(self.eval_const(inner)?.wrapping_neg()),
             ExprKind::Unary(UnOp::BitNot, inner) => Ok(!self.eval_const(inner)?),
             ExprKind::Unary(UnOp::Plus, inner) => self.eval_const(inner),
@@ -569,7 +581,11 @@ impl Parser {
                     self.eval_const(f)
                 }
             }
-            _ => Err(FrontError::new(Phase::Parse, "not a constant expression", e.span)),
+            _ => Err(FrontError::new(
+                Phase::Parse,
+                "not a constant expression",
+                e.span,
+            )),
         }
     }
 
@@ -689,7 +705,12 @@ impl Parser {
         Ok(names
             .into_iter()
             .zip(ft.params.iter())
-            .map(|((name, span), ty)| Param { id: self.ids.fresh(), name, ty: ty.clone(), span })
+            .map(|((name, span), ty)| Param {
+                id: self.ids.fresh(),
+                name,
+                ty: ty.clone(),
+                span,
+            })
             .collect())
     }
 
@@ -720,7 +741,10 @@ impl Parser {
         loop {
             if *self.peek() == Tok::Punct(Punct::RBrace) {
                 let end = self.bump().span;
-                return Ok(Block { stmts, span: start.merge(end) });
+                return Ok(Block {
+                    stmts,
+                    span: start.merge(end),
+                });
             }
             if *self.peek() == Tok::Eof {
                 return Err(self.error("unterminated block"));
@@ -793,7 +817,12 @@ impl Parser {
                     Some(self.expr()?)
                 };
                 self.expect_punct(Punct::RParen)?;
-                Ok(Stmt::For { init, cond, step, body: Box::new(self.stmt()?) })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body: Box::new(self.stmt()?),
+                })
             }
             Tok::Kw(Kw::Switch) => {
                 self.bump();
@@ -913,7 +942,14 @@ impl Parser {
             self.bump();
             let rhs = self.assignment()?;
             let span = lhs.span.merge(rhs.span);
-            Ok(self.mk(span, ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }))
+            Ok(self.mk(
+                span,
+                ExprKind::Assign {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            ))
         } else {
             Ok(lhs)
         }
@@ -926,7 +962,10 @@ impl Parser {
             self.expect_punct(Punct::Colon)?;
             let els = self.conditional()?;
             let span = cond.span.merge(els.span);
-            Ok(self.mk(span, ExprKind::Cond(Box::new(cond), Box::new(then), Box::new(els))))
+            Ok(self.mk(
+                span,
+                ExprKind::Cond(Box::new(cond), Box::new(then), Box::new(els)),
+            ))
         } else {
             Ok(cond)
         }
@@ -1045,13 +1084,27 @@ impl Parser {
                 self.bump();
                 let e = self.unary()?;
                 let span = start.merge(e.span);
-                Ok(self.mk(span, ExprKind::IncDec { inc: true, pre: true, target: Box::new(e) }))
+                Ok(self.mk(
+                    span,
+                    ExprKind::IncDec {
+                        inc: true,
+                        pre: true,
+                        target: Box::new(e),
+                    },
+                ))
             }
             Tok::Punct(Punct::MinusMinus) => {
                 self.bump();
                 let e = self.unary()?;
                 let span = start.merge(e.span);
-                Ok(self.mk(span, ExprKind::IncDec { inc: false, pre: true, target: Box::new(e) }))
+                Ok(self.mk(
+                    span,
+                    ExprKind::IncDec {
+                        inc: false,
+                        pre: true,
+                        target: Box::new(e),
+                    },
+                ))
             }
             Tok::Kw(Kw::Sizeof) => {
                 self.bump();
@@ -1108,23 +1161,51 @@ impl Parser {
                     self.bump();
                     let (field, fspan) = self.expect_ident()?;
                     let span = e.span.merge(fspan);
-                    e = self.mk(span, ExprKind::Member { obj: Box::new(e), field, arrow: false });
+                    e = self.mk(
+                        span,
+                        ExprKind::Member {
+                            obj: Box::new(e),
+                            field,
+                            arrow: false,
+                        },
+                    );
                 }
                 Tok::Punct(Punct::Arrow) => {
                     self.bump();
                     let (field, fspan) = self.expect_ident()?;
                     let span = e.span.merge(fspan);
-                    e = self.mk(span, ExprKind::Member { obj: Box::new(e), field, arrow: true });
+                    e = self.mk(
+                        span,
+                        ExprKind::Member {
+                            obj: Box::new(e),
+                            field,
+                            arrow: true,
+                        },
+                    );
                 }
                 Tok::Punct(Punct::PlusPlus) => {
                     let end = self.bump().span;
                     let span = e.span.merge(end);
-                    e = self.mk(span, ExprKind::IncDec { inc: true, pre: false, target: Box::new(e) });
+                    e = self.mk(
+                        span,
+                        ExprKind::IncDec {
+                            inc: true,
+                            pre: false,
+                            target: Box::new(e),
+                        },
+                    );
                 }
                 Tok::Punct(Punct::MinusMinus) => {
                     let end = self.bump().span;
                     let span = e.span.merge(end);
-                    e = self.mk(span, ExprKind::IncDec { inc: false, pre: false, target: Box::new(e) });
+                    e = self.mk(
+                        span,
+                        ExprKind::IncDec {
+                            inc: false,
+                            pre: false,
+                            target: Box::new(e),
+                        },
+                    );
                 }
                 _ => return Ok(e),
             }
@@ -1200,10 +1281,14 @@ mod tests {
 
     #[test]
     fn parses_struct_with_self_pointer() {
-        let prog = parse("struct node { int value; struct node *next; }; struct node *head;")
-            .unwrap();
-        let Type::Ptr(inner) = &prog.globals[0].ty else { panic!() };
-        let Type::Record(id) = inner.as_ref() else { panic!() };
+        let prog =
+            parse("struct node { int value; struct node *next; }; struct node *head;").unwrap();
+        let Type::Ptr(inner) = &prog.globals[0].ty else {
+            panic!()
+        };
+        let Type::Record(id) = inner.as_ref() else {
+            panic!()
+        };
         let rec = prog.types.record(*id);
         assert!(rec.complete);
         assert_eq!(rec.fields.len(), 2);
@@ -1219,12 +1304,18 @@ mod tests {
     #[test]
     fn parses_enum_constants() {
         let prog = parse("enum { A, B = 10, C }; int x[C];").unwrap();
-        assert_eq!(prog.enum_consts, vec![
-            ("A".to_string(), 0),
-            ("B".to_string(), 10),
-            ("C".to_string(), 11)
-        ]);
-        assert_eq!(prog.globals[0].ty, Type::Array(Box::new(Type::Int), Some(11)));
+        assert_eq!(
+            prog.enum_consts,
+            vec![
+                ("A".to_string(), 0),
+                ("B".to_string(), 10),
+                ("C".to_string(), 11)
+            ]
+        );
+        assert_eq!(
+            prog.globals[0].ty,
+            Type::Array(Box::new(Type::Int), Some(11))
+        );
     }
 
     #[test]
@@ -1246,14 +1337,18 @@ mod tests {
     #[test]
     fn expression_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
-        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!() };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
     }
 
     #[test]
     fn assignment_is_right_associative() {
         let e = parse_expr("a = b = c").unwrap();
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Assign { .. }));
     }
 
@@ -1292,7 +1387,14 @@ mod tests {
     #[test]
     fn postfix_chain() {
         let e = parse_expr("a.b[1]->c(2)++").unwrap();
-        assert!(matches!(e.kind, ExprKind::IncDec { inc: true, pre: false, .. }));
+        assert!(matches!(
+            e.kind,
+            ExprKind::IncDec {
+                inc: true,
+                pre: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1326,8 +1428,9 @@ mod tests {
 
     #[test]
     fn local_decl_in_for_init() {
-        let prog = parse("int f(void) { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }")
-            .unwrap();
+        let prog =
+            parse("int f(void) { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }")
+                .unwrap();
         assert_eq!(prog.funcs.len(), 1);
     }
 }

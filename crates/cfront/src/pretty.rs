@@ -10,7 +10,11 @@ use std::fmt::Write;
 
 /// Renders a whole program.
 pub fn program_to_c(prog: &Program) -> String {
-    let mut p = Printer { types: &prog.types, out: String::new(), indent: 0 };
+    let mut p = Printer {
+        types: &prog.types,
+        out: String::new(),
+        indent: 0,
+    };
     for (name, value) in &prog.enum_consts {
         let _ = writeln!(p.out, "enum {{ {name} = {value} }};");
     }
@@ -47,14 +51,22 @@ pub fn program_to_c(prog: &Program) -> String {
 
 /// Renders a single expression.
 pub fn expr_to_c(e: &Expr, types: &TypeTable) -> String {
-    let mut p = Printer { types, out: String::new(), indent: 0 };
+    let mut p = Printer {
+        types,
+        out: String::new(),
+        indent: 0,
+    };
     p.expr(e, 0);
     p.out
 }
 
 /// Renders a statement (used in tests).
 pub fn stmt_to_c(s: &Stmt, types: &TypeTable) -> String {
-    let mut p = Printer { types, out: String::new(), indent: 0 };
+    let mut p = Printer {
+        types,
+        out: String::new(),
+        indent: 0,
+    };
     p.stmt(s);
     p.out
 }
@@ -113,7 +125,11 @@ impl Printer<'_> {
             if i > 0 {
                 self.out.push_str(", ");
             }
-            let name = if p.name.is_empty() { String::new() } else { p.name.clone() };
+            let name = if p.name.is_empty() {
+                String::new()
+            } else {
+                p.name.clone()
+            };
             let rendered = render_decl(&p.ty, &name, self.types);
             self.out.push_str(rendered.trim_end());
         }
@@ -193,7 +209,12 @@ impl Printer<'_> {
                 self.expr(c, 0);
                 self.out.push_str(");\n");
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.pad();
                 self.out.push_str("for (");
                 match init.as_deref() {

@@ -128,18 +128,46 @@ impl Builtin {
             Type::Char.ptr_to()
         }
         match self {
-            Malloc => FuncType { ret: vptr(), params: vec![Type::Long], varargs: false },
-            Calloc => FuncType { ret: vptr(), params: vec![Type::Long, Type::Long], varargs: false },
-            Realloc => FuncType { ret: vptr(), params: vec![vptr(), Type::Long], varargs: false },
-            Free => FuncType { ret: Type::Void, params: vec![vptr()], varargs: false },
-            Strlen => FuncType { ret: Type::Long, params: vec![cptr()], varargs: false },
-            Strcmp => FuncType { ret: Type::Int, params: vec![cptr(), cptr()], varargs: false },
+            Malloc => FuncType {
+                ret: vptr(),
+                params: vec![Type::Long],
+                varargs: false,
+            },
+            Calloc => FuncType {
+                ret: vptr(),
+                params: vec![Type::Long, Type::Long],
+                varargs: false,
+            },
+            Realloc => FuncType {
+                ret: vptr(),
+                params: vec![vptr(), Type::Long],
+                varargs: false,
+            },
+            Free => FuncType {
+                ret: Type::Void,
+                params: vec![vptr()],
+                varargs: false,
+            },
+            Strlen => FuncType {
+                ret: Type::Long,
+                params: vec![cptr()],
+                varargs: false,
+            },
+            Strcmp => FuncType {
+                ret: Type::Int,
+                params: vec![cptr(), cptr()],
+                varargs: false,
+            },
             Strncmp => FuncType {
                 ret: Type::Int,
                 params: vec![cptr(), cptr(), Type::Long],
                 varargs: false,
             },
-            Strcpy => FuncType { ret: cptr(), params: vec![cptr(), cptr()], varargs: false },
+            Strcpy => FuncType {
+                ret: cptr(),
+                params: vec![cptr(), cptr()],
+                varargs: false,
+            },
             Memcpy => FuncType {
                 ret: vptr(),
                 params: vec![vptr(), vptr(), Type::Long],
@@ -155,15 +183,51 @@ impl Builtin {
                 params: vec![vptr(), vptr(), Type::Long],
                 varargs: false,
             },
-            Getchar => FuncType { ret: Type::Int, params: vec![], varargs: false },
-            Putchar => FuncType { ret: Type::Void, params: vec![Type::Int], varargs: false },
-            Putstr => FuncType { ret: Type::Void, params: vec![cptr()], varargs: false },
-            Putint => FuncType { ret: Type::Void, params: vec![Type::Long], varargs: false },
-            Exit => FuncType { ret: Type::Void, params: vec![Type::Int], varargs: false },
-            Abort => FuncType { ret: Type::Void, params: vec![], varargs: false },
-            GcCollect => FuncType { ret: Type::Void, params: vec![], varargs: false },
-            GcHeapSize => FuncType { ret: Type::Long, params: vec![], varargs: false },
-            GcSameObj => FuncType { ret: vptr(), params: vec![vptr(), vptr()], varargs: false },
+            Getchar => FuncType {
+                ret: Type::Int,
+                params: vec![],
+                varargs: false,
+            },
+            Putchar => FuncType {
+                ret: Type::Void,
+                params: vec![Type::Int],
+                varargs: false,
+            },
+            Putstr => FuncType {
+                ret: Type::Void,
+                params: vec![cptr()],
+                varargs: false,
+            },
+            Putint => FuncType {
+                ret: Type::Void,
+                params: vec![Type::Long],
+                varargs: false,
+            },
+            Exit => FuncType {
+                ret: Type::Void,
+                params: vec![Type::Int],
+                varargs: false,
+            },
+            Abort => FuncType {
+                ret: Type::Void,
+                params: vec![],
+                varargs: false,
+            },
+            GcCollect => FuncType {
+                ret: Type::Void,
+                params: vec![],
+                varargs: false,
+            },
+            GcHeapSize => FuncType {
+                ret: Type::Long,
+                params: vec![],
+                varargs: false,
+            },
+            GcSameObj => FuncType {
+                ret: vptr(),
+                params: vec![vptr(), vptr()],
+                varargs: false,
+            },
             GcPreIncr => FuncType {
                 ret: vptr(),
                 params: vec![vptr().ptr_to(), Type::Long],
@@ -174,7 +238,11 @@ impl Builtin {
                 params: vec![vptr().ptr_to(), Type::Long],
                 varargs: false,
             },
-            GcBase => FuncType { ret: vptr(), params: vec![vptr()], varargs: false },
+            GcBase => FuncType {
+                ret: vptr(),
+                params: vec![vptr()],
+                varargs: false,
+            },
             KeepLiveFn => FuncType {
                 ret: vptr(),
                 params: vec![vptr(), vptr()],
@@ -333,7 +401,10 @@ impl<'a> Ctx<'a> {
     }
 
     fn warn(&mut self, span: Span, msg: impl Into<String>) {
-        self.info.warnings.push(Warning { span, message: msg.into() });
+        self.info.warnings.push(Warning {
+            span,
+            message: msg.into(),
+        });
     }
 
     fn declare(&mut self, name: &str, ty: Type, is_param: bool) -> VarId {
@@ -414,7 +485,12 @@ impl<'a> Ctx<'a> {
                 self.stmt(b)?;
                 self.expr(c)?;
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.stmt(i)?;
@@ -452,9 +528,10 @@ impl<'a> Ctx<'a> {
     fn lvalue(&mut self, e: &mut Expr) -> FrontResult<Type> {
         let ty = self.expr(e)?;
         match &e.kind {
-            ExprKind::Ident(_) | ExprKind::Deref(_) | ExprKind::Index(..) | ExprKind::Member { .. } => {
-                Ok(ty)
-            }
+            ExprKind::Ident(_)
+            | ExprKind::Deref(_)
+            | ExprKind::Index(..)
+            | ExprKind::Member { .. } => Ok(ty),
             _ => Err(self.err(e.span, "expression is not an lvalue")),
         }
     }
@@ -550,27 +627,22 @@ impl<'a> Ctx<'a> {
                     BinOp::Add => match (&lt, &rt) {
                         (Type::Ptr(_), t) if t.is_integer() => lt,
                         (t, Type::Ptr(_)) if t.is_integer() => rt,
-                        (a, b) if a.is_integer() && b.is_integer() => {
-                            Self::arith_common(a, b)
-                        }
+                        (a, b) if a.is_integer() && b.is_integer() => Self::arith_common(a, b),
                         _ => return Err(self.err(span, "invalid operands to '+'")),
                     },
                     BinOp::Sub => match (&lt, &rt) {
                         (Type::Ptr(_), t) if t.is_integer() => lt,
                         (Type::Ptr(_), Type::Ptr(_)) => Type::Long,
-                        (a, b) if a.is_integer() && b.is_integer() => {
-                            Self::arith_common(a, b)
-                        }
+                        (a, b) if a.is_integer() && b.is_integer() => Self::arith_common(a, b),
                         _ => return Err(self.err(span, "invalid operands to '-'")),
                     },
                     _ if op.is_comparison() => Type::Int,
                     BinOp::LogAnd | BinOp::LogOr => Type::Int,
                     _ => {
                         if !lt.is_integer() || !rt.is_integer() {
-                            return Err(self.err(
-                                span,
-                                format!("invalid operands to '{}'", op.as_str()),
-                            ));
+                            return Err(
+                                self.err(span, format!("invalid operands to '{}'", op.as_str()))
+                            );
                         }
                         Self::arith_common(&lt, &rt)
                     }
@@ -586,9 +658,7 @@ impl<'a> Ctx<'a> {
                     match (&lt_val, op) {
                         (Type::Ptr(_), BinOp::Add | BinOp::Sub) if rt.is_integer() => {}
                         (a, _) if a.is_integer() && rt.is_integer() => {}
-                        _ => {
-                            return Err(self.err(span, "invalid compound assignment operands"))
-                        }
+                        _ => return Err(self.err(span, "invalid compound assignment operands")),
                     }
                 } else {
                     self.check_assignable(&lt, &rt, span, rhs);
@@ -626,8 +696,7 @@ impl<'a> Ctx<'a> {
                     },
                     _ => return Err(self.err(span, "call of non-function")),
                 };
-                if args.len() < sig.params.len()
-                    || (!sig.varargs && args.len() > sig.params.len())
+                if args.len() < sig.params.len() || (!sig.varargs && args.len() > sig.params.len())
                 {
                     return Err(self.err(
                         span,
@@ -654,13 +723,8 @@ impl<'a> Ctx<'a> {
                             let dst_t = args[0].ty.as_ref().map(Type::decayed);
                             let src_t = args[1].ty.as_ref().map(Type::decayed);
                             if let (Some(Type::Ptr(d)), Some(Type::Ptr(s))) = (dst_t, src_t) {
-                                let transparent = |t: &Type| {
-                                    matches!(t, Type::Void | Type::Char)
-                                };
-                                if !transparent(&d)
-                                    && !transparent(&s)
-                                    && *d != *s
-                                {
+                                let transparent = |t: &Type| matches!(t, Type::Void | Type::Char);
+                                if !transparent(&d) && !transparent(&s) && *d != *s {
                                     self.warn(
                                         span,
                                         "memcpy between differently typed objects may hide pointers from the collector",
@@ -701,9 +765,7 @@ impl<'a> Ctx<'a> {
                 let rec = self.types.record(id);
                 match rec.field(&field) {
                     Some(f) => f.ty.clone(),
-                    None => {
-                        return Err(self.err(span, format!("no field named '{field}'")))
-                    }
+                    None => return Err(self.err(span, format!("no field named '{field}'"))),
                 }
             }
             ExprKind::Cast(ty, inner) => {
@@ -754,7 +816,10 @@ impl<'a> Ctx<'a> {
             // `p = 0` is the null constant; anything else is the hazard the
             // paper's checker warns about.
             if !matches!(rhs_expr.kind, ExprKind::IntLit(0)) {
-                self.warn(span, "integer assigned to pointer without a cast".to_string());
+                self.warn(
+                    span,
+                    "integer assigned to pointer without a cast".to_string(),
+                );
             }
         }
     }
@@ -789,16 +854,16 @@ mod tests {
 
     #[test]
     fn shadowing_in_nested_scopes() {
-        let (_, info) = analyze_src(
-            "int f(void) { int x = 1; { int x = 2; x++; } return x; }",
-        );
+        let (_, info) = analyze_src("int f(void) { int x = 1; { int x = 2; x++; } return x; }");
         let fi = &info.funcs["f"];
         assert_eq!(fi.vars.iter().filter(|v| v.name == "x").count(), 2);
     }
 
     #[test]
     fn addr_taken_is_computed() {
-        let (_, info) = analyze_src("long g(long *); long f(void) { long v = 3; long w = 4; g(&v); return v + w; }");
+        let (_, info) = analyze_src(
+            "long g(long *); long f(void) { long v = 3; long w = 4; g(&v); return v + w; }",
+        );
         let fi = &info.funcs["f"];
         let v = fi.vars.iter().find(|x| x.name == "v").expect("v");
         let w = fi.vars.iter().find(|x| x.name == "w").expect("w");
@@ -844,7 +909,10 @@ mod tests {
     #[test]
     fn enum_constants_resolve() {
         let (_, info) = analyze_src("enum { N = 5 }; int main(void) { return N; }");
-        assert!(info.res.values().any(|r| matches!(r, Resolution::EnumConst(5))));
+        assert!(info
+            .res
+            .values()
+            .any(|r| matches!(r, Resolution::EnumConst(5))));
     }
 
     #[test]
@@ -867,9 +935,8 @@ mod tests {
 
     #[test]
     fn missing_field_is_an_error() {
-        let e = analyze_err(
-            "struct s { int a; }; int main(void) { struct s x; x.a = 1; return x.b; }",
-        );
+        let e =
+            analyze_err("struct s { int a; }; int main(void) { struct s x; x.a = 1; return x.b; }");
         assert!(e.message.contains("no field"));
     }
 
@@ -881,8 +948,7 @@ mod tests {
 
     #[test]
     fn int_to_pointer_cast_warns() {
-        let (_, info) =
-            analyze_src("int main(void) { char *p = (char *) 42; return p != 0; }");
+        let (_, info) = analyze_src("int main(void) { char *p = (char *) 42; return p != 0; }");
         assert_eq!(info.warnings.len(), 1);
         assert!(info.warnings[0].message.contains("converted to pointer"));
     }
@@ -895,8 +961,7 @@ mod tests {
 
     #[test]
     fn integer_assignment_to_pointer_warns() {
-        let (_, info) =
-            analyze_src("int main(void) { char *p; int x = 5; p = x; return 0; }");
+        let (_, info) = analyze_src("int main(void) { char *p; int x = 5; p = x; return 0; }");
         assert!(!info.warnings.is_empty());
     }
 
@@ -912,7 +977,8 @@ mod tests {
 
     #[test]
     fn arithmetic_promotions() {
-        let (p, _) = analyze_src("long f(char c, int i, unsigned u, long l) { return c + i + u + l; }");
+        let (p, _) =
+            analyze_src("long f(char c, int i, unsigned u, long l) { return c + i + u + l; }");
         let f = p.func("f").expect("f");
         let crate::ast::Stmt::Return(Some(e)) = &f.body.as_ref().unwrap().stmts[0] else {
             panic!()

@@ -61,7 +61,10 @@ impl Type {
 
     /// Whether this is an integer type.
     pub fn is_integer(&self) -> bool {
-        matches!(self, Type::Char | Type::Int | Type::UInt | Type::Long | Type::ULong)
+        matches!(
+            self,
+            Type::Char | Type::Int | Type::UInt | Type::Long | Type::ULong
+        )
     }
 
     /// Whether the type is an array.
@@ -283,7 +286,11 @@ impl TypeTable {
             if is_union {
                 size = size.max(fs);
             }
-            laid.push(Field { name, ty, offset: field_offset });
+            laid.push(Field {
+                name,
+                ty,
+                offset: field_offset,
+            });
         }
         if !is_union {
             size = offset;

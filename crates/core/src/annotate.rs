@@ -31,6 +31,7 @@ use cfront::edit::EditList;
 use cfront::pretty::expr_to_c;
 use cfront::sema::{Resolution, SemaInfo};
 use cfront::types::{Type, TypeTable};
+use gctrace::{Event, TraceHandle};
 use std::collections::HashMap;
 
 /// Annotation mode.
@@ -80,7 +81,10 @@ impl Config {
 
     /// The paper's debugging/checking configuration.
     pub fn checked() -> Self {
-        Config { mode: Mode::Checked, ..Config::default() }
+        Config {
+            mode: Mode::Checked,
+            ..Config::default()
+        }
     }
 }
 
@@ -115,12 +119,27 @@ pub struct AnnotResult {
 /// [`cfront::analyze`] first) and must be re-filled afterwards (run it
 /// again): the annotator inserts new, untyped nodes.
 pub fn annotate(prog: &mut Program, sema: &SemaInfo, config: &Config) -> AnnotResult {
+    annotate_traced(prog, sema, config, &TraceHandle::disabled())
+}
+
+/// [`annotate`] with a per-annotation audit stream: every wrap, every
+/// optimization-suppressed wrap, and every base-heuristic substitution
+/// emits an `"annotate"`-stage event on `trace`, followed by one
+/// `"summary"` event per function carrying that function's counters, so
+/// summing a field across summaries yields the program total.
+pub fn annotate_traced(
+    prog: &mut Program,
+    sema: &SemaInfo,
+    config: &Config,
+    trace: &TraceHandle,
+) -> AnnotResult {
     let types = prog.types.clone();
     let mut ids = std::mem::take(&mut prog.node_ids);
     let mut result = AnnotResult::default();
     let mut funcs = std::mem::take(&mut prog.funcs);
     for f in &mut funcs {
         let Some(body) = f.body.take() else { continue };
+        let before = result.stats;
         let origins = if config.base_heuristic {
             compute_origins(&body, sema)
         } else {
@@ -134,9 +153,33 @@ pub fn annotate(prog: &mut Program, sema: &SemaInfo, config: &Config) -> AnnotRe
             stats: &mut result.stats,
             edits: &mut result.edits,
             origins,
+            trace,
         };
         let body = cx.block(body);
         f.body = Some(body);
+        let stats = result.stats;
+        trace.emit(|| {
+            Event::new("annotate", "summary")
+                .field("function", f.name.as_str())
+                .field("keep_lives", stats.keep_lives - before.keep_lives)
+                .field("checks", stats.checks - before.checks)
+                .field(
+                    "incdec_specials",
+                    stats.incdec_specials - before.incdec_specials,
+                )
+                .field(
+                    "skipped_copies",
+                    stats.skipped_copies - before.skipped_copies,
+                )
+                .field(
+                    "base_heuristic_hits",
+                    stats.base_heuristic_hits - before.base_heuristic_hits,
+                )
+                .field(
+                    "skipped_deref_wraps",
+                    stats.skipped_deref_wraps - before.skipped_deref_wraps,
+                )
+        });
     }
     prog.funcs = funcs;
     prog.node_ids = ids;
@@ -247,9 +290,7 @@ fn collect_decl_inits(stmt: &Stmt, f: &mut dyn FnMut(&str, &Expr)) {
                 collect_decl_inits(e, f);
             }
         }
-        Stmt::While(_, b) | Stmt::DoWhile(b, _) | Stmt::Switch(_, b) => {
-            collect_decl_inits(b, f)
-        }
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) | Stmt::Switch(_, b) => collect_decl_inits(b, f),
         Stmt::For { init, body, .. } => {
             if let Some(i) = init {
                 collect_decl_inits(i, f);
@@ -278,6 +319,7 @@ struct Annotator<'a> {
     stats: &'a mut AnnotStats,
     edits: &'a mut EditList,
     origins: HashMap<String, String>,
+    trace: &'a TraceHandle,
 }
 
 impl Annotator<'_> {
@@ -294,7 +336,9 @@ impl Annotator<'_> {
     }
 
     fn heap_ptr_var(&self, e: &Expr) -> Option<String> {
-        let ExprKind::Ident(name) = &e.kind else { return None };
+        let ExprKind::Ident(name) = &e.kind else {
+            return None;
+        };
         if !matches!(e.ty.as_ref(), Some(Type::Ptr(_))) {
             return None;
         }
@@ -321,8 +365,47 @@ impl Annotator<'_> {
         }
         if cur != name {
             self.stats.base_heuristic_hits += 1;
+            self.trace.emit(|| {
+                Event::new("annotate", "base_heuristic")
+                    .field("from", name.as_str())
+                    .field("to", cur.as_str())
+            });
         }
         Base::Var(cur)
+    }
+
+    /// Emits one wrap audit event (the closure only runs when tracing is
+    /// enabled, so the pretty-printed expression costs nothing otherwise).
+    fn audit_wrap(
+        &self,
+        value: &Expr,
+        primitive: &'static str,
+        rule: &'static str,
+        base_name: Option<&str>,
+    ) {
+        self.trace.emit(|| {
+            let mut ev = Event::new("annotate", "wrap")
+                .field("primitive", primitive)
+                .field("rule", rule)
+                .field("expr", expr_to_c(value, self.types))
+                .field("span_start", value.span.start)
+                .field("span_end", value.span.end);
+            if let Some(b) = base_name {
+                ev = ev.field("base", b);
+            }
+            ev
+        });
+    }
+
+    /// Emits one suppressed-wrap audit event.
+    fn audit_skip(&self, value: &Expr, reason: &'static str) {
+        self.trace.emit(|| {
+            Event::new("annotate", "skip")
+                .field("reason", reason)
+                .field("expr", expr_to_c(value, self.types))
+                .field("span_start", value.span.start)
+                .field("span_end", value.span.end)
+        });
     }
 
     /// Wraps `value` in the mode's annotation primitive with the given
@@ -336,6 +419,7 @@ impl Annotator<'_> {
             (_, Base::Nil) => value,
             (Mode::GcSafe, Base::Var(b)) => {
                 self.stats.keep_lives += 1;
+                self.audit_wrap(&value, "KEEP_LIVE", "base_var", Some(&b));
                 if record_edit {
                     self.edits.insert(span.start, "KEEP_LIVE(");
                     self.edits.insert(span.end, format!(", {b})"));
@@ -343,19 +427,30 @@ impl Annotator<'_> {
                 let base_e = self.ident(span, &b);
                 self.mk(
                     span,
-                    ExprKind::KeepLive { value: Box::new(value), base: Some(Box::new(base_e)) },
+                    ExprKind::KeepLive {
+                        value: Box::new(value),
+                        base: Some(Box::new(base_e)),
+                    },
                 )
             }
             (Mode::GcSafe, Base::Opaque) => {
                 self.stats.keep_lives += 1;
+                self.audit_wrap(&value, "KEEP_LIVE", "base_opaque", None);
                 if record_edit {
                     self.edits.insert(span.start, "KEEP_LIVE(");
                     self.edits.insert(span.end, ", 0)");
                 }
-                self.mk(span, ExprKind::KeepLive { value: Box::new(value), base: None })
+                self.mk(
+                    span,
+                    ExprKind::KeepLive {
+                        value: Box::new(value),
+                        base: None,
+                    },
+                )
             }
             (Mode::Checked, Base::Var(b)) => {
                 self.stats.checks += 1;
+                self.audit_wrap(&value, "GC_same_obj", "base_var", Some(&b));
                 if record_edit {
                     self.edits.insert(span.start, "GC_same_obj(");
                     self.edits.insert(span.end, format!(", {b})"));
@@ -363,13 +458,23 @@ impl Annotator<'_> {
                 let base_e = self.ident(span, &b);
                 self.mk(
                     span,
-                    ExprKind::CheckSame { value: Box::new(value), base: Box::new(base_e) },
+                    ExprKind::CheckSame {
+                        value: Box::new(value),
+                        base: Box::new(base_e),
+                    },
                 )
             }
             (Mode::Checked, Base::Opaque) => {
                 // No named base to check against; fall back to opacity.
                 self.stats.keep_lives += 1;
-                self.mk(span, ExprKind::KeepLive { value: Box::new(value), base: None })
+                self.audit_wrap(&value, "KEEP_LIVE", "base_opaque", None);
+                self.mk(
+                    span,
+                    ExprKind::KeepLive {
+                        value: Box::new(value),
+                        base: None,
+                    },
+                )
             }
         }
     }
@@ -397,21 +502,20 @@ impl Annotator<'_> {
                 Box::new(self.stmt(*t)),
                 e.map(|e| Box::new(self.stmt(*e))),
             ),
-            Stmt::While(c, b) => {
-                Stmt::While(self.expr(c, Pos::Plain), Box::new(self.stmt(*b)))
-            }
-            Stmt::DoWhile(b, c) => {
-                Stmt::DoWhile(Box::new(self.stmt(*b)), self.expr(c, Pos::Plain))
-            }
-            Stmt::For { init, cond, step, body } => Stmt::For {
+            Stmt::While(c, b) => Stmt::While(self.expr(c, Pos::Plain), Box::new(self.stmt(*b))),
+            Stmt::DoWhile(b, c) => Stmt::DoWhile(Box::new(self.stmt(*b)), self.expr(c, Pos::Plain)),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
                 init: init.map(|i| Box::new(self.stmt(*i))),
                 cond: cond.map(|c| self.expr(c, Pos::Plain)),
                 step: step.map(|st| self.expr(st, Pos::Plain)),
                 body: Box::new(self.stmt(*body)),
             },
-            Stmt::Switch(c, b) => {
-                Stmt::Switch(self.expr(c, Pos::Plain), Box::new(self.stmt(*b)))
-            }
+            Stmt::Switch(c, b) => Stmt::Switch(self.expr(c, Pos::Plain), Box::new(self.stmt(*b))),
             Stmt::Return(Some(e)) => Stmt::Return(Some(self.expr(e, Pos::Value))),
             other => other,
         }
@@ -460,6 +564,7 @@ impl Annotator<'_> {
         }
         if self.cfg.call_sites_only {
             self.stats.skipped_deref_wraps += 1;
+            self.audit_skip(e, "opt4_call_sites_only");
             return None;
         }
         Some(base)
@@ -477,22 +582,39 @@ impl Annotator<'_> {
             ExprKind::Assign { op: None, lhs, rhs } => {
                 let lhs = self.expr(*lhs, Pos::Plain);
                 let rhs = self.expr(*rhs, Pos::Value);
-                rebuild(ty, ExprKind::Assign { op: None, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+                rebuild(
+                    ty,
+                    ExprKind::Assign {
+                        op: None,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                )
             }
-            ExprKind::Assign { op: Some(op), lhs, rhs } => {
+            ExprKind::Assign {
+                op: Some(op),
+                lhs,
+                rhs,
+            } => {
                 // Pointer compound assignment: p += k → p = WRAP(p + k, p).
                 let lhs_is_heap_ptr = self.heap_ptr_var(&lhs).is_some();
                 if lhs_is_heap_ptr && matches!(op, BinOp::Add | BinOp::Sub) {
                     let name = self.heap_ptr_var(&lhs).expect("checked above");
                     let rhs = self.expr(*rhs, Pos::Plain);
                     let lhs_copy = self.ident(lhs.span, &name);
-                    let mut arith =
-                        self.mk(span, ExprKind::Binary(op, Box::new(lhs_copy), Box::new(rhs)));
+                    let mut arith = self.mk(
+                        span,
+                        ExprKind::Binary(op, Box::new(lhs_copy), Box::new(rhs)),
+                    );
                     arith.ty = lhs.ty.clone();
                     let wrapped = self.wrap(arith, Base::Var(name), false);
                     let new = self.mk(
                         span,
-                        ExprKind::Assign { op: None, lhs, rhs: Box::new(wrapped) },
+                        ExprKind::Assign {
+                            op: None,
+                            lhs,
+                            rhs: Box::new(wrapped),
+                        },
                     );
                     self.edits.replace(
                         span.start,
@@ -503,7 +625,14 @@ impl Annotator<'_> {
                 }
                 let lhs = self.expr(*lhs, Pos::Plain);
                 let rhs = self.expr(*rhs, Pos::Plain);
-                rebuild(ty, ExprKind::Assign { op: Some(op), lhs: Box::new(lhs), rhs: Box::new(rhs) })
+                rebuild(
+                    ty,
+                    ExprKind::Assign {
+                        op: Some(op),
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                )
             }
             ExprKind::IncDec { inc, pre, target } => {
                 if let Some(name) = self.heap_ptr_var(&target) {
@@ -526,13 +655,18 @@ impl Annotator<'_> {
                             self.mk(span, ExprKind::AddrOf(Box::new(t)))
                         };
                         let amount = self.mk(span, ExprKind::IntLit(delta));
-                        let call = self.mk(
-                            span,
-                            ExprKind::Call(Box::new(callee), vec![addr, amount]),
-                        );
-                        let target_ty =
-                            target.ty.clone().expect("sema ran before annotation");
+                        let call =
+                            self.mk(span, ExprKind::Call(Box::new(callee), vec![addr, amount]));
+                        let target_ty = target.ty.clone().expect("sema ran before annotation");
                         let new = self.mk(span, ExprKind::Cast(target_ty, Box::new(call)));
+                        self.trace.emit(|| {
+                            Event::new("annotate", "incdec")
+                                .field("primitive", fname)
+                                .field("var", name.as_str())
+                                .field("delta", delta)
+                                .field("span_start", span.start)
+                                .field("span_end", span.end)
+                        });
                         self.edits.replace(
                             span.start,
                             span.end - span.start,
@@ -545,11 +679,25 @@ impl Annotator<'_> {
                     // the paper's optimized `(tmp = e, e = tmp + 1, tmp)`
                     // expansion without forcing e to memory.
                     self.stats.incdec_specials += 1;
+                    self.trace.emit(|| {
+                        Event::new("annotate", "incdec")
+                            .field("primitive", "KEEP_LIVE")
+                            .field("var", name.as_str())
+                            .field("span_start", span.start)
+                            .field("span_end", span.end)
+                    });
                     let node = self.mk(span, ExprKind::IncDec { inc, pre, target });
                     return self.wrap(node, Base::Var(name), true);
                 }
                 let target = self.expr(*target, Pos::Plain);
-                rebuild(ty, ExprKind::IncDec { inc, pre, target: Box::new(target) })
+                rebuild(
+                    ty,
+                    ExprKind::IncDec {
+                        inc,
+                        pre,
+                        target: Box::new(target),
+                    },
+                )
             }
             // ------ dereference points -------------------------------------
             ExprKind::Deref(inner) => {
@@ -557,9 +705,16 @@ impl Annotator<'_> {
                 rebuild(ty, ExprKind::Deref(Box::new(inner)))
             }
             ExprKind::Index(a, i) => {
-                let probe = Expr { id: e.id, span, ty: ty.clone(), kind: ExprKind::Index(a, i) };
+                let probe = Expr {
+                    id: e.id,
+                    span,
+                    ty: ty.clone(),
+                    kind: ExprKind::Index(a, i),
+                };
                 let wrap_base = self.deref_address(&probe);
-                let ExprKind::Index(a, i) = probe.kind else { unreachable!() };
+                let ExprKind::Index(a, i) = probe.kind else {
+                    unreachable!()
+                };
                 let a = self.expr(*a, Pos::Plain);
                 let i = self.expr(*i, Pos::Plain);
                 let idx = rebuild(ty.clone(), ExprKind::Index(Box::new(a), Box::new(i)));
@@ -583,14 +738,24 @@ impl Annotator<'_> {
                     id: e.id,
                     span,
                     ty: ty.clone(),
-                    kind: ExprKind::Member { obj, field: field.clone(), arrow },
+                    kind: ExprKind::Member {
+                        obj,
+                        field: field.clone(),
+                        arrow,
+                    },
                 };
                 let wrap_base = self.deref_address(&probe);
-                let ExprKind::Member { obj, .. } = probe.kind else { unreachable!() };
+                let ExprKind::Member { obj, .. } = probe.kind else {
+                    unreachable!()
+                };
                 let obj = self.expr(*obj, Pos::Plain);
                 let mem = rebuild(
                     ty.clone(),
-                    ExprKind::Member { obj: Box::new(obj), field: field.clone(), arrow },
+                    ExprKind::Member {
+                        obj: Box::new(obj),
+                        field: field.clone(),
+                        arrow,
+                    },
                 );
                 match wrap_base {
                     Some(base) => {
@@ -676,6 +841,7 @@ impl Annotator<'_> {
                         return self.wrap(out, base, true);
                     }
                     self.stats.skipped_copies += 1;
+                    self.audit_skip(&out, "opt1_copy");
                 }
                 out
             }
@@ -702,7 +868,14 @@ impl Annotator<'_> {
                 } else {
                     self.expr_no_deref_wrap(*obj)
                 };
-                rebuild(ty, ExprKind::Member { obj: Box::new(obj), field, arrow })
+                rebuild(
+                    ty,
+                    ExprKind::Member {
+                        obj: Box::new(obj),
+                        field,
+                        arrow,
+                    },
+                )
             }
             ExprKind::Deref(inner) => {
                 let inner = self.expr(*inner, Pos::Plain);

@@ -65,7 +65,9 @@ impl<'a> BaseAnalysis<'a> {
     /// pointer-typed local or global. Array-typed variables decay to
     /// pointers into GC-roots and are excluded, as are function names.
     fn heap_pointer_var(&self, e: &Expr) -> Option<String> {
-        let ExprKind::Ident(name) = &e.kind else { return None };
+        let ExprKind::Ident(name) = &e.kind else {
+            return None;
+        };
         if !matches!(e.ty.as_ref(), Some(Type::Ptr(_))) {
             return None;
         }
@@ -107,10 +109,7 @@ impl<'a> BaseAnalysis<'a> {
             // BASE(e1 - e2) = BASE(e1).
             ExprKind::Binary(op, l, r) => match op {
                 BinOp::Add => {
-                    let l_ptr = matches!(
-                        l.ty.as_ref().map(Type::decayed),
-                        Some(Type::Ptr(_))
-                    );
+                    let l_ptr = matches!(l.ty.as_ref().map(Type::decayed), Some(Type::Ptr(_)));
                     if l_ptr {
                         self.base(l)
                     } else {
@@ -147,9 +146,13 @@ impl<'a> BaseAnalysis<'a> {
             // BASEADDR(e1[e2]) = BASE(e1), or BASE(e2) if that is NIL.
             ExprKind::Index(a, i) => self.base(a).or(self.base(i)),
             // BASEADDR(e1 -> x) = BASE(e1).
-            ExprKind::Member { obj, arrow: true, .. } => self.base(obj),
+            ExprKind::Member {
+                obj, arrow: true, ..
+            } => self.base(obj),
             // `.` on an lvalue shares the lvalue's base address.
-            ExprKind::Member { obj, arrow: false, .. } => self.base_addr(obj),
+            ExprKind::Member {
+                obj, arrow: false, ..
+            } => self.base_addr(obj),
             // &*e ≡ e, so BASEADDR(*e) = BASE(e).
             ExprKind::Deref(inner) => self.base(inner),
             ExprKind::Cast(_, inner) => self.base_addr(inner),
@@ -173,7 +176,9 @@ mod tests {
         let f = prog.func("f").unwrap();
         let block = f.body.as_ref().unwrap();
         let last = block.stmts.last().unwrap();
-        let cfront::ast::Stmt::Expr(e) = last else { panic!("want expr stmt") };
+        let cfront::ast::Stmt::Expr(e) = last else {
+            panic!("want expr stmt")
+        };
         let cfront::ast::ExprKind::Assign { rhs, .. } = &e.kind else {
             panic!("want assignment")
         };
@@ -250,7 +255,9 @@ mod tests {
         let cfront::ast::Stmt::Expr(e) = f.body.as_ref().unwrap().stmts.last().unwrap() else {
             panic!()
         };
-        let cfront::ast::ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let cfront::ast::ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(BaseAnalysis::new(&sema).base(rhs), Base::Var("sp".into()));
     }
 

@@ -32,8 +32,9 @@
 pub mod annotate;
 pub mod base;
 
-pub use annotate::{annotate, AnnotResult, AnnotStats, Config, Mode};
+pub use annotate::{annotate, annotate_traced, AnnotResult, AnnotStats, Config, Mode};
 pub use base::{Base, BaseAnalysis};
+pub use gctrace::TraceHandle;
 
 use cfront::sema::SemaInfo;
 use cfront::{FrontError, Program};
@@ -59,9 +60,23 @@ pub struct Annotated {
 /// Returns parse/sema errors from either sema run, or an edit-application
 /// failure (which would indicate an annotator bug).
 pub fn annotate_program(source: &str, config: &Config) -> Result<Annotated, FrontError> {
+    annotate_program_traced(source, config, &TraceHandle::disabled())
+}
+
+/// [`annotate_program`] with an audit-event stream (see
+/// [`annotate::annotate_traced`]).
+///
+/// # Errors
+///
+/// Same failure modes as [`annotate_program`].
+pub fn annotate_program_traced(
+    source: &str,
+    config: &Config,
+    trace: &TraceHandle,
+) -> Result<Annotated, FrontError> {
     let mut program = cfront::parse(source)?;
     let sema = cfront::analyze(&mut program)?;
-    let result = annotate(&mut program, &sema, config);
+    let result = annotate_traced(&mut program, &sema, config, trace);
     let sema = cfront::analyze(&mut program)?;
     let annotated_source = result.edits.apply(source).map_err(|e| {
         FrontError::new(
@@ -70,7 +85,12 @@ pub fn annotate_program(source: &str, config: &Config) -> Result<Annotated, Fron
             cfront::Span::point(0),
         )
     })?;
-    Ok(Annotated { program, sema, result, annotated_source })
+    Ok(Annotated {
+        program,
+        sema,
+        result,
+        annotated_source,
+    })
 }
 
 #[cfg(test)]
@@ -101,7 +121,9 @@ mod tests {
         let (keep, check) = count_wraps(&out.program);
         assert_eq!(keep, 1);
         assert_eq!(check, 0);
-        assert!(out.annotated_source.contains("KEEP_LIVE(&(p[i - 1000]), p)"));
+        assert!(out
+            .annotated_source
+            .contains("KEEP_LIVE(&(p[i - 1000]), p)"));
     }
 
     #[test]
@@ -128,7 +150,10 @@ mod tests {
     #[test]
     fn copies_wrapped_when_optimization_disabled() {
         let src = "char *f(char *p) { char *q; q = p; return q; }";
-        let cfg = Config { skip_copies: false, ..Config::gc_safe() };
+        let cfg = Config {
+            skip_copies: false,
+            ..Config::gc_safe()
+        };
         let out = annotate_program(src, &cfg).unwrap();
         let (keep, _) = count_wraps(&out.program);
         assert!(keep >= 2, "ablation: copies get wrapped, got {keep}");
@@ -210,11 +235,17 @@ mod tests {
     fn call_site_only_drops_deref_wraps_keeps_stores() {
         let src = "char *f(char *p, long i) { char *q; q = p + i; return p[i]; }";
         let full = annotate_program(src, &Config::gc_safe()).unwrap();
-        let cfg = Config { call_sites_only: true, ..Config::gc_safe() };
+        let cfg = Config {
+            call_sites_only: true,
+            ..Config::gc_safe()
+        };
         let reduced = annotate_program(src, &cfg).unwrap();
         let (kf, _) = count_wraps(&full.program);
         let (kr, _) = count_wraps(&reduced.program);
-        assert!(kr < kf, "call-site-only must reduce wrap count ({kr} vs {kf})");
+        assert!(
+            kr < kf,
+            "call-site-only must reduce wrap count ({kr} vs {kf})"
+        );
         assert!(kr >= 1, "the stored value q = p + i is still wrapped");
         assert!(reduced.result.stats.skipped_deref_wraps > 0);
     }
@@ -228,9 +259,16 @@ mod tests {
                      p = s; q = t;\n\
                      while (*p++ = *q++);\n\
                    }";
-        let cfg = Config { base_heuristic: true, ..Config::gc_safe() };
+        let cfg = Config {
+            base_heuristic: true,
+            ..Config::gc_safe()
+        };
         let out = annotate_program(src, &cfg).unwrap();
-        assert!(out.result.stats.base_heuristic_hits >= 2, "stats: {:?}", out.result.stats);
+        assert!(
+            out.result.stats.base_heuristic_hits >= 2,
+            "stats: {:?}",
+            out.result.stats
+        );
         let printed = cfront::pretty::program_to_c(&out.program);
         assert!(printed.contains(", s)"), "base replaced by s in: {printed}");
         assert!(printed.contains(", t)"), "base replaced by t in: {printed}");
@@ -240,7 +278,10 @@ mod tests {
     fn base_heuristic_respects_reassigned_sources() {
         // s is reassigned, so p's base must stay p.
         let src = "void f(char *s) { char *p; p = s; s = 0; while (*p++); }";
-        let cfg = Config { base_heuristic: true, ..Config::gc_safe() };
+        let cfg = Config {
+            base_heuristic: true,
+            ..Config::gc_safe()
+        };
         let out = annotate_program(src, &cfg).unwrap();
         assert_eq!(out.result.stats.base_heuristic_hits, 0);
     }
@@ -267,6 +308,50 @@ mod tests {
         let opens = out.annotated_source.matches('(').count();
         let closes = out.annotated_source.matches(')').count();
         assert_eq!(opens, closes, "unbalanced: {}", out.annotated_source);
+    }
+
+    #[test]
+    fn audit_events_mirror_the_stats() {
+        let src = "struct nd { long v; struct nd *next; };\n\
+                   long f(struct nd *n, char *p, long i) {\n\
+                     char *q; q = p + i;\n\
+                     while (*q++);\n\
+                     return n->next->v + p[i];\n\
+                   }";
+        for config in [Config::gc_safe(), Config::checked()] {
+            let (trace, sink) = TraceHandle::memory();
+            let out = annotate_program_traced(src, &config, &trace).unwrap();
+            let evs = sink.snapshot();
+            let count = |kind: &str| evs.iter().filter(|e| e.kind == kind).count();
+            let stats = out.result.stats;
+            assert_eq!(count("wrap"), stats.keep_lives + stats.checks, "{config:?}");
+            assert_eq!(count("incdec"), stats.incdec_specials, "{config:?}");
+            assert_eq!(
+                evs.iter()
+                    .filter(|e| {
+                        e.kind == "skip"
+                            && e.get("reason")
+                                .map(|v| v == &gctrace::Value::Str("opt1_copy".into()))
+                                == Some(true)
+                    })
+                    .count(),
+                stats.skipped_copies,
+                "{config:?}"
+            );
+            // One summary per defined function.
+            assert_eq!(count("summary"), 1);
+            assert!(evs.iter().all(|e| e.stage == "annotate"));
+        }
+    }
+
+    #[test]
+    fn untraced_annotation_matches_traced() {
+        let src = "char *f(char *p, long i) { return p + i; }";
+        let plain = annotate_program(src, &Config::gc_safe()).unwrap();
+        let (trace, _sink) = TraceHandle::memory();
+        let traced = annotate_program_traced(src, &Config::gc_safe(), &trace).unwrap();
+        assert_eq!(plain.annotated_source, traced.annotated_source);
+        assert_eq!(plain.result.stats, traced.result.stats);
     }
 
     #[test]

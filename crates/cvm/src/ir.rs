@@ -86,10 +86,29 @@ impl From<Temp> for Operand {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BinIr {
-    Add, Sub, Mul, Div, Rem, DivU, RemU,
-    And, Or, Xor, Shl, Sar, Shr,
-    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
-    CmpLtU, CmpLeU, CmpGtU, CmpGeU,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    DivU,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Sar,
+    Shr,
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    CmpLtU,
+    CmpLeU,
+    CmpGtU,
+    CmpGeU,
 }
 
 impl BinIr {
@@ -97,8 +116,13 @@ impl BinIr {
     pub fn commutative(self) -> bool {
         matches!(
             self,
-            BinIr::Add | BinIr::Mul | BinIr::And | BinIr::Or | BinIr::Xor
-                | BinIr::CmpEq | BinIr::CmpNe
+            BinIr::Add
+                | BinIr::Mul
+                | BinIr::And
+                | BinIr::Or
+                | BinIr::Xor
+                | BinIr::CmpEq
+                | BinIr::CmpNe
         )
     }
 
@@ -106,8 +130,16 @@ impl BinIr {
     pub fn is_compare(self) -> bool {
         matches!(
             self,
-            BinIr::CmpEq | BinIr::CmpNe | BinIr::CmpLt | BinIr::CmpLe | BinIr::CmpGt
-                | BinIr::CmpGe | BinIr::CmpLtU | BinIr::CmpLeU | BinIr::CmpGtU | BinIr::CmpGeU
+            BinIr::CmpEq
+                | BinIr::CmpNe
+                | BinIr::CmpLt
+                | BinIr::CmpLe
+                | BinIr::CmpGt
+                | BinIr::CmpGe
+                | BinIr::CmpLtU
+                | BinIr::CmpLeU
+                | BinIr::CmpGtU
+                | BinIr::CmpGeU
         )
     }
 
@@ -329,7 +361,9 @@ impl Instr {
                 push(addr);
                 push(value);
             }
-            Instr::MemCopy { dst_addr, src_addr, .. } => {
+            Instr::MemCopy {
+                dst_addr, src_addr, ..
+            } => {
                 push(dst_addr);
                 push(src_addr);
             }
@@ -377,7 +411,10 @@ impl Instr {
 
     /// Whether the instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Instr::Ret { .. } | Instr::Jump { .. } | Instr::Branch { .. })
+        matches!(
+            self,
+            Instr::Ret { .. } | Instr::Jump { .. } | Instr::Branch { .. }
+        )
     }
 }
 
@@ -387,14 +424,27 @@ impl fmt::Display for Instr {
             Instr::Const { dst, value } => write!(f, "{dst} = {value}"),
             Instr::Mov { dst, src } => write!(f, "{dst} = {src}"),
             Instr::Bin { dst, op, a, b } => write!(f, "{dst} = {op:?}({a}, {b})"),
-            Instr::Load { dst, addr, width, signed } => {
-                write!(f, "{dst} = load{width}{} [{addr}]", if *signed { "s" } else { "u" })
+            Instr::Load {
+                dst,
+                addr,
+                width,
+                signed,
+            } => {
+                write!(
+                    f,
+                    "{dst} = load{width}{} [{addr}]",
+                    if *signed { "s" } else { "u" }
+                )
             }
             Instr::Store { addr, value, width } => {
                 write!(f, "store{width} [{addr}] = {value}")
             }
             Instr::FrameAddr { dst, offset } => write!(f, "{dst} = fp+{offset}"),
-            Instr::MemCopy { dst_addr, src_addr, len } => {
+            Instr::MemCopy {
+                dst_addr,
+                src_addr,
+                len,
+            } => {
                 write!(f, "memcopy [{dst_addr}] <- [{src_addr}] x{len}")
             }
             Instr::Call { dst, target, args } => {
@@ -425,7 +475,11 @@ impl fmt::Display for Instr {
             Instr::Ret { value: Some(v) } => write!(f, "ret {v}"),
             Instr::Ret { value: None } => write!(f, "ret"),
             Instr::Jump { target } => write!(f, "jump {target}"),
-            Instr::Branch { cond, if_true, if_false } => {
+            Instr::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 write!(f, "br {cond} ? {if_true} : {if_false}")
             }
         }
@@ -444,7 +498,9 @@ impl Block {
     pub fn successors(&self) -> Vec<BlockId> {
         match self.instrs.last() {
             Some(Instr::Jump { target }) => vec![*target],
-            Some(Instr::Branch { if_true, if_false, .. }) => vec![*if_true, *if_false],
+            Some(Instr::Branch {
+                if_true, if_false, ..
+            }) => vec![*if_true, *if_false],
             _ => vec![],
         }
     }
@@ -554,7 +610,10 @@ mod tests {
         i.uses(&mut u);
         assert!(u.contains(&Temp(1)), "base must be kept live");
         assert!(u.contains(&Temp(2)));
-        assert!(!i.has_side_effects(), "keep_live with dead dst may be removed");
+        assert!(
+            !i.has_side_effects(),
+            "keep_live with dead dst may be removed"
+        );
     }
 
     #[test]

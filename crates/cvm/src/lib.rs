@@ -47,9 +47,11 @@ pub use ir::{BinIr, Block, BlockId, CallTarget, FuncIr, Instr, Operand, ProgramI
 pub use liveness::{gc_root_maps, Liveness, TempSet};
 pub use lower::{lower, LowerError, LowerOptions};
 pub use machine::Machine;
-pub use opt::{optimize, optimize_func, OptOptions};
-pub use verify::{verify_func, verify_program, Violation};
+pub use opt::{optimize, optimize_func, optimize_func_traced, optimize_traced, OptOptions};
+pub use verify::{verify_func, verify_program, verify_program_traced, Violation};
 pub use vm::{run, ExecOutcome, Profile, VmError, VmOptions};
+
+pub use gctrace::TraceHandle;
 
 use gcsafe::Config as AnnotConfig;
 
@@ -76,7 +78,10 @@ impl CompileOptions {
 
     /// `-O safe`: annotated for GC-safety, then optimized.
     pub fn optimized_safe() -> Self {
-        CompileOptions { annotate: Some(AnnotConfig::gc_safe()), ..Self::optimized() }
+        CompileOptions {
+            annotate: Some(AnnotConfig::gc_safe()),
+            ..Self::optimized()
+        }
     }
 
     /// `-O safe` with the paper's strawman `KEEP_LIVE` implementation: a
@@ -92,13 +97,19 @@ impl CompileOptions {
         CompileOptions {
             annotate: None,
             opt: OptOptions::none(),
-            lower: LowerOptions { all_locals_in_memory: true, keep_live_as_call: false },
+            lower: LowerOptions {
+                all_locals_in_memory: true,
+                keep_live_as_call: false,
+            },
         }
     }
 
     /// `-g checked`: debuggable plus pointer-arithmetic checking.
     pub fn debug_checked() -> Self {
-        CompileOptions { annotate: Some(AnnotConfig::checked()), ..Self::debug() }
+        CompileOptions {
+            annotate: Some(AnnotConfig::checked()),
+            ..Self::debug()
+        }
     }
 }
 
@@ -109,15 +120,38 @@ impl CompileOptions {
 ///
 /// Returns a rendered parse/sema/lowering error message.
 pub fn compile(source: &str, options: &CompileOptions) -> Result<ProgramIr, String> {
+    compile_traced(source, options, &TraceHandle::disabled())
+}
+
+/// [`compile`] with a trace: the annotator's audit events, the
+/// optimizer's per-pass rewrite events, and — for annotated builds — the
+/// static verifier's per-function verdicts all flow to `trace`.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_traced(
+    source: &str,
+    options: &CompileOptions,
+    trace: &TraceHandle,
+) -> Result<ProgramIr, String> {
     let mut program = match &options.annotate {
         Some(cfg) => {
-            gcsafe::annotate_program(source, cfg).map_err(|e| e.render(source))?.program
+            gcsafe::annotate_program_traced(source, cfg, trace)
+                .map_err(|e| e.render(source))?
+                .program
         }
         None => cfront::parse(source).map_err(|e| e.render(source))?,
     };
     let sema = cfront::analyze(&mut program).map_err(|e| e.render(source))?;
     let mut ir = lower(&program, &sema, options.lower).map_err(|e| e.to_string())?;
-    optimize(&mut ir, options.opt);
+    optimize_traced(&mut ir, options.opt, trace);
+    // The verifier is observability-only here: run it (and emit verdicts)
+    // only when someone is listening, and only for annotated builds where
+    // a clean verdict is the expected invariant.
+    if trace.is_enabled() && options.annotate.is_some() {
+        let _ = verify_program_traced(&ir, false, trace);
+    }
     Ok(ir)
 }
 
@@ -163,10 +197,11 @@ mod tests {
         modes
             .into_iter()
             .map(|(name, c)| {
-                let mut v = VmOptions::default();
-                v.input = input.to_vec();
-                let out = compile_and_run(src, &c, &v)
-                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                let v = VmOptions {
+                    input: input.to_vec(),
+                    ..VmOptions::default()
+                };
+                let out = compile_and_run(src, &c, &v).unwrap_or_else(|e| panic!("{name}: {e}"));
                 (name.to_string(), out)
             })
             .collect()
@@ -242,8 +277,10 @@ mod tests {
                 return n;
             }
         "#;
-        let mut v = VmOptions::default();
-        v.input = b"axxbx".to_vec();
+        let v = VmOptions {
+            input: b"axxbx".to_vec(),
+            ..VmOptions::default()
+        };
         let out = compile_and_run(src, &CompileOptions::optimized(), &v).unwrap();
         assert_eq!(out.exit_code, 3);
     }
@@ -329,8 +366,10 @@ mod tests {
                 return keep[0];
             }
         "#;
-        let mut v = VmOptions::default();
-        v.heap_bytes = 4 << 20; // 4 MiB forces many collections
+        let v = VmOptions {
+            heap_bytes: 4 << 20, // 4 MiB forces many collections
+            ..VmOptions::default()
+        };
         let out = compile_and_run(src, &CompileOptions::optimized(), &v).unwrap();
         assert_eq!(out.exit_code, 7, "reachable object survives");
         assert!(out.heap.collections > 0, "collections happened");
@@ -351,8 +390,7 @@ mod tests {
         "#;
         let ok = compile_and_run(src, &CompileOptions::optimized(), &VmOptions::default());
         assert!(ok.is_ok(), "unchecked build tolerates the idiom");
-        let checked =
-            compile_and_run(src, &CompileOptions::debug_checked(), &VmOptions::default());
+        let checked = compile_and_run(src, &CompileOptions::debug_checked(), &VmOptions::default());
         match checked {
             Err(VmError::CheckFailed { .. }) => {}
             other => panic!("checked mode must fail, got {other:?}"),
@@ -371,9 +409,8 @@ mod tests {
                 return (int) strlen(s);
             }
         "#;
-        let out =
-            compile_and_run(src, &CompileOptions::debug_checked(), &VmOptions::default())
-                .expect("legal arithmetic passes the checker");
+        let out = compile_and_run(src, &CompileOptions::debug_checked(), &VmOptions::default())
+            .expect("legal arithmetic passes the checker");
         assert_eq!(out.exit_code, 15);
     }
 
@@ -427,8 +464,10 @@ mod tests {
     #[test]
     fn step_limit_enforced() {
         let src = "int main(void) { for(;;); return 0; }";
-        let mut v = VmOptions::default();
-        v.max_steps = 10_000;
+        let v = VmOptions {
+            max_steps: 10_000,
+            ..VmOptions::default()
+        };
         let r = compile_and_run(src, &CompileOptions::optimized(), &v);
         assert_eq!(r.unwrap_err(), VmError::StepLimit);
     }
@@ -463,8 +502,12 @@ mod tests {
                 return 0;
             }
         "#;
-        let fast = compile_and_run(src, &CompileOptions::optimized_safe(), &VmOptions::default())
-            .expect("asm-style KEEP_LIVE runs");
+        let fast = compile_and_run(
+            src,
+            &CompileOptions::optimized_safe(),
+            &VmOptions::default(),
+        )
+        .expect("asm-style KEEP_LIVE runs");
         let naive = compile_and_run(
             src,
             &CompileOptions::optimized_safe_naive(),
@@ -481,6 +524,93 @@ mod tests {
         };
         assert_eq!(count_calls(&fast), 0);
         assert!(count_calls(&naive) >= 120, "a call per protected access");
+    }
+
+    #[test]
+    fn traced_compile_emits_optimizer_and_verifier_events() {
+        let src = "char f(char *p, long i) { return p[i - 1000]; } int main(void){ return 0; }";
+        let (trace, sink) = TraceHandle::memory();
+        let traced = compile_traced(src, &CompileOptions::optimized_safe(), &trace).unwrap();
+        let untraced = compile(src, &CompileOptions::optimized_safe()).unwrap();
+        assert_eq!(
+            traced.funcs.len(),
+            untraced.funcs.len(),
+            "tracing is observation-only"
+        );
+        let events = sink.snapshot();
+        let summaries: Vec<_> = events
+            .iter()
+            .filter(|e| e.stage == "opt" && e.kind == "function")
+            .collect();
+        assert_eq!(
+            summaries.len(),
+            traced.funcs.len(),
+            "one summary per function"
+        );
+        let verdicts: Vec<_> = events
+            .iter()
+            .filter(|e| e.stage == "verify" && e.kind == "verdict")
+            .collect();
+        assert_eq!(
+            verdicts.len(),
+            traced.funcs.len(),
+            "one verdict per function"
+        );
+        assert!(
+            verdicts
+                .iter()
+                .all(|e| e.get("ok") == Some(&gctrace::Value::Bool(true))),
+            "annotated builds verify clean: {verdicts:?}"
+        );
+        assert!(
+            events.iter().any(|e| e.stage == "annotate"),
+            "annotation audit events flow through the same sink"
+        );
+    }
+
+    #[test]
+    fn traced_run_emits_a_vm_summary() {
+        let src = r#"
+            int main(void) {
+                long i;
+                for (i = 0; i < 2000; i++) { char *p = (char *) malloc(256); p[0] = 1; }
+                putstr("done");
+                return 3;
+            }
+        "#;
+        let prog = compile(src, &CompileOptions::optimized()).unwrap();
+        let (trace, sink) = TraceHandle::memory();
+        let v = VmOptions {
+            heap_bytes: 1 << 18, // small heap forces collections
+            trace,
+            ..VmOptions::default()
+        };
+        let out = run_compiled(&prog, &v).expect("program runs");
+        let events = sink.snapshot();
+        let runs: Vec<_> = events
+            .iter()
+            .filter(|e| e.stage == "vm" && e.kind == "run")
+            .collect();
+        assert_eq!(runs.len(), 1);
+        let run = runs[0];
+        assert_eq!(run.get("exit_code"), Some(&gctrace::Value::Int(3)));
+        assert_eq!(run.get("steps"), Some(&gctrace::Value::UInt(out.steps)));
+        assert_eq!(run.get("output_bytes"), Some(&gctrace::Value::UInt(4)));
+        assert_eq!(
+            run.get("collections"),
+            Some(&gctrace::Value::UInt(out.heap.collections))
+        );
+        // The collector shares the handle: its timeline lands in the same
+        // sink, one event per collection.
+        let gcs = events
+            .iter()
+            .filter(|e| e.stage == "gc" && e.kind == "collection")
+            .count();
+        assert_eq!(gcs as u64, out.heap.collections);
+        assert!(
+            out.heap.collections > 0,
+            "small heap collected at least once"
+        );
     }
 
     #[test]

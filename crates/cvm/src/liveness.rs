@@ -24,7 +24,9 @@ pub struct TempSet {
 impl TempSet {
     /// Creates an empty set sized for `n` temps.
     pub fn new(n: u32) -> Self {
-        TempSet { bits: vec![0; (n as usize).div_ceil(64)] }
+        TempSet {
+            bits: vec![0; (n as usize).div_ceil(64)],
+        }
     }
 
     /// Inserts a temp; returns whether it was newly added.
@@ -202,7 +204,10 @@ mod tests {
             name: "f".into(),
             blocks: vec![Block {
                 instrs: vec![
-                    Instr::Const { dst: t(0), value: 1 },
+                    Instr::Const {
+                        dst: t(0),
+                        value: 1,
+                    },
                     Instr::Call {
                         dst: Some(t(1)),
                         target: CallTarget::Builtin(cfront::Builtin::Malloc),
@@ -214,7 +219,9 @@ mod tests {
                         a: t(0).into(),
                         b: t(1).into(),
                     },
-                    Instr::Ret { value: Some(t(2).into()) },
+                    Instr::Ret {
+                        value: Some(t(2).into()),
+                    },
                 ],
             }],
             temp_count: 3,
@@ -229,7 +236,10 @@ mod tests {
         let maps = gc_root_maps(&sample());
         let roots = &maps[&(0, 1)];
         assert!(roots.contains(&t(0)), "t0 is live across the allocation");
-        assert!(!roots.contains(&t(1)), "the call's own result is not yet live");
+        assert!(
+            !roots.contains(&t(1)),
+            "the call's own result is not yet live"
+        );
         assert!(!roots.contains(&t(2)), "t2 is not defined yet");
     }
 
@@ -240,13 +250,18 @@ mod tests {
             name: "g".into(),
             blocks: vec![Block {
                 instrs: vec![
-                    Instr::Const { dst: t(0), value: 7 },
+                    Instr::Const {
+                        dst: t(0),
+                        value: 7,
+                    },
                     Instr::Call {
                         dst: Some(t(1)),
                         target: CallTarget::Builtin(cfront::Builtin::Malloc),
                         args: vec![t(0).into()],
                     },
-                    Instr::Ret { value: Some(t(1).into()) },
+                    Instr::Ret {
+                        value: Some(t(1).into()),
+                    },
                 ],
             }],
             temp_count: 2,
@@ -277,8 +292,14 @@ mod tests {
                         target: CallTarget::Builtin(cfront::Builtin::Malloc),
                         args: vec![Operand::Const(8)],
                     },
-                    Instr::KeepLive { dst: t(3), value: t(1).into(), base: Some(t(0).into()) },
-                    Instr::Ret { value: Some(t(3).into()) },
+                    Instr::KeepLive {
+                        dst: t(3),
+                        value: t(1).into(),
+                        base: Some(t(0).into()),
+                    },
+                    Instr::Ret {
+                        value: Some(t(3).into()),
+                    },
                 ],
             }],
             temp_count: 4,
@@ -288,7 +309,10 @@ mod tests {
         };
         let maps = gc_root_maps(&f);
         let roots = &maps[&(0, 1)];
-        assert!(roots.contains(&t(0)), "KeepLive base stays live across the call");
+        assert!(
+            roots.contains(&t(0)),
+            "KeepLive base stays live across the call"
+        );
         assert!(roots.contains(&t(1)), "the derived value is live too");
     }
 
@@ -302,7 +326,10 @@ mod tests {
             blocks: vec![
                 Block {
                     instrs: vec![
-                        Instr::Const { dst: t(0), value: 10 },
+                        Instr::Const {
+                            dst: t(0),
+                            value: 10,
+                        },
                         Instr::Jump { target: BlockId(1) },
                     ],
                 },
@@ -321,7 +348,11 @@ mod tests {
                         },
                     ],
                 },
-                Block { instrs: vec![Instr::Ret { value: Some(t(0).into()) }] },
+                Block {
+                    instrs: vec![Instr::Ret {
+                        value: Some(t(0).into()),
+                    }],
+                },
             ],
             temp_count: 2,
             param_temps: vec![],

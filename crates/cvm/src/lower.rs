@@ -103,12 +103,21 @@ pub fn lower(prog: &Program, sema: &SemaInfo, opts: LowerOptions) -> LResult<Pro
         let func = FuncCx::new(&mut cx, f, fi).lower()?;
         funcs.push(func);
     }
-    let main = cx.func_indices.get("main").copied().ok_or_else(|| LowerError {
-        message: "program has no 'main' function".into(),
-        span: Span::point(0),
-    })?;
+    let main = cx
+        .func_indices
+        .get("main")
+        .copied()
+        .ok_or_else(|| LowerError {
+            message: "program has no 'main' function".into(),
+            span: Span::point(0),
+        })?;
     let globals_size = cx.globals_image.len() as u64;
-    Ok(ProgramIr { funcs, main, globals_image: cx.globals_image, globals_size })
+    Ok(ProgramIr {
+        funcs,
+        main,
+        globals_image: cx.globals_image,
+        globals_size,
+    })
 }
 
 struct ProgCx<'a> {
@@ -248,9 +257,7 @@ impl ProgCx<'_> {
                 }
                 Ok(())
             }
-            (Init::List(items), _) if items.len() == 1 => {
-                self.write_init(&items[0], ty, off)
-            }
+            (Init::List(items), _) if items.len() == 1 => self.write_init(&items[0], ty, off),
             (Init::List(_), _) => Err(LowerError {
                 message: "brace initializer for scalar".into(),
                 span: Span::point(0),
@@ -274,7 +281,11 @@ enum Place {
     /// Register-homed scalar.
     Reg(Temp),
     /// Memory with access width and signedness.
-    Mem { addr: Operand, width: u8, signed: bool },
+    Mem {
+        addr: Operand,
+        width: u8,
+        signed: bool,
+    },
     /// Aggregate in memory: the value *is* the address.
     Aggregate { addr: Operand, size: u64 },
 }
@@ -310,7 +321,10 @@ impl<'a, 'b> FuncCx<'a, 'b> {
     }
 
     fn err(&self, span: Span, msg: impl Into<String>) -> LowerError {
-        LowerError { message: msg.into(), span }
+        LowerError {
+            message: msg.into(),
+            span,
+        }
     }
 
     fn temp(&mut self) -> Temp {
@@ -398,12 +412,22 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             let pt = self.temp();
             self.param_temps.push(pt);
             match self.homes[i] {
-                Home::Reg(t) => self.emit(Instr::Mov { dst: t, src: pt.into() }),
+                Home::Reg(t) => self.emit(Instr::Mov {
+                    dst: t,
+                    src: pt.into(),
+                }),
                 Home::Frame(off) => {
                     let addr = self.temp();
-                    self.emit(Instr::FrameAddr { dst: addr, offset: off });
+                    self.emit(Instr::FrameAddr {
+                        dst: addr,
+                        offset: off,
+                    });
                     let (width, _) = self.access_info(&v.ty.decayed());
-                    self.emit(Instr::Store { addr: addr.into(), value: pt.into(), width });
+                    self.emit(Instr::Store {
+                        addr: addr.into(),
+                        value: pt.into(),
+                        width,
+                    });
                 }
             }
         }
@@ -412,7 +436,9 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         if !self.terminated() {
             let zero = self.func.ret != Type::Void;
             if zero {
-                self.emit(Instr::Ret { value: Some(Operand::Const(0)) });
+                self.emit(Instr::Ret {
+                    value: Some(Operand::Const(0)),
+                });
             } else {
                 self.emit(Instr::Ret { value: None });
             }
@@ -453,8 +479,7 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             Stmt::Decl(decls) => {
                 for d in decls {
                     if let Some(init) = &d.init {
-                        let Some(Resolution::Local(var)) = self.prog.sema.res.get(&d.id)
-                        else {
+                        let Some(Resolution::Local(var)) = self.prog.sema.res.get(&d.id) else {
                             return Err(self.err(d.span, "unresolved declaration"));
                         };
                         let var = *var;
@@ -469,9 +494,17 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             Stmt::If(cond, then, els) => {
                 let then_b = self.new_block();
                 let exit_b = self.new_block();
-                let else_b = if els.is_some() { self.new_block() } else { exit_b };
+                let else_b = if els.is_some() {
+                    self.new_block()
+                } else {
+                    exit_b
+                };
                 let c = self.expr(cond)?;
-                self.emit(Instr::Branch { cond: c, if_true: then_b, if_false: else_b });
+                self.emit(Instr::Branch {
+                    cond: c,
+                    if_true: then_b,
+                    if_false: else_b,
+                });
                 self.switch_to(then_b);
                 self.stmt(then)?;
                 self.emit(Instr::Jump { target: exit_b });
@@ -490,7 +523,11 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                 self.emit(Instr::Jump { target: cond_b });
                 self.switch_to(cond_b);
                 let c = self.expr(cond)?;
-                self.emit(Instr::Branch { cond: c, if_true: body_b, if_false: exit_b });
+                self.emit(Instr::Branch {
+                    cond: c,
+                    if_true: body_b,
+                    if_false: exit_b,
+                });
                 self.switch_to(body_b);
                 self.loops.push((exit_b, Some(cond_b)));
                 self.stmt(body)?;
@@ -511,11 +548,20 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                 self.emit(Instr::Jump { target: cond_b });
                 self.switch_to(cond_b);
                 let c = self.expr(cond)?;
-                self.emit(Instr::Branch { cond: c, if_true: body_b, if_false: exit_b });
+                self.emit(Instr::Branch {
+                    cond: c,
+                    if_true: body_b,
+                    if_false: exit_b,
+                });
                 self.switch_to(exit_b);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -528,7 +574,11 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                 match cond {
                     Some(c) => {
                         let c = self.expr(c)?;
-                        self.emit(Instr::Branch { cond: c, if_true: body_b, if_false: exit_b });
+                        self.emit(Instr::Branch {
+                            cond: c,
+                            if_true: body_b,
+                            if_false: exit_b,
+                        });
                     }
                     None => self.emit(Instr::Jump { target: body_b }),
                 }
@@ -602,13 +652,19 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                         b: Operand::Const(*v),
                     });
                     let next = self.new_block();
-                    self.emit(Instr::Branch { cond: cmp.into(), if_true: *blk, if_false: next });
+                    self.emit(Instr::Branch {
+                        cond: cmp.into(),
+                        if_true: *blk,
+                        if_false: next,
+                    });
                     self.switch_to(next);
                 }
                 None => default_target = *blk,
             }
         }
-        self.emit(Instr::Jump { target: default_target });
+        self.emit(Instr::Jump {
+            target: default_target,
+        });
         // Body with fallthrough.
         let mut marker_idx = 0;
         self.loops.push((exit_b, None));
@@ -644,14 +700,25 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             Home::Frame(off) => {
                 if self.is_aggregate(&v.ty) {
                     let addr = self.temp();
-                    self.emit(Instr::FrameAddr { dst: addr, offset: off });
+                    self.emit(Instr::FrameAddr {
+                        dst: addr,
+                        offset: off,
+                    });
                     addr.into()
                 } else {
                     let addr = self.temp();
-                    self.emit(Instr::FrameAddr { dst: addr, offset: off });
+                    self.emit(Instr::FrameAddr {
+                        dst: addr,
+                        offset: off,
+                    });
                     let (width, signed) = self.access_info(&v.ty.decayed());
                     let dst = self.temp();
-                    self.emit(Instr::Load { dst, addr: addr.into(), width, signed });
+                    self.emit(Instr::Load {
+                        dst,
+                        addr: addr.into(),
+                        width,
+                        signed,
+                    });
                     dst.into()
                 }
             }
@@ -663,9 +730,16 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             Home::Reg(t) => self.emit(Instr::Mov { dst: t, src: value }),
             Home::Frame(off) => {
                 let addr = self.temp();
-                self.emit(Instr::FrameAddr { dst: addr, offset: off });
+                self.emit(Instr::FrameAddr {
+                    dst: addr,
+                    offset: off,
+                });
                 let (width, _) = self.access_info(ty);
-                self.emit(Instr::Store { addr: addr.into(), value, width });
+                self.emit(Instr::Store {
+                    addr: addr.into(),
+                    value,
+                    width,
+                });
             }
         }
     }
@@ -675,7 +749,9 @@ impl<'a, 'b> FuncCx<'a, 'b> {
     // ------------------------------------------------------------------
 
     fn place(&mut self, e: &Expr) -> LResult<Place> {
-        let ty = e.ty.clone().ok_or_else(|| self.err(e.span, "untyped expression"))?;
+        let ty =
+            e.ty.clone()
+                .ok_or_else(|| self.err(e.span, "untyped expression"))?;
         match &e.kind {
             ExprKind::Ident(name) => match self.prog.sema.res.get(&e.id) {
                 Some(Resolution::Local(var)) => {
@@ -686,29 +762,45 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                             unreachable!("aggregates are frame-homed")
                         };
                         let addr = self.temp();
-                        self.emit(Instr::FrameAddr { dst: addr, offset: off });
+                        self.emit(Instr::FrameAddr {
+                            dst: addr,
+                            offset: off,
+                        });
                         let size = vinfo.ty.size(self.prog.types).unwrap_or(0);
-                        return Ok(Place::Aggregate { addr: addr.into(), size });
+                        return Ok(Place::Aggregate {
+                            addr: addr.into(),
+                            size,
+                        });
                     }
                     match self.var_home(var) {
                         Home::Reg(t) => Ok(Place::Reg(t)),
                         Home::Frame(off) => {
                             let addr = self.temp();
-                            self.emit(Instr::FrameAddr { dst: addr, offset: off });
+                            self.emit(Instr::FrameAddr {
+                                dst: addr,
+                                offset: off,
+                            });
                             let (width, signed) = self.access_info(&vinfo.ty.decayed());
-                            Ok(Place::Mem { addr: addr.into(), width, signed })
+                            Ok(Place::Mem {
+                                addr: addr.into(),
+                                width,
+                                signed,
+                            })
                         }
                     }
                 }
                 Some(Resolution::Global(gi)) => {
-                    let addr =
-                        Operand::Const((GLOBAL_BASE + self.prog.global_offsets[*gi]) as i64);
+                    let addr = Operand::Const((GLOBAL_BASE + self.prog.global_offsets[*gi]) as i64);
                     if self.is_aggregate(&ty) {
                         let size = ty.size(self.prog.types).unwrap_or(0);
                         Ok(Place::Aggregate { addr, size })
                     } else {
                         let (width, signed) = self.access_info(&ty);
-                        Ok(Place::Mem { addr, width, signed })
+                        Ok(Place::Mem {
+                            addr,
+                            width,
+                            signed,
+                        })
                     }
                 }
                 _ => Err(self.err(e.span, format!("'{name}' is not assignable"))),
@@ -720,7 +812,11 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     Ok(Place::Aggregate { addr, size })
                 } else {
                     let (width, signed) = self.access_info(&ty);
-                    Ok(Place::Mem { addr, width, signed })
+                    Ok(Place::Mem {
+                        addr,
+                        width,
+                        signed,
+                    })
                 }
             }
             ExprKind::Index(arr, idx) => {
@@ -730,7 +826,11 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     Ok(Place::Aggregate { addr, size })
                 } else {
                     let (width, signed) = self.access_info(&ty);
-                    Ok(Place::Mem { addr, width, signed })
+                    Ok(Place::Mem {
+                        addr,
+                        width,
+                        signed,
+                    })
                 }
             }
             ExprKind::Member { obj, field, arrow } => {
@@ -748,9 +848,7 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     let addr = match p {
                         Place::Aggregate { addr, .. } => addr,
                         Place::Mem { addr, .. } => addr,
-                        Place::Reg(_) => {
-                            return Err(self.err(e.span, "member of register value"))
-                        }
+                        Place::Reg(_) => return Err(self.err(e.span, "member of register value")),
                     };
                     let t = obj
                         .ty
@@ -772,7 +870,11 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     Ok(Place::Aggregate { addr, size })
                 } else {
                     let (width, signed) = self.access_info(&ty);
-                    Ok(Place::Mem { addr, width, signed })
+                    Ok(Place::Mem {
+                        addr,
+                        width,
+                        signed,
+                    })
                 }
             }
             _ => Err(self.err(e.span, "expression is not an lvalue")),
@@ -784,7 +886,12 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             return base;
         }
         let dst = self.temp();
-        self.emit(Instr::Bin { dst, op: BinIr::Add, a: base, b: Operand::Const(offset) });
+        self.emit(Instr::Bin {
+            dst,
+            op: BinIr::Add,
+            a: base,
+            b: Operand::Const(offset),
+        });
         dst.into()
     }
 
@@ -801,7 +908,12 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         let i = self.expr(idx)?;
         let scaled = self.scale(i, esize as i64);
         let dst = self.temp();
-        self.emit(Instr::Bin { dst, op: BinIr::Add, a: base, b: scaled });
+        self.emit(Instr::Bin {
+            dst,
+            op: BinIr::Add,
+            a: base,
+            b: scaled,
+        });
         Ok(dst.into())
     }
 
@@ -813,16 +925,30 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             return Operand::Const(c.wrapping_mul(by));
         }
         let dst = self.temp();
-        self.emit(Instr::Bin { dst, op: BinIr::Mul, a: v, b: Operand::Const(by) });
+        self.emit(Instr::Bin {
+            dst,
+            op: BinIr::Mul,
+            a: v,
+            b: Operand::Const(by),
+        });
         dst.into()
     }
 
     fn read_place(&mut self, p: Place) -> Operand {
         match p {
             Place::Reg(t) => t.into(),
-            Place::Mem { addr, width, signed } => {
+            Place::Mem {
+                addr,
+                width,
+                signed,
+            } => {
                 let dst = self.temp();
-                self.emit(Instr::Load { dst, addr, width, signed });
+                self.emit(Instr::Load {
+                    dst,
+                    addr,
+                    width,
+                    signed,
+                });
                 dst.into()
             }
             Place::Aggregate { addr, .. } => addr,
@@ -832,12 +958,12 @@ impl<'a, 'b> FuncCx<'a, 'b> {
     fn write_place(&mut self, p: Place, value: Operand) {
         match p {
             Place::Reg(t) => self.emit(Instr::Mov { dst: t, src: value }),
-            Place::Mem { addr, width, .. } => {
-                self.emit(Instr::Store { addr, value, width })
-            }
-            Place::Aggregate { addr, size } => {
-                self.emit(Instr::MemCopy { dst_addr: addr, src_addr: value, len: size })
-            }
+            Place::Mem { addr, width, .. } => self.emit(Instr::Store { addr, value, width }),
+            Place::Aggregate { addr, size } => self.emit(Instr::MemCopy {
+                dst_addr: addr,
+                src_addr: value,
+                len: size,
+            }),
         }
     }
 
@@ -846,7 +972,9 @@ impl<'a, 'b> FuncCx<'a, 'b> {
     // ------------------------------------------------------------------
 
     fn expr(&mut self, e: &Expr) -> LResult<Operand> {
-        let ty = e.ty.clone().ok_or_else(|| self.err(e.span, "untyped expression"))?;
+        let ty =
+            e.ty.clone()
+                .ok_or_else(|| self.err(e.span, "untyped expression"))?;
         match &e.kind {
             ExprKind::IntLit(v) => Ok(Operand::Const(*v)),
             ExprKind::StrLit(s) => Ok(Operand::Const(self.prog.intern_string(s) as i64)),
@@ -866,9 +994,10 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                 }
                 Some(Resolution::EnumConst(v)) => Ok(Operand::Const(v)),
                 Some(Resolution::Func(name)) => {
-                    let idx = self.prog.func_indices.get(&name).ok_or_else(|| {
-                        self.err(e.span, format!("undefined function '{name}'"))
-                    })?;
+                    let idx =
+                        self.prog.func_indices.get(&name).ok_or_else(|| {
+                            self.err(e.span, format!("undefined function '{name}'"))
+                        })?;
                     Ok(Operand::Const(FUNC_PTR_BASE + *idx as i64))
                 }
                 Some(Resolution::Builtin(_)) => {
@@ -918,8 +1047,10 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             }
             ExprKind::Binary(op, l, r) => self.binary(e, *op, l, r, &ty),
             ExprKind::Assign { op, lhs, rhs } => {
-                let lhs_ty =
-                    lhs.ty.clone().ok_or_else(|| self.err(lhs.span, "untyped lhs"))?;
+                let lhs_ty = lhs
+                    .ty
+                    .clone()
+                    .ok_or_else(|| self.err(lhs.span, "untyped lhs"))?;
                 match op {
                     None => {
                         let v = self.expr(rhs)?;
@@ -948,14 +1079,24 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                 let join_b = self.new_block();
                 let result = self.temp();
                 let cv = self.expr(c)?;
-                self.emit(Instr::Branch { cond: cv, if_true: then_b, if_false: else_b });
+                self.emit(Instr::Branch {
+                    cond: cv,
+                    if_true: then_b,
+                    if_false: else_b,
+                });
                 self.switch_to(then_b);
                 let tv = self.expr(t)?;
-                self.emit(Instr::Mov { dst: result, src: tv });
+                self.emit(Instr::Mov {
+                    dst: result,
+                    src: tv,
+                });
                 self.emit(Instr::Jump { target: join_b });
                 self.switch_to(else_b);
                 let fv = self.expr(f)?;
-                self.emit(Instr::Mov { dst: result, src: fv });
+                self.emit(Instr::Mov {
+                    dst: result,
+                    src: fv,
+                });
                 self.emit(Instr::Jump { target: join_b });
                 self.switch_to(join_b);
                 Ok(result.into())
@@ -988,9 +1129,7 @@ impl<'a, 'b> FuncCx<'a, 'b> {
             ExprKind::KeepLive { value, base } => {
                 self.lower_protected(value, base.as_deref(), false)
             }
-            ExprKind::CheckSame { value, base } => {
-                self.lower_protected(value, Some(base), true)
-            }
+            ExprKind::CheckSame { value, base } => self.lower_protected(value, Some(base), true),
         }
     }
 
@@ -1019,7 +1158,11 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         if base.is_none() {
             if let Some((addr, auto_base)) = self.lower_value_with_base(value)? {
                 let dst = self.temp();
-                self.emit(Instr::KeepLive { dst, value: addr, base: Some(auto_base) });
+                self.emit(Instr::KeepLive {
+                    dst,
+                    value: addr,
+                    base: Some(auto_base),
+                });
                 return Ok(dst.into());
             }
         }
@@ -1030,7 +1173,11 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         };
         let dst = self.temp();
         match (checked, b) {
-            (true, Some(b)) => self.emit(Instr::CheckSame { dst, value: v, base: b }),
+            (true, Some(b)) => self.emit(Instr::CheckSame {
+                dst,
+                value: v,
+                base: b,
+            }),
             (false, b) if self.prog.opts.keep_live_as_call => {
                 self.emit(Instr::Call {
                     dst: Some(dst),
@@ -1038,12 +1185,16 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     args: vec![v, b.unwrap_or(Operand::Const(0))],
                 });
             }
-            (true, None) | (false, None) => {
-                self.emit(Instr::KeepLive { dst, value: v, base: None })
-            }
-            (false, Some(b)) => {
-                self.emit(Instr::KeepLive { dst, value: v, base: Some(b) })
-            }
+            (true, None) | (false, None) => self.emit(Instr::KeepLive {
+                dst,
+                value: v,
+                base: None,
+            }),
+            (false, Some(b)) => self.emit(Instr::KeepLive {
+                dst,
+                value: v,
+                base: Some(b),
+            }),
         }
         Ok(dst.into())
     }
@@ -1067,7 +1218,12 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     let i = self.expr(idx)?;
                     let scaled = self.scale(i, esize as i64);
                     let dst = self.temp();
-                    self.emit(Instr::Bin { dst, op: BinIr::Add, a: base, b: scaled });
+                    self.emit(Instr::Bin {
+                        dst,
+                        op: BinIr::Add,
+                        a: base,
+                        b: scaled,
+                    });
                     Ok(Some((dst.into(), base)))
                 }
                 ExprKind::Member { obj, field, arrow } => {
@@ -1129,9 +1285,18 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     (self.expr(ptr_e)?, i)
                 };
                 let scaled = self.scale(i, elem);
-                let ir = if *op == BinOp::Add { BinIr::Add } else { BinIr::Sub };
+                let ir = if *op == BinOp::Add {
+                    BinIr::Add
+                } else {
+                    BinIr::Sub
+                };
                 let dst = self.temp();
-                self.emit(Instr::Bin { dst, op: ir, a: base, b: scaled });
+                self.emit(Instr::Bin {
+                    dst,
+                    op: ir,
+                    a: base,
+                    b: scaled,
+                });
                 Ok(Some((dst.into(), base)))
             }
             ExprKind::Cast(_, inner) => self.lower_value_with_base(inner),
@@ -1165,11 +1330,19 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         let old_val = self.read_place(p);
         let old = {
             let t = self.temp();
-            self.emit(Instr::Mov { dst: t, src: old_val });
+            self.emit(Instr::Mov {
+                dst: t,
+                src: old_val,
+            });
             Operand::Temp(t)
         };
         let raw = self.temp();
-        self.emit(Instr::Bin { dst: raw, op: BinIr::Add, a: old, b: Operand::Const(delta) });
+        self.emit(Instr::Bin {
+            dst: raw,
+            op: BinIr::Add,
+            a: old,
+            b: Operand::Const(delta),
+        });
         let new: Operand = match protect {
             None => raw.into(),
             Some((base, checked)) => {
@@ -1182,7 +1355,11 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                         base: base.expect("base defaulted to old value"),
                     });
                 } else {
-                    self.emit(Instr::KeepLive { dst, value: raw.into(), base });
+                    self.emit(Instr::KeepLive {
+                        dst,
+                        value: raw.into(),
+                        base,
+                    });
                 }
                 dst.into()
             }
@@ -1203,13 +1380,26 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         if let Type::Ptr(pointee) = lty {
             let esize = pointee.size(self.prog.types).unwrap_or(1) as i64;
             let scaled = self.scale(b, esize);
-            let ir = if op == BinOp::Add { BinIr::Add } else { BinIr::Sub };
+            let ir = if op == BinOp::Add {
+                BinIr::Add
+            } else {
+                BinIr::Sub
+            };
             let dst = self.temp();
-            self.emit(Instr::Bin { dst, op: ir, a, b: scaled });
+            self.emit(Instr::Bin {
+                dst,
+                op: ir,
+                a,
+                b: scaled,
+            });
             return Ok(dst.into());
         }
         let unsigned = lty.is_unsigned()
-            || rhs.ty.as_ref().map(|t| t.decayed().is_unsigned()).unwrap_or(false);
+            || rhs
+                .ty
+                .as_ref()
+                .map(|t| t.decayed().is_unsigned())
+                .unwrap_or(false);
         let ir = Self::int_binir(op, unsigned);
         let dst = self.temp();
         self.emit(Instr::Bin { dst, op: ir, a, b });
@@ -1301,7 +1491,10 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     a: lv,
                     b: Operand::Const(0),
                 });
-                self.emit(Instr::Mov { dst: result, src: lbool.into() });
+                self.emit(Instr::Mov {
+                    dst: result,
+                    src: lbool.into(),
+                });
                 if op == BinOp::LogAnd {
                     self.emit(Instr::Branch {
                         cond: lbool.into(),
@@ -1324,7 +1517,10 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     a: rv,
                     b: Operand::Const(0),
                 });
-                self.emit(Instr::Mov { dst: result, src: rbool.into() });
+                self.emit(Instr::Mov {
+                    dst: result,
+                    src: rbool.into(),
+                });
                 self.emit(Instr::Jump { target: join_b });
                 self.switch_to(join_b);
                 return Ok(result.into());
@@ -1345,9 +1541,18 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                 let a = self.expr(l)?;
                 let i = self.expr(r)?;
                 let scaled = self.scale(i, elem);
-                let ir = if op == BinOp::Add { BinIr::Add } else { BinIr::Sub };
+                let ir = if op == BinOp::Add {
+                    BinIr::Add
+                } else {
+                    BinIr::Sub
+                };
                 let dst = self.temp();
-                self.emit(Instr::Bin { dst, op: ir, a, b: scaled });
+                self.emit(Instr::Bin {
+                    dst,
+                    op: ir,
+                    a,
+                    b: scaled,
+                });
                 Ok(dst.into())
             }
             (BinOp::Add, false, true) => {
@@ -1360,7 +1565,12 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                 let a = self.expr(r)?;
                 let scaled = self.scale(i, elem);
                 let dst = self.temp();
-                self.emit(Instr::Bin { dst, op: BinIr::Add, a, b: scaled });
+                self.emit(Instr::Bin {
+                    dst,
+                    op: BinIr::Add,
+                    a,
+                    b: scaled,
+                });
                 Ok(dst.into())
             }
             (BinOp::Sub, true, true) => {
@@ -1372,7 +1582,12 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                 let a = self.expr(l)?;
                 let b = self.expr(r)?;
                 let diff = self.temp();
-                self.emit(Instr::Bin { dst: diff, op: BinIr::Sub, a, b });
+                self.emit(Instr::Bin {
+                    dst: diff,
+                    op: BinIr::Sub,
+                    a,
+                    b,
+                });
                 if elem == 1 {
                     Ok(diff.into())
                 } else {
@@ -1413,10 +1628,20 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         };
         let sh = 64 - bits;
         let t1 = self.temp();
-        self.emit(Instr::Bin { dst: t1, op: BinIr::Shl, a: v, b: Operand::Const(sh as i64) });
+        self.emit(Instr::Bin {
+            dst: t1,
+            op: BinIr::Shl,
+            a: v,
+            b: Operand::Const(sh as i64),
+        });
         let t2 = self.temp();
         let op = if signed { BinIr::Sar } else { BinIr::Shr };
-        self.emit(Instr::Bin { dst: t2, op, a: t1.into(), b: Operand::Const(sh as i64) });
+        self.emit(Instr::Bin {
+            dst: t2,
+            op,
+            a: t1.into(),
+            b: Operand::Const(sh as i64),
+        });
         t2.into()
     }
 
@@ -1451,9 +1676,17 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         for a in args {
             arg_ops.push(self.expr(a)?);
         }
-        let dst = if *ret_ty == Type::Void { None } else { Some(self.temp()) };
+        let dst = if *ret_ty == Type::Void {
+            None
+        } else {
+            Some(self.temp())
+        };
         let _ = whole;
-        self.emit(Instr::Call { dst, target, args: arg_ops });
+        self.emit(Instr::Call {
+            dst,
+            target,
+            args: arg_ops,
+        });
         Ok(dst.map(Operand::Temp).unwrap_or(Operand::Const(0)))
     }
 }

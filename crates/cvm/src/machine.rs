@@ -140,9 +140,7 @@ impl Machine {
             Exit | Abort | GcCollect | GcHeapSize => self.builtin_overhead,
             // Byte-work builtins: fixed part only; variable part is charged
             // via `byte_work_cost_milli`.
-            Strlen | Strcmp | Strncmp | Strcpy | Memcpy | Memset | Memcmp => {
-                self.builtin_overhead
-            }
+            Strlen | Strcmp | Strncmp | Strcpy | Memcpy | Memset | Memcmp => self.builtin_overhead,
         }
     }
 }
@@ -165,7 +163,10 @@ mod tests {
         let p90 = Machine::pentium90();
         assert!(s2.load_cost > s10.load_cost, "SS2 memory is slower");
         assert!(p90.regs < s10.regs, "Pentium has fewer registers");
-        assert!(s10.check_cost > 10 * s10.alu_cost, "checks dominate arithmetic");
+        assert!(
+            s10.check_cost > 10 * s10.alu_cost,
+            "checks dominate arithmetic"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! whole trick.
 
 use crate::ir::*;
+use gctrace::{Event, TraceHandle};
 use std::collections::HashMap;
 
 /// Optimizer configuration.
@@ -34,7 +35,12 @@ pub struct OptOptions {
 
 impl Default for OptOptions {
     fn default() -> Self {
-        OptOptions { enabled: true, reassociate: true, schedule: true, licm: true }
+        OptOptions {
+            enabled: true,
+            reassociate: true,
+            schedule: true,
+            licm: true,
+        }
     }
 }
 
@@ -46,39 +52,88 @@ impl OptOptions {
 
     /// No optimization (the `-g` rows).
     pub fn none() -> Self {
-        OptOptions { enabled: false, reassociate: false, schedule: false, licm: false }
+        OptOptions {
+            enabled: false,
+            reassociate: false,
+            schedule: false,
+            licm: false,
+        }
     }
 }
 
 /// Optimizes every function of a program in place.
 pub fn optimize(prog: &mut ProgramIr, opts: OptOptions) {
+    optimize_traced(prog, opts, &TraceHandle::disabled());
+}
+
+/// [`optimize`] with a trace: emits one `("opt", "pass")` event per
+/// pointer-disguising pass that fired (reassociation, LICM, eager
+/// scheduling) and one `("opt", "function")` summary per function.
+pub fn optimize_traced(prog: &mut ProgramIr, opts: OptOptions, trace: &TraceHandle) {
     if !opts.enabled {
         return;
     }
     for f in &mut prog.funcs {
-        optimize_func(f, opts);
+        optimize_func_traced(f, opts, trace);
     }
 }
 
 /// Optimizes a single function in place.
 pub fn optimize_func(f: &mut FuncIr, opts: OptOptions) {
+    optimize_func_traced(f, opts, &TraceHandle::disabled());
+}
+
+/// [`optimize_func`] with per-pass rewrite events.
+pub fn optimize_func_traced(f: &mut FuncIr, opts: OptOptions, trace: &TraceHandle) {
+    let instrs_before = instr_count(f);
+    let mut reassoc_fires = 0usize;
     for _ in 0..3 {
         copy_prop(f);
         const_fold(f);
         if opts.reassociate {
-            reassociate(f);
+            reassoc_fires += reassociate(f);
         }
         cse(f);
         copy_prop(f);
         dce(f);
     }
+    let mut licm_hoists = 0usize;
     if opts.licm {
-        licm(f);
+        licm_hoists = licm(f);
         dce(f);
     }
+    let mut sched_moves = 0usize;
     if opts.schedule {
-        schedule_early(f);
+        sched_moves = schedule_early(f);
     }
+    let pass_event = |pass: &'static str, fires: usize| {
+        Event::new("opt", "pass")
+            .field("func", f.name.as_str())
+            .field("pass", pass)
+            .field("fires", fires)
+    };
+    if reassoc_fires > 0 {
+        trace.emit(|| pass_event("reassociate", reassoc_fires));
+    }
+    if licm_hoists > 0 {
+        trace.emit(|| pass_event("licm", licm_hoists));
+    }
+    if sched_moves > 0 {
+        trace.emit(|| pass_event("schedule_early", sched_moves));
+    }
+    trace.emit(|| {
+        Event::new("opt", "function")
+            .field("func", f.name.as_str())
+            .field("instrs_before", instrs_before)
+            .field("instrs_after", instr_count(f))
+            .field("reassociations", reassoc_fires)
+            .field("licm_hoists", licm_hoists)
+            .field("scheduler_moves", sched_moves)
+    });
+}
+
+fn instr_count(f: &FuncIr) -> usize {
+    f.blocks.iter().map(|b| b.instrs.len()).sum()
 }
 
 /// Block-local copy and constant propagation.
@@ -117,24 +172,33 @@ pub fn const_fold(f: &mut FuncIr) {
         for ins in &mut b.instrs {
             let replacement = match ins {
                 Instr::Bin { dst, op, a, b } => match (a.as_const(), b.as_const()) {
-                    (Some(x), Some(y)) => {
-                        Some(Instr::Const { dst: *dst, value: op.eval(x, y) })
-                    }
-                    (None, Some(0)) if matches!(op, BinIr::Add | BinIr::Sub | BinIr::Or | BinIr::Xor | BinIr::Shl | BinIr::Sar | BinIr::Shr) => {
+                    (Some(x), Some(y)) => Some(Instr::Const {
+                        dst: *dst,
+                        value: op.eval(x, y),
+                    }),
+                    (None, Some(0))
+                        if matches!(
+                            op,
+                            BinIr::Add
+                                | BinIr::Sub
+                                | BinIr::Or
+                                | BinIr::Xor
+                                | BinIr::Shl
+                                | BinIr::Sar
+                                | BinIr::Shr
+                        ) =>
+                    {
                         Some(Instr::Mov { dst: *dst, src: *a })
                     }
-                    (Some(0), None) if *op == BinIr::Add => {
-                        Some(Instr::Mov { dst: *dst, src: *b })
-                    }
+                    (Some(0), None) if *op == BinIr::Add => Some(Instr::Mov { dst: *dst, src: *b }),
                     (None, Some(1)) if matches!(op, BinIr::Mul | BinIr::Div | BinIr::DivU) => {
                         Some(Instr::Mov { dst: *dst, src: *a })
                     }
-                    (Some(1), None) if *op == BinIr::Mul => {
-                        Some(Instr::Mov { dst: *dst, src: *b })
-                    }
-                    (None, Some(0)) if *op == BinIr::Mul => {
-                        Some(Instr::Const { dst: *dst, value: 0 })
-                    }
+                    (Some(1), None) if *op == BinIr::Mul => Some(Instr::Mov { dst: *dst, src: *b }),
+                    (None, Some(0)) if *op == BinIr::Mul => Some(Instr::Const {
+                        dst: *dst,
+                        value: 0,
+                    }),
                     (None, Some(c)) if *op == BinIr::Mul && c.count_ones() == 1 && c > 0 => {
                         // Strength reduction: multiply by power of two.
                         Some(Instr::Bin {
@@ -153,8 +217,11 @@ pub fn const_fold(f: &mut FuncIr) {
             }
         }
         // Fold constant branches.
-        if let Some(Instr::Branch { cond: Operand::Const(c), if_true, if_false }) =
-            b.instrs.last().cloned()
+        if let Some(Instr::Branch {
+            cond: Operand::Const(c),
+            if_true,
+            if_false,
+        }) = b.instrs.last().cloned()
         {
             let target = if c != 0 { if_true } else { if_false };
             *b.instrs.last_mut().expect("non-empty block") = Instr::Jump { target };
@@ -166,10 +233,12 @@ pub fn const_fold(f: &mut FuncIr) {
 /// `t3 = p ± c; t2 = t3 + i` when `t1` has no other use. The new `t3` may
 /// point outside any object — this is the paper's disguising hazard,
 /// reproduced as an honest strength-style optimization (it enables LICM
-/// and scheduling of the displaced base).
-pub fn reassociate(f: &mut FuncIr) {
+/// and scheduling of the displaced base). Returns the number of
+/// displacement rewrites applied.
+pub fn reassociate(f: &mut FuncIr) -> usize {
     let uses = count_uses(f);
     let mut next_temp = f.temp_count;
+    let mut fires = 0usize;
     for b in &mut f.blocks {
         // dst → (op, i-operand, c) for `dst = i op c` still valid here.
         let mut defs: HashMap<Temp, (BinIr, Operand, i64)> = HashMap::new();
@@ -182,19 +251,31 @@ pub fn reassociate(f: &mut FuncIr) {
         };
         for ins in b.instrs.drain(..) {
             match ins {
-                Instr::Bin { dst, op: op @ (BinIr::Add | BinIr::Sub), a, b: Operand::Const(c) }
-                    if a.as_temp() != Some(dst) =>
-                {
+                Instr::Bin {
+                    dst,
+                    op: op @ (BinIr::Add | BinIr::Sub),
+                    a,
+                    b: Operand::Const(c),
+                } if a.as_temp() != Some(dst) => {
                     invalidate(&mut defs, dst);
                     defs.insert(dst, (op, a, c));
-                    new_instrs.push(Instr::Bin { dst, op, a, b: Operand::Const(c) });
+                    new_instrs.push(Instr::Bin {
+                        dst,
+                        op,
+                        a,
+                        b: Operand::Const(c),
+                    });
                 }
-                Instr::Bin { dst, op: BinIr::Add, a: Operand::Temp(p), b: Operand::Temp(t1) }
-                    if t1 != dst
-                        && p != dst
-                        && defs.contains_key(&t1)
-                        && uses.get(&t1).copied().unwrap_or(0) == 1
-                        && !defs.contains_key(&p) =>
+                Instr::Bin {
+                    dst,
+                    op: BinIr::Add,
+                    a: Operand::Temp(p),
+                    b: Operand::Temp(t1),
+                } if t1 != dst
+                    && p != dst
+                    && defs.contains_key(&t1)
+                    && uses.get(&t1).copied().unwrap_or(0) == 1
+                    && !defs.contains_key(&p) =>
                 {
                     // p + (i ± c)  →  (p ± c) + i
                     let (op1, i_op, c) = defs[&t1];
@@ -213,6 +294,7 @@ pub fn reassociate(f: &mut FuncIr) {
                         b: i_op,
                     });
                     invalidate(&mut defs, dst);
+                    fires += 1;
                 }
                 other => {
                     if let Some(d) = other.dst() {
@@ -227,6 +309,7 @@ pub fn reassociate(f: &mut FuncIr) {
     f.temp_count = next_temp;
     // The original displacement adds may now be dead.
     dce(f);
+    fires
 }
 
 /// Block-local common-subexpression elimination (value numbering over
@@ -244,21 +327,35 @@ pub fn cse(f: &mut FuncIr) {
             };
             let hit = key.as_ref().and_then(|k| avail.get(k).copied());
             let load_key = match ins {
-                Instr::Load { addr, width, signed, .. } => Some((*addr, *width, *signed)),
+                Instr::Load {
+                    addr,
+                    width,
+                    signed,
+                    ..
+                } => Some((*addr, *width, *signed)),
                 _ => None,
             };
             let load_hit = load_key.and_then(|k| loads.get(&k).copied());
             // Rewrite hits into copies.
             if let (Some(_), Some(prev)) = (&key, hit) {
                 let dst = ins.dst().expect("pure ops define");
-                *ins = Instr::Mov { dst, src: prev.into() };
+                *ins = Instr::Mov {
+                    dst,
+                    src: prev.into(),
+                };
             }
             if let (Some(_), Some(prev)) = (load_key, load_hit) {
                 let dst = ins.dst().expect("loads define");
-                *ins = Instr::Mov { dst, src: prev.into() };
+                *ins = Instr::Mov {
+                    dst,
+                    src: prev.into(),
+                };
             }
             // Clobbers kill all remembered loads.
-            if matches!(ins, Instr::Store { .. } | Instr::MemCopy { .. } | Instr::Call { .. }) {
+            if matches!(
+                ins,
+                Instr::Store { .. } | Instr::MemCopy { .. } | Instr::Call { .. }
+            ) {
                 loads.clear();
             }
             // The def invalidates every fact mentioning it…
@@ -317,8 +414,10 @@ pub fn dce(f: &mut FuncIr) {
 /// Eager scheduling: moves pure instructions as early in their block as
 /// their operands allow — in particular above calls (conventional latency
 /// hiding). `KeepLive` / `CheckSame` are ordering points and never move;
-/// loads don't move above stores/calls.
-pub fn schedule_early(f: &mut FuncIr) {
+/// loads don't move above stores/calls. Returns the number of
+/// instructions moved.
+pub fn schedule_early(f: &mut FuncIr) -> usize {
+    let mut moves = 0usize;
     for b in &mut f.blocks {
         let n = b.instrs.len();
         if n < 2 {
@@ -339,8 +438,7 @@ pub fn schedule_early(f: &mut FuncIr) {
                     let true_dep = prev_dst.map(|d| deps.contains(&d)).unwrap_or(false);
                     let mut prev_uses = Vec::new();
                     prev.uses(&mut prev_uses);
-                    let anti_dep =
-                        our_dst.map(|d| prev_uses.contains(&d)).unwrap_or(false);
+                    let anti_dep = our_dst.map(|d| prev_uses.contains(&d)).unwrap_or(false);
                     let output_dep = our_dst.is_some() && prev_dst == our_dst;
                     if true_dep || anti_dep || output_dep || is_ordering_point(prev) {
                         break;
@@ -350,11 +448,13 @@ pub fn schedule_early(f: &mut FuncIr) {
                 if slot < i {
                     let ins = b.instrs.remove(i);
                     b.instrs.insert(slot, ins);
+                    moves += 1;
                 }
             }
             i += 1;
         }
     }
+    moves
 }
 
 fn movable(ins: &Instr) -> bool {
@@ -397,7 +497,9 @@ fn rewrite_operands(ins: &mut Instr, f: impl Fn(Operand) -> Operand) {
             *addr = f(*addr);
             *value = f(*value);
         }
-        Instr::MemCopy { dst_addr, src_addr, .. } => {
+        Instr::MemCopy {
+            dst_addr, src_addr, ..
+        } => {
             *dst_addr = f(*dst_addr);
             *src_addr = f(*src_addr);
         }
@@ -451,10 +553,23 @@ mod tests {
     fn const_fold_arithmetic() {
         let mut f = func(
             vec![
-                Instr::Const { dst: t(0), value: 6 },
-                Instr::Const { dst: t(1), value: 7 },
-                Instr::Bin { dst: t(2), op: BinIr::Mul, a: t(0).into(), b: t(1).into() },
-                Instr::Ret { value: Some(t(2).into()) },
+                Instr::Const {
+                    dst: t(0),
+                    value: 6,
+                },
+                Instr::Const {
+                    dst: t(1),
+                    value: 7,
+                },
+                Instr::Bin {
+                    dst: t(2),
+                    op: BinIr::Mul,
+                    a: t(0).into(),
+                    b: t(1).into(),
+                },
+                Instr::Ret {
+                    value: Some(t(2).into()),
+                },
             ],
             3,
         );
@@ -464,7 +579,9 @@ mod tests {
         dce(&mut f);
         assert_eq!(
             f.blocks[0].instrs,
-            vec![Instr::Ret { value: Some(Operand::Const(42)) }]
+            vec![Instr::Ret {
+                value: Some(Operand::Const(42))
+            }]
         );
     }
 
@@ -472,15 +589,26 @@ mod tests {
     fn mul_by_power_of_two_becomes_shift() {
         let mut f = func(
             vec![
-                Instr::Bin { dst: t(1), op: BinIr::Mul, a: t(0).into(), b: Operand::Const(8) },
-                Instr::Ret { value: Some(t(1).into()) },
+                Instr::Bin {
+                    dst: t(1),
+                    op: BinIr::Mul,
+                    a: t(0).into(),
+                    b: Operand::Const(8),
+                },
+                Instr::Ret {
+                    value: Some(t(1).into()),
+                },
             ],
             2,
         );
         const_fold(&mut f);
         assert!(matches!(
             f.blocks[0].instrs[0],
-            Instr::Bin { op: BinIr::Shl, b: Operand::Const(3), .. }
+            Instr::Bin {
+                op: BinIr::Shl,
+                b: Operand::Const(3),
+                ..
+            }
         ));
     }
 
@@ -488,10 +616,27 @@ mod tests {
     fn cse_merges_repeated_address_computation() {
         let mut f = func(
             vec![
-                Instr::Bin { dst: t(1), op: BinIr::Add, a: t(0).into(), b: Operand::Const(8) },
-                Instr::Bin { dst: t(2), op: BinIr::Add, a: t(0).into(), b: Operand::Const(8) },
-                Instr::Bin { dst: t(3), op: BinIr::Add, a: t(1).into(), b: t(2).into() },
-                Instr::Ret { value: Some(t(3).into()) },
+                Instr::Bin {
+                    dst: t(1),
+                    op: BinIr::Add,
+                    a: t(0).into(),
+                    b: Operand::Const(8),
+                },
+                Instr::Bin {
+                    dst: t(2),
+                    op: BinIr::Add,
+                    a: t(0).into(),
+                    b: Operand::Const(8),
+                },
+                Instr::Bin {
+                    dst: t(3),
+                    op: BinIr::Add,
+                    a: t(1).into(),
+                    b: t(2).into(),
+                },
+                Instr::Ret {
+                    value: Some(t(3).into()),
+                },
             ],
             4,
         );
@@ -501,7 +646,16 @@ mod tests {
         let adds = f.blocks[0]
             .instrs
             .iter()
-            .filter(|i| matches!(i, Instr::Bin { op: BinIr::Add, b: Operand::Const(8), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Bin {
+                        op: BinIr::Add,
+                        b: Operand::Const(8),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(adds, 1, "duplicate add folded: {:?}", f.blocks[0].instrs);
     }
@@ -510,13 +664,44 @@ mod tests {
     fn redundant_load_removed_until_store() {
         let mut f = func(
             vec![
-                Instr::Load { dst: t(1), addr: t(0).into(), width: 8, signed: false },
-                Instr::Load { dst: t(2), addr: t(0).into(), width: 8, signed: false },
-                Instr::Store { addr: t(0).into(), value: Operand::Const(1), width: 8 },
-                Instr::Load { dst: t(3), addr: t(0).into(), width: 8, signed: false },
-                Instr::Bin { dst: t(4), op: BinIr::Add, a: t(1).into(), b: t(2).into() },
-                Instr::Bin { dst: t(5), op: BinIr::Add, a: t(4).into(), b: t(3).into() },
-                Instr::Ret { value: Some(t(5).into()) },
+                Instr::Load {
+                    dst: t(1),
+                    addr: t(0).into(),
+                    width: 8,
+                    signed: false,
+                },
+                Instr::Load {
+                    dst: t(2),
+                    addr: t(0).into(),
+                    width: 8,
+                    signed: false,
+                },
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: Operand::Const(1),
+                    width: 8,
+                },
+                Instr::Load {
+                    dst: t(3),
+                    addr: t(0).into(),
+                    width: 8,
+                    signed: false,
+                },
+                Instr::Bin {
+                    dst: t(4),
+                    op: BinIr::Add,
+                    a: t(1).into(),
+                    b: t(2).into(),
+                },
+                Instr::Bin {
+                    dst: t(5),
+                    op: BinIr::Add,
+                    a: t(4).into(),
+                    b: t(3).into(),
+                },
+                Instr::Ret {
+                    value: Some(t(5).into()),
+                },
             ],
             6,
         );
@@ -533,22 +718,40 @@ mod tests {
     fn dce_removes_dead_but_keeps_side_effects() {
         let mut f = func(
             vec![
-                Instr::Const { dst: t(0), value: 1 },
-                Instr::Const { dst: t(1), value: 2 },
-                Instr::Store { addr: Operand::Const(0x10000), value: t(1).into(), width: 8 },
+                Instr::Const {
+                    dst: t(0),
+                    value: 1,
+                },
+                Instr::Const {
+                    dst: t(1),
+                    value: 2,
+                },
+                Instr::Store {
+                    addr: Operand::Const(0x10000),
+                    value: t(1).into(),
+                    width: 8,
+                },
                 Instr::Ret { value: None },
             ],
             2,
         );
         dce(&mut f);
-        assert_eq!(f.blocks[0].instrs.len(), 3, "dead const removed, store kept");
+        assert_eq!(
+            f.blocks[0].instrs.len(),
+            3,
+            "dead const removed, store kept"
+        );
     }
 
     #[test]
     fn dead_keep_live_is_removable() {
         let mut f = func(
             vec![
-                Instr::KeepLive { dst: t(1), value: t(0).into(), base: None },
+                Instr::KeepLive {
+                    dst: t(1),
+                    value: t(0).into(),
+                    base: None,
+                },
                 Instr::Ret { value: None },
             ],
             2,
@@ -562,9 +765,21 @@ mod tests {
         // t1 = i - 1000 ; t2 = p + t1  →  t3 = p - 1000 ; t2 = t3 + i
         let mut f = func(
             vec![
-                Instr::Bin { dst: t(2), op: BinIr::Sub, a: t(1).into(), b: Operand::Const(1000) },
-                Instr::Bin { dst: t(3), op: BinIr::Add, a: t(0).into(), b: t(2).into() },
-                Instr::Ret { value: Some(t(3).into()) },
+                Instr::Bin {
+                    dst: t(2),
+                    op: BinIr::Sub,
+                    a: t(1).into(),
+                    b: Operand::Const(1000),
+                },
+                Instr::Bin {
+                    dst: t(3),
+                    op: BinIr::Add,
+                    a: t(0).into(),
+                    b: t(2).into(),
+                },
+                Instr::Ret {
+                    value: Some(t(3).into()),
+                },
             ],
             4,
         );
@@ -580,20 +795,35 @@ mod tests {
     fn schedule_hoists_arithmetic_above_calls() {
         let mut f = func(
             vec![
-                Instr::Bin { dst: t(1), op: BinIr::Sub, a: t(0).into(), b: Operand::Const(4) },
+                Instr::Bin {
+                    dst: t(1),
+                    op: BinIr::Sub,
+                    a: t(0).into(),
+                    b: Operand::Const(4),
+                },
                 Instr::Call {
                     dst: Some(t(2)),
                     target: CallTarget::Builtin(cfront::Builtin::Malloc),
                     args: vec![Operand::Const(8)],
                 },
-                Instr::Bin { dst: t(3), op: BinIr::Add, a: t(1).into(), b: Operand::Const(1) },
-                Instr::Ret { value: Some(t(3).into()) },
+                Instr::Bin {
+                    dst: t(3),
+                    op: BinIr::Add,
+                    a: t(1).into(),
+                    b: Operand::Const(1),
+                },
+                Instr::Ret {
+                    value: Some(t(3).into()),
+                },
             ],
             4,
         );
         schedule_early(&mut f);
         // The add depending only on t1 moves above the call.
-        assert!(matches!(f.blocks[0].instrs[1], Instr::Bin { op: BinIr::Add, .. }));
+        assert!(matches!(
+            f.blocks[0].instrs[1],
+            Instr::Bin { op: BinIr::Add, .. }
+        ));
         assert!(matches!(f.blocks[0].instrs[2], Instr::Call { .. }));
     }
 
@@ -601,14 +831,25 @@ mod tests {
     fn schedule_respects_keep_live_ordering() {
         let mut f = func(
             vec![
-                Instr::KeepLive { dst: t(1), value: t(0).into(), base: Some(t(0).into()) },
+                Instr::KeepLive {
+                    dst: t(1),
+                    value: t(0).into(),
+                    base: Some(t(0).into()),
+                },
                 Instr::Call {
                     dst: Some(t(2)),
                     target: CallTarget::Builtin(cfront::Builtin::Malloc),
                     args: vec![Operand::Const(8)],
                 },
-                Instr::Bin { dst: t(3), op: BinIr::Add, a: t(1).into(), b: Operand::Const(1) },
-                Instr::Ret { value: Some(t(3).into()) },
+                Instr::Bin {
+                    dst: t(3),
+                    op: BinIr::Add,
+                    a: t(1).into(),
+                    b: Operand::Const(1),
+                },
+                Instr::Ret {
+                    value: Some(t(3).into()),
+                },
             ],
             4,
         );
@@ -632,10 +873,21 @@ mod tests {
     fn copy_prop_through_chain() {
         let mut f = func(
             vec![
-                Instr::Const { dst: t(0), value: 5 },
-                Instr::Mov { dst: t(1), src: t(0).into() },
-                Instr::Mov { dst: t(2), src: t(1).into() },
-                Instr::Ret { value: Some(t(2).into()) },
+                Instr::Const {
+                    dst: t(0),
+                    value: 5,
+                },
+                Instr::Mov {
+                    dst: t(1),
+                    src: t(0).into(),
+                },
+                Instr::Mov {
+                    dst: t(2),
+                    src: t(1).into(),
+                },
+                Instr::Ret {
+                    value: Some(t(2).into()),
+                },
             ],
             3,
         );
@@ -643,7 +895,9 @@ mod tests {
         dce(&mut f);
         assert_eq!(
             f.blocks[0].instrs,
-            vec![Instr::Ret { value: Some(Operand::Const(5)) }]
+            vec![Instr::Ret {
+                value: Some(Operand::Const(5))
+            }]
         );
     }
 
@@ -652,16 +906,30 @@ mod tests {
         // t1 = keeplive(7); t2 = t1 + 1 — t2 must not become Const(8).
         let mut f = func(
             vec![
-                Instr::KeepLive { dst: t(1), value: Operand::Const(7), base: None },
-                Instr::Bin { dst: t(2), op: BinIr::Add, a: t(1).into(), b: Operand::Const(1) },
-                Instr::Ret { value: Some(t(2).into()) },
+                Instr::KeepLive {
+                    dst: t(1),
+                    value: Operand::Const(7),
+                    base: None,
+                },
+                Instr::Bin {
+                    dst: t(2),
+                    op: BinIr::Add,
+                    a: t(1).into(),
+                    b: Operand::Const(1),
+                },
+                Instr::Ret {
+                    value: Some(t(2).into()),
+                },
             ],
             3,
         );
         optimize_func(&mut f, OptOptions::full());
         let dump = f.dump();
         assert!(dump.contains("keep_live"), "keep_live survives: {dump}");
-        assert!(!dump.contains("ret 8"), "no folding through the barrier: {dump}");
+        assert!(
+            !dump.contains("ret 8"),
+            "no folding through the barrier: {dump}"
+        );
     }
 }
 
@@ -676,7 +944,9 @@ mod tests {
 /// are loop-invariant move to it. `KeepLive`/`CheckSame` are ordering
 /// points and never move — but they don't need to: their *base* operand
 /// keeps the object visible wherever the arithmetic lands.
-pub fn licm(f: &mut FuncIr) {
+///
+/// Returns the number of instructions hoisted to preheaders.
+pub fn licm(f: &mut FuncIr) -> usize {
     // True back edges only: u→v with v dominating u (switch lowering also
     // produces harmless backward-numbered forward edges).
     let dom = dominators(f);
@@ -691,12 +961,14 @@ pub fn licm(f: &mut FuncIr) {
     }
     back_edges.sort();
     back_edges.dedup();
+    let mut hoisted = 0usize;
     for (latch, header) in back_edges {
         if header == 0 {
             continue; // entry block cannot take a preheader safely
         }
-        hoist_loop(f, latch, header);
+        hoisted += hoist_loop(f, latch, header);
     }
+    hoisted
 }
 
 /// Dominator sets per block (iterative dataflow; CFGs here are tiny).
@@ -731,7 +1003,12 @@ fn dominators(f: &FuncIr) -> Vec<std::collections::HashSet<usize>> {
 
 fn preds(f: &FuncIr, target: usize) -> Vec<usize> {
     (0..f.blocks.len())
-        .filter(|&bi| f.blocks[bi].successors().iter().any(|s| s.0 as usize == target))
+        .filter(|&bi| {
+            f.blocks[bi]
+                .successors()
+                .iter()
+                .any(|s| s.0 as usize == target)
+        })
         .collect()
 }
 
@@ -753,7 +1030,7 @@ fn loop_blocks(f: &FuncIr, latch: usize, header: usize) -> Vec<usize> {
     (0..f.blocks.len()).filter(|&b| in_loop[b]).collect()
 }
 
-fn hoist_loop(f: &mut FuncIr, latch: usize, header: usize) {
+fn hoist_loop(f: &mut FuncIr, latch: usize, header: usize) -> usize {
     use crate::liveness::Liveness;
     let blocks = loop_blocks(f, latch, header);
     let in_loop = |b: usize| blocks.contains(&b);
@@ -807,7 +1084,7 @@ fn hoist_loop(f: &mut FuncIr, latch: usize, header: usize) {
         }
     }
     if to_hoist.is_empty() {
-        return;
+        return 0;
     }
     // Build the preheader with the hoisted instructions in dependency
     // order (original program order across blocks is sufficient because
@@ -821,7 +1098,9 @@ fn hoist_loop(f: &mut FuncIr, latch: usize, header: usize) {
     }
     pre_instrs.reverse();
     let pre_id = BlockId(f.blocks.len() as u32);
-    pre_instrs.push(Instr::Jump { target: BlockId(header as u32) });
+    pre_instrs.push(Instr::Jump {
+        target: BlockId(header as u32),
+    });
     f.blocks.push(Block { instrs: pre_instrs });
     // Redirect non-loop predecessors of the header to the preheader.
     for bi in 0..f.blocks.len() - 1 {
@@ -832,7 +1111,9 @@ fn hoist_loop(f: &mut FuncIr, latch: usize, header: usize) {
         if let Some(last) = block.instrs.last_mut() {
             match last {
                 Instr::Jump { target } if target.0 as usize == header => *target = pre_id,
-                Instr::Branch { if_true, if_false, .. } => {
+                Instr::Branch {
+                    if_true, if_false, ..
+                } => {
                     if if_true.0 as usize == header {
                         *if_true = pre_id;
                     }
@@ -844,6 +1125,7 @@ fn hoist_loop(f: &mut FuncIr, latch: usize, header: usize) {
             }
         }
     }
+    to_hoist.len()
 }
 
 #[cfg(test)]
@@ -863,8 +1145,14 @@ mod licm_tests {
             blocks: vec![
                 Block {
                     instrs: vec![
-                        Instr::Const { dst: t(0), value: 100 },
-                        Instr::Const { dst: t(2), value: 0 },
+                        Instr::Const {
+                            dst: t(0),
+                            value: 100,
+                        },
+                        Instr::Const {
+                            dst: t(2),
+                            value: 0,
+                        },
                         Instr::Jump { target: BlockId(1) },
                     ],
                 },
@@ -895,7 +1183,11 @@ mod licm_tests {
                         },
                     ],
                 },
-                Block { instrs: vec![Instr::Ret { value: Some(t(2).into()) }] },
+                Block {
+                    instrs: vec![Instr::Ret {
+                        value: Some(t(2).into()),
+                    }],
+                },
             ],
             temp_count: 4,
             param_temps: vec![],
@@ -912,12 +1204,16 @@ mod licm_tests {
         assert_eq!(f.blocks.len(), 4, "{}", f.dump());
         let body = &f.blocks[1].instrs;
         assert!(
-            !body.iter().any(|i| matches!(i, Instr::Bin { op: BinIr::Sub, .. })),
+            !body
+                .iter()
+                .any(|i| matches!(i, Instr::Bin { op: BinIr::Sub, .. })),
             "sub left the loop:\n{}",
             f.dump()
         );
         let pre = &f.blocks[3].instrs;
-        assert!(pre.iter().any(|i| matches!(i, Instr::Bin { op: BinIr::Sub, .. })));
+        assert!(pre
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: BinIr::Sub, .. })));
         // bb0 now enters through the preheader.
         assert_eq!(f.blocks[0].successors(), vec![BlockId(3)]);
         assert_eq!(f.blocks[3].successors(), vec![BlockId(1)]);
@@ -929,7 +1225,9 @@ mod licm_tests {
         licm(&mut f);
         // t2 = t2 + t1 stays (t2 is loop-carried).
         let body = &f.blocks[1].instrs;
-        assert!(body.iter().any(|i| matches!(i, Instr::Bin { op: BinIr::Add, .. })));
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: BinIr::Add, .. })));
     }
 
     #[test]
@@ -939,12 +1237,21 @@ mod licm_tests {
         f.temp_count = 5;
         f.blocks[1].instrs.insert(
             1,
-            Instr::KeepLive { dst: t(4), value: t(1).into(), base: Some(t(0).into()) },
+            Instr::KeepLive {
+                dst: t(4),
+                value: t(1).into(),
+                base: Some(t(0).into()),
+            },
         );
         // Make its result used so DCE-style reasoning can't drop it.
         f.blocks[2].instrs.insert(
             0,
-            Instr::Bin { dst: t(2), op: BinIr::Add, a: t(2).into(), b: t(4).into() },
+            Instr::Bin {
+                dst: t(2),
+                op: BinIr::Add,
+                a: t(2).into(),
+                b: t(4).into(),
+            },
         );
         licm(&mut f);
         assert!(
@@ -985,7 +1292,10 @@ mod allocation_preservation_tests {
             .filter(|i| {
                 matches!(
                     i,
-                    Instr::Call { target: CallTarget::Builtin(cfront::Builtin::Malloc), .. }
+                    Instr::Call {
+                        target: CallTarget::Builtin(cfront::Builtin::Malloc),
+                        ..
+                    }
                 )
             })
             .count();

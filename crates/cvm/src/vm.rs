@@ -40,6 +40,11 @@ pub struct VmOptions {
     pub heap_bytes: usize,
     /// Stack region size in bytes.
     pub stack_bytes: usize,
+    /// Trace sink shared with the attached collector: the heap emits its
+    /// per-collection timeline events here, and the VM emits one
+    /// `("vm", "run")` summary when execution completes. Disabled by
+    /// default — the disabled handle adds no measurable overhead.
+    pub trace: gctrace::TraceHandle,
 }
 
 impl Default for VmOptions {
@@ -52,6 +57,7 @@ impl Default for VmOptions {
             check_base_stores: false,
             heap_bytes: 32 << 20,
             stack_bytes: 1 << 20,
+            trace: gctrace::TraceHandle::disabled(),
         }
     }
 }
@@ -216,7 +222,8 @@ impl<'a> Vm<'a> {
         for (i, b) in prog.globals_image.iter().enumerate() {
             mem.write(GLOBAL_BASE + i as u64, 1, *b as u64)?;
         }
-        let heap = GcHeap::new(&mem, opts.heap_config.clone());
+        let mut heap = GcHeap::new(&mem, opts.heap_config.clone());
+        heap.set_trace(opts.trace.clone());
         let gc_maps = prog.funcs.iter().map(gc_root_maps).collect();
         let profile = Profile {
             block_counts: prog.funcs.iter().map(|f| vec![0; f.blocks.len()]).collect(),
@@ -268,7 +275,13 @@ impl<'a> Vm<'a> {
             temps[pt.0 as usize] = *v;
         }
         self.profile.block_counts[func][0] += 1;
-        self.frames.push(Frame { func, block: 0, ip: 0, temps, dst_in_caller: dst });
+        self.frames.push(Frame {
+            func,
+            block: 0,
+            ip: 0,
+            temps,
+            dst_in_caller: dst,
+        });
         Ok(())
     }
 
@@ -295,21 +308,36 @@ impl<'a> Vm<'a> {
                 return Err(VmError::StepLimit);
             }
         }
-        Ok(ExecOutcome {
+        let outcome = ExecOutcome {
             output: self.output,
             exit_code: self.exit.unwrap_or(0),
             profile: self.profile,
             heap: self.heap.stats(),
             steps: self.steps,
-        })
+        };
+        // Unify the execution profile and the collector stats behind the
+        // same sink as the per-collection timeline.
+        self.opts.trace.emit(|| {
+            let blocks_executed: u64 = outcome.profile.block_counts.iter().flatten().sum();
+            let builtin_calls: u64 = outcome.profile.builtin_calls.values().sum();
+            gctrace::Event::new("vm", "run")
+                .field("exit_code", outcome.exit_code)
+                .field("steps", outcome.steps)
+                .field("output_bytes", outcome.output.len())
+                .field("blocks_executed", blocks_executed)
+                .field("dynamic_instrs", outcome.profile.dynamic_instrs(self.prog))
+                .field("builtin_calls", builtin_calls)
+                .field("builtin_byte_work", outcome.profile.builtin_byte_work)
+                .field("collections", outcome.heap.collections)
+                .field("total_pause_ns", outcome.heap.total_pause_ns)
+        });
+        Ok(outcome)
     }
 
     fn operand(&self, o: Operand) -> i64 {
         match o {
             Operand::Const(c) => c,
-            Operand::Temp(t) => {
-                self.frames.last().expect("active frame").temps[t.0 as usize]
-            }
+            Operand::Temp(t) => self.frames.last().expect("active frame").temps[t.0 as usize],
         }
     }
 
@@ -326,7 +354,10 @@ impl<'a> Vm<'a> {
 
     fn check_heap_access(&self, addr: u64) -> Result<(), VmError> {
         if self.opts.trap_uaf && self.mem.in_heap(addr) && !self.heap.is_allocated(addr) {
-            return Err(VmError::UseAfterFree { func: self.cur_func_name(), addr });
+            return Err(VmError::UseAfterFree {
+                func: self.cur_func_name(),
+                addr,
+            });
         }
         Ok(())
     }
@@ -365,7 +396,12 @@ impl<'a> Vm<'a> {
                 self.set_temp(dst, op.eval(va, vb));
                 self.advance();
             }
-            Instr::Load { dst, addr, width, signed } => {
+            Instr::Load {
+                dst,
+                addr,
+                width,
+                signed,
+            } => {
                 let a = self.operand(addr) as u64;
                 self.check_heap_access(a)?;
                 let raw = self.mem.read(a, width as u32)?;
@@ -388,7 +424,11 @@ impl<'a> Vm<'a> {
                 self.set_temp(dst, a);
                 self.advance();
             }
-            Instr::MemCopy { dst_addr, src_addr, len } => {
+            Instr::MemCopy {
+                dst_addr,
+                src_addr,
+                len,
+            } => {
                 let d = self.operand(dst_addr) as u64;
                 let s = self.operand(src_addr) as u64;
                 self.check_heap_access(d)?;
@@ -414,7 +454,11 @@ impl<'a> Vm<'a> {
                 self.pop_frame(v);
             }
             Instr::Jump { target } => self.goto(target),
-            Instr::Branch { cond, if_true, if_false } => {
+            Instr::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let c = self.operand(cond);
                 self.goto(if c != 0 { if_true } else { if_false });
             }
@@ -486,7 +530,11 @@ impl<'a> Vm<'a> {
         if self.heap.same_obj(value, base) {
             Ok(())
         } else {
-            Err(VmError::CheckFailed { func: self.cur_func_name(), value, base })
+            Err(VmError::CheckFailed {
+                func: self.cur_func_name(),
+                value,
+                base,
+            })
         }
     }
 
@@ -617,7 +665,8 @@ impl<'a> Vm<'a> {
                 Ok(0)
             }
             Builtin::Putint => {
-                self.output.extend_from_slice(args[0].to_string().as_bytes());
+                self.output
+                    .extend_from_slice(args[0].to_string().as_bytes());
                 Ok(0)
             }
             Builtin::Exit => {
@@ -631,9 +680,7 @@ impl<'a> Vm<'a> {
                 Ok(0)
             }
             Builtin::GcHeapSize => Ok(self.heap.stats().bytes_live as i64),
-            Builtin::GcBase => {
-                Ok(self.heap.base(args[0] as u64).unwrap_or(0) as i64)
-            }
+            Builtin::GcBase => Ok(self.heap.base(args[0] as u64).unwrap_or(0) as i64),
             Builtin::GcSameObj => {
                 let v = args[0] as u64;
                 let base = args[1] as u64;
@@ -704,8 +751,10 @@ mod vm_behavior_tests {
     use crate::{compile_and_run, CompileOptions};
 
     fn run(src: &str, input: &[u8]) -> ExecOutcome {
-        let mut v = VmOptions::default();
-        v.input = input.to_vec();
+        let v = VmOptions {
+            input: input.to_vec(),
+            ..VmOptions::default()
+        };
         compile_and_run(src, &CompileOptions::optimized(), &v).expect("runs")
     }
 
@@ -828,7 +877,10 @@ mod vm_behavior_tests {
 
     #[test]
     fn abort_reported() {
-        assert_eq!(run_err("int main(void) { abort(); return 0; }"), VmError::Aborted);
+        assert_eq!(
+            run_err("int main(void) { abort(); return 0; }"),
+            VmError::Aborted
+        );
     }
 
     #[test]
@@ -884,8 +936,10 @@ mod vm_behavior_tests {
                 return 0;
             }
         "#;
-        let mut v = VmOptions::default();
-        v.check_base_stores = true;
+        let v = VmOptions {
+            check_base_stores: true,
+            ..VmOptions::default()
+        };
         let r = compile_and_run(src, &CompileOptions::optimized(), &v);
         assert!(matches!(r, Err(VmError::InteriorStored { .. })), "{r:?}");
     }
@@ -904,8 +958,10 @@ mod vm_behavior_tests {
                 return 0;
             }
         "#;
-        let mut v = VmOptions::default();
-        v.check_base_stores = true;
+        let v = VmOptions {
+            check_base_stores: true,
+            ..VmOptions::default()
+        };
         compile_and_run(src, &CompileOptions::optimized(), &v).expect("conforming program");
     }
 

@@ -14,8 +14,10 @@
 
 use crate::mem::{Memory, HEAP_BASE};
 use crate::pagemap::{PageDesc, PageMap, SmallPage, PAGE_SIZE};
+use gctrace::{Event, TraceHandle};
 use std::collections::HashSet;
 use std::fmt;
+use std::time::Instant;
 
 /// Small-object size classes in bytes. Requests above the largest class
 /// become multi-page "large" objects.
@@ -103,6 +105,58 @@ pub struct HeapStats {
     pub same_obj_failures: u64,
     /// Pages withdrawn from allocation by blacklisting.
     pub blacklisted_pages: u64,
+    /// Total stop-the-world pause across all collections, in nanoseconds.
+    pub total_pause_ns: u64,
+    /// Longest single collection pause, in nanoseconds.
+    pub max_pause_ns: u64,
+}
+
+impl HeapStats {
+    /// Serializes the stats as a flat JSON object (field names match the
+    /// struct; all values are unsigned integers).
+    pub fn to_json(&self) -> String {
+        let mut w = gctrace::json::Writer::new();
+        w.uint_field("collections", self.collections);
+        w.uint_field("allocations", self.allocations);
+        w.uint_field("bytes_requested", self.bytes_requested);
+        w.uint_field("objects_freed", self.objects_freed);
+        w.uint_field("objects_live", self.objects_live);
+        w.uint_field("bytes_live", self.bytes_live);
+        w.uint_field("same_obj_checks", self.same_obj_checks);
+        w.uint_field("same_obj_failures", self.same_obj_failures);
+        w.uint_field("blacklisted_pages", self.blacklisted_pages);
+        w.uint_field("total_pause_ns", self.total_pause_ns);
+        w.uint_field("max_pause_ns", self.max_pause_ns);
+        w.finish()
+    }
+
+    /// Parses stats previously produced by [`HeapStats::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not a JSON object or a field is
+    /// missing or non-integral.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let obj = gctrace::json::parse_object(text)?;
+        let get = |k: &str| -> Result<u64, String> {
+            obj.get(k)
+                .and_then(gctrace::json::JsonValue::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {k:?}"))
+        };
+        Ok(HeapStats {
+            collections: get("collections")?,
+            allocations: get("allocations")?,
+            bytes_requested: get("bytes_requested")?,
+            objects_freed: get("objects_freed")?,
+            objects_live: get("objects_live")?,
+            bytes_live: get("bytes_live")?,
+            same_obj_checks: get("same_obj_checks")?,
+            same_obj_failures: get("same_obj_failures")?,
+            blacklisted_pages: get("blacklisted_pages")?,
+            total_pause_ns: get("total_pause_ns")?,
+            max_pause_ns: get("max_pause_ns")?,
+        })
+    }
 }
 
 /// The set of GC-roots for one collection: address ranges (stack, statics)
@@ -145,6 +199,7 @@ pub struct GcHeap {
     blacklist: HashSet<usize>,
     bytes_since_gc: u64,
     stats: HeapStats,
+    trace: TraceHandle,
 }
 
 impl GcHeap {
@@ -159,7 +214,14 @@ impl GcHeap {
             blacklist: HashSet::new(),
             bytes_since_gc: 0,
             stats: HeapStats::default(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Routes per-collection timeline events to `trace`. The default
+    /// handle is disabled and costs nothing.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Creates a collector with the default configuration.
@@ -236,16 +298,19 @@ impl GcHeap {
         self.stats.allocations += 1;
         self.stats.bytes_requested += size;
         let addr = if let Some(ci) = Self::class_index(effective) {
-            self.alloc_small(ci).ok_or(OutOfMemory { requested: size })?
+            self.alloc_small(ci)
+                .ok_or(OutOfMemory { requested: size })?
         } else {
-            self.alloc_large(effective).ok_or(OutOfMemory { requested: size })?
+            self.alloc_large(effective)
+                .ok_or(OutOfMemory { requested: size })?
         };
         let (base, extent) = self
             .map
             .object_extent(addr)
             .expect("freshly allocated object must have an extent");
         debug_assert_eq!(base, addr);
-        mem.fill(addr, 0, extent as usize).expect("object memory is mapped");
+        mem.fill(addr, 0, extent as usize)
+            .expect("object memory is mapped");
         self.bytes_since_gc += extent;
         self.stats.objects_live += 1;
         self.stats.bytes_live += extent;
@@ -279,7 +344,10 @@ impl GcHeap {
 
     fn alloc_small(&mut self, ci: usize) -> Option<u64> {
         if let Some(addr) = self.free_lists[ci].pop() {
-            let idx = self.map.page_index(addr).expect("free-list address in heap");
+            let idx = self
+                .map
+                .page_index(addr)
+                .expect("free-list address in heap");
             let page_start = self.map.page_addr(idx);
             if let PageDesc::Small(sp) = self.map.desc_mut(idx) {
                 let slot = ((addr - page_start) / sp.obj_size as u64) as usize;
@@ -345,17 +413,24 @@ impl GcHeap {
 
     /// Runs a full stop-the-world mark-sweep collection.
     pub fn collect(&mut self, mem: &mut Memory, roots: &RootSet) {
+        let t0 = Instant::now();
         self.stats.collections += 1;
         self.bytes_since_gc = 0;
+        let blacklisted_before = self.stats.blacklisted_pages;
         // --- mark ---
+        let mut roots_scanned: u64 = 0;
+        let mut words_marked: u64 = 0;
+        let mut objects_marked: u64 = 0;
         let mut worklist: Vec<u64> = Vec::new();
         for &(start, end) in &roots.ranges {
             for word in mem.aligned_words(start, end) {
-                self.mark_candidate(word, true, &mut worklist);
+                roots_scanned += 1;
+                objects_marked += u64::from(self.mark_candidate(word, true, &mut worklist));
             }
         }
         for &word in &roots.words {
-            self.mark_candidate(word, true, &mut worklist);
+            roots_scanned += 1;
+            objects_marked += u64::from(self.mark_candidate(word, true, &mut worklist));
         }
         while let Some(base) = worklist.pop() {
             let (start, size) = self
@@ -363,36 +438,55 @@ impl GcHeap {
                 .object_extent(base)
                 .expect("marked object must have an extent");
             for word in mem.aligned_words(start, start + size) {
-                self.mark_candidate(word, false, &mut worklist);
+                words_marked += 1;
+                objects_marked += u64::from(self.mark_candidate(word, false, &mut worklist));
             }
         }
         // --- sweep ---
-        self.sweep(mem);
+        let (objects_swept, bytes_swept) = self.sweep(mem);
+        let pause_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stats.total_pause_ns += pause_ns;
+        self.stats.max_pause_ns = self.stats.max_pause_ns.max(pause_ns);
+        let stats = self.stats;
+        self.trace.emit(|| {
+            Event::new("gc", "collection")
+                .field("n", stats.collections)
+                .field("roots_scanned", roots_scanned)
+                .field("words_marked", words_marked)
+                .field("objects_marked", objects_marked)
+                .field("objects_swept", objects_swept)
+                .field("bytes_swept", bytes_swept)
+                .field(
+                    "blacklist_hits",
+                    stats.blacklisted_pages - blacklisted_before,
+                )
+                .field("objects_live", stats.objects_live)
+                .field("bytes_live", stats.bytes_live)
+                .field("pause_ns", pause_ns)
+        });
     }
 
     /// If `word` looks like a pointer into a live object, marks it and
-    /// pushes it on the worklist. `from_root` selects the interior-pointer
-    /// rule per the configured policy.
-    fn mark_candidate(&mut self, word: u64, from_root: bool, worklist: &mut Vec<u64>) {
-        let interior_ok =
-            from_root || self.config.policy == PointerPolicy::InteriorEverywhere;
+    /// pushes it on the worklist, returning whether the object was newly
+    /// marked. `from_root` selects the interior-pointer rule per the
+    /// configured policy.
+    fn mark_candidate(&mut self, word: u64, from_root: bool, worklist: &mut Vec<u64>) -> bool {
+        let interior_ok = from_root || self.config.policy == PointerPolicy::InteriorEverywhere;
         let Some(base) = self.map.object_base(word) else {
             // A heap-range bit pattern with no object behind it is a false
             // pointer in waiting: blacklist its page so nothing is ever
             // allocated where a spurious root already points.
             if self.config.blacklisting {
                 if let Some(idx) = self.map.page_index(word) {
-                    if matches!(self.map.desc(idx), PageDesc::Free)
-                        && self.blacklist.insert(idx)
-                    {
+                    if matches!(self.map.desc(idx), PageDesc::Free) && self.blacklist.insert(idx) {
                         self.stats.blacklisted_pages += 1;
                     }
                 }
             }
-            return;
+            return false;
         };
         if !interior_ok && base != word {
-            return;
+            return false;
         }
         let idx = self.map.page_index(base).expect("object base is in heap");
         let page_start = self.map.page_addr(idx);
@@ -402,19 +496,22 @@ impl GcHeap {
                 if !sp.mark[slot] {
                     sp.mark[slot] = true;
                     worklist.push(base);
+                    return true;
                 }
             }
             PageDesc::LargeHead { marked, .. } => {
                 if !*marked {
                     *marked = true;
                     worklist.push(base);
+                    return true;
                 }
             }
             _ => unreachable!("object base resolves to a head page"),
         }
+        false
     }
 
-    fn sweep(&mut self, mem: &mut Memory) {
+    fn sweep(&mut self, mem: &mut Memory) -> (u64, u64) {
         let poison = self.config.poison;
         let mut freed: Vec<(u64, u64)> = Vec::new();
         let mut large_frees: Vec<(usize, usize)> = Vec::new();
@@ -432,7 +529,11 @@ impl GcHeap {
                         sp.mark[slot] = false;
                     }
                 }
-                PageDesc::LargeHead { size, marked, allocated } => {
+                PageDesc::LargeHead {
+                    size,
+                    marked,
+                    allocated,
+                } => {
                     if *allocated && !*marked {
                         *allocated = false;
                         let pages = (*size / PAGE_SIZE) as usize;
@@ -448,7 +549,8 @@ impl GcHeap {
             self.stats.objects_live -= 1;
             self.stats.bytes_live -= size;
             if poison {
-                mem.fill(*addr, 0xDD, *size as usize).expect("freed object is mapped");
+                mem.fill(*addr, 0xDD, *size as usize)
+                    .expect("freed object is mapped");
             }
         }
         // Return small slots to free lists.
@@ -468,6 +570,9 @@ impl GcHeap {
                 self.free_pages.push(head + i);
             }
         }
+        let objects_swept = freed.len() as u64;
+        let bytes_swept: u64 = freed.iter().map(|(_, size)| size).sum();
+        (objects_swept, bytes_swept)
     }
 }
 
@@ -556,7 +661,10 @@ mod tests {
         let mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
         let mut heap = GcHeap::new(
             &mem,
-            HeapConfig { policy: PointerPolicy::InteriorFromRootsOnly, ..HeapConfig::default() },
+            HeapConfig {
+                policy: PointerPolicy::InteriorFromRootsOnly,
+                ..HeapConfig::default()
+            },
         );
         let mut mem = mem;
         let a = heap.alloc(&mut mem, 16).unwrap();
@@ -567,7 +675,10 @@ mod tests {
         roots.add_word(a);
         heap.collect(&mut mem, &roots);
         assert!(heap.is_allocated(a));
-        assert!(!heap.is_allocated(b), "interior heap pointer must not retain");
+        assert!(
+            !heap.is_allocated(b),
+            "interior heap pointer must not retain"
+        );
         // But a root interior pointer still works.
         let c = heap.alloc(&mut mem, 64).unwrap();
         let mut roots = RootSet::new();
@@ -637,7 +748,10 @@ mod tests {
         let mem = Memory::new(1 << 12, 1 << 12, 1 << 16); // 16 heap pages
         let mut heap = GcHeap::new(
             &mem,
-            HeapConfig { blacklisting: true, ..HeapConfig::default() },
+            HeapConfig {
+                blacklisting: true,
+                ..HeapConfig::default()
+            },
         );
         let mut mem = mem;
         // A spurious root pointing into the (still free) page 3.
@@ -678,7 +792,10 @@ mod tests {
         let mem = Memory::new(1 << 12, 1 << 12, 1 << 16);
         let mut heap = GcHeap::new(
             &mem,
-            HeapConfig { blacklisting: true, ..HeapConfig::default() },
+            HeapConfig {
+                blacklisting: true,
+                ..HeapConfig::default()
+            },
         );
         let mut mem = mem;
         let live = heap.alloc(&mut mem, 100).unwrap();
@@ -694,7 +811,10 @@ mod tests {
         let mem = Memory::new(1 << 12, 1 << 12, 1 << 20);
         let mut heap = GcHeap::new(
             &mem,
-            HeapConfig { gc_threshold: 1024, ..HeapConfig::default() },
+            HeapConfig {
+                gc_threshold: 1024,
+                ..HeapConfig::default()
+            },
         );
         let mut mem = mem;
         assert!(!heap.should_collect());
@@ -704,6 +824,90 @@ mod tests {
         assert!(heap.should_collect());
         heap.collect(&mut mem, &RootSet::new());
         assert!(!heap.should_collect());
+    }
+
+    #[test]
+    fn collections_accumulate_pause_time() {
+        let (mut mem, mut heap) = setup();
+        for _ in 0..50 {
+            heap.alloc(&mut mem, 64).unwrap();
+        }
+        heap.collect(&mut mem, &RootSet::new());
+        let after_one = heap.stats();
+        assert!(
+            after_one.total_pause_ns > 0,
+            "a collection takes nonzero time"
+        );
+        assert!(after_one.max_pause_ns > 0);
+        assert!(after_one.max_pause_ns <= after_one.total_pause_ns);
+        heap.collect(&mut mem, &RootSet::new());
+        let after_two = heap.stats();
+        assert!(after_two.total_pause_ns > after_one.total_pause_ns);
+        assert!(after_two.max_pause_ns >= after_one.max_pause_ns);
+    }
+
+    #[test]
+    fn collection_emits_a_timeline_event() {
+        let (mut mem, mut heap) = setup();
+        let (trace, sink) = TraceHandle::memory();
+        heap.set_trace(trace);
+        let keep = heap.alloc(&mut mem, 16).unwrap();
+        let child = heap.alloc(&mut mem, 16).unwrap();
+        let _lose = heap.alloc(&mut mem, 40).unwrap();
+        mem.write(keep, 8, child).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(keep);
+        heap.collect(&mut mem, &roots);
+        let evs = sink.snapshot();
+        assert_eq!(evs.len(), 1);
+        let e = &evs[0];
+        assert_eq!((e.stage, e.kind), ("gc", "collection"));
+        let get = |k: &str| match e.get(k) {
+            Some(gctrace::Value::UInt(u)) => *u,
+            other => panic!("field {k}: {other:?}"),
+        };
+        assert_eq!(get("n"), 1);
+        assert_eq!(get("roots_scanned"), 1);
+        assert_eq!(get("objects_marked"), 2, "keep and child");
+        assert_eq!(get("objects_swept"), 1, "the unrooted 40-byte object");
+        assert!(get("bytes_swept") >= 40);
+        assert_eq!(get("objects_live"), 2);
+        assert!(get("pause_ns") > 0);
+        assert!(
+            get("words_marked") >= 2,
+            "both survivors' words were scanned"
+        );
+    }
+
+    #[test]
+    fn heap_stats_json_round_trips() {
+        let (mut mem, mut heap) = setup();
+        heap.alloc(&mut mem, 24).unwrap();
+        heap.alloc(&mut mem, 512).unwrap();
+        heap.collect(&mut mem, &RootSet::new());
+        let stats = heap.stats();
+        let text = stats.to_json();
+        let back = HeapStats::from_json(&text).expect("round trips");
+        assert_eq!(back, stats);
+        // Shape: every struct field appears by name in the JSON.
+        for key in [
+            "collections",
+            "allocations",
+            "bytes_requested",
+            "objects_freed",
+            "objects_live",
+            "bytes_live",
+            "same_obj_checks",
+            "same_obj_failures",
+            "blacklisted_pages",
+            "total_pause_ns",
+            "max_pause_ns",
+        ] {
+            assert!(
+                text.contains(&format!("\"{key}\":")),
+                "missing {key} in {text}"
+            );
+        }
     }
 }
 
@@ -736,7 +940,9 @@ impl GcHeap {
                         sp.slots()
                     );
                 }
-                PageDesc::LargeHead { size, allocated, .. } => {
+                PageDesc::LargeHead {
+                    size, allocated, ..
+                } => {
                     let _ = writeln!(
                         out,
                         "  page {idx:4}: large head, {size} bytes, {}",

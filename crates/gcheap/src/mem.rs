@@ -238,7 +238,11 @@ impl Memory {
             out.push(b);
             a += 1;
             if out.len() > (1 << 20) {
-                return Err(MemFault { addr: a, width: 1, write: false });
+                return Err(MemFault {
+                    addr: a,
+                    width: 1,
+                    write: false,
+                });
             }
         }
     }
@@ -265,7 +269,11 @@ mod tests {
     #[test]
     fn read_write_roundtrip_widths() {
         let mut m = Memory::new(4096, 4096, 4096);
-        for &(width, value) in &[(1u32, 0xABu64), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)] {
+        for &(width, value) in &[
+            (1u32, 0xABu64),
+            (4, 0xDEAD_BEEF),
+            (8, 0x0123_4567_89AB_CDEF),
+        ] {
             m.write(GLOBAL_BASE + 16, width, value).unwrap();
             assert_eq!(m.read(GLOBAL_BASE + 16, width).unwrap(), value);
         }
@@ -303,8 +311,9 @@ mod tests {
             m.write(GLOBAL_BASE + i, 1, i + 1).unwrap();
         }
         m.copy(GLOBAL_BASE + 2, GLOBAL_BASE, 6).unwrap();
-        let got: Vec<u64> =
-            (0..8).map(|i| m.read(GLOBAL_BASE + i, 1).unwrap()).collect();
+        let got: Vec<u64> = (0..8)
+            .map(|i| m.read(GLOBAL_BASE + i, 1).unwrap())
+            .collect();
         assert_eq!(got, vec![1, 2, 1, 2, 3, 4, 5, 6]);
     }
 

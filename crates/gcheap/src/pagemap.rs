@@ -50,7 +50,11 @@ impl SmallPage {
     /// Creates a fresh page descriptor for `obj_size`-byte slots.
     pub fn new(obj_size: u32) -> Self {
         let slots = (PAGE_SIZE / obj_size as u64) as usize;
-        SmallPage { obj_size, alloc: vec![false; slots], mark: vec![false; slots] }
+        SmallPage {
+            obj_size,
+            alloc: vec![false; slots],
+            mark: vec![false; slots],
+        }
     }
 
     /// Number of slots in the page.
@@ -72,7 +76,11 @@ impl PageMap {
     pub fn new(heap_base: u64, heap_size: u64) -> Self {
         let heap_pages = (heap_size / PAGE_SIZE) as usize;
         let top_len = heap_pages.div_ceil(LEAF_PAGES);
-        PageMap { heap_base, heap_pages, top: (0..top_len).map(|_| None).collect() }
+        PageMap {
+            heap_base,
+            heap_pages,
+            top: (0..top_len).map(|_| None).collect(),
+        }
     }
 
     /// Total number of heap pages covered.
@@ -131,13 +139,15 @@ impl PageMap {
                     None
                 }
             }
-            PageDesc::LargeHead { allocated, .. } => {
-                allocated.then(|| self.page_addr(idx))
-            }
+            PageDesc::LargeHead { allocated, .. } => allocated.then(|| self.page_addr(idx)),
             PageDesc::LargeCont(back) => {
                 let head_idx = idx - *back as usize;
                 match self.desc(head_idx) {
-                    PageDesc::LargeHead { allocated: true, size, .. } => {
+                    PageDesc::LargeHead {
+                        allocated: true,
+                        size,
+                        ..
+                    } => {
                         let head = self.page_addr(head_idx);
                         (addr < head + size).then_some(head)
                     }
@@ -174,7 +184,9 @@ impl PageMap {
     pub fn pages(&self) -> impl Iterator<Item = (usize, &PageDesc)> {
         self.top.iter().enumerate().flat_map(|(ti, leaf)| {
             leaf.iter().flat_map(move |l| {
-                l.iter().enumerate().map(move |(pi, d)| (ti * LEAF_PAGES + pi, d))
+                l.iter()
+                    .enumerate()
+                    .map(move |(pi, d)| (ti * LEAF_PAGES + pi, d))
             })
         })
     }
@@ -225,7 +237,11 @@ mod tests {
     #[test]
     fn large_object_spans_pages() {
         let mut pm = PageMap::new(BASE, 1 << 20);
-        *pm.desc_mut(4) = PageDesc::LargeHead { size: 3 * PAGE_SIZE, marked: false, allocated: true };
+        *pm.desc_mut(4) = PageDesc::LargeHead {
+            size: 3 * PAGE_SIZE,
+            marked: false,
+            allocated: true,
+        };
         *pm.desc_mut(5) = PageDesc::LargeCont(1);
         *pm.desc_mut(6) = PageDesc::LargeCont(2);
         let head = pm.page_addr(4);

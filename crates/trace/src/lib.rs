@@ -1,0 +1,333 @@
+//! # gctrace — structured events for the gc-safety pipeline
+//!
+//! Every stage of the pipeline (annotator, optimizer, collector, VM,
+//! postprocessor) can emit typed [`Event`]s through a shared
+//! [`TraceHandle`]. The handle is a thin `Option<Arc<dyn Sink>>`:
+//!
+//! * **Disabled** (the default, [`TraceHandle::disabled`]): `emit` takes a
+//!   closure and never calls it — no timestamps are read, no strings are
+//!   built, no allocation happens. The only cost is one branch on an
+//!   `Option`, so instrumented hot paths stay at their uninstrumented
+//!   speed.
+//! * **Enabled**: the closure builds the event once and the sink decides
+//!   what to do with it — buffer it ([`MemorySink`]), or serialize it as
+//!   one JSON object per line ([`JsonlSink`]).
+//!
+//! Events are deliberately flat: a `stage` (which crate emitted it), a
+//! `kind` (what happened), and a list of `(&'static str, Value)` fields.
+//! Flat events keep the emitting side allocation-light and make the
+//! JSON-Lines export trivially greppable.
+//!
+//! The [`json`] module carries the hand-rolled writer/parser used both
+//! here and by the stats structs in `gcheap` / `asmpost` — the workspace
+//! has no serde, by design.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+pub mod json;
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// A single typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Borrowed or owned text (rule names, pass names, snippets).
+    Str(String),
+    /// Signed counter / offset.
+    Int(i64),
+    /// Unsigned counter (sizes, addresses, nanoseconds).
+    UInt(u64),
+    /// Flag.
+    Bool(bool),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One structured event: which stage, what happened, and typed fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Emitting pipeline stage: `"annotate"`, `"opt"`, `"gc"`, `"vm"`,
+    /// `"peephole"`, `"bench"`, …
+    pub stage: &'static str,
+    /// Event kind within the stage: `"wrap"`, `"pass"`, `"collection"`, …
+    pub kind: &'static str,
+    /// Flat key/value payload, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Starts an event for `stage` / `kind` with no fields yet.
+    pub fn new(stage: &'static str, kind: &'static str) -> Self {
+        Event {
+            stage,
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field append.
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Looks a field up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes the event as a single JSON object (one JSONL line,
+    /// without the trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.str_field("stage", self.stage);
+        w.str_field("kind", self.kind);
+        for (k, v) in &self.fields {
+            match v {
+                Value::Str(s) => w.str_field(k, s),
+                Value::Int(i) => w.int_field(k, *i),
+                Value::UInt(u) => w.uint_field(k, *u),
+                Value::Bool(b) => w.bool_field(k, *b),
+            }
+        }
+        w.finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+/// Where events go. Implementations must be thread-safe: the VM and the
+/// collector share one handle.
+pub trait Sink: Send + Sync {
+    /// Receives one event.
+    fn emit(&self, event: Event);
+}
+
+/// Buffers events in memory; the test- and report-side sink.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a snapshot of everything emitted so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("sink lock").clone()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink lock").len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: Event) {
+        self.events.lock().expect("sink lock").push(event);
+    }
+}
+
+/// Writes each event as one JSON object per line to any `Write`.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps a writer (file, stdout, `Vec<u8>`, …).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut out = self.out.lock().expect("sink lock");
+        // A full disk mid-trace must not take the measured program down.
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------
+
+/// The handle every pipeline stage holds. Cloning is cheap (an `Arc`
+/// bump or a `None` copy); the disabled handle does literally nothing.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<dyn Sink>>);
+
+impl TraceHandle {
+    /// The zero-overhead handle: `emit` never evaluates its closure.
+    pub fn disabled() -> Self {
+        TraceHandle(None)
+    }
+
+    /// A handle feeding the given sink.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        TraceHandle(Some(sink))
+    }
+
+    /// A handle buffering into a fresh [`MemorySink`]; returns both.
+    pub fn memory() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (TraceHandle(Some(sink.clone())), sink)
+    }
+
+    /// Whether events will actually be recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits the event built by `build` — but only if the handle is
+    /// enabled. When disabled, `build` is never called, so constructing
+    /// field values costs nothing.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.0 {
+            sink.emit(build());
+        }
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "TraceHandle(enabled)"
+        } else {
+            "TraceHandle(disabled)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_never_builds_the_event() {
+        let h = TraceHandle::disabled();
+        let mut called = false;
+        h.emit(|| {
+            called = true;
+            Event::new("t", "x")
+        });
+        assert!(!called, "disabled handle must not evaluate the closure");
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let (h, sink) = TraceHandle::memory();
+        h.emit(|| Event::new("gc", "collection").field("n", 1u64));
+        h.emit(|| Event::new("opt", "pass").field("name", "licm"));
+        let evs = sink.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].stage, "gc");
+        assert_eq!(evs[0].get("n"), Some(&Value::UInt(1)));
+        assert_eq!(evs[1].get("name"), Some(&Value::Str("licm".into())));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let h = TraceHandle::new(Arc::new(JsonlSink::new(Box::new(Shared(buf.clone())))));
+        h.emit(|| {
+            Event::new("gc", "collection")
+                .field("pause_ns", 125u64)
+                .field("full", true)
+        });
+        h.emit(|| Event::new("annotate", "wrap").field("rule", "Base::Var"));
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"stage":"gc","kind":"collection","pause_ns":125,"full":true}"#
+        );
+        let parsed = json::parse_object(lines[1]).expect("valid json");
+        assert_eq!(
+            parsed.get("kind"),
+            Some(&json::JsonValue::Str("wrap".into()))
+        );
+    }
+
+    #[test]
+    fn event_json_escapes_strings() {
+        let e = Event::new("vm", "output").field("text", "a\"b\\c\nd\te");
+        let line = e.to_json();
+        let parsed = json::parse_object(&line).expect("valid json");
+        assert_eq!(
+            parsed.get("text"),
+            Some(&json::JsonValue::Str("a\"b\\c\nd\te".into()))
+        );
+    }
+}

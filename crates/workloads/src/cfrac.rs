@@ -263,8 +263,10 @@ pub fn default_numbers(count: usize) -> Vec<i64> {
     let mut out = Vec::with_capacity(count);
     let mut seed: i64 = 1234567;
     for i in 0..count {
-        seed = (seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
-            .rem_euclid(1 << 40);
+        seed = (seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
+        .rem_euclid(1 << 40);
         let v = match i % 3 {
             0 => 2 * 3 * 5 * 7 * 11 * 13 * (1 + (seed % 1000)),
             1 => (10007 + (seed % 5000)) * (10009 + (seed % 3000)),

@@ -164,7 +164,9 @@ pub fn input(lines: u32) -> Vec<u8> {
     ];
     let mut seed: u64 = 0x9e3779b97f4a7c15;
     let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as u32
     };
     let mut out = String::new();

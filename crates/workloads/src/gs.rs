@@ -319,7 +319,9 @@ int main(void) {
 pub fn input(statements: u32) -> Vec<u8> {
     let mut seed: u64 = 0x853c49e6748fea9b;
     let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as u32
     };
     let mut out = String::new();
@@ -335,8 +337,11 @@ pub fn input(statements: u32) -> Vec<u8> {
                 out.push_str(&format!("{a} dup mul print\n"));
             }
             2 => {
-                out.push_str(&format!("(w{}) (x{}) concat dup length print print\n",
-                    next() % 50, next() % 50));
+                out.push_str(&format!(
+                    "(w{}) (x{}) concat dup length print print\n",
+                    next() % 50,
+                    next() % 50
+                ));
             }
             3 => {
                 let n = 2 + next() % 5;

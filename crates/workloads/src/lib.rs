@@ -99,7 +99,12 @@ pub fn all() -> Vec<Workload> {
             checked_fails: true,
             input: gawk_input,
         },
-        Workload { name: "gs", source: gs::SOURCE, checked_fails: false, input: gs_input },
+        Workload {
+            name: "gs",
+            source: gs::SOURCE,
+            checked_fails: false,
+            input: gs_input,
+        },
     ]
 }
 

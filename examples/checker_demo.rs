@@ -24,9 +24,9 @@ fn main() {
     ] {
         match compile_and_run(idiom, &opts, &VmOptions::default()) {
             Ok(out) => println!("{name} exit={} — tolerated", out.exit_code),
-            Err(VmError::CheckFailed { value, base, .. }) => println!(
-                "{name} CHECK FAILED: {value:#x} is not in the same object as {base:#x}"
-            ),
+            Err(VmError::CheckFailed { value, base, .. }) => {
+                println!("{name} CHECK FAILED: {value:#x} is not in the same object as {base:#x}")
+            }
             Err(e) => println!("{name} error: {e}"),
         }
     }
@@ -42,8 +42,10 @@ fn main() {
     println!("\n== mini-gawk under the checker ==");
     let gawk = workloads::by_name("gawk").expect("exists");
     let input = (gawk.input)(Scale::Tiny);
-    let mut vm = VmOptions::default();
-    vm.input = input.clone();
+    let vm = VmOptions {
+        input: input.clone(),
+        ..VmOptions::default()
+    };
     match compile_and_run(gawk.source, &CompileOptions::optimized(), &vm) {
         Ok(out) => println!(
             "unchecked: runs correctly → {}",
@@ -51,8 +53,10 @@ fn main() {
         ),
         Err(e) => println!("unchecked: unexpected error: {e}"),
     }
-    let mut vm = VmOptions::default();
-    vm.input = input;
+    let vm = VmOptions {
+        input,
+        ..VmOptions::default()
+    };
     match compile_and_run(gawk.source, &CompileOptions::debug_checked(), &vm) {
         Ok(_) => println!("checked: unexpectedly passed"),
         Err(VmError::CheckFailed { func, .. }) => println!(
@@ -64,8 +68,10 @@ fn main() {
     // 4. And gs, "an unusually clean coding style": no errors to find.
     println!("\n== mini-gs under the checker ==");
     let gs = workloads::by_name("gs").expect("exists");
-    let mut vm = VmOptions::default();
-    vm.input = (gs.input)(Scale::Tiny);
+    let vm = VmOptions {
+        input: (gs.input)(Scale::Tiny),
+        ..VmOptions::default()
+    };
     match compile_and_run(gs.source, &CompileOptions::debug_checked(), &vm) {
         Ok(out) => println!(
             "checked: no pointer arithmetic errors → {}",

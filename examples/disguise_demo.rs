@@ -36,10 +36,14 @@ const SRC: &str = r#"
 "#;
 
 fn vm_opts() -> VmOptions {
-    let mut v = VmOptions::default();
     // Collect at every allocation — the asynchronous-collector worst case.
-    v.heap_config = HeapConfig { gc_threshold: 1, ..HeapConfig::default() };
-    v
+    VmOptions {
+        heap_config: HeapConfig {
+            gc_threshold: 1,
+            ..HeapConfig::default()
+        },
+        ..VmOptions::default()
+    }
 }
 
 fn main() {
@@ -50,7 +54,10 @@ fn main() {
 
     let safe_prog = compile(SRC, &CompileOptions::optimized_safe()).expect("compiles");
     let fs = &safe_prog.funcs[safe_prog.func_index("hazard").expect("defined")];
-    println!("-O safe IR — same rewrite, but keep_live keeps p visible:\n\n{}", fs.dump());
+    println!(
+        "-O safe IR — same rewrite, but keep_live keeps p visible:\n\n{}",
+        fs.dump()
+    );
 
     println!("== running with a collection at every allocation ==\n");
     for (name, opts) in [

@@ -46,14 +46,22 @@ const BASE_ONLY: &str = r#"
 "#;
 
 fn run(src: &str, policy: PointerPolicy) -> Result<i64, VmError> {
-    let mut v = VmOptions::default();
-    v.heap_config = HeapConfig { policy, ..HeapConfig::default() };
+    let v = VmOptions {
+        heap_config: HeapConfig {
+            policy,
+            ..HeapConfig::default()
+        },
+        ..VmOptions::default()
+    };
     compile_and_run(src, &CompileOptions::optimized_safe(), &v).map(|o| o.exit_code)
 }
 
 fn main() {
     println!("interior pointer stored in the heap:");
-    for policy in [PointerPolicy::InteriorEverywhere, PointerPolicy::InteriorFromRootsOnly] {
+    for policy in [
+        PointerPolicy::InteriorEverywhere,
+        PointerPolicy::InteriorFromRootsOnly,
+    ] {
         match run(INTERIOR, policy) {
             Ok(code) => println!("  {policy:?}: exit={code} (object survived)"),
             Err(VmError::UseAfterFree { .. }) => {
@@ -63,7 +71,10 @@ fn main() {
         }
     }
     println!("\nbase pointer stored in the heap (the extension's contract):");
-    for policy in [PointerPolicy::InteriorEverywhere, PointerPolicy::InteriorFromRootsOnly] {
+    for policy in [
+        PointerPolicy::InteriorEverywhere,
+        PointerPolicy::InteriorFromRootsOnly,
+    ] {
         match run(BASE_ONLY, policy) {
             Ok(code) => println!("  {policy:?}: exit={code} (object survived)"),
             Err(e) => println!("  {policy:?}: {e}"),

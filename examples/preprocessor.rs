@@ -61,11 +61,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", annotated.annotated_source);
     eprintln!("/* --- preprocessor report ---");
     eprintln!(" * mode: {:?}", config.mode);
-    eprintln!(" * KEEP_LIVE inserted:   {}", annotated.result.stats.keep_lives);
+    eprintln!(
+        " * KEEP_LIVE inserted:   {}",
+        annotated.result.stats.keep_lives
+    );
     eprintln!(" * GC_same_obj inserted: {}", annotated.result.stats.checks);
-    eprintln!(" * ++/-- specialized:    {}", annotated.result.stats.incdec_specials);
-    eprintln!(" * copies skipped:       {}", annotated.result.stats.skipped_copies);
-    eprintln!(" * base heuristic hits:  {}", annotated.result.stats.base_heuristic_hits);
+    eprintln!(
+        " * ++/-- specialized:    {}",
+        annotated.result.stats.incdec_specials
+    );
+    eprintln!(
+        " * copies skipped:       {}",
+        annotated.result.stats.skipped_copies
+    );
+    eprintln!(
+        " * base heuristic hits:  {}",
+        annotated.result.stats.base_heuristic_hits
+    );
     for w in &annotated.sema.warnings {
         eprintln!(" * warning: {} (at byte {})", w.message, w.span.start);
     }

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let annotated = gcsafe::annotate_program(src, &gcsafe::Config::gc_safe())?;
     println!("--- annotated source (KEEP_LIVE inserted) ---");
     println!("{}", annotated.annotated_source.trim());
-    println!("inserted {} KEEP_LIVE wrappers\n", annotated.result.stats.keep_lives);
+    println!(
+        "inserted {} KEEP_LIVE wrappers\n",
+        annotated.result.stats.keep_lives
+    );
 
     // 2. Compile + run + cost every mode on every machine.
     for mode in Mode::all() {
@@ -34,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|e| format!("<{e}>"));
         print!("{:14} output={out:6}", mode.label());
         for (machine, cost) in &m.costs {
-            print!("  {machine}: {} cycles / {} bytes", cost.cycles, cost.size_bytes);
+            print!(
+                "  {machine}: {} cycles / {} bytes",
+                cost.cycles, cost.size_bytes
+            );
         }
         println!();
     }

@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 pub use asmpost::{AsmFunc, CostReport, Machine, PeepholeStats};
 pub use cvm::{CompileOptions, ExecOutcome, ProgramIr, VmError, VmOptions};
 pub use gcsafe::Config as AnnotConfig;
+pub use gctrace::{Event, JsonlSink, MemorySink, Sink, TraceHandle};
 pub use workloads::{Scale, Workload};
 
 /// The paper's compilation/measurement modes.
@@ -63,7 +64,13 @@ impl Mode {
 
     /// All modes in table order.
     pub fn all() -> [Mode; 5] {
-        [Mode::O, Mode::OSafe, Mode::OSafePost, Mode::G, Mode::GChecked]
+        [
+            Mode::O,
+            Mode::OSafe,
+            Mode::OSafePost,
+            Mode::G,
+            Mode::GChecked,
+        ]
     }
 }
 
@@ -78,6 +85,10 @@ pub struct Measured {
     pub costs: BTreeMap<&'static str, CostReport>,
     /// Peephole statistics for [`Mode::OSafePost`].
     pub peephole: Option<PeepholeStats>,
+    /// The trace handle the measurement ran under. Disabled unless the
+    /// build came from [`measure_source_traced`] — kept here so report
+    /// code can keep emitting into the same sink.
+    pub trace: TraceHandle,
 }
 
 impl Measured {
@@ -96,8 +107,30 @@ impl Measured {
 /// pointer-arithmetic check firing) are reported inside
 /// [`Measured::outcome`].
 pub fn measure_source(source: &str, input: &[u8], mode: Mode) -> Result<Measured, String> {
-    let prog = cvm::compile(source, &mode.compile_options())?;
-    let vm_opts = VmOptions { input: input.to_vec(), ..VmOptions::default() };
+    measure_source_traced(source, input, mode, &TraceHandle::disabled())
+}
+
+/// [`measure_source`] with a trace: the annotator's audit events, the
+/// optimizer's and verifier's per-function events, the collector's
+/// per-collection timeline, the VM run summary, the peephole rewrite
+/// events, and one `("bench", "cost")` event per machine all flow into
+/// the same sink.
+///
+/// # Errors
+///
+/// Same as [`measure_source`].
+pub fn measure_source_traced(
+    source: &str,
+    input: &[u8],
+    mode: Mode,
+    trace: &TraceHandle,
+) -> Result<Measured, String> {
+    let prog = cvm::compile_traced(source, &mode.compile_options(), trace)?;
+    let vm_opts = VmOptions {
+        input: input.to_vec(),
+        trace: trace.clone(),
+        ..VmOptions::default()
+    };
     let outcome = cvm::run_compiled(&prog, &vm_opts);
     let mut costs = BTreeMap::new();
     let mut peephole = None;
@@ -108,16 +141,38 @@ pub fn measure_source(source: &str, input: &[u8], mode: Mode) -> Result<Measured
         // code generator leaves generic copy/fusion slack that would
         // otherwise understate every overhead column.
         if matches!(mode, Mode::OSafePost | Mode::O) {
-            let stats = asmpost::postprocess_program(&mut asm);
+            // Peephole events are emitted once, for the machine whose stats
+            // the tables report (each machine's rewrite sequence is
+            // identical; repeating it per machine would triple the trace).
+            let first_machine = peephole.is_none() && mode == Mode::OSafePost;
+            let stats = if first_machine {
+                asmpost::postprocess_program_traced(&mut asm, trace)
+            } else {
+                asmpost::postprocess_program(&mut asm)
+            };
             if mode == Mode::OSafePost {
                 peephole.get_or_insert(stats);
             }
         }
         if let Ok(out) = &outcome {
-            costs.insert(machine.name, asmpost::measure(&asm, &out.profile, &machine));
+            let cost = asmpost::measure(&asm, &out.profile, &machine);
+            trace.emit(|| {
+                Event::new("bench", "cost")
+                    .field("mode", mode.label())
+                    .field("machine", machine.name)
+                    .field("cycles", cost.cycles)
+                    .field("size_bytes", cost.size_bytes)
+            });
+            costs.insert(machine.name, cost);
         }
     }
-    Ok(Measured { mode, outcome, costs, peephole })
+    Ok(Measured {
+        mode,
+        outcome,
+        costs,
+        peephole,
+        trace: trace.clone(),
+    })
 }
 
 /// A table cell: a percentage, a failure marker, or absent.
@@ -156,20 +211,38 @@ pub struct Row {
 ///
 /// Returns `Err` if any build fails or if two successful modes disagree on
 /// program output (a miscompilation guard).
-pub fn measure_workload(
+pub fn measure_workload(w: &Workload, scale: Scale) -> Result<BTreeMap<Mode, Measured>, String> {
+    measure_workload_traced(w, scale, &TraceHandle::disabled())
+}
+
+/// [`measure_workload`] with a trace. A `("bench", "workload")` event
+/// marks where each workload's event stream begins.
+///
+/// # Errors
+///
+/// Same as [`measure_workload`].
+pub fn measure_workload_traced(
     w: &Workload,
     scale: Scale,
+    trace: &TraceHandle,
 ) -> Result<BTreeMap<Mode, Measured>, String> {
     let input = (w.input)(scale);
+    trace.emit(|| Event::new("bench", "workload").field("name", w.name));
     let mut results = BTreeMap::new();
     for mode in Mode::all() {
-        let m = measure_source(w.source, &input, mode)?;
+        let m = measure_source_traced(w.source, &input, mode, trace)?;
         results.insert(mode, m);
     }
     // Output agreement check across successful runs.
     let baseline = results[&Mode::O]
         .output()
-        .ok_or_else(|| format!("{}: baseline run failed: {:?}", w.name, results[&Mode::O].outcome))?
+        .ok_or_else(|| {
+            format!(
+                "{}: baseline run failed: {:?}",
+                w.name,
+                results[&Mode::O].outcome
+            )
+        })?
         .to_vec();
     for (mode, m) in &results {
         match &m.outcome {
@@ -247,7 +320,10 @@ pub fn postprocessor_row(
         Err(_) => Cell::Fails,
     };
     let size = Cell::Pct(post.costs[machine].expansion_pct(base));
-    Row { name, cells: vec![(Mode::OSafePost, time), (Mode::OSafePost, size)] }
+    Row {
+        name,
+        cells: vec![(Mode::OSafePost, time), (Mode::OSafePost, size)],
+    }
 }
 
 #[cfg(test)]

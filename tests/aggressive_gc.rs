@@ -13,18 +13,24 @@ use gcheap::HeapConfig;
 use workloads::Scale;
 
 fn paranoid_vm(input: Vec<u8>) -> VmOptions {
-    let mut v = VmOptions::default();
-    v.heap_config = HeapConfig { gc_threshold: 1, ..HeapConfig::default() };
-    v.input = input;
-    v
+    VmOptions {
+        heap_config: HeapConfig {
+            gc_threshold: 1,
+            ..HeapConfig::default()
+        },
+        input,
+        ..VmOptions::default()
+    }
 }
 
 #[test]
 fn safe_builds_survive_collection_at_every_allocation() {
     for w in workloads::all() {
         let input = (w.input)(Scale::Tiny);
-        let mut base_vm = VmOptions::default();
-        base_vm.input = input.clone();
+        let base_vm = VmOptions {
+            input: input.clone(),
+            ..VmOptions::default()
+        };
         let expected = compile_and_run(w.source, &CompileOptions::optimized(), &base_vm)
             .unwrap_or_else(|e| panic!("{} baseline: {e}", w.name))
             .output;
@@ -34,7 +40,11 @@ fn safe_builds_survive_collection_at_every_allocation() {
             &paranoid_vm(input),
         )
         .unwrap_or_else(|e| panic!("{} -O safe under paranoid GC: {e}", w.name));
-        assert_eq!(out.output, expected, "{} output changed under paranoid GC", w.name);
+        assert_eq!(
+            out.output, expected,
+            "{} output changed under paranoid GC",
+            w.name
+        );
         assert!(
             out.heap.collections > out.heap.allocations / 2,
             "{}: the paranoid regime really collected ({} collections, {} allocations)",
@@ -84,7 +94,10 @@ fn unannotated_workloads_do_not_verify() {
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         flagged += cvm::verify_program(&prog, false).len();
     }
-    assert!(flagged > 10, "the verifier finds raw addressing in baselines: {flagged}");
+    assert!(
+        flagged > 10,
+        "the verifier finds raw addressing in baselines: {flagged}"
+    );
 }
 
 #[test]

@@ -1,8 +1,12 @@
 //! Property tests for the frontend: pretty-print/re-parse round trips
-//! over randomly generated programs, and edit-list algebra.
+//! over randomly generated programs, and edit-list algebra. Cases are
+//! generated with the deterministic PRNG in `common` (the build is
+//! offline, so no external property-testing framework).
+
+mod common;
 
 use cfront::edit::EditList;
-use proptest::prelude::*;
+use common::Rng;
 
 // ---------------------------------------------------------------------
 // Random C program generation (well-formed by construction).
@@ -31,59 +35,75 @@ impl CExpr {
     }
 }
 
-fn cexpr() -> impl Strategy<Value = CExpr> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(CExpr::Var),
-        (-99i64..99).prop_map(CExpr::Lit),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        let ops = prop_oneof![
-            Just("+"),
-            Just("-"),
-            Just("*"),
-            Just("&"),
-            Just("|"),
-            Just("^"),
-            Just("<<"),
-            Just("<"),
-            Just("=="),
-            Just("&&"),
-        ];
-        prop_oneof![
-            (ops, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| CExpr::Bin(op, a.into(), b.into())),
-            inner.clone().prop_map(|a| CExpr::Neg(a.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| CExpr::Ternary(c.into(), t.into(), f.into())),
-        ]
-    })
+const OPS: [&str; 10] = ["+", "-", "*", "&", "|", "^", "<<", "<", "==", "&&"];
+
+fn gen_cexpr(rng: &mut Rng, depth: u32) -> CExpr {
+    if depth == 0 || rng.chance(1, 3) {
+        return if rng.chance(1, 2) {
+            CExpr::Var(rng.index(3))
+        } else {
+            CExpr::Lit(rng.range_i64(-99, 99))
+        };
+    }
+    match rng.index(3) {
+        0 => CExpr::Bin(
+            OPS[rng.index(OPS.len())],
+            gen_cexpr(rng, depth - 1).into(),
+            gen_cexpr(rng, depth - 1).into(),
+        ),
+        1 => CExpr::Neg(gen_cexpr(rng, depth - 1).into()),
+        _ => CExpr::Ternary(
+            gen_cexpr(rng, depth - 1).into(),
+            gen_cexpr(rng, depth - 1).into(),
+            gen_cexpr(rng, depth - 1).into(),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+/// parse → pretty-print → parse → pretty-print is a fixpoint: the
+/// second print must equal the first (printer/parser agree on
+/// precedence and associativity).
+fn assert_roundtrip_fixpoint(e: &CExpr) {
+    let src = format!(
+        "long f(long x0, long x1, long x2) {{ return {}; }}",
+        e.print()
+    );
+    let prog1 = cfront::parse(&src).expect("generated source parses");
+    let printed1 = cfront::pretty::program_to_c(&prog1);
+    let prog2 =
+        cfront::parse(&printed1).unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed1}"));
+    let printed2 = cfront::pretty::program_to_c(&prog2);
+    assert_eq!(printed1, printed2, "not a fixpoint for:\n{src}");
+}
 
-    /// parse → pretty-print → parse → pretty-print is a fixpoint: the
-    /// second print must equal the first (printer/parser agree on
-    /// precedence and associativity).
-    #[test]
-    fn pretty_print_roundtrip_is_a_fixpoint(e in cexpr()) {
-        let src = format!(
-            "long f(long x0, long x1, long x2) {{ return {}; }}",
-            e.print()
-        );
-        let prog1 = cfront::parse(&src).expect("generated source parses");
-        let printed1 = cfront::pretty::program_to_c(&prog1);
-        let prog2 = cfront::parse(&printed1)
-            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed1}"));
-        let printed2 = cfront::pretty::program_to_c(&prog2);
-        prop_assert_eq!(printed1, printed2);
+#[test]
+fn pretty_print_roundtrip_is_a_fixpoint() {
+    for case in 0..128 {
+        let mut rng = Rng::for_case("roundtrip_fixpoint", case);
+        let e = gen_cexpr(&mut rng, 4);
+        assert_roundtrip_fixpoint(&e);
     }
+}
 
-    /// The printed program is semantically identical to the original:
-    /// both compile and compute the same value.
-    #[test]
-    fn pretty_printed_program_computes_the_same(e in cexpr()) {
-        let body = e.print();
+/// Historical shrink from the fuzzer: `x0 + (-(-1))` once reprinted
+/// differently on the second pass.
+#[test]
+fn regression_neg_of_negative_literal() {
+    let e = CExpr::Bin(
+        "+",
+        CExpr::Var(0).into(),
+        CExpr::Neg(CExpr::Lit(-1).into()).into(),
+    );
+    assert_roundtrip_fixpoint(&e);
+}
+
+/// The printed program is semantically identical to the original:
+/// both compile and compute the same value.
+#[test]
+fn pretty_printed_program_computes_the_same() {
+    for case in 0..128 {
+        let mut rng = Rng::for_case("print_semantics", case);
+        let body = gen_cexpr(&mut rng, 4).print();
         let src = format!(
             "int main(void) {{ long x0 = 5; long x1 = -3; long x2 = 7;\n\
              putint(({body}) & 0xffff); return 0; }}"
@@ -98,24 +118,43 @@ proptest! {
             .expect("runs")
             .output
         };
-        prop_assert_eq!(run(&src), run(&printed));
+        assert_eq!(
+            run(&src),
+            run(&printed),
+            "print changed semantics of:\n{src}"
+        );
     }
+}
 
-    /// Non-overlapping edits: bytes outside all edited ranges survive
-    /// application verbatim, in order.
-    #[test]
-    fn edits_preserve_untouched_bytes(
-        src in "[a-z]{20,60}",
-        cuts in proptest::collection::vec((0usize..50, 1usize..4, "[A-Z]{0,5}"), 0..6),
-    ) {
+/// Non-overlapping edits: bytes outside all edited ranges survive
+/// application verbatim, in order.
+#[test]
+fn edits_preserve_untouched_bytes() {
+    for case in 0..128 {
+        let mut rng = Rng::for_case("edit_bytes", case);
+        let src: String = (0..rng.range_i64(20, 60))
+            .map(|_| (b'a' + rng.next_u8() % 26) as char)
+            .collect();
+        let n_cuts = rng.index(6);
+        let mut cuts: Vec<(usize, usize, String)> = (0..n_cuts)
+            .map(|_| {
+                let pos = rng.index(50);
+                let len = 1 + rng.index(3);
+                let ins: String = (0..rng.index(6))
+                    .map(|_| (b'A' + rng.next_u8() % 26) as char)
+                    .collect();
+                (pos, len, ins)
+            })
+            .collect();
         // Normalise to sorted, non-overlapping edits inside the string.
         let mut spans: Vec<(usize, usize, String)> = Vec::new();
         let mut last_end = 0usize;
-        let mut sorted = cuts;
-        sorted.sort_by_key(|c| c.0);
-        for (pos, len, ins) in sorted {
+        cuts.sort_by_key(|c| c.0);
+        for (pos, len, ins) in cuts {
             let pos = pos.min(src.len());
-            if pos < last_end { continue; }
+            if pos < last_end {
+                continue;
+            }
             let len = len.min(src.len() - pos);
             spans.push((pos, len, ins));
             last_end = pos + len;
@@ -134,12 +173,25 @@ proptest! {
             cursor = pos + len;
         }
         expect.push_str(&src[cursor..]);
-        prop_assert_eq!(out, expect);
+        assert_eq!(out, expect, "edits {spans:?} misapplied to {src:?}");
     }
+}
 
-    /// Applying an empty edit list is the identity for any source.
-    #[test]
-    fn empty_edit_list_is_identity(src in ".{0,200}") {
-        prop_assert_eq!(EditList::new().apply(&src).expect("applies"), src);
+/// Applying an empty edit list is the identity for any source.
+#[test]
+fn empty_edit_list_is_identity() {
+    for case in 0..64 {
+        let mut rng = Rng::for_case("empty_edits", case);
+        let src: String = (0..rng.index(200))
+            .map(|_| {
+                // Mixed printable ASCII plus the odd multibyte char.
+                match rng.index(12) {
+                    0 => 'λ',
+                    1 => '\n',
+                    _ => (b' ' + rng.next_u8() % 95) as char,
+                }
+            })
+            .collect();
+        assert_eq!(EditList::new().apply(&src).expect("applies"), src);
     }
 }

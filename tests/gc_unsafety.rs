@@ -23,9 +23,13 @@ const SRC: &str = r#"
 "#;
 
 fn aggressive_vm() -> VmOptions {
-    let mut v = VmOptions::default();
-    v.heap_config = HeapConfig { gc_threshold: 1, ..HeapConfig::default() };
-    v
+    VmOptions {
+        heap_config: HeapConfig {
+            gc_threshold: 1,
+            ..HeapConfig::default()
+        },
+        ..VmOptions::default()
+    }
 }
 
 #[test]
@@ -49,8 +53,8 @@ fn annotated_build_survives_the_same_optimizations() {
 fn debug_build_is_safe_without_annotations() {
     // "For most compilers, it is possible to guarantee GC-safety by
     // generating fully debuggable code."
-    let r = compile_and_run(SRC, &CompileOptions::debug(), &aggressive_vm())
-        .expect("-g build runs");
+    let r =
+        compile_and_run(SRC, &CompileOptions::debug(), &aggressive_vm()).expect("-g build runs");
     assert_eq!(r.exit_code, 0);
 }
 
@@ -82,7 +86,9 @@ fn the_disguise_is_visible_in_the_ir() {
         .collect::<Vec<_>>()
         .join("\n");
     let sub_pos = block0.find("Sub(t").expect("sub in entry block");
-    let call_pos = block0.find("call Malloc").expect("allocation in entry block");
+    let call_pos = block0
+        .find("call Malloc")
+        .expect("allocation in entry block");
     assert!(sub_pos < call_pos, "sub hoisted above the call:\n{block0}");
 }
 
@@ -151,8 +157,12 @@ fn loop_hoisted_disguise_also_bites() {
 
 #[test]
 fn loop_form_is_safe_when_annotated() {
-    let r = compile_and_run(LOOP_SRC, &CompileOptions::optimized_safe(), &aggressive_vm())
-        .expect("annotated loop survives");
+    let r = compile_and_run(
+        LOOP_SRC,
+        &CompileOptions::optimized_safe(),
+        &aggressive_vm(),
+    )
+    .expect("annotated loop survives");
     // p[500] = 500 % 50 = 0, three times.
     assert_eq!(r.exit_code, 0);
 }

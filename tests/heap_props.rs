@@ -2,9 +2,12 @@
 //! shadow object graph, a collection must keep exactly the shadow-
 //! reachable objects (conservatism can only over-retain via ambiguous
 //! roots, which this harness avoids by using precise root words).
+//! Cases come from the deterministic PRNG in `common`.
 
+mod common;
+
+use common::Rng;
 use gcheap::{GcHeap, HeapConfig, Memory, PointerPolicy, RootSet};
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 #[derive(Debug, Clone)]
@@ -21,14 +24,19 @@ enum Op {
     Collect,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (8u16..600).prop_map(Op::Alloc),
-        any::<u8>().prop_map(Op::Unroot),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
-        any::<u8>().prop_map(Op::Unlink),
-        Just(Op::Collect),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.index(5) {
+        0 => Op::Alloc(8 + rng.below(592) as u16),
+        1 => Op::Unroot(rng.next_u8()),
+        2 => Op::Link(rng.next_u8(), rng.next_u8()),
+        3 => Op::Unlink(rng.next_u8()),
+        _ => Op::Collect,
+    }
+}
+
+fn gen_ops(rng: &mut Rng, max_len: usize) -> Vec<Op> {
+    let len = 1 + rng.index(max_len - 1);
+    (0..len).map(|_| gen_op(rng)).collect()
 }
 
 #[derive(Debug, Default)]
@@ -60,7 +68,11 @@ fn run_ops(ops: &[Op], policy: PointerPolicy) {
     let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
     let mut heap = GcHeap::new(
         &mem,
-        HeapConfig { policy, gc_threshold: u64::MAX, ..HeapConfig::default() },
+        HeapConfig {
+            policy,
+            gc_threshold: u64::MAX,
+            ..HeapConfig::default()
+        },
     );
     let mut shadow = Shadow::default();
     let mut order: Vec<u64> = Vec::new(); // allocation order, live or dead
@@ -136,7 +148,7 @@ fn run_ops(ops: &[Op], policy: PointerPolicy) {
                 }
                 heap.collect(&mut mem, &roots);
                 let reachable = shadow.reachable();
-                for (&obj, _) in &shadow.objects {
+                for &obj in shadow.objects.keys() {
                     let alive = heap.is_allocated(obj);
                     if reachable.contains(&obj) {
                         assert!(alive, "reachable object {obj:#x} was collected");
@@ -149,57 +161,61 @@ fn run_ops(ops: &[Op], policy: PointerPolicy) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn collection_matches_shadow_reachability(
-        ops in proptest::collection::vec(op_strategy(), 1..80)
-    ) {
+#[test]
+fn collection_matches_shadow_reachability() {
+    for case in 0..64 {
+        let mut rng = Rng::for_case("shadow_reachability", case);
+        let ops = gen_ops(&mut rng, 80);
         run_ops(&ops, PointerPolicy::InteriorEverywhere);
     }
+}
 
-    #[test]
-    fn base_only_policy_matches_when_links_are_bases(
-        ops in proptest::collection::vec(op_strategy(), 1..80)
-    ) {
-        // All shadow links store base pointers, so the Extensions-section
-        // policy must agree with shadow reachability too.
+#[test]
+fn base_only_policy_matches_when_links_are_bases() {
+    // All shadow links store base pointers, so the Extensions-section
+    // policy must agree with shadow reachability too.
+    for case in 0..64 {
+        let mut rng = Rng::for_case("base_only_policy", case);
+        let ops = gen_ops(&mut rng, 80);
         run_ops(&ops, PointerPolicy::InteriorFromRootsOnly);
     }
+}
 
-    #[test]
-    fn base_resolves_everywhere_inside_and_only_inside(
-        size in 1u16..900,
-        probe in 0u16..1200,
-    ) {
+#[test]
+fn base_resolves_everywhere_inside_and_only_inside() {
+    for case in 0..96 {
+        let mut rng = Rng::for_case("base_resolution", case);
+        let size = 1 + rng.below(899) as u16;
+        let probe = rng.below(1200) as u16;
         let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
         let mut heap = GcHeap::with_defaults(&mem);
         let addr = heap.alloc(&mut mem, size as u64).expect("fits");
         let (base, extent) = heap.extent(addr).expect("allocated");
-        prop_assert_eq!(base, addr);
+        assert_eq!(base, addr);
         // Requested size + 1 extra byte always fit inside the extent.
-        prop_assert!(extent >= size as u64 + 1);
+        assert!(extent > size as u64);
         let p = addr + probe as u64;
         if (probe as u64) < extent {
-            prop_assert_eq!(heap.base(p), Some(addr));
+            assert_eq!(heap.base(p), Some(addr), "size {size}, probe {probe}");
         }
     }
+}
 
-    #[test]
-    fn same_obj_is_an_equivalence_within_an_object(
-        size in 8u16..500,
-        a in 0u16..500,
-        b in 0u16..500,
-    ) {
+#[test]
+fn same_obj_is_an_equivalence_within_an_object() {
+    for case in 0..96 {
+        let mut rng = Rng::for_case("same_obj_equivalence", case);
+        let size = 8 + rng.below(492) as u16;
+        let a = rng.below(500) as u16;
+        let b = rng.below(500) as u16;
         let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
         let mut heap = GcHeap::with_defaults(&mem);
         let addr = heap.alloc(&mut mem, size as u64).expect("fits");
         let (_, extent) = heap.extent(addr).expect("allocated");
         let pa = addr + (a as u64) % extent;
         let pb = addr + (b as u64) % extent;
-        prop_assert!(heap.same_obj(pa, pa), "reflexive");
-        prop_assert!(heap.same_obj(pa, pb), "interior pointers of one object");
-        prop_assert!(heap.same_obj(pb, pa), "symmetric");
+        assert!(heap.same_obj(pa, pa), "reflexive");
+        assert!(heap.same_obj(pa, pb), "interior pointers of one object");
+        assert!(heap.same_obj(pb, pa), "symmetric");
     }
 }

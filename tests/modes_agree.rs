@@ -7,14 +7,15 @@
 //! the expensive part: 5 modes × VM run × 3 machine codegens).
 
 use gc_safety::{measure_workload, Mode, VmError};
+use gctrace::{TraceHandle, Value};
 use workloads::Scale;
 
 #[test]
 fn workloads_behave_like_the_paper_says() {
     let mut total_allocs = 0;
     for w in workloads::all() {
-        let results = measure_workload(&w, Scale::Tiny)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let results =
+            measure_workload(&w, Scale::Tiny).unwrap_or_else(|e| panic!("{}: {e}", w.name));
 
         // 1. Cross-mode output agreement.
         let baseline = results[&Mode::O].output().expect("baseline runs").to_vec();
@@ -22,7 +23,8 @@ fn workloads_behave_like_the_paper_says() {
         for (mode, m) in &results {
             match &m.outcome {
                 Ok(out) => assert_eq!(
-                    out.output, baseline,
+                    out.output,
+                    baseline,
                     "{}: {} diverges",
                     w.name,
                     mode.label()
@@ -93,5 +95,99 @@ fn workloads_behave_like_the_paper_says() {
             assert!(stats.total() > 0, "{}: the peephole found work", w.name);
         }
     }
-    assert!(total_allocs > 300, "suite-wide allocation volume: {total_allocs}");
+    assert!(
+        total_allocs > 300,
+        "suite-wide allocation volume: {total_allocs}"
+    );
+}
+
+/// The annotation audit trail is a faithful ledger: for every workload and
+/// every annotating mode, the emitted events agree in count and kind with
+/// the annotator's own statistics and its source-edit list.
+#[test]
+fn audit_trail_agrees_with_the_edit_list_across_all_modes() {
+    for w in workloads::all() {
+        for mode in Mode::all() {
+            let Some(cfg) = mode.compile_options().annotate else {
+                continue; // -O and -g run no annotator and emit no audit
+            };
+            let (trace, sink) = TraceHandle::memory();
+            let annotated = gcsafe::annotate_program_traced(w.source, &cfg, &trace)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+            let stats = &annotated.result.stats;
+            let events = sink.snapshot();
+            let ctx = format!("{} in mode {}", w.name, mode.label());
+
+            assert!(
+                events.iter().all(|e| e.stage == "annotate"),
+                "{ctx}: non-annotate stage in the audit trail"
+            );
+            let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count();
+            let known = count("wrap")
+                + count("skip")
+                + count("incdec")
+                + count("base_heuristic")
+                + count("summary");
+            assert_eq!(known, events.len(), "{ctx}: unknown event kind present");
+
+            // Wrap events mirror the wraps the edit list carries out.
+            assert_eq!(
+                count("wrap"),
+                stats.keep_lives + stats.checks,
+                "{ctx}: one wrap event per inserted wrapper"
+            );
+            assert_eq!(count("incdec"), stats.incdec_specials, "{ctx}");
+            assert_eq!(count("base_heuristic"), stats.base_heuristic_hits, "{ctx}");
+            let skip_reason = |reason: &str| {
+                events
+                    .iter()
+                    .filter(|e| {
+                        e.kind == "skip" && e.get("reason") == Some(&Value::Str(reason.into()))
+                    })
+                    .count()
+            };
+            assert_eq!(skip_reason("opt1_copy"), stats.skipped_copies, "{ctx}");
+            assert_eq!(
+                skip_reason("opt4_call_sites_only"),
+                stats.skipped_deref_wraps,
+                "{ctx}"
+            );
+
+            // Every wrap and ++/-- rewrite becomes source edits; skips
+            // edit nothing. The edit list can therefore never be shorter
+            // than the wrap count, and an empty audit means an empty list.
+            let rewrites = count("wrap") + count("incdec");
+            let edits = annotated.result.edits.len();
+            assert!(
+                edits >= rewrites,
+                "{ctx}: {rewrites} rewrite events but only {edits} edits"
+            );
+            assert_eq!(
+                edits == 0,
+                rewrites == 0,
+                "{ctx}: audit/edit emptiness agrees"
+            );
+
+            // The per-function summaries restate the same totals.
+            let sum_field = |field: &str| -> u64 {
+                events
+                    .iter()
+                    .filter(|e| e.kind == "summary")
+                    .map(|e| match e.get(field) {
+                        Some(Value::UInt(v)) => *v,
+                        other => panic!("{ctx}: summary field {field} is {other:?}"),
+                    })
+                    .sum()
+            };
+            assert_eq!(sum_field("keep_lives") as usize, stats.keep_lives, "{ctx}");
+            assert_eq!(sum_field("checks") as usize, stats.checks, "{ctx}");
+
+            // Annotating modes always find work in these pointer-heavy
+            // workloads.
+            assert!(
+                count("wrap") > 0,
+                "{ctx}: no wraps in a pointer-heavy workload"
+            );
+        }
+    }
 }

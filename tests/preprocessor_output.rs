@@ -26,7 +26,8 @@ fn gawk_bug_line_gets_a_check() {
     let w = workloads::by_name("gawk").expect("exists");
     let out = annotate_program(w.source, &Config::checked()).expect("annotates");
     assert!(
-        out.annotated_source.contains("GC_same_obj(fields - 1, fields)"),
+        out.annotated_source
+            .contains("GC_same_obj(fields - 1, fields)"),
         "the fields-1 idiom is checked:\n{}",
         &out.annotated_source[..out.annotated_source.len().min(4000)]
     );
@@ -57,8 +58,7 @@ fn pretty_printed_annotated_workloads_reparse() {
         let printed = cfront::pretty::program_to_c(&out.program);
         // KEEP_LIVE renders as a call; redeclare it so the reparse's sema
         // would accept it too (we only need the parse here).
-        cfront::parse(&printed)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+        cfront::parse(&printed).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
     }
 }
 

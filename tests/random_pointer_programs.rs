@@ -9,10 +9,13 @@
 //!
 //! This exercises the annotator's full rule set — subscripts, `->`
 //! chains, cursors with `++`, stored arithmetic, call arguments — far
-//! beyond the hand-written cases.
+//! beyond the hand-written cases. Cases come from the deterministic
+//! PRNG in `common`.
 
+mod common;
+
+use common::Rng;
 use cvm::{compile_and_run, CompileOptions, VmOptions};
-use proptest::prelude::*;
 
 /// Safe-by-construction statement templates. `a` has 32 longs, `b` 16,
 /// `acc` is a long accumulator, `i` a scratch counter, `p` a cursor.
@@ -90,18 +93,23 @@ impl St {
     }
 }
 
-fn stmt() -> impl Strategy<Value = St> {
-    prop_oneof![
-        (any::<u8>(), -50i32..50).prop_map(|(k, c)| St::StoreA(k, c)),
-        (any::<u8>(), any::<i32>()).prop_map(|(k, m)| St::AccumA(k, m)),
-        any::<u8>().prop_map(St::CursorWalk),
-        any::<u8>().prop_map(St::LoopCombine),
-        any::<u8>().prop_map(St::HeapString),
-        Just(St::MaskedIndex),
-        any::<u8>().prop_map(St::BlockCopy),
-        any::<u8>().prop_map(St::NodeChain),
-        any::<u8>().prop_map(St::StoredArith),
-    ]
+fn gen_stmt(rng: &mut Rng) -> St {
+    match rng.index(9) {
+        0 => St::StoreA(rng.next_u8(), rng.range_i64(-50, 50) as i32),
+        1 => St::AccumA(rng.next_u8(), rng.next_i32()),
+        2 => St::CursorWalk(rng.next_u8()),
+        3 => St::LoopCombine(rng.next_u8()),
+        4 => St::HeapString(rng.next_u8()),
+        5 => St::MaskedIndex,
+        6 => St::BlockCopy(rng.next_u8()),
+        7 => St::NodeChain(rng.next_u8()),
+        _ => St::StoredArith(rng.next_u8()),
+    }
+}
+
+fn gen_stmts(rng: &mut Rng, max_len: usize) -> Vec<St> {
+    let len = 1 + rng.index(max_len - 1);
+    (0..len).map(|_| gen_stmt(rng)).collect()
 }
 
 fn program(stmts: &[St]) -> String {
@@ -128,21 +136,20 @@ fn program(stmts: &[St]) -> String {
 }
 
 fn run_mode(src: &str, copts: &CompileOptions) -> Result<Vec<u8>, String> {
-    let mut v = VmOptions::default();
-    v.max_steps = 30_000_000;
+    let v = VmOptions {
+        max_steps: 30_000_000,
+        ..VmOptions::default()
+    };
     compile_and_run(src, copts, &v)
         .map(|o| o.output)
         .map_err(|e| e.to_string())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
-    #[test]
-    fn pointer_programs_agree_across_all_modes(
-        stmts in proptest::collection::vec(stmt(), 1..8)
-    ) {
-        let src = program(&stmts);
+#[test]
+fn pointer_programs_agree_across_all_modes() {
+    for case in 0..40 {
+        let mut rng = Rng::for_case("ptr_all_modes", case);
+        let src = program(&gen_stmts(&mut rng, 8));
         let baseline = run_mode(&src, &CompileOptions::optimized())
             .unwrap_or_else(|e| panic!("-O failed on:\n{src}\n{e}"));
         for (name, opts) in [
@@ -152,39 +159,43 @@ proptest! {
         ] {
             let got = run_mode(&src, &opts)
                 .unwrap_or_else(|e| panic!("{name} failed (false positive?) on:\n{src}\n{e}"));
-            prop_assert_eq!(&got, &baseline, "{} diverges on:\n{}", name, src);
+            assert_eq!(got, baseline, "{name} diverges on:\n{src}");
         }
     }
+}
 
-    #[test]
-    fn safe_builds_survive_paranoid_gc(
-        stmts in proptest::collection::vec(stmt(), 1..6)
-    ) {
-        let src = program(&stmts);
+#[test]
+fn safe_builds_survive_paranoid_gc() {
+    for case in 0..40 {
+        let mut rng = Rng::for_case("ptr_paranoid_gc", case);
+        let src = program(&gen_stmts(&mut rng, 6));
         let baseline = run_mode(&src, &CompileOptions::optimized())
             .unwrap_or_else(|e| panic!("-O failed on:\n{src}\n{e}"));
-        let mut v = VmOptions::default();
-        v.max_steps = 30_000_000;
-        v.heap_config = gcheap::HeapConfig {
-            gc_threshold: 1,
-            ..gcheap::HeapConfig::default()
+        let v = VmOptions {
+            max_steps: 30_000_000,
+            heap_config: gcheap::HeapConfig {
+                gc_threshold: 1,
+                ..gcheap::HeapConfig::default()
+            },
+            ..VmOptions::default()
         };
         let got = compile_and_run(&src, &CompileOptions::optimized_safe(), &v)
             .unwrap_or_else(|e| panic!("-O safe under paranoid GC failed on:\n{src}\n{e}"));
-        prop_assert_eq!(&got.output, &baseline, "paranoid GC diverges on:\n{}", src);
+        assert_eq!(got.output, baseline, "paranoid GC diverges on:\n{src}");
     }
+}
 
-    #[test]
-    fn annotated_pointer_programs_verify_statically(
-        stmts in proptest::collection::vec(stmt(), 1..6)
-    ) {
-        let src = program(&stmts);
+#[test]
+fn annotated_pointer_programs_verify_statically() {
+    for case in 0..40 {
+        let mut rng = Rng::for_case("ptr_verify_static", case);
+        let src = program(&gen_stmts(&mut rng, 6));
         let prog = cvm::compile(&src, &CompileOptions::optimized_safe())
             .unwrap_or_else(|e| panic!("compile failed on:\n{src}\n{e}"));
         let violations = cvm::verify_program(&prog, false);
-        prop_assert!(
+        assert!(
             violations.is_empty(),
-            "unprotected addresses in:\n{}\n{:?}", src, violations
+            "unprotected addresses in:\n{src}\n{violations:?}"
         );
     }
 }

@@ -1,9 +1,12 @@
 //! Property tests over randomly generated C programs: every compilation
 //! mode must compute the same result. This hunts optimizer and lowering
-//! miscompilations far beyond the hand-written cases.
+//! miscompilations far beyond the hand-written cases. Cases come from
+//! the deterministic PRNG in `common`.
 
+mod common;
+
+use common::Rng;
 use cvm::{compile_and_run, CompileOptions, VmOptions};
-use proptest::prelude::*;
 
 /// A tiny expression AST we generate and then print as C.
 #[derive(Debug, Clone)]
@@ -34,22 +37,41 @@ impl E {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (0usize..4).prop_map(E::Var),
-        (-50i64..50).prop_map(E::Lit),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Cmp(a.into(), b.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| E::Cond(c.into(), t.into(), f.into())),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.chance(1, 3) {
+        return if rng.chance(1, 2) {
+            E::Var(rng.index(4))
+        } else {
+            E::Lit(rng.range_i64(-50, 50))
+        };
+    }
+    match rng.index(6) {
+        0 => E::Add(
+            gen_expr(rng, depth - 1).into(),
+            gen_expr(rng, depth - 1).into(),
+        ),
+        1 => E::Sub(
+            gen_expr(rng, depth - 1).into(),
+            gen_expr(rng, depth - 1).into(),
+        ),
+        2 => E::Mul(
+            gen_expr(rng, depth - 1).into(),
+            gen_expr(rng, depth - 1).into(),
+        ),
+        3 => E::Div(
+            gen_expr(rng, depth - 1).into(),
+            gen_expr(rng, depth - 1).into(),
+        ),
+        4 => E::Cmp(
+            gen_expr(rng, depth - 1).into(),
+            gen_expr(rng, depth - 1).into(),
+        ),
+        _ => E::Cond(
+            gen_expr(rng, depth - 1).into(),
+            gen_expr(rng, depth - 1).into(),
+            gen_expr(rng, depth - 1).into(),
+        ),
+    }
 }
 
 /// A statement: assignment, loop-accumulate, or pointer round-trip.
@@ -90,15 +112,24 @@ impl S {
     }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = S> {
-    prop_oneof![
-        ((0usize..4), expr_strategy()).prop_map(|(v, e)| S::Assign(v, e)),
-        ((0usize..4), expr_strategy()).prop_map(|(v, e)| S::AddAssign(v, e)),
-        (expr_strategy(), 0usize..4, expr_strategy(), expr_strategy())
-            .prop_map(|(c, v, t, f)| S::IfElse(c, v, t, f)),
-        ((0usize..4), any::<u8>(), expr_strategy()).prop_map(|(v, n, e)| S::LoopSum(v, n, e)),
-        ((0usize..4), expr_strategy()).prop_map(|(v, e)| S::HeapRoundTrip(v, e)),
-    ]
+fn gen_stmt(rng: &mut Rng) -> S {
+    match rng.index(5) {
+        0 => S::Assign(rng.index(4), gen_expr(rng, 3)),
+        1 => S::AddAssign(rng.index(4), gen_expr(rng, 3)),
+        2 => S::IfElse(
+            gen_expr(rng, 3),
+            rng.index(4),
+            gen_expr(rng, 3),
+            gen_expr(rng, 3),
+        ),
+        3 => S::LoopSum(rng.index(4), rng.next_u8(), gen_expr(rng, 3)),
+        _ => S::HeapRoundTrip(rng.index(4), gen_expr(rng, 3)),
+    }
+}
+
+fn gen_stmts(rng: &mut Rng, max_len: usize) -> Vec<S> {
+    let len = 1 + rng.index(max_len - 1);
+    (0..len).map(|_| gen_stmt(rng)).collect()
 }
 
 fn program_from(stmts: &[S]) -> String {
@@ -118,19 +149,20 @@ fn program_from(stmts: &[S]) -> String {
 }
 
 fn run_mode(src: &str, copts: &CompileOptions) -> Result<Vec<u8>, String> {
-    let mut v = VmOptions::default();
-    v.max_steps = 20_000_000;
+    let v = VmOptions {
+        max_steps: 20_000_000,
+        ..VmOptions::default()
+    };
     compile_and_run(src, copts, &v)
         .map(|o| o.output)
         .map_err(|e| e.to_string())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn every_mode_computes_the_same_value(stmts in proptest::collection::vec(stmt_strategy(), 1..10)) {
-        let src = program_from(&stmts);
+#[test]
+fn every_mode_computes_the_same_value() {
+    for case in 0..48 {
+        let mut rng = Rng::for_case("every_mode_same", case);
+        let src = program_from(&gen_stmts(&mut rng, 10));
         let baseline = run_mode(&src, &CompileOptions::optimized())
             .unwrap_or_else(|e| panic!("-O failed on:\n{src}\n{e}"));
         for (name, opts) in [
@@ -138,18 +170,18 @@ proptest! {
             ("-g", CompileOptions::debug()),
             ("-g checked", CompileOptions::debug_checked()),
         ] {
-            let got = run_mode(&src, &opts)
-                .unwrap_or_else(|e| panic!("{name} failed on:\n{src}\n{e}"));
-            prop_assert_eq!(
-                &got, &baseline,
-                "{} diverges on:\n{}", name, src
-            );
+            let got =
+                run_mode(&src, &opts).unwrap_or_else(|e| panic!("{name} failed on:\n{src}\n{e}"));
+            assert_eq!(got, baseline, "{name} diverges on:\n{src}");
         }
     }
+}
 
-    #[test]
-    fn optimizer_ablations_agree(stmts in proptest::collection::vec(stmt_strategy(), 1..8)) {
-        let src = program_from(&stmts);
+#[test]
+fn optimizer_ablations_agree() {
+    for case in 0..48 {
+        let mut rng = Rng::for_case("optimizer_ablations", case);
+        let src = program_from(&gen_stmts(&mut rng, 8));
         let baseline = run_mode(&src, &CompileOptions::optimized())
             .unwrap_or_else(|e| panic!("-O failed on:\n{src}\n{e}"));
         // Each disguising pass individually disabled must not change results.
@@ -157,8 +189,12 @@ proptest! {
             let mut opts = CompileOptions::optimized();
             opts.opt.reassociate = reassoc;
             opts.opt.schedule = sched;
-            let got = run_mode(&src, &opts).unwrap_or_else(|e| panic!("ablation failed:\n{src}\n{e}"));
-            prop_assert_eq!(&got, &baseline, "ablation ({}, {}) diverges on:\n{}", reassoc, sched, src);
+            let got =
+                run_mode(&src, &opts).unwrap_or_else(|e| panic!("ablation failed:\n{src}\n{e}"));
+            assert_eq!(
+                got, baseline,
+                "ablation ({reassoc}, {sched}) diverges on:\n{src}"
+            );
         }
     }
 }
