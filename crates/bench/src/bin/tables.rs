@@ -1,7 +1,11 @@
 //! Prints every table and figure of the paper.
 //!
 //! Usage: `tables [sparc2|sparc10|pentium90|codesize|postprocessor|analysis|all]
-//!                [--tiny] [--trace <file.jsonl>]`
+//!                [--tiny] [--jobs N] [--trace <file.jsonl>]`
+//!
+//! The 4 workloads × 5 modes measurement matrix runs in parallel across
+//! `--jobs N` worker threads (default: all cores); every table and trace
+//! is byte-identical to a `--jobs 1` serial run.
 //!
 //! With `--trace`, every pipeline stage's events (annotation audit,
 //! optimizer rewrites, verifier verdicts, GC timeline, peephole rewrites,
@@ -30,6 +34,24 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let jobs = match args
+        .iter()
+        .position(|a| a == "--jobs")
+        .map(|i| args.get(i + 1))
+    {
+        Some(Some(n)) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --jobs takes a positive integer, got '{n}'");
+                std::process::exit(2);
+            }
+        },
+        Some(None) => {
+            eprintln!("error: --jobs requires a value");
+            std::process::exit(2);
+        }
+        None => default_jobs(),
+    };
     let trace = match trace_path {
         Some(path) => {
             let file = match std::fs::File::create(path) {
@@ -52,7 +74,7 @@ fn main() {
         println!("{}", register_pressure_report());
         return;
     }
-    let data = match collect_traced(scale, &trace) {
+    let data = match collect_traced_jobs(scale, &trace, jobs) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");

@@ -13,9 +13,13 @@
 
 #![warn(missing_docs)]
 
-use gc_safety::{measure_workload_traced, Cell, Machine, Measured, Mode, TraceHandle};
+use gc_safety::{
+    merge_tagged, Cell, Event, Machine, Measured, Mode, Sink, TaggedSink, TraceHandle,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use workloads::Scale;
 
 /// All measurements for all workloads, ready for table formatting.
@@ -25,7 +29,17 @@ pub struct Dataset {
     pub rows: Vec<(&'static str, BTreeMap<Mode, Measured>)>,
 }
 
-/// Runs every workload in every mode at the given scale.
+/// The worker count [`collect`] fans the measurement matrix out over:
+/// the machine's available parallelism, capped at the matrix size.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every workload in every mode at the given scale, in parallel
+/// across [`default_jobs`] workers. The result is deterministic and
+/// identical to a serial run ([`collect_jobs`] with `jobs = 1`).
 ///
 /// # Errors
 ///
@@ -33,6 +47,15 @@ pub struct Dataset {
 /// indicate a miscompilation).
 pub fn collect(scale: Scale) -> Result<Dataset, String> {
     collect_traced(scale, &TraceHandle::disabled())
+}
+
+/// [`collect`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Same as [`collect`].
+pub fn collect_jobs(scale: Scale, jobs: usize) -> Result<Dataset, String> {
+    collect_traced_jobs(scale, &TraceHandle::disabled(), jobs)
 }
 
 /// [`collect`] with a trace: the whole pipeline's event stream — from the
@@ -43,9 +66,96 @@ pub fn collect(scale: Scale) -> Result<Dataset, String> {
 ///
 /// Same as [`collect`].
 pub fn collect_traced(scale: Scale, trace: &TraceHandle) -> Result<Dataset, String> {
+    collect_traced_jobs(scale, trace, default_jobs())
+}
+
+/// The parallel measurement driver behind every `collect` variant.
+///
+/// The 4 workloads × 5 modes matrix is fanned out across `jobs` scoped
+/// worker threads, one (workload, mode) cell at a time, then reassembled
+/// in the paper's row order, so tables built from the [`Dataset`] are
+/// byte-identical regardless of `jobs` (every cost is a deterministic
+/// cycle count, not wall-clock). Tracing survives the fan-out: each cell
+/// emits into its own [`TaggedSink`], and the buffered streams are merged
+/// into `trace` in deterministic (workload, mode, seq) order — with the
+/// serial driver's per-workload `("bench", "workload")` markers
+/// interleaved — so the user's sink sees exactly the stream a serial run
+/// would have produced (wall-clock fields like `pause_ns` aside). The
+/// cross-mode output-divergence check runs on the assembled rows, so it
+/// compares against the `-O` baseline even when cells finish out of
+/// order.
+///
+/// # Errors
+///
+/// Build failures and divergence are reported for the first failing cell
+/// in deterministic (workload, mode) order, whichever thread hit it.
+pub fn collect_traced_jobs(
+    scale: Scale,
+    trace: &TraceHandle,
+    jobs: usize,
+) -> Result<Dataset, String> {
+    let ws = workloads::all();
+    let modes = Mode::all();
+    let cells: Vec<(usize, usize)> = (0..ws.len())
+        .flat_map(|wi| (0..modes.len()).map(move |mi| (wi, mi)))
+        .collect();
+    // Per-cell buffering sinks, plus one pre-filled marker sink per
+    // workload standing in for the serial driver's workload event.
+    // Tag space: (workload, 0) = marker, (workload, 1 + mode) = cell.
+    let mut tagged: Vec<Arc<TaggedSink>> = Vec::new();
+    let cell_traces: Vec<TraceHandle> = if trace.is_enabled() {
+        for (wi, w) in ws.iter().enumerate() {
+            let marker = Arc::new(TaggedSink::new(wi as u64, 0));
+            marker.emit(Event::new("bench", "workload").field("name", w.name));
+            tagged.push(marker);
+        }
+        cells
+            .iter()
+            .map(|&(wi, mi)| {
+                let sink = Arc::new(TaggedSink::new(wi as u64, 1 + mi as u64));
+                tagged.push(sink.clone());
+                TraceHandle::new(sink)
+            })
+            .collect()
+    } else {
+        cells.iter().map(|_| TraceHandle::disabled()).collect()
+    };
+    let slots: Vec<Mutex<Option<Result<Measured, String>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.clamp(1, cells.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(wi, mi)) = cells.get(i) else { break };
+                let r = gc_safety::measure_workload_mode_traced(
+                    &ws[wi],
+                    scale,
+                    modes[mi],
+                    &cell_traces[i],
+                );
+                *slots[i].lock().expect("cell slot") = Some(r);
+            });
+        }
+    });
+    // Replay the buffered event streams in serial order before touching
+    // the results, so the trace is complete even when assembly errors.
+    merge_tagged(&tagged, trace);
+    let mut slots = slots.into_iter();
     let mut rows = Vec::new();
-    for w in workloads::all() {
-        let results = measure_workload_traced(&w, scale, trace)?;
+    for w in &ws {
+        let mut results = BTreeMap::new();
+        for &mode in &modes {
+            let cell = slots
+                .next()
+                .expect("one slot per cell")
+                .into_inner()
+                .expect("cell slot")
+                .expect("every cell was measured");
+            results.insert(mode, cell?);
+        }
+        gc_safety::check_workload_agreement(w, &results)?;
         rows.push((w.name, results));
     }
     Ok(Dataset { rows })

@@ -1,0 +1,108 @@
+//! The parallel measurement driver's determinism contract: a fanned-out
+//! `collect` must be indistinguishable from a serial one — cell for cell
+//! in the dataset, byte for byte in every rendered table, and event for
+//! event in the merged trace stream (wall-clock pause fields aside,
+//! which no table consumes).
+
+use gc_safety::{Event, Mode, TraceHandle};
+use gcbench::{
+    codesize_table, collect_jobs, collect_traced_jobs, postprocessor_table, slowdown_table,
+};
+use gctrace::Value;
+use workloads::Scale;
+
+#[test]
+fn parallel_collect_equals_serial_cell_for_cell() {
+    let serial = collect_jobs(Scale::Tiny, 1).expect("serial collect");
+    let parallel = collect_jobs(Scale::Tiny, 4).expect("parallel collect");
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for ((sn, srow), (pn, prow)) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(sn, pn, "row order is the paper's");
+        assert_eq!(srow.len(), prow.len(), "{sn}: same mode set");
+        for mode in Mode::all() {
+            let s = &srow[&mode];
+            let p = &prow[&mode];
+            let ctx = format!("{sn} in {}", mode.label());
+            assert_eq!(
+                s.output(),
+                p.output(),
+                "{ctx}: program output must not depend on scheduling"
+            );
+            assert_eq!(s.outcome.is_ok(), p.outcome.is_ok(), "{ctx}");
+            assert_eq!(
+                s.costs.keys().collect::<Vec<_>>(),
+                p.costs.keys().collect::<Vec<_>>(),
+                "{ctx}: same machines costed"
+            );
+            for (machine, sc) in &s.costs {
+                let pc = &p.costs[machine];
+                assert_eq!(sc.cycles, pc.cycles, "{ctx} on {machine}: cycles");
+                assert_eq!(sc.size_bytes, pc.size_bytes, "{ctx} on {machine}: size");
+            }
+            assert_eq!(
+                s.peephole.map(|st| st.total()),
+                p.peephole.map(|st| st.total()),
+                "{ctx}: peephole work"
+            );
+        }
+    }
+    // The acceptance criterion itself: E1–E5 render byte-identically.
+    for key in ["sparc2", "sparc10", "pentium90"] {
+        assert_eq!(
+            slowdown_table(&serial, key),
+            slowdown_table(&parallel, key),
+            "slowdown table {key} differs"
+        );
+    }
+    assert_eq!(codesize_table(&serial), codesize_table(&parallel));
+    assert_eq!(postprocessor_table(&serial), postprocessor_table(&parallel));
+}
+
+/// Strips the wall-clock fields (collection pauses) that legitimately
+/// differ between two runs of the same deterministic pipeline.
+fn normalized(events: Vec<Event>) -> Vec<Event> {
+    const WALL_CLOCK: [&str; 3] = ["pause_ns", "total_pause_ns", "max_pause_ns"];
+    events
+        .into_iter()
+        .map(|mut e| {
+            e.fields.retain(|(k, _)| !WALL_CLOCK.contains(k));
+            e
+        })
+        .collect()
+}
+
+#[test]
+fn merged_parallel_trace_matches_the_serial_stream() {
+    let (serial_trace, serial_sink) = TraceHandle::memory();
+    collect_traced_jobs(Scale::Tiny, &serial_trace, 1).expect("serial collect");
+    let (parallel_trace, parallel_sink) = TraceHandle::memory();
+    collect_traced_jobs(Scale::Tiny, &parallel_trace, 4).expect("parallel collect");
+
+    let serial = normalized(serial_sink.snapshot());
+    let parallel = normalized(parallel_sink.snapshot());
+    assert!(!serial.is_empty(), "the traced run produced events");
+    assert_eq!(
+        serial.len(),
+        parallel.len(),
+        "streams have the same event count"
+    );
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "event #{i} differs between serial and merged");
+    }
+    // The audit-trail shape the serial driver guaranteed: each workload
+    // marker precedes all of that workload's cell events.
+    let marker_names: Vec<&Value> = serial
+        .iter()
+        .filter(|e| (e.stage, e.kind) == ("bench", "workload"))
+        .map(|e| e.get("name").expect("marker carries the name"))
+        .collect();
+    let expected: Vec<Value> = workloads::all()
+        .iter()
+        .map(|w| Value::Str(w.name.to_string()))
+        .collect();
+    assert_eq!(
+        marker_names,
+        expected.iter().collect::<Vec<_>>(),
+        "one marker per workload, in paper row order"
+    );
+}

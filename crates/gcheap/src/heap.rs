@@ -89,10 +89,16 @@ impl std::error::Error for OutOfMemory {}
 pub struct HeapStats {
     /// Number of completed collections.
     pub collections: u64,
-    /// Objects allocated over the heap's lifetime.
+    /// Objects successfully allocated over the heap's lifetime.
     pub allocations: u64,
-    /// Bytes requested over the heap's lifetime (pre-rounding).
+    /// Bytes successfully requested over the heap's lifetime
+    /// (pre-rounding; failed requests are not counted here).
     pub bytes_requested: u64,
+    /// Allocation attempts that returned [`OutOfMemory`].
+    pub failed_allocations: u64,
+    /// Small pages that sweeps found fully empty and returned to the
+    /// free page pool for reuse by any size class.
+    pub pages_reclaimed: u64,
     /// Objects reclaimed by sweeps.
     pub objects_freed: u64,
     /// Objects currently live (allocated minus freed).
@@ -119,6 +125,8 @@ impl HeapStats {
         w.uint_field("collections", self.collections);
         w.uint_field("allocations", self.allocations);
         w.uint_field("bytes_requested", self.bytes_requested);
+        w.uint_field("failed_allocations", self.failed_allocations);
+        w.uint_field("pages_reclaimed", self.pages_reclaimed);
         w.uint_field("objects_freed", self.objects_freed);
         w.uint_field("objects_live", self.objects_live);
         w.uint_field("bytes_live", self.bytes_live);
@@ -147,6 +155,8 @@ impl HeapStats {
             collections: get("collections")?,
             allocations: get("allocations")?,
             bytes_requested: get("bytes_requested")?,
+            failed_allocations: get("failed_allocations")?,
+            pages_reclaimed: get("pages_reclaimed")?,
             objects_freed: get("objects_freed")?,
             objects_live: get("objects_live")?,
             bytes_live: get("bytes_live")?,
@@ -295,15 +305,19 @@ impl GcHeap {
     pub fn alloc(&mut self, mem: &mut Memory, size: u64) -> Result<u64, OutOfMemory> {
         let effective = size + u64::from(self.config.extra_byte);
         let effective = effective.max(1);
-        self.stats.allocations += 1;
-        self.stats.bytes_requested += size;
-        let addr = if let Some(ci) = Self::class_index(effective) {
+        let attempt = if let Some(ci) = Self::class_index(effective) {
             self.alloc_small(ci)
-                .ok_or(OutOfMemory { requested: size })?
         } else {
             self.alloc_large(effective)
-                .ok_or(OutOfMemory { requested: size })?
         };
+        let Some(addr) = attempt else {
+            // Failed attempts are counted on their own so `allocations` /
+            // `bytes_requested` describe the objects that actually exist.
+            self.stats.failed_allocations += 1;
+            return Err(OutOfMemory { requested: size });
+        };
+        self.stats.allocations += 1;
+        self.stats.bytes_requested += size;
         let (base, extent) = self
             .map
             .object_extent(addr)
@@ -330,11 +344,18 @@ impl GcHeap {
         size: u64,
         roots: &RootSet,
     ) -> Result<u64, OutOfMemory> {
-        if self.should_collect() {
+        let threshold_collected = self.should_collect();
+        if threshold_collected {
             self.collect(mem, roots);
         }
         match self.alloc(mem, size) {
             Ok(a) => Ok(a),
+            Err(e) if threshold_collected => {
+                // A collection just ran and nothing has been allocated
+                // since; a second back-to-back collection cannot free
+                // anything more.
+                Err(e)
+            }
             Err(_) => {
                 self.collect(mem, roots);
                 self.alloc(mem, size)
@@ -570,6 +591,31 @@ impl GcHeap {
                 self.free_pages.push(head + i);
             }
         }
+        // Return fully-empty small pages to the page pool. Without this a
+        // size-class phase shift (fill with class A, drop it, switch to
+        // class B) can exhaust the heap while every page is pure free
+        // slots, because free slots only ever serve their own class.
+        for idx in 0..self.next_page {
+            let (obj_size, page_start) = match self.map.desc(idx) {
+                PageDesc::Small(sp) if !sp.alloc.contains(&true) => {
+                    (sp.obj_size, self.map.page_addr(idx))
+                }
+                _ => continue,
+            };
+            let ci = SIZE_CLASSES
+                .iter()
+                .position(|&c| c == obj_size)
+                .expect("small page carries a known size class");
+            let page_end = page_start + PAGE_SIZE;
+            self.free_lists[ci].retain(|&a| !(page_start..page_end).contains(&a));
+            *self.map.desc_mut(idx) = PageDesc::Free;
+            self.stats.pages_reclaimed += 1;
+            if !self.blacklist.contains(&idx) {
+                self.free_pages.push(idx);
+            }
+            // Blacklisted pages become Free but are never handed out again
+            // — the cost of blacklisting is lost capacity.
+        }
         let objects_swept = freed.len() as u64;
         let bytes_swept: u64 = freed.iter().map(|(_, size)| size).sum();
         (objects_swept, bytes_swept)
@@ -726,6 +772,101 @@ mod tests {
         roots.add_word(obj - 1); // just below the object (unallocated slot area)
         heap.collect(&mut mem, &roots);
         assert!(!heap.is_allocated(obj) || obj == 0);
+    }
+
+    #[test]
+    fn failed_allocations_do_not_inflate_stats() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 14); // 4 pages of heap
+        let mut heap = GcHeap::with_defaults(&mem);
+        let mut mem = mem;
+        for _ in 0..8 {
+            heap.alloc(&mut mem, 1500).unwrap();
+        }
+        let before = heap.stats();
+        assert!(heap.alloc(&mut mem, 1500).is_err());
+        let after = heap.stats();
+        assert_eq!(after.allocations, before.allocations);
+        assert_eq!(after.bytes_requested, before.bytes_requested);
+        assert_eq!(after.failed_allocations, before.failed_allocations + 1);
+    }
+
+    #[test]
+    fn threshold_collection_is_not_followed_by_a_back_to_back_one() {
+        // Exhausted heap + reached threshold: the old driver collected,
+        // failed the alloc, then collected again although nothing could
+        // have changed in between.
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 14);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                gc_threshold: 1,
+                ..HeapConfig::default()
+            },
+        );
+        let mut mem = mem;
+        let mut keep = Vec::new();
+        loop {
+            match heap.alloc(&mut mem, 1500) {
+                Ok(a) => keep.push(a),
+                Err(_) => break,
+            }
+        }
+        let mut roots = RootSet::new();
+        for &a in &keep {
+            roots.add_word(a);
+        }
+        let before = heap.stats().collections;
+        assert!(heap.alloc_with_roots(&mut mem, 1500, &roots).is_err());
+        assert_eq!(
+            heap.stats().collections,
+            before + 1,
+            "one collection per failed alloc_with_roots, not two"
+        );
+    }
+
+    #[test]
+    fn empty_small_pages_return_to_the_page_pool() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 14); // 4 pages of heap
+        let mut heap = GcHeap::with_defaults(&mem);
+        let mut mem = mem;
+        // Fill the whole heap with 64-byte-class objects, unrooted.
+        while heap.alloc(&mut mem, 60).is_ok() {}
+        heap.collect(&mut mem, &RootSet::new());
+        assert_eq!(heap.stats().pages_reclaimed, 4);
+        // A 2048-byte-class allocation needs a fresh page; before the
+        // sweep returned empty pages this OOMed.
+        assert!(heap.alloc(&mut mem, 1500).is_ok());
+    }
+
+    #[test]
+    fn reclaimed_pages_respect_the_blacklist() {
+        use crate::pagemap::PAGE_SIZE;
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 14);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                blacklisting: true,
+                ..HeapConfig::default()
+            },
+        );
+        let mut mem = mem;
+        // Occupy every page with unrooted small objects and reclaim them
+        // all, so page 1 sits in the free page pool. A collection with a
+        // spurious root into the now-free page 1 must blacklist it even
+        // though it is queued for reuse.
+        while heap.alloc(&mut mem, 60).is_ok() {}
+        heap.collect(&mut mem, &RootSet::new());
+        assert_eq!(heap.stats().pages_reclaimed, 4);
+        let bogus = crate::mem::HEAP_BASE + PAGE_SIZE + 40;
+        let mut roots = RootSet::new();
+        roots.add_word(bogus);
+        heap.collect(&mut mem, &roots);
+        assert_eq!(heap.stats().blacklisted_pages, 1);
+        // Refill: nothing may land on the blacklisted page 1.
+        while let Ok(a) = heap.alloc(&mut mem, 60) {
+            let page = (a - crate::mem::HEAP_BASE) / PAGE_SIZE;
+            assert_ne!(page, 1, "allocation on a blacklisted reclaimed page");
+        }
     }
 
     #[test]
@@ -894,6 +1035,8 @@ mod tests {
             "collections",
             "allocations",
             "bytes_requested",
+            "failed_allocations",
+            "pages_reclaimed",
             "objects_freed",
             "objects_live",
             "bytes_live",

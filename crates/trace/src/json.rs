@@ -286,16 +286,32 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                            16,
-                        )
-                        .map_err(|_| "bad \\u escape")?;
-                        // Surrogate pairs are not produced by our writer;
-                        // map lone surrogates to the replacement char.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = parse_hex4(b, *pos + 1)?;
                         *pos += 4;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: valid external JSONL encodes
+                            // astral characters as a \uXXXX\uXXXX pair.
+                            // Combine it with the following low surrogate;
+                            // a lone surrogate degrades to U+FFFD.
+                            if b.get(*pos + 1..*pos + 3) == Some(b"\\u") {
+                                let lo = parse_hex4(b, *pos + 3)?;
+                                if (0xDC00..=0xDFFF).contains(&lo) {
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(char::from_u32(combined).unwrap_or('\u{fffd}'));
+                                    *pos += 6;
+                                } else {
+                                    // \uXXXX follows but is not a low
+                                    // surrogate: the high one is lone; the
+                                    // second escape is decoded on its own.
+                                    out.push('\u{fffd}');
+                                }
+                            } else {
+                                out.push('\u{fffd}');
+                            }
+                        } else {
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return Err("bad escape".into()),
                 }
@@ -310,6 +326,12 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let hex = b.get(at..at + 4).ok_or("truncated \\u escape")?;
+    u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?, 16)
+        .map_err(|_| "bad \\u escape".to_string())
 }
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
@@ -357,6 +379,37 @@ mod tests {
             }
             other => panic!("expected array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_into_real_code_points() {
+        // U+1F600 as the \uD83D\uDE00 pair, the encoding external JSONL
+        // producers use for astral characters.
+        let v = parse(r#"{"s":"\uD83D\uDE00"}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("\u{1F600}"));
+        // A pair embedded in surrounding text.
+        let v = parse(r#"{"s":"a\uD83D\uDE00b"}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("a\u{1F600}b"));
+        // Lower-case hex digits work too.
+        let v = parse(r#"{"s":"\ud83d\ude00"}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn lone_surrogates_degrade_to_replacement_chars() {
+        // Unpaired high surrogate before a plain character.
+        let v = parse(r#"{"s":"\uD83Dx"}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("\u{fffd}x"));
+        // Unpaired low surrogate.
+        let v = parse(r#"{"s":"\uDE00"}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("\u{fffd}"));
+        // High surrogate followed by a non-surrogate escape: the second
+        // escape survives on its own.
+        let v = parse(r#"{"s":"\uD83D\u0041"}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("\u{fffd}A"));
+        // High surrogate at end of string.
+        let v = parse(r#"{"s":"\uD800"}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("\u{fffd}"));
     }
 
     #[test]

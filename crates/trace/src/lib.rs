@@ -179,6 +179,73 @@ impl Sink for MemorySink {
     }
 }
 
+/// A buffering sink for one task of a fan-out, tagged with the
+/// coordinates that [`merge_tagged`] sorts by.
+///
+/// The parallel measurement driver gives every (workload, mode) cell its
+/// own `TaggedSink`; once all cells have finished, the buffered streams
+/// are replayed into the user's real sink in ascending
+/// `(primary, secondary, seq)` order, where `seq` is simply each event's
+/// position within its own buffer. The tag lives on the *sink*, not on
+/// the events, so the replayed stream is byte-identical to what a serial
+/// run would have emitted.
+pub struct TaggedSink {
+    tag: (u64, u64),
+    events: Mutex<Vec<Event>>,
+}
+
+impl TaggedSink {
+    /// A fresh buffer tagged `(primary, secondary)` — for the measurement
+    /// matrix, `(workload index, mode index)`.
+    pub fn new(primary: u64, secondary: u64) -> Self {
+        TaggedSink {
+            tag: (primary, secondary),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The merge coordinates this sink was created with.
+    pub fn tag(&self) -> (u64, u64) {
+        self.tag
+    }
+
+    /// Removes and returns everything buffered so far, in emission order.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("sink lock"))
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink lock").len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for TaggedSink {
+    fn emit(&self, event: Event) {
+        self.events.lock().expect("sink lock").push(event);
+    }
+}
+
+/// Drains a set of [`TaggedSink`]s into `out` in deterministic
+/// `(primary, secondary, seq)` order, regardless of the order the
+/// buffers were filled in. Within one sink, emission order is preserved.
+///
+/// Sinks sharing a tag are replayed in the order given.
+pub fn merge_tagged(streams: &[Arc<TaggedSink>], out: &TraceHandle) {
+    let mut ordered: Vec<&Arc<TaggedSink>> = streams.iter().collect();
+    ordered.sort_by_key(|s| s.tag());
+    for sink in ordered {
+        for event in sink.take() {
+            out.emit(|| event.clone());
+        }
+    }
+}
+
 /// Writes each event as one JSON object per line to any `Write`.
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
@@ -318,6 +385,52 @@ mod tests {
             parsed.get("kind"),
             Some(&json::JsonValue::Str("wrap".into()))
         );
+    }
+
+    #[test]
+    fn tagged_sinks_merge_in_tag_then_seq_order() {
+        // Fill the buffers deliberately out of tag order, as parallel
+        // workers would.
+        let b10 = Arc::new(TaggedSink::new(1, 0));
+        let b01 = Arc::new(TaggedSink::new(0, 1));
+        let b00 = Arc::new(TaggedSink::new(0, 0));
+        b10.emit(Event::new("t", "c"));
+        b01.emit(Event::new("t", "b1"));
+        b01.emit(Event::new("t", "b2"));
+        b00.emit(Event::new("t", "a"));
+        assert_eq!(b01.len(), 2);
+        assert!(!b01.is_empty());
+        assert_eq!(b10.tag(), (1, 0));
+        let (out, sink) = TraceHandle::memory();
+        merge_tagged(&[b10.clone(), b01, b00], &out);
+        let kinds: Vec<&str> = sink.snapshot().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["a", "b1", "b2", "c"]);
+        assert!(b10.is_empty(), "merge drains the buffers");
+    }
+
+    #[test]
+    fn merged_stream_is_byte_identical_to_a_serial_one() {
+        // The serial reference: one handle, events in program order.
+        let (serial, serial_sink) = TraceHandle::memory();
+        for (w, m) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            serial.emit(|| Event::new("bench", "cell").field("w", w).field("m", m));
+            serial.emit(|| Event::new("gc", "collection").field("w", w).field("m", m));
+        }
+        // The parallel run: per-cell buffers filled in scrambled order.
+        let sinks: Vec<Arc<TaggedSink>> = [(1u64, 1u64), (0, 1), (1, 0), (0, 0)]
+            .iter()
+            .map(|&(w, m)| {
+                let s = Arc::new(TaggedSink::new(w, m));
+                s.emit(Event::new("bench", "cell").field("w", w).field("m", m));
+                s.emit(Event::new("gc", "collection").field("w", w).field("m", m));
+                s
+            })
+            .collect();
+        let (merged, merged_sink) = TraceHandle::memory();
+        merge_tagged(&sinks, &merged);
+        let serial_jsonl: Vec<String> = serial_sink.snapshot().iter().map(Event::to_json).collect();
+        let merged_jsonl: Vec<String> = merged_sink.snapshot().iter().map(Event::to_json).collect();
+        assert_eq!(serial_jsonl, merged_jsonl);
     }
 
     #[test]

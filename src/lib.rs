@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 pub use asmpost::{AsmFunc, CostReport, Machine, PeepholeStats};
 pub use cvm::{CompileOptions, ExecOutcome, ProgramIr, VmError, VmOptions};
 pub use gcsafe::Config as AnnotConfig;
-pub use gctrace::{Event, JsonlSink, MemorySink, Sink, TraceHandle};
+pub use gctrace::{merge_tagged, Event, JsonlSink, MemorySink, Sink, TaggedSink, TraceHandle};
 pub use workloads::{Scale, Workload};
 
 /// The paper's compilation/measurement modes.
@@ -226,14 +226,51 @@ pub fn measure_workload_traced(
     scale: Scale,
     trace: &TraceHandle,
 ) -> Result<BTreeMap<Mode, Measured>, String> {
-    let input = (w.input)(scale);
     trace.emit(|| Event::new("bench", "workload").field("name", w.name));
     let mut results = BTreeMap::new();
     for mode in Mode::all() {
-        let m = measure_source_traced(w.source, &input, mode, trace)?;
+        let m = measure_workload_mode_traced(w, scale, mode, trace)?;
         results.insert(mode, m);
     }
-    // Output agreement check across successful runs.
+    check_workload_agreement(w, &results)?;
+    Ok(results)
+}
+
+/// Measures a single (workload, mode) cell of the measurement matrix —
+/// the independently schedulable unit the parallel driver in `gcbench`
+/// fans out over. Unlike [`measure_workload_traced`] this emits no
+/// `("bench", "workload")` marker and performs no cross-mode agreement
+/// check; callers assembling a full row do both themselves (see
+/// [`check_workload_agreement`]).
+///
+/// # Errors
+///
+/// Same as [`measure_source`]: `Err` only for build failures.
+pub fn measure_workload_mode_traced(
+    w: &Workload,
+    scale: Scale,
+    mode: Mode,
+    trace: &TraceHandle,
+) -> Result<Measured, String> {
+    let input = (w.input)(scale);
+    measure_source_traced(w.source, &input, mode, trace)
+}
+
+/// The cross-mode output-divergence check: every successful mode must
+/// reproduce the `-O` baseline's output byte-for-byte (the repository's
+/// miscompilation guard), and the only tolerated failure is the checked
+/// mode aborting on a workload that is expected to (the paper's gawk
+/// `<fails>` cell). Runs against assembled results, so it gives the same
+/// verdict whether the cells were measured serially or out of order.
+///
+/// # Errors
+///
+/// Returns a message naming the workload and mode that failed or
+/// diverged.
+pub fn check_workload_agreement(
+    w: &Workload,
+    results: &BTreeMap<Mode, Measured>,
+) -> Result<(), String> {
     let baseline = results[&Mode::O]
         .output()
         .ok_or_else(|| {
@@ -244,7 +281,7 @@ pub fn measure_workload_traced(
             )
         })?
         .to_vec();
-    for (mode, m) in &results {
+    for (mode, m) in results {
         match &m.outcome {
             Ok(out) => {
                 if out.output != baseline {
@@ -261,7 +298,7 @@ pub fn measure_workload_traced(
             }
         }
     }
-    Ok(results)
+    Ok(())
 }
 
 /// Builds the slowdown row for one workload on one machine

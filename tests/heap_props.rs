@@ -64,6 +64,15 @@ impl Shadow {
     }
 }
 
+/// Whether a live object is still *based* at `addr`. The shadow graph is
+/// keyed by object base, and page reclamation lets a freed page be
+/// re-carved for another size class — an old base can come back as an
+/// interior address of a new object, where `is_allocated` (a containment
+/// query) would report true for the wrong object.
+fn is_live_base(heap: &GcHeap, addr: u64) -> bool {
+    heap.base(addr) == Some(addr)
+}
+
 fn run_ops(ops: &[Op], policy: PointerPolicy) {
     let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
     let mut heap = GcHeap::new(
@@ -96,7 +105,7 @@ fn run_ops(ops: &[Op], policy: PointerPolicy) {
                     .objects
                     .keys()
                     .copied()
-                    .filter(|&o| heap.is_allocated(o))
+                    .filter(|&o| is_live_base(&heap, o))
                     .collect();
                 if live.len() >= 2 {
                     let mut live = live;
@@ -115,7 +124,7 @@ fn run_ops(ops: &[Op], policy: PointerPolicy) {
                         .objects
                         .keys()
                         .copied()
-                        .filter(|&o| heap.is_allocated(o))
+                        .filter(|&o| is_live_base(&heap, o))
                         .collect();
                     v.sort();
                     v
@@ -133,7 +142,7 @@ fn run_ops(ops: &[Op], policy: PointerPolicy) {
                     .objects
                     .keys()
                     .copied()
-                    .filter(|&o| !heap.is_allocated(o))
+                    .filter(|&o| !is_live_base(&heap, o))
                     .collect();
                 for d in dead {
                     shadow.objects.remove(&d);
@@ -149,7 +158,7 @@ fn run_ops(ops: &[Op], policy: PointerPolicy) {
                 heap.collect(&mut mem, &roots);
                 let reachable = shadow.reachable();
                 for &obj in shadow.objects.keys() {
-                    let alive = heap.is_allocated(obj);
+                    let alive = is_live_base(&heap, obj);
                     if reachable.contains(&obj) {
                         assert!(alive, "reachable object {obj:#x} was collected");
                     } else {
@@ -178,6 +187,61 @@ fn base_only_policy_matches_when_links_are_bases() {
         let mut rng = Rng::for_case("base_only_policy", case);
         let ops = gen_ops(&mut rng, 80);
         run_ops(&ops, PointerPolicy::InteriorFromRootsOnly);
+    }
+}
+
+/// A size-class phase shift must never OOM a heap whose objects are all
+/// dead: fill the heap with one size class, drop every root, collect,
+/// then refill with a *different* class. The refill must reach exactly
+/// the capacity a fresh heap offers that class. Before sweeps returned
+/// fully-empty small pages to the page pool, the second phase found
+/// every page still dedicated to the first class and stopped early.
+#[test]
+fn page_reclamation_survives_size_class_phase_shifts() {
+    let fill = |mem: &mut Memory, heap: &mut GcHeap, size: u64| -> u64 {
+        let mut n = 0;
+        while heap.alloc(mem, size).is_ok() {
+            n += 1;
+        }
+        n
+    };
+    let config = HeapConfig {
+        gc_threshold: u64::MAX, // no automatic collections
+        ..HeapConfig::default()
+    };
+    for case in 0..32 {
+        let mut rng = Rng::for_case("page_reclamation", case);
+        // Two sizes far enough apart to land in different size classes.
+        let class_a = 8 + rng.below(592);
+        let class_b = loop {
+            let c = 8 + rng.below(592);
+            if c.abs_diff(class_a) > 128 {
+                break c;
+            }
+        };
+        // Baseline: how many class-B objects a fresh heap holds.
+        let mut mem = Memory::new(1 << 12, 1 << 12, 1 << 16);
+        let mut heap = GcHeap::new(&mem, config.clone());
+        let fresh_capacity = fill(&mut mem, &mut heap, class_b);
+        assert!(fresh_capacity > 0, "case {case}: heap holds nothing");
+
+        // Phase shift: exhaust with class A (unrooted), collect, refill
+        // with class B.
+        let mut mem = Memory::new(1 << 12, 1 << 12, 1 << 16);
+        let mut heap = GcHeap::new(&mem, config.clone());
+        let phase_a = fill(&mut mem, &mut heap, class_a);
+        assert!(phase_a > 0, "case {case}: phase A allocated nothing");
+        heap.collect(&mut mem, &RootSet::new());
+        assert!(
+            heap.stats().pages_reclaimed > 0,
+            "case {case}: empty pages were not reclaimed"
+        );
+        let phase_b = fill(&mut mem, &mut heap, class_b);
+        assert_eq!(
+            phase_b, fresh_capacity,
+            "case {case}: after {phase_a} dead {class_a}B objects, the \
+             reclaimed heap holds fewer {class_b}B objects than a fresh one"
+        );
     }
 }
 

@@ -4,7 +4,10 @@
 //! catch. This is the repository's strongest miscompilation guard.
 //!
 //! One measurement pass per workload feeds all assertions (measuring is
-//! the expensive part: 5 modes × VM run × 3 machine codegens).
+//! the expensive part: 5 modes × VM run × 3 machine codegens), and the
+//! four passes run on scoped worker threads — measuring is embarrassingly
+//! parallel across workloads, and every measured quantity the assertions
+//! read is a deterministic cycle count.
 
 use gc_safety::{measure_workload, Mode, VmError};
 use gctrace::{TraceHandle, Value};
@@ -12,11 +15,24 @@ use workloads::Scale;
 
 #[test]
 fn workloads_behave_like_the_paper_says() {
+    let measured: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = workloads::all()
+            .into_iter()
+            .map(|w| {
+                s.spawn(move || {
+                    let r = measure_workload(&w, Scale::Tiny)
+                        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+                    (w, r)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("measurement worker panicked"))
+            .collect()
+    });
     let mut total_allocs = 0;
-    for w in workloads::all() {
-        let results =
-            measure_workload(&w, Scale::Tiny).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-
+    for (w, results) in measured {
         // 1. Cross-mode output agreement.
         let baseline = results[&Mode::O].output().expect("baseline runs").to_vec();
         assert!(!baseline.is_empty(), "{} produces output", w.name);
