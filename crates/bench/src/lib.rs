@@ -32,9 +32,7 @@ pub struct Dataset {
 /// The worker count [`collect`] fans the measurement matrix out over:
 /// the machine's available parallelism, capped at the matrix size.
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    gc_safety::default_jobs()
 }
 
 /// Runs every workload in every mode at the given scale, in parallel

@@ -32,6 +32,7 @@ pub mod ast;
 pub mod edit;
 pub mod error;
 pub mod lexer;
+pub mod normalize;
 pub mod parser;
 pub mod pretty;
 pub mod sema;
@@ -41,6 +42,7 @@ pub mod types;
 pub use ast::{Block, Expr, ExprKind, FuncDef, NodeId, Program, Stmt};
 pub use edit::EditList;
 pub use error::{FrontError, FrontResult};
+pub use normalize::{normalize_expr, normalize_program};
 pub use parser::{parse, parse_expr};
 pub use sema::{analyze, Builtin, Resolution, SemaInfo, VarId};
 pub use span::Span;

@@ -1,0 +1,186 @@
+//! Structural normalization for AST comparison.
+//!
+//! [`Expr`] equality includes node ids, spans, and sema types, so two
+//! parses of equivalent source never compare equal directly. The fuzzer's
+//! minimizer and the pretty-printer round-trip property both need a purely
+//! structural comparison: `parse(pretty(parse(src)))` must equal
+//! `parse(src)` once positions and ids are erased.
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Returns a copy of `prog` with every node id, span, and sema type reset
+/// to a fixed value, so [`Program`] equality becomes structural.
+pub fn normalize_program(prog: &Program) -> Program {
+    let mut p = prog.clone();
+    p.node_ids = NodeIdGen::new();
+    for g in &mut p.globals {
+        g.id = NodeId(0);
+        g.span = Span::point(0);
+        if let Some(init) = &mut g.init {
+            strip_init(init);
+        }
+    }
+    for f in &mut p.funcs {
+        f.span = Span::point(0);
+        for param in &mut f.params {
+            param.id = NodeId(0);
+            param.span = Span::point(0);
+        }
+        if let Some(body) = &mut f.body {
+            strip_block(body);
+        }
+    }
+    p
+}
+
+/// Returns a copy of `e` with ids, spans, and types reset (see
+/// [`normalize_program`]).
+pub fn normalize_expr(e: &Expr) -> Expr {
+    let mut e = e.clone();
+    strip_expr(&mut e);
+    e
+}
+
+fn strip_block(b: &mut Block) {
+    b.span = Span::point(0);
+    for s in &mut b.stmts {
+        strip_stmt(s);
+    }
+}
+
+fn strip_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Expr(e) => strip_expr(e),
+        Stmt::Decl(decls) => {
+            for d in decls {
+                d.id = NodeId(0);
+                d.span = Span::point(0);
+                if let Some(init) = &mut d.init {
+                    strip_expr(init);
+                }
+            }
+        }
+        Stmt::Block(b) => strip_block(b),
+        Stmt::If(c, t, e) => {
+            strip_expr(c);
+            strip_stmt(t);
+            if let Some(e) = e {
+                strip_stmt(e);
+            }
+        }
+        Stmt::While(c, b) => {
+            strip_expr(c);
+            strip_stmt(b);
+        }
+        Stmt::DoWhile(b, c) => {
+            strip_stmt(b);
+            strip_expr(c);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                strip_stmt(i);
+            }
+            if let Some(c) = cond {
+                strip_expr(c);
+            }
+            if let Some(st) = step {
+                strip_expr(st);
+            }
+            strip_stmt(body);
+        }
+        Stmt::Switch(c, b) => {
+            strip_expr(c);
+            strip_stmt(b);
+        }
+        Stmt::Return(Some(e)) => strip_expr(e),
+        Stmt::Case(_)
+        | Stmt::Default
+        | Stmt::Break
+        | Stmt::Continue
+        | Stmt::Return(None)
+        | Stmt::Empty => {}
+    }
+}
+
+fn strip_init(init: &mut Init) {
+    match init {
+        Init::Scalar(e) => strip_expr(e),
+        Init::List(items) => {
+            for it in items {
+                strip_init(it);
+            }
+        }
+    }
+}
+
+fn strip_expr(e: &mut Expr) {
+    e.id = NodeId(0);
+    e.span = Span::point(0);
+    e.ty = None;
+    match &mut e.kind {
+        ExprKind::IntLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::Ident(_)
+        | ExprKind::SizeofType(_) => {}
+        ExprKind::Unary(_, inner)
+        | ExprKind::Deref(inner)
+        | ExprKind::AddrOf(inner)
+        | ExprKind::Cast(_, inner)
+        | ExprKind::SizeofExpr(inner)
+        | ExprKind::IncDec { target: inner, .. }
+        | ExprKind::Member { obj: inner, .. } => strip_expr(inner),
+        ExprKind::Binary(_, l, r)
+        | ExprKind::Comma(l, r)
+        | ExprKind::Assign { lhs: l, rhs: r, .. }
+        | ExprKind::Index(l, r)
+        | ExprKind::CheckSame { value: l, base: r } => {
+            strip_expr(l);
+            strip_expr(r);
+        }
+        ExprKind::Cond(c, t, f) => {
+            strip_expr(c);
+            strip_expr(t);
+            strip_expr(f);
+        }
+        ExprKind::Call(callee, args) => {
+            strip_expr(callee);
+            for a in args {
+                strip_expr(a);
+            }
+        }
+        ExprKind::KeepLive { value, base } => {
+            strip_expr(value);
+            if let Some(b) = base {
+                strip_expr(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn two_parses_of_equivalent_source_normalize_equal() {
+        let a = parse("int f(int x) { return x + 1; }").unwrap();
+        // Different whitespace → different spans, same structure.
+        let b = parse("int f( int x )\n{\n    return x + 1;\n}").unwrap();
+        assert_ne!(a, b, "raw parses carry positions");
+        assert_eq!(normalize_program(&a), normalize_program(&b));
+    }
+
+    #[test]
+    fn structural_differences_survive_normalization() {
+        let a = parse("int f(void) { return 1; }").unwrap();
+        let b = parse("int f(void) { return 2; }").unwrap();
+        assert_ne!(normalize_program(&a), normalize_program(&b));
+    }
+}

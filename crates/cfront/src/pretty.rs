@@ -90,6 +90,25 @@ impl Printer<'_> {
         self.out.push_str(&rendered);
     }
 
+    /// Prints declarators that share one base-type spelling as a single
+    /// declaration: `base d1 = e1, d2, …` (no trailing `;`).
+    fn decl_run(&mut self, decls: &[LocalDecl]) {
+        for (i, d) in decls.iter().enumerate() {
+            let (base, declarator) = render_decl_parts(&d.ty, &d.name, self.types);
+            if i == 0 {
+                self.out.push_str(&base);
+                self.out.push(' ');
+            } else {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&declarator);
+            if let Some(init) = &d.init {
+                self.out.push_str(" = ");
+                self.expr(init, 2);
+            }
+        }
+    }
+
     fn global(&mut self, g: &GlobalDecl) {
         self.decl(&g.ty, &g.name);
         if let Some(init) = &g.init {
@@ -166,14 +185,22 @@ impl Printer<'_> {
                 self.out.push_str(";\n");
             }
             Stmt::Decl(decls) => {
-                for d in decls {
+                // One parsed declaration statement keeps its declarators in
+                // one `Stmt::Decl`; print them back as one statement
+                // (`long i = 0, *p;`) so the round-trip preserves the
+                // grouping. Runs of differing base spellings (only possible
+                // in hand-built trees) fall into separate statements.
+                let mut i = 0;
+                while i < decls.len() {
+                    let (base, _) = render_decl_parts(&decls[i].ty, &decls[i].name, self.types);
+                    let run = decls[i..]
+                        .iter()
+                        .take_while(|d| render_decl_parts(&d.ty, &d.name, self.types).0 == base)
+                        .count();
                     self.pad();
-                    self.decl(&d.ty, &d.name);
-                    if let Some(init) = &d.init {
-                        self.out.push_str(" = ");
-                        self.expr(init, 2);
-                    }
+                    self.decl_run(&decls[i..i + run]);
                     self.out.push_str(";\n");
+                    i += run;
                 }
             }
             Stmt::Block(b) => {
@@ -185,8 +212,19 @@ impl Printer<'_> {
                 self.pad();
                 self.out.push_str("if (");
                 self.expr(c, 0);
-                self.out.push_str(")\n");
-                self.indented(t);
+                if e.is_some() && swallows_else(t) {
+                    // Dangling else: an unbraced then-branch ending in an
+                    // else-less `if` would capture our `else` on reparse.
+                    self.out.push_str(") {\n");
+                    self.indent += 1;
+                    self.stmt(t);
+                    self.indent -= 1;
+                    self.pad();
+                    self.out.push_str("}\n");
+                } else {
+                    self.out.push_str(")\n");
+                    self.indented(t);
+                }
                 if let Some(e) = e {
                     self.pad();
                     self.out.push_str("else\n");
@@ -223,16 +261,9 @@ impl Printer<'_> {
                         self.out.push_str("; ");
                     }
                     Some(Stmt::Decl(decls)) => {
-                        for (i, d) in decls.iter().enumerate() {
-                            if i > 0 {
-                                self.out.push_str(", ");
-                            }
-                            self.decl(&d.ty, &d.name);
-                            if let Some(init) = &d.init {
-                                self.out.push_str(" = ");
-                                self.expr(init, 2);
-                            }
-                        }
+                        // A for-init is a single declaration: the base type
+                        // is spelled once, declarators follow comma-separated.
+                        self.decl_run(decls);
                         self.out.push_str("; ");
                     }
                     _ => self.out.push_str("; "),
@@ -319,6 +350,13 @@ impl Printer<'_> {
                         '"' => self.out.push_str("\\\""),
                         '\\' => self.out.push_str("\\\\"),
                         '\0' => self.out.push_str("\\0"),
+                        // The lexer's remaining named escapes: without
+                        // these, \a \b \f \v round-tripped as raw control
+                        // bytes.
+                        '\x07' => self.out.push_str("\\a"),
+                        '\x08' => self.out.push_str("\\b"),
+                        '\x0C' => self.out.push_str("\\f"),
+                        '\x0B' => self.out.push_str("\\v"),
                         c => self.out.push(c),
                     }
                 }
@@ -327,10 +365,32 @@ impl Printer<'_> {
             ExprKind::Ident(name) => self.out.push_str(name),
             ExprKind::Unary(op, inner) => {
                 self.out.push_str(op.as_str());
-                // Guard `- -x` and `+ +x`.
-                if matches!(op, UnOp::Neg | UnOp::Plus)
-                    && matches!(inner.kind, ExprKind::Unary(UnOp::Neg | UnOp::Plus, _))
-                {
+                // Guard token gluing: `- -x` / `+ +x` (sign pairs), `- --x`
+                // / `+ ++x` (prefix steps), and `- -5` (a directly-built
+                // negative literal) would otherwise lex as `--` / `++`.
+                let glues = match op {
+                    UnOp::Neg => match &inner.kind {
+                        ExprKind::Unary(UnOp::Neg | UnOp::Plus, _) => true,
+                        ExprKind::IncDec {
+                            pre: true,
+                            inc: false,
+                            ..
+                        } => true,
+                        ExprKind::IntLit(v) => *v < 0,
+                        _ => false,
+                    },
+                    UnOp::Plus => matches!(
+                        inner.kind,
+                        ExprKind::Unary(UnOp::Neg | UnOp::Plus, _)
+                            | ExprKind::IncDec {
+                                pre: true,
+                                inc: true,
+                                ..
+                            }
+                    ),
+                    _ => false,
+                };
+                if glues {
                     self.out.push(' ');
                 }
                 self.expr(inner, 14);
@@ -341,6 +401,10 @@ impl Printer<'_> {
             }
             ExprKind::AddrOf(inner) => {
                 self.out.push('&');
+                // `&&` would lex as logical-and.
+                if matches!(inner.kind, ExprKind::AddrOf(_)) {
+                    self.out.push(' ');
+                }
                 self.expr(inner, 14);
             }
             ExprKind::Binary(op, l, r) => {
@@ -399,7 +463,14 @@ impl Printer<'_> {
                 self.out.push(']');
             }
             ExprKind::Member { obj, field, arrow } => {
-                self.expr(obj, 15);
+                // `587.x` would lex as a floating-point literal: a dot
+                // directly after an integer literal needs parentheses.
+                let min = if !arrow && matches!(obj.kind, ExprKind::IntLit(_)) {
+                    16
+                } else {
+                    15
+                };
+                self.expr(obj, min);
                 self.out.push_str(if *arrow { "->" } else { "." });
                 self.out.push_str(field);
             }
@@ -416,7 +487,14 @@ impl Printer<'_> {
             }
             ExprKind::SizeofExpr(inner) => {
                 self.out.push_str("sizeof ");
-                self.expr(inner, 14);
+                // `sizeof (int)x` lexes as sizeof(type) followed by a stray
+                // token; a cast operand needs explicit parentheses.
+                let min = if matches!(inner.kind, ExprKind::Cast(..)) {
+                    15
+                } else {
+                    14
+                };
+                self.expr(inner, min);
             }
             ExprKind::KeepLive { value, base } => {
                 self.out.push_str("KEEP_LIVE(");
@@ -442,6 +520,18 @@ impl Printer<'_> {
     }
 }
 
+/// Whether `s`, printed unbraced directly before an `else`, would end in
+/// an else-less `if` that captures it (the dangling-else ambiguity).
+fn swallows_else(s: &Stmt) -> bool {
+    match s {
+        Stmt::If(_, _, None) => true,
+        Stmt::If(_, _, Some(e)) => swallows_else(e),
+        Stmt::While(_, b) | Stmt::Switch(_, b) => swallows_else(b),
+        Stmt::For { body, .. } => swallows_else(body),
+        _ => false,
+    }
+}
+
 fn expr_prec(e: &Expr) -> u8 {
     match &e.kind {
         ExprKind::Comma(..) => 0,
@@ -453,6 +543,10 @@ fn expr_prec(e: &Expr) -> u8 {
         | ExprKind::AddrOf(..)
         | ExprKind::Cast(..)
         | ExprKind::SizeofExpr(..)
+        // `sizeof(type)` is a unary expression: a postfix operator glued
+        // onto it (`sizeof(int).x`) re-lexes as sizeof-of-type followed by
+        // a stray token, so it must parenthesize in postfix contexts.
+        | ExprKind::SizeofType(..)
         | ExprKind::IncDec { pre: true, .. } => 14,
         _ => 15,
     }
@@ -476,6 +570,18 @@ fn bin_prec(op: BinOp) -> u8 {
 
 /// Renders a C declaration of `name` with type `ty` (no trailing `;`).
 pub fn render_decl(ty: &Type, name: &str, types: &TypeTable) -> String {
+    let (base, decl) = render_decl_parts(ty, name, types);
+    if decl.is_empty() {
+        base
+    } else {
+        format!("{base} {decl}")
+    }
+}
+
+/// Splits a declaration into its base-type spelling and the declarator
+/// (`long *v[4]` → `("long", "*v[4]")`), so several declarators sharing one
+/// base can be printed as a single comma-separated declaration.
+pub fn render_decl_parts(ty: &Type, name: &str, types: &TypeTable) -> (String, String) {
     // Classic inside-out rendering.
     fn inner(ty: &Type, acc: String, types: &TypeTable) -> (String, String) {
         match ty {
@@ -517,12 +623,7 @@ pub fn render_decl(ty: &Type, name: &str, types: &TypeTable) -> String {
             base => (base.display(types).to_string(), acc),
         }
     }
-    let (base, decl) = inner(ty, name.to_string(), types);
-    if decl.is_empty() {
-        base
-    } else {
-        format!("{base} {decl}")
-    }
+    inner(ty, name.to_string(), types)
 }
 
 #[cfg(test)]

@@ -1,0 +1,428 @@
+//! Property test: `parse(pretty(ast))` must equal `ast` structurally for
+//! every tree the random generator can build — the grammar the fuzzer's
+//! program generator emits. The delta-debugging minimizer depends on this:
+//! it edits parsed trees and re-renders them with the pretty-printer, so
+//! any print/parse disagreement would corrupt a reproducer mid-shrink.
+//!
+//! The generator stays inside the parser-producible AST surface: no
+//! negative integer literals (the parser builds `Unary(Neg, lit)`), no
+//! `KeepLive`/`CheckSame` nodes (annotator-only), no array-typed
+//! parameters (the parser decays them to pointers).
+//!
+//! Offline container: randomness is the same inline xorshift64* the rest
+//! of the suite uses, not an external crate.
+
+use cfront::ast::*;
+use cfront::pretty::{expr_to_c, program_to_c};
+use cfront::span::Span;
+use cfront::types::{Type, TypeTable};
+use cfront::{normalize_expr, normalize_program, parse, parse_expr};
+
+/// xorshift64* (see tests/common/mod.rs at the workspace root).
+struct Rng(u64);
+
+impl Rng {
+    fn for_case(label: &str, case: u64) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let seed = h ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        Rng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+const NAMES: &[&str] = &["a", "b", "c", "i", "n", "p", "q", "v"];
+const FIELDS: &[&str] = &["x", "y", "next"];
+
+fn e(kind: ExprKind) -> Expr {
+    Expr::new(NodeId(0), Span::point(0), kind)
+}
+
+fn ident(rng: &mut Rng) -> Expr {
+    e(ExprKind::Ident(NAMES[rng.index(NAMES.len())].to_string()))
+}
+
+fn gen_type(rng: &mut Rng, depth: u32) -> Type {
+    match rng.index(if depth == 0 { 3 } else { 5 }) {
+        0 => Type::Int,
+        1 => Type::Long,
+        2 => Type::Char,
+        3 => gen_type(rng, depth - 1).ptr_to(),
+        _ => Type::Array(Box::new(gen_type(rng, depth - 1)), Some(1 + rng.below(8))),
+    }
+}
+
+/// A type valid in casts and `sizeof(type)`: scalars and pointers only.
+fn gen_scalar_type(rng: &mut Rng, depth: u32) -> Type {
+    match rng.index(if depth == 0 { 3 } else { 4 }) {
+        0 => Type::Int,
+        1 => Type::Long,
+        2 => Type::Char,
+        _ => gen_scalar_type(rng, depth - 1).ptr_to(),
+    }
+}
+
+fn gen_str(rng: &mut Rng) -> String {
+    // Everything the lexer can represent: printable ASCII plus the named
+    // escape set (the raw control bytes \a \b \f \v and friends).
+    const POOL: &[char] = &[
+        'a', 'z', 'Z', '0', '9', ' ', '!', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-',
+        '.', '/', ':', ';', '<', '=', '>', '?', '[', ']', '^', '_', '{', '|', '}', '~', '"', '\\',
+        '\n', '\t', '\r', '\0', '\x07', '\x08', '\x0B', '\x0C',
+    ];
+    let len = rng.index(8);
+    (0..len).map(|_| POOL[rng.index(POOL.len())]).collect()
+}
+
+const COMPOUND_OPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
+
+const BIN_OPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Lt,
+    BinOp::Gt,
+    BinOp::Le,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+    BinOp::LogAnd,
+    BinOp::LogOr,
+];
+
+const UN_OPS: &[UnOp] = &[UnOp::Neg, UnOp::Not, UnOp::BitNot, UnOp::Plus];
+
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 {
+        return match rng.index(3) {
+            0 => e(ExprKind::IntLit(rng.below(1000) as i64)),
+            1 => e(ExprKind::StrLit(gen_str(rng))),
+            _ => ident(rng),
+        };
+    }
+    let d = depth - 1;
+    match rng.index(16) {
+        0 => e(ExprKind::IntLit(rng.below(1000) as i64)),
+        1 => ident(rng),
+        2 => e(ExprKind::Unary(
+            UN_OPS[rng.index(UN_OPS.len())],
+            Box::new(gen_expr(rng, d)),
+        )),
+        3 => e(ExprKind::Deref(Box::new(gen_expr(rng, d)))),
+        4 => e(ExprKind::AddrOf(Box::new(gen_expr(rng, d)))),
+        5 => e(ExprKind::Binary(
+            BIN_OPS[rng.index(BIN_OPS.len())],
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        )),
+        6 => e(ExprKind::Assign {
+            op: if rng.chance(1, 2) {
+                Some(COMPOUND_OPS[rng.index(COMPOUND_OPS.len())])
+            } else {
+                None
+            },
+            lhs: Box::new(gen_expr(rng, d)),
+            rhs: Box::new(gen_expr(rng, d)),
+        }),
+        7 => e(ExprKind::IncDec {
+            inc: rng.chance(1, 2),
+            pre: rng.chance(1, 2),
+            target: Box::new(gen_expr(rng, d)),
+        }),
+        8 => e(ExprKind::Cond(
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        )),
+        9 => e(ExprKind::Comma(
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        )),
+        10 => {
+            let argc = rng.index(3);
+            e(ExprKind::Call(
+                Box::new(ident(rng)),
+                (0..argc).map(|_| gen_expr(rng, d)).collect(),
+            ))
+        }
+        11 => e(ExprKind::Index(
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        )),
+        12 => e(ExprKind::Member {
+            obj: Box::new(gen_expr(rng, d)),
+            field: FIELDS[rng.index(FIELDS.len())].to_string(),
+            arrow: rng.chance(1, 2),
+        }),
+        13 => e(ExprKind::Cast(
+            gen_scalar_type(rng, 2),
+            Box::new(gen_expr(rng, d)),
+        )),
+        14 => e(ExprKind::SizeofType(gen_scalar_type(rng, 2))),
+        _ => e(ExprKind::SizeofExpr(Box::new(gen_expr(rng, d)))),
+    }
+}
+
+fn gen_local(rng: &mut Rng, base: &Type) -> LocalDecl {
+    // Declarators in one statement share the base type but may decorate it.
+    let ty = match rng.index(4) {
+        0 | 1 => base.clone(),
+        2 => base.clone().ptr_to(),
+        _ => Type::Array(Box::new(base.clone()), Some(1 + rng.below(8))),
+    };
+    LocalDecl {
+        id: NodeId(0),
+        name: NAMES[rng.index(NAMES.len())].to_string(),
+        ty,
+        init: rng.chance(1, 2).then(|| gen_expr(rng, 2)),
+        span: Span::point(0),
+    }
+}
+
+fn gen_decl(rng: &mut Rng) -> Stmt {
+    let base = match rng.index(3) {
+        0 => Type::Int,
+        1 => Type::Long,
+        _ => Type::Char,
+    };
+    let n = 1 + rng.index(3);
+    Stmt::Decl((0..n).map(|_| gen_local(rng, &base)).collect())
+}
+
+fn gen_block(rng: &mut Rng, depth: u32) -> Block {
+    let n = rng.index(4);
+    Block {
+        stmts: (0..n).map(|_| gen_stmt(rng, depth)).collect(),
+        span: Span::point(0),
+    }
+}
+
+fn gen_stmt(rng: &mut Rng, depth: u32) -> Stmt {
+    if depth == 0 {
+        return match rng.index(5) {
+            0 => Stmt::Expr(gen_expr(rng, 2)),
+            1 => gen_decl(rng),
+            2 => Stmt::Return(rng.chance(1, 2).then(|| gen_expr(rng, 2))),
+            3 => Stmt::Empty,
+            _ => Stmt::Break,
+        };
+    }
+    let d = depth - 1;
+    match rng.index(10) {
+        0 => Stmt::Expr(gen_expr(rng, 3)),
+        1 => gen_decl(rng),
+        2 => Stmt::Block(gen_block(rng, d)),
+        3 => {
+            let els = rng.chance(1, 2).then(|| Box::new(gen_stmt(rng, d)));
+            let mut then = gen_stmt(rng, d);
+            // The parser can never produce an if-with-else whose unbraced
+            // then-branch ends in an else-less if (the else would have
+            // bound inward), so the generator braces those, exactly as the
+            // printer does.
+            if els.is_some() && swallows_else(&then) {
+                then = Stmt::Block(Block {
+                    stmts: vec![then],
+                    span: Span::point(0),
+                });
+            }
+            Stmt::If(gen_expr(rng, 2), Box::new(then), els)
+        }
+        4 => Stmt::While(gen_expr(rng, 2), Box::new(gen_stmt(rng, d))),
+        5 => Stmt::DoWhile(Box::new(gen_stmt(rng, d)), gen_expr(rng, 2)),
+        6 => {
+            let init = match rng.index(3) {
+                0 => None,
+                1 => Some(Box::new(Stmt::Expr(gen_expr(rng, 2)))),
+                _ => Some(Box::new(gen_decl(rng))),
+            };
+            Stmt::For {
+                init,
+                cond: rng.chance(2, 3).then(|| gen_expr(rng, 2)),
+                step: rng.chance(2, 3).then(|| gen_expr(rng, 2)),
+                body: Box::new(gen_stmt(rng, d)),
+            }
+        }
+        7 => {
+            // A switch body: cases and defaults interleaved with plain
+            // statements, the only place the markers are meaningful.
+            let n = 1 + rng.index(4);
+            let mut stmts = Vec::new();
+            for _ in 0..n {
+                match rng.index(4) {
+                    0 => stmts.push(Stmt::Case(rng.below(20) as i64 - 10)),
+                    1 => stmts.push(Stmt::Default),
+                    2 => stmts.push(Stmt::Break),
+                    _ => stmts.push(gen_stmt(rng, d.min(1))),
+                }
+            }
+            Stmt::Switch(
+                gen_expr(rng, 2),
+                Box::new(Stmt::Block(Block {
+                    stmts,
+                    span: Span::point(0),
+                })),
+            )
+        }
+        8 => Stmt::Return(rng.chance(1, 2).then(|| gen_expr(rng, 2))),
+        _ => Stmt::Continue,
+    }
+}
+
+/// Mirrors the printer's dangling-else test (see `pretty::swallows_else`).
+fn swallows_else(s: &Stmt) -> bool {
+    match s {
+        Stmt::If(_, _, None) => true,
+        Stmt::If(_, _, Some(e)) => swallows_else(e),
+        Stmt::While(_, b) | Stmt::Switch(_, b) => swallows_else(b),
+        Stmt::For { body, .. } => swallows_else(body),
+        _ => false,
+    }
+}
+
+fn gen_program(rng: &mut Rng) -> Program {
+    let mut prog = Program::default();
+    for name in NAMES.iter().take(rng.index(4)) {
+        let ty = gen_type(rng, 2);
+        let init = matches!(ty, Type::Int | Type::Long | Type::Char)
+            .then(|| Init::Scalar(e(ExprKind::IntLit(rng.below(100) as i64))));
+        prog.globals.push(GlobalDecl {
+            id: NodeId(0),
+            name: name.to_string(),
+            ty,
+            init: if rng.chance(1, 2) { init } else { None },
+            span: Span::point(0),
+        });
+    }
+    let nfuncs = 1 + rng.index(3);
+    for fi in 0..nfuncs {
+        let nparams = rng.index(3);
+        let body = if rng.chance(5, 6) {
+            Some(gen_block(rng, 3))
+        } else {
+            None // prototype
+        };
+        prog.funcs.push(FuncDef {
+            name: format!("f{fi}"),
+            ret: if rng.chance(1, 4) {
+                Type::Void
+            } else {
+                gen_scalar_type(rng, 2)
+            },
+            params: (0..nparams)
+                .map(|pi| Param {
+                    id: NodeId(0),
+                    // The parser keeps parameter names only for
+                    // definitions; prototypes carry unnamed params.
+                    name: if body.is_some() {
+                        format!("p{pi}")
+                    } else {
+                        String::new()
+                    },
+                    ty: gen_scalar_type(rng, 2),
+                    span: Span::point(0),
+                })
+                .collect(),
+            varargs: false,
+            body,
+            span: Span::point(0),
+        });
+    }
+    prog
+}
+
+#[test]
+fn random_expressions_roundtrip_structurally() {
+    let types = TypeTable::new();
+    for case in 0..400 {
+        let mut rng = Rng::for_case("expr_roundtrip", case);
+        let ast = gen_expr(&mut rng, 4);
+        let printed = expr_to_c(&ast, &types);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("case {case}: reparse failed for `{printed}`: {err}"));
+        assert_eq!(
+            normalize_expr(&reparsed),
+            ast,
+            "case {case}: `{printed}` reparsed differently"
+        );
+    }
+}
+
+#[test]
+fn random_programs_roundtrip_structurally() {
+    for case in 0..200 {
+        let mut rng = Rng::for_case("program_roundtrip", case);
+        let ast = gen_program(&mut rng);
+        let printed = program_to_c(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("case {case}: reparse failed for:\n{printed}\n{err}"));
+        assert_eq!(
+            normalize_program(&reparsed),
+            ast,
+            "case {case}: program reparsed differently:\n{printed}"
+        );
+    }
+}
+
+#[test]
+fn parsed_source_roundtrips_through_the_printer() {
+    // Source-level fixpoint: parse → print → parse must be stable for
+    // hand-written programs exercising the printer's corner cases.
+    let sources = [
+        "int f(void) { long i = 0, *p, v[4]; for (long j = 0, k = 9; j < k; j++) i += j; return (int)i; }",
+        "int g(int x) { return sizeof ((long)x) + sizeof(long) + sizeof x; }",
+        "int h(int *p) { int **q = &p; return *p + - -5[q == &p ? p : *q]; }",
+        "char s(void) { char *m = \"a\\tb\\\"c\\\\d\\a\\b\\f\\v\\0e\"; return m[2]; }",
+        "int sw(int v) { switch (v) { case -1: return 0; case 3: break; default: v++; } return v; }",
+    ];
+    for src in sources {
+        let first = parse(src).unwrap_or_else(|err| panic!("{src}: {err}"));
+        let printed = program_to_c(&first);
+        let second = parse(&printed).unwrap_or_else(|err| panic!("reparse of:\n{printed}\n{err}"));
+        assert_eq!(
+            normalize_program(&first),
+            normalize_program(&second),
+            "print/parse not a fixpoint for:\n{printed}"
+        );
+    }
+}

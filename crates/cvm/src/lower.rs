@@ -473,7 +473,15 @@ impl<'a, 'b> FuncCx<'a, 'b> {
     fn stmt(&mut self, s: &Stmt) -> LResult<()> {
         match s {
             Stmt::Expr(e) => {
-                self.expr(e)?;
+                // A statement-position call discards its result: lower it
+                // with no destination, so a callee that legally returns no
+                // value (e.g. `return;` on one path) stays runnable — the
+                // VM rejects value-less returns only when a caller uses one.
+                if let ExprKind::Call(callee, args) = &e.kind {
+                    self.lower_call(e, callee, args, &Type::Void)?;
+                } else {
+                    self.expr(e)?;
+                }
                 Ok(())
             }
             Stmt::Decl(decls) => {

@@ -142,6 +142,12 @@ pub enum VmError {
         /// The object base it points into.
         base: u64,
     },
+    /// A caller expected a value but the callee returned without one
+    /// (`return;` or fall-through in a function whose result is used).
+    MissingReturn {
+        /// The callee that produced no value.
+        func: String,
+    },
     /// Malformed program (bad function pointer, missing target, …).
     Malformed(String),
 }
@@ -165,6 +171,9 @@ impl fmt::Display for VmError {
                 f,
                 "interior pointer {value:#x} (base {base:#x}) stored to collector-visible memory in '{func}' under base-only policy"
             ),
+            VmError::MissingReturn { func } => {
+                write!(f, "'{func}' returned no value but its caller uses one")
+            }
             VmError::Malformed(m) => write!(f, "malformed program: {m}"),
         }
     }
@@ -285,18 +294,27 @@ impl<'a> Vm<'a> {
         Ok(())
     }
 
-    fn pop_frame(&mut self, ret: Option<i64>) {
+    fn pop_frame(&mut self, ret: Option<i64>) -> Result<(), VmError> {
         let frame = self.frames.pop().expect("pop with no frame");
         let f = &self.prog.funcs[frame.func];
         self.sp += f.frame_size as u64;
         if let Some(caller) = self.frames.last_mut() {
             if let Some(dst) = frame.dst_in_caller {
-                caller.temps[dst.0 as usize] = ret.unwrap_or(0);
+                // A caller-visible destination with no returned value would
+                // silently become 0 — refuse, so miscompilations that drop
+                // a return path surface instead of masking divergence.
+                let Some(v) = ret else {
+                    return Err(VmError::MissingReturn {
+                        func: f.name.clone(),
+                    });
+                };
+                caller.temps[dst.0 as usize] = v;
             }
             caller.ip += 1; // resume after the call
         } else {
             self.exit = Some(ret.unwrap_or(0));
         }
+        Ok(())
     }
 
     fn run(mut self) -> Result<ExecOutcome, VmError> {
@@ -451,7 +469,7 @@ impl<'a> Vm<'a> {
             }
             Instr::Ret { value } => {
                 let v = value.map(|o| self.operand(o));
-                self.pop_frame(v);
+                self.pop_frame(v)?;
             }
             Instr::Jump { target } => self.goto(target),
             Instr::Branch {
@@ -761,6 +779,37 @@ mod vm_behavior_tests {
     fn run_err(src: &str) -> VmError {
         compile_and_run(src, &CompileOptions::optimized(), &VmOptions::default())
             .expect_err("must fail")
+    }
+
+    #[test]
+    fn using_the_result_of_a_valueless_return_is_an_error() {
+        // `return;` in a non-void function is accepted by the front end
+        // (ANSI C does), but a caller that *uses* the result must not get
+        // a silent 0 — that would mask real miscompilations from the
+        // differential oracle.
+        let src = r#"
+            int f(int x) {
+                if (x > 0) return;
+                return 7;
+            }
+            int main(void) { return f(1); }
+        "#;
+        match run_err(src) {
+            VmError::MissingReturn { func } => assert_eq!(func, "f"),
+            other => panic!("expected MissingReturn, got {other}"),
+        }
+    }
+
+    #[test]
+    fn valueless_return_is_fine_when_the_result_is_unused() {
+        let src = r#"
+            int f(int x) {
+                if (x > 0) return;
+                return 7;
+            }
+            int main(void) { f(1); return 4; }
+        "#;
+        assert_eq!(run(src, b"").exit_code, 4);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Delta-debugging minimizer over the cfront AST.
+//!
+//! Given a divergent program and a predicate ("still shows the bug"),
+//! the minimizer repeatedly applies the smallest structural edits that
+//! keep the predicate true, always working on *parsed* trees and
+//! re-rendering candidates through the pretty-printer — so the
+//! `parse(pretty(ast)) == ast` round-trip property (see
+//! `cfront::normalize` and the property test in cfront) is what makes
+//! shrinking sound. Candidate edits, in deterministic order:
+//!
+//! 1. remove a non-`main` function;
+//! 2. remove a global;
+//! 3. remove a statement from a block (recursively);
+//! 4. drop an `else` branch;
+//! 5. hollow out a nested statement (replace with `;`).
+//!
+//! Every accepted edit strictly shrinks the tree, so the greedy
+//! fixpoint loop terminates.
+
+use cfront::ast::{Block, Program, Stmt};
+use cfront::pretty::program_to_c;
+
+/// Shrinks `source` while `interesting` stays true. Returns the
+/// smallest rendering found; if `source` does not parse, or its
+/// pretty-printed form is no longer interesting, returns the input
+/// unchanged.
+pub fn minimize(source: &str, interesting: &mut dyn FnMut(&str) -> bool) -> String {
+    let Ok(mut prog) = cfront::parse(source) else {
+        return source.to_string();
+    };
+    let mut cur = program_to_c(&prog);
+    if !interesting(&cur) {
+        return source.to_string();
+    }
+    loop {
+        let mut adopted = false;
+        let mut n = 0;
+        while let Some(cand) = nth_edit(&prog, n) {
+            let rendered = program_to_c(&cand);
+            if interesting(&rendered) {
+                prog = cand;
+                cur = rendered;
+                adopted = true;
+                break;
+            }
+            n += 1;
+        }
+        if !adopted {
+            return cur;
+        }
+    }
+}
+
+/// Applies the `n`-th candidate edit to a copy of `prog`, or `None` when
+/// the edit space is exhausted. Enumeration order is fixed, so the
+/// minimizer is deterministic.
+fn nth_edit(prog: &Program, n: usize) -> Option<Program> {
+    let mut p = prog.clone();
+    let mut k = n;
+    for fi in 0..p.funcs.len() {
+        if p.funcs[fi].name != "main" {
+            if k == 0 {
+                p.funcs.remove(fi);
+                return Some(p);
+            }
+            k -= 1;
+        }
+    }
+    for gi in 0..p.globals.len() {
+        if k == 0 {
+            p.globals.remove(gi);
+            return Some(p);
+        }
+        k -= 1;
+    }
+    for f in &mut p.funcs {
+        if let Some(body) = &mut f.body {
+            if edit_block(body, &mut k) {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// Direct children first (removal shrinks the list), then recursion.
+fn edit_block(b: &mut Block, k: &mut usize) -> bool {
+    for i in 0..b.stmts.len() {
+        if *k == 0 {
+            b.stmts.remove(i);
+            return true;
+        }
+        *k -= 1;
+    }
+    for s in &mut b.stmts {
+        if edit_stmt(s, k) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Offers hollowing a non-empty nested statement, dropping `else`
+/// branches, and recursing into compound bodies.
+fn edit_stmt(s: &mut Stmt, k: &mut usize) -> bool {
+    match s {
+        Stmt::Block(b) => edit_block(b, k),
+        Stmt::If(_, t, e) => {
+            if e.is_some() {
+                if *k == 0 {
+                    *e = None;
+                    return true;
+                }
+                *k -= 1;
+            }
+            if hollow(t, k) || edit_stmt(t, k) {
+                return true;
+            }
+            match e {
+                Some(e) => hollow(e, k) || edit_stmt(e, k),
+                None => false,
+            }
+        }
+        Stmt::While(_, body) | Stmt::DoWhile(body, _) | Stmt::Switch(_, body) => {
+            hollow(body, k) || edit_stmt(body, k)
+        }
+        Stmt::For { body, .. } => hollow(body, k) || edit_stmt(body, k),
+        _ => false,
+    }
+}
+
+fn hollow(s: &mut Stmt, k: &mut usize) -> bool {
+    if !matches!(s, Stmt::Empty) {
+        if *k == 0 {
+            *s = Stmt::Empty;
+            return true;
+        }
+        *k -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_statements_the_predicate_needs() {
+        // "Interesting" = the program still prints 7. Everything else —
+        // the dead helper, the global, the noise statements — must go.
+        let src = r#"
+            long unused_helper(long x) { return x * 2; }
+            long g;
+            int main(void) {
+                long noise;
+                noise = 3;
+                noise = noise + 1;
+                putint(7);
+                if (noise > 100) { putint(9); } else { noise = 0; }
+                return 0;
+            }
+        "#;
+        let mut pred = |s: &str| match cvm::compile_and_run(
+            s,
+            &cvm::CompileOptions::optimized(),
+            &cvm::VmOptions::default(),
+        ) {
+            Ok(r) => r.output == b"7",
+            Err(_) => false,
+        };
+        assert!(pred(src), "original is interesting");
+        let small = minimize(src, &mut pred);
+        assert!(pred(&small), "minimized form still interesting");
+        assert!(
+            !small.contains("unused_helper") && !small.contains("noise"),
+            "dead code removed:\n{small}"
+        );
+        assert!(small.len() < src.len(), "actually smaller");
+        cfront::parse(&small).expect("minimized form parses");
+    }
+
+    #[test]
+    fn uninteresting_input_is_returned_unchanged() {
+        let src = "int main(void) { return 0; }";
+        let mut pred = |_: &str| false;
+        assert_eq!(minimize(src, &mut pred), src);
+    }
+}

@@ -1,0 +1,271 @@
+//! The differential mode-agreement oracle.
+//!
+//! One generated program, five builds (`Mode::all()`), one verdict. For
+//! every mode the oracle checks:
+//!
+//! * the build succeeds, and — for annotated builds — the static
+//!   safety verifier reports zero violations;
+//! * the program runs to completion (generated programs are ANSI-legal
+//!   and bounded, so *any* runtime error is a finding);
+//! * two runs produce identical exit code, output, and per-block
+//!   execution profile (the VM must be deterministic per mode; block
+//!   profiles are not comparable *across* modes, where the IR differs);
+//! * for the safe modes, a paranoid run — a collection at every
+//!   allocation (`gc_threshold: 1`) — still succeeds with the same exit
+//!   code and output. This is the shadow-reachability check: a
+//!   source-reachable object that gets collected surfaces as a
+//!   `UseAfterFree` or a wrong answer. `-O` is exempt by design — the
+//!   paper's point is that it has no such guarantee.
+//!
+//! Finally all five `(exit, output)` pairs must agree with the `-O`
+//! baseline.
+
+use gc_safety::Mode;
+use gcheap::HeapConfig;
+use std::fmt;
+
+/// Instruction budget per run: generated programs finish in well under
+/// a million steps, so hitting this means a runaway (itself a finding).
+pub const MAX_STEPS: u64 = 50_000_000;
+
+/// One way a program can fail the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Compilation failed in one mode.
+    Build {
+        /// Failing mode.
+        mode: Mode,
+        /// Rendered compiler error.
+        error: String,
+    },
+    /// The static safety verifier flagged an annotated build.
+    Verifier {
+        /// Failing mode.
+        mode: Mode,
+        /// Number of violations.
+        count: usize,
+        /// Rendered first violation.
+        first: String,
+    },
+    /// A run under the default collector failed.
+    Run {
+        /// Failing mode.
+        mode: Mode,
+        /// Rendered `VmError`.
+        error: String,
+    },
+    /// Two identical runs disagreed (exit, output, or block profile).
+    Nondeterministic {
+        /// Offending mode.
+        mode: Mode,
+    },
+    /// Exit code differs from the `-O` baseline.
+    Exit {
+        /// Disagreeing mode.
+        mode: Mode,
+        /// Its exit code.
+        got: i64,
+        /// The baseline's exit code.
+        want: i64,
+    },
+    /// Output bytes differ from the `-O` baseline.
+    Output {
+        /// Disagreeing mode.
+        mode: Mode,
+    },
+    /// A safe mode failed under the paranoid collector — some
+    /// source-reachable object was collected.
+    Paranoid {
+        /// Failing safe mode.
+        mode: Mode,
+        /// Rendered `VmError`.
+        error: String,
+    },
+    /// A safe mode survived the paranoid collector but computed a
+    /// different answer.
+    ParanoidDiffers {
+        /// Disagreeing safe mode.
+        mode: Mode,
+    },
+}
+
+impl Divergence {
+    /// A stable label for the divergence class, used to keep the
+    /// minimizer on the *same* bug while it shrinks.
+    pub fn kind(&self) -> (&'static str, Mode) {
+        match *self {
+            Divergence::Build { mode, .. } => ("build", mode),
+            Divergence::Verifier { mode, .. } => ("verifier", mode),
+            Divergence::Run { mode, .. } => ("run", mode),
+            Divergence::Nondeterministic { mode } => ("nondeterministic", mode),
+            Divergence::Exit { mode, .. } => ("exit", mode),
+            Divergence::Output { mode } => ("output", mode),
+            Divergence::Paranoid { mode, .. } => ("paranoid", mode),
+            Divergence::ParanoidDiffers { mode } => ("paranoid-differs", mode),
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Build { mode, error } => {
+                write!(f, "[{}] build failed: {error}", mode.label())
+            }
+            Divergence::Verifier { mode, count, first } => write!(
+                f,
+                "[{}] verifier found {count} violation(s), first: {first}",
+                mode.label()
+            ),
+            Divergence::Run { mode, error } => {
+                write!(f, "[{}] run failed: {error}", mode.label())
+            }
+            Divergence::Nondeterministic { mode } => {
+                write!(f, "[{}] two identical runs disagreed", mode.label())
+            }
+            Divergence::Exit { mode, got, want } => {
+                write!(f, "[{}] exit code {got} != baseline {want}", mode.label())
+            }
+            Divergence::Output { mode } => {
+                write!(f, "[{}] output differs from the -O baseline", mode.label())
+            }
+            Divergence::Paranoid { mode, error } => write!(
+                f,
+                "[{}] paranoid collector run failed: {error}",
+                mode.label()
+            ),
+            Divergence::ParanoidDiffers { mode } => write!(
+                f,
+                "[{}] paranoid collector run computed a different answer",
+                mode.label()
+            ),
+        }
+    }
+}
+
+fn default_vm() -> cvm::VmOptions {
+    cvm::VmOptions {
+        max_steps: MAX_STEPS,
+        ..cvm::VmOptions::default()
+    }
+}
+
+fn paranoid_vm() -> cvm::VmOptions {
+    cvm::VmOptions {
+        heap_config: HeapConfig {
+            gc_threshold: 1,
+            ..HeapConfig::default()
+        },
+        ..default_vm()
+    }
+}
+
+/// Runs the full differential check. `None` means all five modes agree;
+/// `Some` carries the first divergence in deterministic mode order.
+pub fn check(source: &str) -> Option<Divergence> {
+    let mut baseline: Option<(i64, Vec<u8>)> = None;
+    for mode in Mode::all() {
+        let opts = mode.compile_options();
+        let prog = match cvm::compile(source, &opts) {
+            Ok(p) => p,
+            Err(error) => return Some(Divergence::Build { mode, error }),
+        };
+        if opts.annotate.is_some() {
+            let violations = cvm::verify_program(&prog, false);
+            if let Some(v) = violations.first() {
+                return Some(Divergence::Verifier {
+                    mode,
+                    count: violations.len(),
+                    first: v.to_string(),
+                });
+            }
+        }
+        let r1 = match cvm::run_compiled(&prog, &default_vm()) {
+            Ok(r) => r,
+            Err(e) => {
+                return Some(Divergence::Run {
+                    mode,
+                    error: e.to_string(),
+                })
+            }
+        };
+        match cvm::run_compiled(&prog, &default_vm()) {
+            Ok(r2)
+                if r2.exit_code == r1.exit_code
+                    && r2.output == r1.output
+                    && r2.profile.block_counts == r1.profile.block_counts => {}
+            _ => return Some(Divergence::Nondeterministic { mode }),
+        }
+        if mode.is_safe() {
+            match cvm::run_compiled(&prog, &paranoid_vm()) {
+                Ok(rp) if rp.exit_code == r1.exit_code && rp.output == r1.output => {}
+                Ok(_) => return Some(Divergence::ParanoidDiffers { mode }),
+                Err(e) => {
+                    return Some(Divergence::Paranoid {
+                        mode,
+                        error: e.to_string(),
+                    })
+                }
+            }
+        }
+        match &baseline {
+            None => baseline = Some((r1.exit_code, r1.output)),
+            Some((exit, output)) => {
+                if r1.exit_code != *exit {
+                    return Some(Divergence::Exit {
+                        mode,
+                        got: r1.exit_code,
+                        want: *exit,
+                    });
+                }
+                if r1.output != *output {
+                    return Some(Divergence::Output { mode });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_well_behaved_program_passes() {
+        let src = "int main(void) { putint(42); putchar(10); return 42; }";
+        assert_eq!(check(src), None);
+    }
+
+    #[test]
+    fn a_build_error_is_reported_for_the_first_mode() {
+        let d = check("int main(void) { return undeclared; }").expect("diverges");
+        assert_eq!(d.kind(), ("build", Mode::O));
+    }
+
+    #[test]
+    fn a_runtime_error_is_a_finding() {
+        let d = check("int main(void) { abort(); return 0; }").expect("diverges");
+        assert_eq!(d.kind(), ("run", Mode::O));
+    }
+
+    #[test]
+    fn the_paper_hazard_survives_in_safe_modes() {
+        // The displaced-base hazard: the paranoid safe-mode runs are the
+        // shadow-reachability teeth. `-O` is exempt (and would fail).
+        let src = r#"
+            char hazard(char *p) {
+                char *trigger = (char *) malloc(64);
+                long i = (long) trigger[0] + 2000;
+                return p[i - 1000];
+            }
+            int main(void) {
+                char *buf = (char *) malloc(4000);
+                long j;
+                for (j = 0; j < 4000; j++) buf[j] = (char)(j % 50);
+                return hazard(buf);
+            }
+        "#;
+        assert_eq!(check(src), None);
+    }
+}

@@ -115,6 +115,30 @@ impl Memory {
         matches!(self.region_of(addr), Some(Region::Heap))
     }
 
+    /// Validates that the whole `len`-byte range starting at `addr` lies
+    /// inside a single mapped region. Checking the endpoints alone is not
+    /// enough: the regions are discontiguous, so a range whose first byte
+    /// is in one region and last byte in the next straddles an unmapped
+    /// hole even though both endpoints are valid.
+    fn locate_range(&self, addr: u64, len: usize, write: bool) -> MemResult<(Region, usize)> {
+        let fault = MemFault {
+            addr,
+            width: len.min(u32::MAX as usize) as u32,
+            write,
+        };
+        let region = self.region_of(addr).ok_or(fault.clone())?;
+        let (base, region_len) = match region {
+            Region::Globals => (GLOBAL_BASE, self.globals.len()),
+            Region::Stack => (STACK_BASE, self.stack.len()),
+            Region::Heap => (HEAP_BASE, self.heap.len()),
+        };
+        let off = (addr - base) as usize;
+        if off + len > region_len {
+            return Err(fault);
+        }
+        Ok((region, off))
+    }
+
     fn locate(&self, addr: u64, width: u32, write: bool) -> MemResult<(Region, usize)> {
         let region = self
             .region_of(addr)
@@ -189,19 +213,19 @@ impl Memory {
     ///
     /// Returns a [`MemFault`] if either range is invalid.
     pub fn copy(&mut self, dst: u64, src: u64, len: usize) -> MemResult<()> {
-        // Validate both full ranges first.
+        // Validate both full ranges before touching any byte, so a failed
+        // copy leaves memory untouched.
         if len == 0 {
             return Ok(());
         }
-        self.locate(src, 1, false)?;
-        self.locate(src + len as u64 - 1, 1, false)?;
-        self.locate(dst, 1, true)?;
-        self.locate(dst + len as u64 - 1, 1, true)?;
-        let bytes: Vec<u8> = (0..len)
-            .map(|i| self.read(src + i as u64, 1).map(|v| v as u8))
-            .collect::<MemResult<_>>()?;
-        for (i, b) in bytes.into_iter().enumerate() {
-            self.write(dst + i as u64, 1, b as u64)?;
+        let (src_region, src_off) = self.locate_range(src, len, false)?;
+        let (dst_region, dst_off) = self.locate_range(dst, len, true)?;
+        if src_region == dst_region {
+            self.buf_mut(src_region)
+                .copy_within(src_off..src_off + len, dst_off);
+        } else {
+            let bytes = self.buf(src_region)[src_off..src_off + len].to_vec();
+            self.buf_mut(dst_region)[dst_off..dst_off + len].copy_from_slice(&bytes);
         }
         Ok(())
     }
@@ -215,10 +239,8 @@ impl Memory {
         if len == 0 {
             return Ok(());
         }
-        self.locate(addr, 1, true)?;
-        let (region, off) = self.locate(addr + len as u64 - 1, 1, true)?;
-        let start = off + 1 - len;
-        self.buf_mut(region)[start..=off].fill(byte);
+        let (region, off) = self.locate_range(addr, len, true)?;
+        self.buf_mut(region)[off..off + len].fill(byte);
         Ok(())
     }
 
@@ -315,6 +337,57 @@ mod tests {
             .map(|i| m.read(GLOBAL_BASE + i, 1).unwrap())
             .collect();
         assert_eq!(got, vec![1, 2, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn copy_across_a_region_hole_faults_without_mutating() {
+        // A range whose first byte ends the globals region and whose last
+        // byte begins the stack region has valid endpoints but an unmapped
+        // hole in the middle. The endpoint-only validation this test pins
+        // down accepted it and faulted mid-write, leaving the destination
+        // partially mutated.
+        let mut m = Memory::new(4096, 4096, 4096);
+        let hole_src = GLOBAL_BASE + 4096 - 4; // 4 valid bytes, then the hole
+        let len = (STACK_BASE - hole_src) as usize + 4;
+        for i in 0..8u64 {
+            m.write(STACK_BASE + i, 1, 0x55).unwrap();
+        }
+        assert!(m.copy(STACK_BASE, hole_src, len).is_err());
+        for i in 0..8u64 {
+            assert_eq!(m.read(STACK_BASE + i, 1).unwrap(), 0x55, "byte {i} mutated");
+        }
+
+        // Same hole on the destination side: nothing before the hole may
+        // be written either.
+        let hole_dst = GLOBAL_BASE + 4096 - 4;
+        assert!(m.copy(hole_dst, STACK_BASE, len).is_err());
+        for i in 0..4u64 {
+            assert_eq!(m.read(hole_dst + i, 1).unwrap(), 0, "dst byte {i} mutated");
+        }
+    }
+
+    #[test]
+    fn fill_across_a_region_hole_faults_without_mutating() {
+        let mut m = Memory::new(4096, 4096, 4096);
+        let start = GLOBAL_BASE + 4096 - 4;
+        let len = (STACK_BASE - start) as usize + 4;
+        assert!(m.fill(start, 0xEE, len).is_err());
+        for i in 0..4u64 {
+            assert_eq!(m.read(start + i, 1).unwrap(), 0, "byte {i} mutated");
+        }
+        assert_eq!(m.read(STACK_BASE, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn copy_between_regions_still_works() {
+        let mut m = Memory::new(4096, 4096, 4096);
+        for i in 0..16u64 {
+            m.write(HEAP_BASE + i, 1, i + 1).unwrap();
+        }
+        m.copy(GLOBAL_BASE + 100, HEAP_BASE, 16).unwrap();
+        for i in 0..16u64 {
+            assert_eq!(m.read(GLOBAL_BASE + 100 + i, 1).unwrap(), i + 1);
+        }
     }
 
     #[test]

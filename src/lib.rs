@@ -62,6 +62,14 @@ impl Mode {
         }
     }
 
+    /// Whether this mode carries the paper's GC-safety guarantee: a
+    /// source-reachable heap object must never be collected, even under a
+    /// paranoid collector that runs at every allocation. `-O` is the one
+    /// mode without it (disguised pointers may be collected under it).
+    pub fn is_safe(self) -> bool {
+        !matches!(self, Mode::O)
+    }
+
     /// All modes in table order.
     pub fn all() -> [Mode; 5] {
         [
@@ -254,6 +262,14 @@ pub fn measure_workload_mode_traced(
 ) -> Result<Measured, String> {
     let input = (w.input)(scale);
     measure_source_traced(w.source, &input, mode, trace)
+}
+
+/// The default worker count for parallel drivers (the bench matrix,
+/// the fuzzer campaign): the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// The cross-mode output-divergence check: every successful mode must

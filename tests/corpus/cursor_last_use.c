@@ -1,0 +1,32 @@
+/* gcfuzz corpus: cursor_last_use
+ * Pins: last-use pointer arithmetic — the cursor is advanced with
+ * *p++ between allocations, so around the final load the only value
+ * derived from the array may point one past the end. Safe modes must
+ * keep the object alive until that load retires.
+ */
+long walk(long *a, long n) {
+    long *p;
+    long *t;
+    long s;
+    p = a;
+    s = 0;
+    while (n-- > 0) {
+        t = (long *) malloc(16);
+        t[0] = s;
+        s = t[0] + *p++;
+    }
+    return s;
+}
+int main(void) {
+    long *a;
+    long j;
+    long r;
+    a = (long *) malloc(12 * sizeof(long));
+    for (j = 0; j < 12; j = j + 1) {
+        a[j] = j * 7 - 3;
+    }
+    r = walk(a, 12);
+    putint(r);
+    putchar(10);
+    return (int)(r % 256);
+}

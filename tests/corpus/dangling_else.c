@@ -1,0 +1,28 @@
+/* gcfuzz corpus: dangling_else
+ * Pins: the pretty-printer braces a then-branch that would otherwise
+ * swallow the else of its enclosing if, so minimizer output reparses
+ * to the same tree. Replayed through both the differential oracle and
+ * the parse -> print -> parse round-trip in corpus_replay.
+ */
+int main(void) {
+    long x;
+    long y;
+    x = 3;
+    y = 0;
+    if (x > 1) {
+        if (x > 2)
+            y = 1;
+    } else {
+        y = 3;
+    }
+    if (x > 5) {
+        while (x > 0)
+            if (x == 99)
+                y = 4;
+    } else {
+        y = y + 10;
+    }
+    putint(y);
+    putchar(10);
+    return (int)y;
+}

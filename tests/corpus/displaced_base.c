@@ -1,0 +1,22 @@
+/* gcfuzz corpus: displaced_base
+ * Pins: a displaced base (p[i - 1000]) whose only surviving
+ * intermediate points outside the object must stay live across a
+ * collecting allocation in every safe mode. The -O baseline has no
+ * such guarantee — tests/gc_unsafety.rs shows it dying on exactly
+ * this shape under a paranoid collector.
+ */
+char hazard(char *p) {
+    char *trigger = (char *) malloc(64);
+    long i = (long) trigger[0] + 2000;
+    return p[i - 1000];
+}
+int main(void) {
+    char *buf = (char *) malloc(4000);
+    long j;
+    for (j = 0; j < 4000; j = j + 1) {
+        buf[j] = (char)(j % 50);
+    }
+    putint(hazard(buf));
+    putchar(10);
+    return hazard(buf);
+}

@@ -1,0 +1,29 @@
+/* gcfuzz corpus: memcpy_chain
+ * Pins: Memory::copy validates both full ranges before writing any
+ * byte, so a faulting copy can no longer partially mutate its
+ * destination. This legal chain of block copies (including displaced
+ * source/destination bases) rides the same code path in every mode.
+ */
+int main(void) {
+    long *a;
+    long *b;
+    long *c;
+    long i;
+    long s;
+    a = (long *) malloc(16 * sizeof(long));
+    b = (long *) malloc(16 * sizeof(long));
+    c = (long *) malloc(16 * sizeof(long));
+    for (i = 0; i < 16; i = i + 1) {
+        a[i] = i * 11 + 2;
+    }
+    memcpy(b, a, 16 * sizeof(long));
+    memcpy(c, b, 8 * sizeof(long));
+    memcpy(c + 8, b + 8, 8 * sizeof(long));
+    s = 0;
+    for (i = 0; i < 16; i = i + 1) {
+        s = s + c[i] - a[i];
+    }
+    putint(s);
+    putchar(10);
+    return (int)s;
+}

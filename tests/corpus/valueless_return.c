@@ -1,0 +1,19 @@
+/* gcfuzz corpus: valueless_return
+ * Pins: a bare `return;` in a non-void function is legal while the
+ * result is unused, so a statement-position call must lower with its
+ * result discarded. The VM used to substitute 0 silently when such a
+ * result WAS used, which could mask real miscompilations from the
+ * differential oracle; that is now VmError::MissingReturn.
+ */
+int tick(int x) {
+    if (x > 0) {
+        return;
+    }
+    return 7;
+}
+int main(void) {
+    tick(1);
+    putint(tick(0));
+    putchar(10);
+    return 4;
+}
