@@ -482,7 +482,9 @@ fn emit_block(func: &FuncIr, bi: usize, b: &cvm::ir::Block, alloc: &Allocation) 
                     len: *len,
                 });
             }
-            Instr::Call { dst, target, args } => {
+            Instr::Call {
+                dst, target, args, ..
+            } => {
                 // Argument moves into the (conceptual) out registers.
                 for (i, a) in args.iter().enumerate() {
                     let src = e.use_ri(*a, i % 2);

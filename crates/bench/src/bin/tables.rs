@@ -1,7 +1,8 @@
 //! Prints every table and figure of the paper.
 //!
 //! Usage: `tables [sparc2|sparc10|pentium90|codesize|postprocessor|analysis|all]
-//!                [--tiny] [--jobs N] [--trace <file.jsonl>]`
+//!                [--tiny] [--jobs N] [--trace <file.jsonl>]
+//!                [--prof <file.prom>] [--folded <file.txt>]`
 //!
 //! The 4 workloads × 5 modes measurement matrix runs in parallel across
 //! `--jobs N` worker threads (default: all cores); every table and trace
@@ -11,6 +12,12 @@
 //! optimizer rewrites, verifier verdicts, GC timeline, peephole rewrites,
 //! VM run summaries) are appended to `<file.jsonl>` as one JSON object
 //! per line, and a human-readable summary is printed at the end.
+//!
+//! With `--prof`, every cell runs under gcprof instrumentation: the
+//! Prometheus exposition is written to `<file.prom>` (validated before it
+//! lands), the per-cell summary `BENCH_prof.json` is written next to the
+//! working directory, and the human profile report is printed. `--folded`
+//! additionally writes flamegraph-folded allocation stacks.
 
 use gc_safety::{JsonlSink, TraceHandle};
 use gcbench::*;
@@ -34,6 +41,20 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let prof_path: Option<&str> = args
+        .iter()
+        .position(|a| a == "--prof")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let folded_path: Option<&str> = args
+        .iter()
+        .position(|a| a == "--folded")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    if folded_path.is_some() && prof_path.is_none() {
+        eprintln!("error: --folded requires --prof (profiling must be enabled)");
+        std::process::exit(2);
+    }
     let jobs = match args
         .iter()
         .position(|a| a == "--jobs")
@@ -74,7 +95,7 @@ fn main() {
         println!("{}", register_pressure_report());
         return;
     }
-    let data = match collect_traced_jobs(scale, &trace, jobs) {
+    let data = match collect_instrumented_jobs(scale, &trace, prof_path.is_some(), jobs) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
@@ -112,6 +133,36 @@ fn main() {
             eprintln!("unknown table '{other}'");
             std::process::exit(2);
         }
+    }
+    if let Some(path) = prof_path {
+        let prom = prometheus_export(&data);
+        match gc_safety::prom::validate(&prom) {
+            Ok(samples) => {
+                if let Err(e) = std::fs::write(path, &prom) {
+                    eprintln!("error: cannot write prometheus export '{path}': {e}");
+                    std::process::exit(1);
+                }
+                println!("\nprometheus export: {samples} samples written to {path}");
+            }
+            Err(e) => {
+                eprintln!("error: generated prometheus text does not parse: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write("BENCH_prof.json", bench_json(&data)) {
+            eprintln!("error: cannot write BENCH_prof.json: {e}");
+            std::process::exit(1);
+        }
+        println!("per-cell summary written to BENCH_prof.json");
+        if let Some(folded) = folded_path {
+            if let Err(e) = std::fs::write(folded, folded_export(&data)) {
+                eprintln!("error: cannot write folded stacks '{folded}': {e}");
+                std::process::exit(1);
+            }
+            println!("flamegraph folded stacks written to {folded}");
+        }
+        println!();
+        print!("{}", prof_report(&data));
     }
     if let Some(path) = trace_path {
         // `File` writes are unbuffered, so the JSONL is already on disk

@@ -14,7 +14,8 @@
 #![warn(missing_docs)]
 
 use gc_safety::{
-    merge_tagged, Cell, Event, Machine, Measured, Mode, Sink, TaggedSink, TraceHandle,
+    merge_tagged, Cell, Event, Machine, Measured, Mode, ProfData, ProfHandle, Sink, TaggedSink,
+    TraceHandle,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -92,6 +93,26 @@ pub fn collect_traced_jobs(
     trace: &TraceHandle,
     jobs: usize,
 ) -> Result<Dataset, String> {
+    collect_instrumented_jobs(scale, trace, false, jobs)
+}
+
+/// [`collect_traced_jobs`] with optional gcprof instrumentation. When
+/// `prof` is true every (workload, mode) cell runs under its own enabled
+/// [`ProfHandle`] — profiles never interleave across workers, so the
+/// deterministic slice of every export built from the [`Dataset`]
+/// (flamegraph folded stacks, site counters, size histograms, census) is
+/// byte-identical at any `jobs`, mirroring the trace's [`TaggedSink`]
+/// reassembly guarantee.
+///
+/// # Errors
+///
+/// Same as [`collect`].
+pub fn collect_instrumented_jobs(
+    scale: Scale,
+    trace: &TraceHandle,
+    prof: bool,
+    jobs: usize,
+) -> Result<Dataset, String> {
     let ws = workloads::all();
     let modes = Mode::all();
     let cells: Vec<(usize, usize)> = (0..ws.len())
@@ -118,6 +139,16 @@ pub fn collect_traced_jobs(
     } else {
         cells.iter().map(|_| TraceHandle::disabled()).collect()
     };
+    let cell_profs: Vec<ProfHandle> = cells
+        .iter()
+        .map(|_| {
+            if prof {
+                ProfHandle::enabled()
+            } else {
+                ProfHandle::disabled()
+            }
+        })
+        .collect();
     let slots: Vec<Mutex<Option<Result<Measured, String>>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -127,11 +158,12 @@ pub fn collect_traced_jobs(
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(wi, mi)) = cells.get(i) else { break };
-                let r = gc_safety::measure_workload_mode_traced(
+                let r = gc_safety::measure_workload_mode_instrumented(
                     &ws[wi],
                     scale,
                     modes[mi],
                     &cell_traces[i],
+                    &cell_profs[i],
                 );
                 *slots[i].lock().expect("cell slot") = Some(r);
             });
@@ -386,6 +418,10 @@ pub fn trace_report(jsonl: &str) -> String {
         // vm
         runs: u64,
         steps: u64,
+        // prof
+        prof_histograms: BTreeMap<String, u64>,
+        prof_censuses: u64,
+        prof_live_bytes: u64,
     }
     let mut a = Agg::default();
     let get_u64 = |obj: &BTreeMap<String, JsonValue>, key: &str| -> u64 {
@@ -450,6 +486,14 @@ pub fn trace_report(jsonl: &str) -> String {
                 a.runs += 1;
                 a.steps += get_u64(&obj, "steps");
             }
+            ("prof", "histogram") => {
+                *a.prof_histograms.entry(get_str(&obj, "name")).or_insert(0) +=
+                    get_u64(&obj, "count");
+            }
+            ("prof", "census") => {
+                a.prof_censuses += 1;
+                a.prof_live_bytes += get_u64(&obj, "live_bytes");
+            }
             _ => {}
         }
     }
@@ -503,6 +547,24 @@ pub fn trace_report(jsonl: &str) -> String {
         "vm:        {} runs, {} instructions executed",
         a.runs, a.steps
     );
+    if a.prof_censuses > 0 || !a.prof_histograms.is_empty() {
+        let hists: Vec<String> = a
+            .prof_histograms
+            .iter()
+            .map(|(name, n)| format!("{name} x{n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "prof:      {} censuses ({} live bytes), histogram samples: {}",
+            a.prof_censuses,
+            a.prof_live_bytes,
+            if hists.is_empty() {
+                "none".to_string()
+            } else {
+                hists.join(", ")
+            }
+        );
+    }
     out
 }
 
@@ -512,6 +574,309 @@ pub fn annotated_example() -> String {
     let src = "char f(char *p, long i) { return p[i - 1000]; }";
     let annotated = gcsafe::annotate_program(src, &gcsafe::Config::gc_safe()).expect("annotates");
     annotated.annotated_source
+}
+
+/// Snapshots every profiled (workload, mode) cell of a [`Dataset`], in
+/// the deterministic row-major order all exports share. Cells measured
+/// without profiling (disabled handles) are skipped.
+pub fn prof_cells(data: &Dataset) -> Vec<(&'static str, Mode, ProfData)> {
+    let mut out = Vec::new();
+    for (name, results) in &data.rows {
+        for (mode, m) in results {
+            if let Some(d) = m.prof.snapshot() {
+                out.push((*name, *mode, d));
+            }
+        }
+    }
+    out
+}
+
+/// The gcprof human report: one block per profiled (workload, mode) cell.
+///
+/// Lines beginning with `pause:` or `mmu:` carry wall-clock timings and
+/// are the only nondeterministic content; everything else (allocation
+/// histogram, sites, census) is byte-identical at any `--jobs`.
+pub fn prof_report(data: &Dataset) -> String {
+    let mut out = String::new();
+    for (name, mode, d) in prof_cells(data) {
+        let _ = writeln!(out, "=== gcprof: {name} / {} ===", mode.label());
+        let _ = writeln!(
+            out,
+            "alloc:     {} objects, {} bytes requested (sizes {}..{})",
+            d.alloc_size.count(),
+            d.alloc_size.sum(),
+            if d.alloc_size.is_empty() {
+                0
+            } else {
+                d.alloc_size.min()
+            },
+            d.alloc_size.max(),
+        );
+        let _ = writeln!(
+            out,
+            "collector: {} collections, {} bytes swept back",
+            d.collections,
+            d.sweep_freed_bytes.sum(),
+        );
+        let total_pause: u64 = d.pause_ns.sum();
+        let _ = writeln!(
+            out,
+            "pause:     total {:.3} ms, max {:.3} ms (mark {:.3} ms / sweep {:.3} ms)",
+            total_pause as f64 / 1e6,
+            if d.pause_ns.is_empty() {
+                0
+            } else {
+                d.pause_ns.max()
+            } as f64
+                / 1e6,
+            d.mark_ns.sum() as f64 / 1e6,
+            d.sweep_ns.sum() as f64 / 1e6,
+        );
+        let mut mmu = String::new();
+        for (window_ns, label) in gc_safety::MMU_WINDOWS_NS {
+            let _ = write!(mmu, "  {label} {}‰", d.mmu_permille(window_ns));
+        }
+        let _ = writeln!(out, "mmu:      {mmu}");
+        if let Some(c) = &d.census {
+            let _ = writeln!(
+                out,
+                "census:    {} live objects / {} bytes; {} small pages ({}‰ fragmentation), {} large, {} free, {} blacklisted",
+                c.live_objects,
+                c.live_bytes,
+                c.small_pages,
+                c.fragmentation_permille(),
+                c.large_pages,
+                c.free_pages,
+                c.blacklisted_pages,
+            );
+        }
+        let mut sites: Vec<_> = d.sites.iter().collect();
+        sites.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes).then(a.0.cmp(b.0)));
+        for (stack, stats) in sites.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "site:      {} bytes / {} allocs  {stack}",
+                stats.bytes, stats.allocs
+            );
+        }
+    }
+    out
+}
+
+/// Prometheus text exposition for a profiled [`Dataset`]: every cell's
+/// counters, histograms, site totals, census gauges, and MMU windows,
+/// labelled `{workload=..., mode=...}`. Metric families whose names start
+/// with `gcprof_pause`, `gcprof_mark`, `gcprof_sweep_ns`, or `gcprof_mmu`
+/// carry wall-clock timings; everything else is deterministic across
+/// `--jobs` (the parallel-determinism test relies on that prefix split).
+pub fn prometheus_export(data: &Dataset) -> String {
+    let cells = prof_cells(data);
+    let mut w = gc_safety::PromWriter::new();
+    w.family(
+        "gcprof_collections_total",
+        "Completed garbage collections",
+        "counter",
+    );
+    for (name, mode, d) in &cells {
+        w.sample(
+            "gcprof_collections_total",
+            &[("workload", name), ("mode", mode.key())],
+            d.collections,
+        );
+    }
+    let hists: [(&str, &str, fn(&ProfData) -> &gc_safety::Histogram); 5] = [
+        (
+            "gcprof_alloc_size_bytes",
+            "Requested allocation sizes",
+            |d| &d.alloc_size,
+        ),
+        (
+            "gcprof_sweep_freed_bytes",
+            "Bytes returned per sweep",
+            |d| &d.sweep_freed_bytes,
+        ),
+        (
+            "gcprof_pause_ns",
+            "Stop-the-world pause per collection",
+            |d| &d.pause_ns,
+        ),
+        ("gcprof_mark_ns", "Mark phase of each pause", |d| &d.mark_ns),
+        ("gcprof_sweep_ns", "Sweep phase of each pause", |d| {
+            &d.sweep_ns
+        }),
+    ];
+    for (metric, help, pick) in hists {
+        w.family(metric, help, "histogram");
+        for (name, mode, d) in &cells {
+            w.histogram(metric, &[("workload", name), ("mode", mode.key())], pick(d));
+        }
+    }
+    w.family(
+        "gcprof_site_allocs_total",
+        "Allocations per call-stack-qualified allocation site",
+        "counter",
+    );
+    for (name, mode, d) in &cells {
+        for (site, stats) in &d.sites {
+            w.sample(
+                "gcprof_site_allocs_total",
+                &[("workload", name), ("mode", mode.key()), ("site", site)],
+                stats.allocs,
+            );
+        }
+    }
+    w.family(
+        "gcprof_site_bytes_total",
+        "Bytes allocated per call-stack-qualified allocation site",
+        "counter",
+    );
+    for (name, mode, d) in &cells {
+        for (site, stats) in &d.sites {
+            w.sample(
+                "gcprof_site_bytes_total",
+                &[("workload", name), ("mode", mode.key()), ("site", site)],
+                stats.bytes,
+            );
+        }
+    }
+    w.family(
+        "gcprof_census_live_objects",
+        "Live objects at end of run",
+        "gauge",
+    );
+    for (name, mode, d) in &cells {
+        if let Some(c) = &d.census {
+            w.sample(
+                "gcprof_census_live_objects",
+                &[("workload", name), ("mode", mode.key())],
+                c.live_objects,
+            );
+        }
+    }
+    w.family(
+        "gcprof_census_live_bytes",
+        "Live bytes at end of run",
+        "gauge",
+    );
+    for (name, mode, d) in &cells {
+        if let Some(c) = &d.census {
+            w.sample(
+                "gcprof_census_live_bytes",
+                &[("workload", name), ("mode", mode.key())],
+                c.live_bytes,
+            );
+        }
+    }
+    w.family(
+        "gcprof_census_pages",
+        "Heap pages by kind at end of run",
+        "gauge",
+    );
+    for (name, mode, d) in &cells {
+        if let Some(c) = &d.census {
+            for (kind, v) in [
+                ("small", c.small_pages),
+                ("large", c.large_pages),
+                ("free", c.free_pages),
+                ("blacklisted", c.blacklisted_pages),
+            ] {
+                w.sample(
+                    "gcprof_census_pages",
+                    &[("workload", name), ("mode", mode.key()), ("kind", kind)],
+                    v,
+                );
+            }
+        }
+    }
+    w.family(
+        "gcprof_census_fragmentation_permille",
+        "Unused small-page capacity per mille at end of run",
+        "gauge",
+    );
+    for (name, mode, d) in &cells {
+        if let Some(c) = &d.census {
+            w.sample(
+                "gcprof_census_fragmentation_permille",
+                &[("workload", name), ("mode", mode.key())],
+                c.fragmentation_permille(),
+            );
+        }
+    }
+    w.family(
+        "gcprof_census_class_live_bytes",
+        "Live bytes per small size class at end of run",
+        "gauge",
+    );
+    for (name, mode, d) in &cells {
+        if let Some(c) = &d.census {
+            for cls in &c.classes {
+                let class = cls.obj_size.to_string();
+                w.sample(
+                    "gcprof_census_class_live_bytes",
+                    &[("workload", name), ("mode", mode.key()), ("class", &class)],
+                    cls.live_bytes,
+                );
+            }
+        }
+    }
+    w.family(
+        "gcprof_mmu_permille",
+        "Minimum mutator utilization per window",
+        "gauge",
+    );
+    for (name, mode, d) in &cells {
+        for (window_ns, label) in gc_safety::MMU_WINDOWS_NS {
+            w.sample(
+                "gcprof_mmu_permille",
+                &[("workload", name), ("mode", mode.key()), ("window", label)],
+                d.mmu_permille(window_ns),
+            );
+        }
+    }
+    w.finish()
+}
+
+/// Flamegraph-folded stacks of allocated bytes: one line per
+/// `workload;mode;call-stack;site`, weight = bytes allocated there. Feed
+/// to `flamegraph.pl` / `inferno-flamegraph` as-is. Fully deterministic.
+pub fn folded_export(data: &Dataset) -> String {
+    let mut out = String::new();
+    for (name, mode, d) in prof_cells(data) {
+        for (stack, stats) in &d.sites {
+            let _ = writeln!(out, "{name};{};{stack} {}", mode.key(), stats.bytes);
+        }
+    }
+    out
+}
+
+/// Machine-readable per-cell summary (`BENCH_prof.json`): a JSON array
+/// with one object per (workload, mode) cell — deterministic throughput
+/// (SPARC 10 cycles, VM steps), allocation totals, collection count,
+/// pause totals, and the live-bytes high-water mark.
+pub fn bench_json(data: &Dataset) -> String {
+    let machine = Machine::sparc10();
+    let mut lines = Vec::new();
+    for (name, results) in &data.rows {
+        for (mode, m) in results {
+            let mut w = gctrace::json::Writer::new();
+            w.str_field("workload", name);
+            w.str_field("mode", mode.key());
+            if let Some(cost) = m.costs.get(machine.name) {
+                w.uint_field("cycles_sparc10", cost.cycles);
+            }
+            if let Ok(out) = &m.outcome {
+                w.uint_field("steps", out.steps);
+                w.uint_field("allocations", out.heap.allocations);
+                w.uint_field("bytes_requested", out.heap.bytes_requested);
+                w.uint_field("collections", out.heap.collections);
+                w.uint_field("total_pause_ns", out.heap.total_pause_ns);
+                w.uint_field("max_pause_ns", out.heap.max_pause_ns);
+                w.uint_field("peak_bytes_live", out.heap.peak_bytes_live);
+            }
+            lines.push(format!("  {}", w.finish()));
+        }
+    }
+    format!("[\n{}\n]\n", lines.join(",\n"))
 }
 
 #[cfg(test)]

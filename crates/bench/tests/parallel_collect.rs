@@ -6,7 +6,8 @@
 
 use gc_safety::{Event, Mode, TraceHandle};
 use gcbench::{
-    codesize_table, collect_jobs, collect_traced_jobs, postprocessor_table, slowdown_table,
+    bench_json, codesize_table, collect_instrumented_jobs, collect_jobs, collect_traced_jobs,
+    folded_export, postprocessor_table, prof_report, prometheus_export, slowdown_table,
 };
 use gctrace::Value;
 use workloads::Scale;
@@ -61,7 +62,13 @@ fn parallel_collect_equals_serial_cell_for_cell() {
 /// Strips the wall-clock fields (collection pauses) that legitimately
 /// differ between two runs of the same deterministic pipeline.
 fn normalized(events: Vec<Event>) -> Vec<Event> {
-    const WALL_CLOCK: [&str; 3] = ["pause_ns", "total_pause_ns", "max_pause_ns"];
+    const WALL_CLOCK: [&str; 5] = [
+        "pause_ns",
+        "total_pause_ns",
+        "max_pause_ns",
+        "mark_ns",
+        "sweep_ns",
+    ];
     events
         .into_iter()
         .map(|mut e| {
@@ -69,6 +76,96 @@ fn normalized(events: Vec<Event>) -> Vec<Event> {
             e
         })
         .collect()
+}
+
+/// Drops the Prometheus families that carry wall-clock timings
+/// (`gcprof_pause*`, `gcprof_mark*`, `gcprof_sweep_ns*`, `gcprof_mmu*`);
+/// everything left must be byte-identical across schedules.
+fn strip_timing_metrics(text: &str) -> String {
+    const TIMING: [&str; 4] = [
+        "gcprof_pause",
+        "gcprof_mark",
+        "gcprof_sweep_ns",
+        "gcprof_mmu",
+    ];
+    let mut out: String = text
+        .lines()
+        .filter(|l| {
+            let name = l
+                .strip_prefix("# HELP ")
+                .or_else(|| l.strip_prefix("# TYPE "))
+                .unwrap_or(l);
+            !TIMING.iter().any(|p| name.starts_with(p))
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push('\n');
+    out
+}
+
+/// Drops the wall-clock lines of the human profile report and the
+/// wall-clock fields of the per-cell JSON summary.
+fn strip_timing_report(text: &str) -> String {
+    let mut out: String = text
+        .lines()
+        .filter(|l| !l.starts_with("pause:") && !l.starts_with("mmu:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push('\n');
+    out
+}
+
+fn strip_timing_json(text: &str) -> String {
+    text.lines()
+        .map(|l| {
+            l.split(',')
+                .filter(|part| !part.contains("pause_ns"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn instrumented_parallel_exports_match_serial_modulo_timing() {
+    let serial = collect_instrumented_jobs(Scale::Tiny, &TraceHandle::disabled(), true, 1)
+        .expect("serial instrumented collect");
+    let parallel = collect_instrumented_jobs(Scale::Tiny, &TraceHandle::disabled(), true, 4)
+        .expect("parallel instrumented collect");
+    // Flamegraph folded stacks are fully deterministic: compared raw.
+    let folded = folded_export(&serial);
+    assert!(!folded.is_empty(), "profiling produced allocation stacks");
+    assert_eq!(folded, folded_export(&parallel), "folded stacks differ");
+    // Prometheus exposition: valid under the independent parser, and
+    // byte-identical once the wall-clock families are dropped.
+    let s_prom = prometheus_export(&serial);
+    let p_prom = prometheus_export(&parallel);
+    gc_safety::prom::validate(&s_prom).expect("serial export parses");
+    gc_safety::prom::validate(&p_prom).expect("parallel export parses");
+    let s_stripped = strip_timing_metrics(&s_prom);
+    assert_eq!(
+        s_stripped,
+        strip_timing_metrics(&p_prom),
+        "deterministic metric families differ"
+    );
+    for needle in [
+        "gcprof_site_bytes_total",
+        "gcprof_census_live_bytes",
+        "gcprof_alloc_size_bytes_bucket",
+        "gcprof_collections_total",
+    ] {
+        assert!(s_stripped.contains(needle), "missing {needle}");
+    }
+    // Human report and per-cell JSON: identical modulo wall-clock lines.
+    assert_eq!(
+        strip_timing_report(&prof_report(&serial)),
+        strip_timing_report(&prof_report(&parallel))
+    );
+    assert_eq!(
+        strip_timing_json(&bench_json(&serial)),
+        strip_timing_json(&bench_json(&parallel))
+    );
 }
 
 #[test]

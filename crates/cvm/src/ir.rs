@@ -283,6 +283,10 @@ pub enum Instr {
         target: CallTarget,
         /// Arguments.
         args: Vec<Operand>,
+        /// For allocation builtins: index into
+        /// [`ProgramIr::alloc_sites`], so the VM can attribute the
+        /// allocation to its source program point.
+        site: Option<u32>,
     },
     /// The paper's primitive: `dst = value`, opaque to the optimizer, with
     /// `base` kept live until this instruction executes.
@@ -447,7 +451,9 @@ impl fmt::Display for Instr {
             } => {
                 write!(f, "memcopy [{dst_addr}] <- [{src_addr}] x{len}")
             }
-            Instr::Call { dst, target, args } => {
+            Instr::Call {
+                dst, target, args, ..
+            } => {
                 if let Some(d) = dst {
                     write!(f, "{d} = ")?;
                 }
@@ -548,6 +554,33 @@ impl FuncIr {
     }
 }
 
+/// Source location of one allocation call, recorded during lowering so
+/// the VM (and gcprof) can attribute every heap allocation back to the
+/// program point that asked for it. `line`/`col` start at 0 and are
+/// resolved from the lowered source text after lowering, because the
+/// lowering context only sees byte spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Name of the enclosing function.
+    pub func: String,
+    /// Allocation primitive: `"malloc"`, `"calloc"`, or `"realloc"`.
+    pub primitive: &'static str,
+    /// Byte offset of the call expression in the lowered source text.
+    /// For annotated builds this indexes the *annotated* source.
+    pub span_start: usize,
+    /// 1-based source line (0 until resolved).
+    pub line: usize,
+    /// 1-based source column (0 until resolved).
+    pub col: usize,
+}
+
+impl AllocSite {
+    /// The flamegraph-frame label for the site: `primitive@line:col`.
+    pub fn label(&self) -> String {
+        format!("{}@{}:{}", self.primitive, self.line, self.col)
+    }
+}
+
 /// A whole lowered program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgramIr {
@@ -559,12 +592,25 @@ pub struct ProgramIr {
     pub globals_image: Vec<u8>,
     /// Size of the globals region actually used.
     pub globals_size: u64,
+    /// Allocation sites, indexed by the `site` field of [`Instr::Call`].
+    pub alloc_sites: Vec<AllocSite>,
 }
 
 impl ProgramIr {
     /// Finds a function index by name.
     pub fn func_index(&self, name: &str) -> Option<usize> {
         self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// Resolves every allocation site's `line`/`col` against the source
+    /// text the spans index — the annotated source for annotated builds,
+    /// the original source otherwise.
+    pub fn resolve_alloc_sites(&mut self, source: &str) {
+        for site in &mut self.alloc_sites {
+            let (line, col) = cfront::span::line_col(source, site.span_start);
+            site.line = line;
+            site.col = col;
+        }
     }
 }
 

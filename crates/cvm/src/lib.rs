@@ -135,16 +135,20 @@ pub fn compile_traced(
     options: &CompileOptions,
     trace: &TraceHandle,
 ) -> Result<ProgramIr, String> {
-    let mut program = match &options.annotate {
+    let (mut program, annotated_source) = match &options.annotate {
         Some(cfg) => {
-            gcsafe::annotate_program_traced(source, cfg, trace)
-                .map_err(|e| e.render(source))?
-                .program
+            let annotated = gcsafe::annotate_program_traced(source, cfg, trace)
+                .map_err(|e| e.render(source))?;
+            (annotated.program, Some(annotated.annotated_source))
         }
-        None => cfront::parse(source).map_err(|e| e.render(source))?,
+        None => (cfront::parse(source).map_err(|e| e.render(source))?, None),
     };
     let sema = cfront::analyze(&mut program).map_err(|e| e.render(source))?;
     let mut ir = lower(&program, &sema, options.lower).map_err(|e| e.to_string())?;
+    // Allocation-site spans index whichever text was actually lowered:
+    // annotation rewrites the program, so its spans point into the
+    // annotated source, not the user's original.
+    ir.resolve_alloc_sites(annotated_source.as_deref().unwrap_or(source));
     optimize_traced(&mut ir, options.opt, trace);
     // The verifier is observability-only here: run it (and emit verdicts)
     // only when someone is listening, and only for annotated builds where
@@ -610,6 +614,59 @@ mod tests {
         assert!(
             out.heap.collections > 0,
             "small heap collected at least once"
+        );
+    }
+
+    #[test]
+    fn alloc_sites_resolve_to_source_positions() {
+        let src = "int main(void) {\n    char *p = (char *) malloc(8);\n    char *q = (char *) calloc(2, 4);\n    p[0] = 1; q[0] = 2;\n    return 0;\n}\n";
+        let prog = compile(src, &CompileOptions::optimized()).unwrap();
+        assert_eq!(prog.alloc_sites.len(), 2, "{:?}", prog.alloc_sites);
+        let labels: Vec<String> = prog.alloc_sites.iter().map(|s| s.label()).collect();
+        assert_eq!(labels[0], "malloc@2:24", "{:?}", prog.alloc_sites);
+        assert_eq!(labels[1], "calloc@3:24", "{:?}", prog.alloc_sites);
+        assert!(prog.alloc_sites.iter().all(|s| s.func == "main"));
+    }
+
+    #[test]
+    fn profiled_run_attributes_allocations_to_call_stacks() {
+        let src = r#"
+            struct cell { long v; struct cell *next; };
+            struct cell *push(struct cell *head, long v) {
+                struct cell *c = (struct cell *) malloc(sizeof(struct cell));
+                c->v = v;
+                c->next = head;
+                return c;
+            }
+            int main(void) {
+                struct cell *head = 0;
+                long i;
+                for (i = 0; i < 10; i++) head = push(head, i);
+                return 0;
+            }
+        "#;
+        let prog = compile(src, &CompileOptions::optimized()).unwrap();
+        let prof = gcprof::ProfHandle::enabled();
+        let v = VmOptions {
+            prof: prof.clone(),
+            ..VmOptions::default()
+        };
+        run_compiled(&prog, &v).expect("program runs");
+        let data = prof.snapshot().expect("enabled handle snapshots");
+        assert_eq!(data.sites.len(), 1, "one allocation site: {:?}", data.sites);
+        let (key, stats) = data.sites.iter().next().unwrap();
+        assert!(
+            key.starts_with("main;push;malloc@"),
+            "stack-qualified site key: {key}"
+        );
+        assert_eq!(stats.allocs, 10);
+        assert_eq!(stats.bytes, 10 * 16);
+        // The heap side of the handle sees the same allocations.
+        assert_eq!(data.alloc_size.count(), 10);
+        let census = data.census.as_ref().expect("final census recorded");
+        assert_eq!(
+            census.live_objects,
+            census.classes.iter().map(|c| c.live_objects).sum::<u64>()
         );
     }
 

@@ -212,6 +212,7 @@ mod tests {
                         dst: Some(t(1)),
                         target: CallTarget::Builtin(cfront::Builtin::Malloc),
                         args: vec![Operand::Const(8)],
+                        site: None,
                     },
                     Instr::Bin {
                         dst: t(2),
@@ -258,6 +259,7 @@ mod tests {
                         dst: Some(t(1)),
                         target: CallTarget::Builtin(cfront::Builtin::Malloc),
                         args: vec![t(0).into()],
+                        site: None,
                     },
                     Instr::Ret {
                         value: Some(t(1).into()),
@@ -291,6 +293,7 @@ mod tests {
                         dst: Some(t(2)),
                         target: CallTarget::Builtin(cfront::Builtin::Malloc),
                         args: vec![Operand::Const(8)],
+                        site: None,
                     },
                     Instr::KeepLive {
                         dst: t(3),

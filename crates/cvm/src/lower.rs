@@ -66,6 +66,7 @@ pub fn lower(prog: &Program, sema: &SemaInfo, opts: LowerOptions) -> LResult<Pro
         global_offsets: Vec::new(),
         globals_image: Vec::new(),
         string_pool: HashMap::new(),
+        alloc_sites: Vec::new(),
     };
     // Function table: definitions only, in order.
     let defs: Vec<&cfront::ast::FuncDef> = prog.definitions().collect();
@@ -117,6 +118,7 @@ pub fn lower(prog: &Program, sema: &SemaInfo, opts: LowerOptions) -> LResult<Pro
         main,
         globals_image: cx.globals_image,
         globals_size,
+        alloc_sites: cx.alloc_sites,
     })
 }
 
@@ -128,6 +130,7 @@ struct ProgCx<'a> {
     global_offsets: Vec<u64>,
     globals_image: Vec<u8>,
     string_pool: HashMap<String, u64>,
+    alloc_sites: Vec<AllocSite>,
 }
 
 impl ProgCx<'_> {
@@ -1191,6 +1194,7 @@ impl<'a, 'b> FuncCx<'a, 'b> {
                     dst: Some(dst),
                     target: CallTarget::Builtin(cfront::sema::Builtin::KeepLiveFn),
                     args: vec![v, b.unwrap_or(Operand::Const(0))],
+                    site: None,
                 });
             }
             (true, None) | (false, None) => self.emit(Instr::KeepLive {
@@ -1689,11 +1693,31 @@ impl<'a, 'b> FuncCx<'a, 'b> {
         } else {
             Some(self.temp())
         };
-        let _ = whole;
+        // Allocation builtins get an allocation-site record keyed by the
+        // span of the whole call expression; line/col are resolved once
+        // the source text is in hand (compile_traced).
+        let primitive = match &target {
+            CallTarget::Builtin(cfront::sema::Builtin::Malloc) => Some("malloc"),
+            CallTarget::Builtin(cfront::sema::Builtin::Calloc) => Some("calloc"),
+            CallTarget::Builtin(cfront::sema::Builtin::Realloc) => Some("realloc"),
+            _ => None,
+        };
+        let site = primitive.map(|primitive| {
+            let idx = self.prog.alloc_sites.len() as u32;
+            self.prog.alloc_sites.push(AllocSite {
+                func: self.func.name.clone(),
+                primitive,
+                span_start: whole.span.start,
+                line: 0,
+                col: 0,
+            });
+            idx
+        });
         self.emit(Instr::Call {
             dst,
             target,
             args: arg_ops,
+            site,
         });
         Ok(dst.map(Operand::Temp).unwrap_or(Operand::Const(0)))
     }

@@ -805,6 +805,7 @@ mod tests {
                     dst: Some(t(2)),
                     target: CallTarget::Builtin(cfront::Builtin::Malloc),
                     args: vec![Operand::Const(8)],
+                    site: None,
                 },
                 Instr::Bin {
                     dst: t(3),
@@ -840,6 +841,7 @@ mod tests {
                     dst: Some(t(2)),
                     target: CallTarget::Builtin(cfront::Builtin::Malloc),
                     args: vec![Operand::Const(8)],
+                    site: None,
                 },
                 Instr::Bin {
                     dst: t(3),

@@ -45,6 +45,12 @@ pub struct VmOptions {
     /// `("vm", "run")` summary when execution completes. Disabled by
     /// default — the disabled handle adds no measurable overhead.
     pub trace: gctrace::TraceHandle,
+    /// Profiling sink shared with the attached collector: pause/size
+    /// histograms and the pause timeline are recorded by the heap,
+    /// per-allocation-site counters (keyed by the VM's shadow call
+    /// stack) by the VM, and a final heap census when the run ends.
+    /// Disabled by default; the disabled handle never builds a stack key.
+    pub prof: gcprof::ProfHandle,
 }
 
 impl Default for VmOptions {
@@ -58,6 +64,7 @@ impl Default for VmOptions {
             heap_bytes: 32 << 20,
             stack_bytes: 1 << 20,
             trace: gctrace::TraceHandle::disabled(),
+            prof: gcprof::ProfHandle::disabled(),
         }
     }
 }
@@ -233,6 +240,7 @@ impl<'a> Vm<'a> {
         }
         let mut heap = GcHeap::new(&mem, opts.heap_config.clone());
         heap.set_trace(opts.trace.clone());
+        heap.set_prof(opts.prof.clone());
         let gc_maps = prog.funcs.iter().map(gc_root_maps).collect();
         let profile = Profile {
             block_counts: prog.funcs.iter().map(|f| vec![0; f.blocks.len()]).collect(),
@@ -326,6 +334,10 @@ impl<'a> Vm<'a> {
                 return Err(VmError::StepLimit);
             }
         }
+        // The end-of-run census: live objects/bytes per size class,
+        // fragmentation, blacklist pressure. The walk only happens when
+        // profiling is enabled.
+        self.opts.prof.record_census(|| self.heap.census());
         let outcome = ExecOutcome {
             output: self.output,
             exit_code: self.exit.unwrap_or(0),
@@ -480,7 +492,12 @@ impl<'a> Vm<'a> {
                 let c = self.operand(cond);
                 self.goto(if c != 0 { if_true } else { if_false });
             }
-            Instr::Call { dst, target, args } => {
+            Instr::Call {
+                dst,
+                target,
+                args,
+                site,
+            } => {
                 let argv: Vec<i64> = args.iter().map(|a| self.operand(*a)).collect();
                 match target {
                     CallTarget::Func(idx) => {
@@ -488,7 +505,7 @@ impl<'a> Vm<'a> {
                         // Note: the caller's ip stays at the call until return.
                     }
                     CallTarget::Builtin(b) => {
-                        let ret = self.builtin(b, &argv)?;
+                        let ret = self.builtin(b, &argv, site)?;
                         if self.exit.is_some() {
                             return Ok(());
                         }
@@ -579,28 +596,47 @@ impl<'a> Vm<'a> {
         roots
     }
 
-    fn allocate(&mut self, size: i64) -> Result<i64, VmError> {
+    fn allocate(&mut self, size: i64, site: Option<u32>) -> Result<i64, VmError> {
         let size = size.max(0) as u64;
         let roots = self.roots();
         match self.heap.alloc_with_roots(&mut self.mem, size, &roots) {
-            Ok(addr) => Ok(addr as i64),
+            Ok(addr) => {
+                // Attribute the allocation to its source site under the
+                // current shadow call stack. The key closure only runs
+                // when profiling is enabled; the disabled handle costs
+                // one branch and never builds the string.
+                let prof = self.heap.prof().clone();
+                prof.record_site(size, || {
+                    let mut key = String::new();
+                    for frame in &self.frames {
+                        key.push_str(&self.prog.funcs[frame.func].name);
+                        key.push(';');
+                    }
+                    match site {
+                        Some(i) => key.push_str(&self.prog.alloc_sites[i as usize].label()),
+                        None => key.push_str("alloc@?"),
+                    }
+                    key
+                });
+                Ok(addr as i64)
+            }
             Err(_) => Err(VmError::OutOfMemory),
         }
     }
 
-    fn builtin(&mut self, b: Builtin, args: &[i64]) -> Result<i64, VmError> {
+    fn builtin(&mut self, b: Builtin, args: &[i64], site: Option<u32>) -> Result<i64, VmError> {
         *self.profile.builtin_calls.entry(b).or_insert(0) += 1;
         match b {
-            Builtin::Malloc => self.allocate(args[0]),
-            Builtin::Calloc => self.allocate(args[0].saturating_mul(args[1])),
+            Builtin::Malloc => self.allocate(args[0], site),
+            Builtin::Calloc => self.allocate(args[0].saturating_mul(args[1]), site),
             Builtin::Realloc => {
                 let old = args[0] as u64;
                 let new_size = args[1];
                 if old == 0 {
-                    return self.allocate(new_size);
+                    return self.allocate(new_size, site);
                 }
                 let old_extent = self.heap.extent(old).map(|(_, s)| s).unwrap_or(0);
-                let new = self.allocate(new_size)? as u64;
+                let new = self.allocate(new_size, site)? as u64;
                 let n = old_extent.min(new_size.max(0) as u64) as usize;
                 self.mem.copy(new, old, n)?;
                 Ok(new as i64)

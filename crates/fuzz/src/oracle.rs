@@ -87,6 +87,14 @@ pub enum Divergence {
         /// Disagreeing safe mode.
         mode: Mode,
     },
+    /// The gcprof instrumentation disagreed with the heap's own
+    /// statistics — the census or a histogram lost count somewhere.
+    ProfInconsistent {
+        /// Offending mode.
+        mode: Mode,
+        /// What disagreed with what.
+        detail: String,
+    },
 }
 
 impl Divergence {
@@ -102,6 +110,7 @@ impl Divergence {
             Divergence::Output { mode } => ("output", mode),
             Divergence::Paranoid { mode, .. } => ("paranoid", mode),
             Divergence::ParanoidDiffers { mode } => ("paranoid-differs", mode),
+            Divergence::ProfInconsistent { mode, .. } => ("prof-inconsistent", mode),
         }
     }
 }
@@ -139,6 +148,11 @@ impl fmt::Display for Divergence {
                 "[{}] paranoid collector run computed a different answer",
                 mode.label()
             ),
+            Divergence::ProfInconsistent { mode, detail } => write!(
+                f,
+                "[{}] profiler disagrees with heap statistics: {detail}",
+                mode.label()
+            ),
         }
     }
 }
@@ -158,6 +172,59 @@ fn paranoid_vm() -> cvm::VmOptions {
         },
         ..default_vm()
     }
+}
+
+/// The gcprof-vs-heap consistency oracle, run once per mode on the first
+/// instrumented run: every successful allocation must land in the size
+/// histogram, every collection in the pause timeline, and the end-of-run
+/// census must agree with the heap's own live-object accounting — both
+/// against [`gcheap::HeapStats`] and internally (class totals sum to the
+/// whole).
+fn prof_consistency(
+    mode: Mode,
+    prof: &gc_safety::ProfHandle,
+    r: &cvm::ExecOutcome,
+) -> Option<Divergence> {
+    let fail = |detail: String| Some(Divergence::ProfInconsistent { mode, detail });
+    let Some(data) = prof.snapshot() else {
+        return fail("enabled handle produced no snapshot".into());
+    };
+    if data.alloc_size.count() != r.heap.allocations {
+        return fail(format!(
+            "alloc_size histogram holds {} samples, heap performed {} allocations",
+            data.alloc_size.count(),
+            r.heap.allocations
+        ));
+    }
+    if data.collections != r.heap.collections || data.pause_ns.count() != r.heap.collections {
+        return fail(format!(
+            "profiler saw {} collections ({} pauses), heap performed {}",
+            data.collections,
+            data.pause_ns.count(),
+            r.heap.collections
+        ));
+    }
+    let Some(census) = &data.census else {
+        return fail("no end-of-run census recorded".into());
+    };
+    if census.live_objects != r.heap.objects_live || census.live_bytes != r.heap.bytes_live {
+        return fail(format!(
+            "census counts {} objects / {} bytes live, heap stats say {} / {}",
+            census.live_objects, census.live_bytes, r.heap.objects_live, r.heap.bytes_live
+        ));
+    }
+    let class_objects: u64 = census.classes.iter().map(|c| c.live_objects).sum();
+    let class_bytes: u64 = census.classes.iter().map(|c| c.live_bytes).sum();
+    if class_objects + census.large_objects != census.live_objects
+        || class_bytes + census.large_bytes != census.live_bytes
+    {
+        return fail(format!(
+            "census classes sum to {class_objects} objects / {class_bytes} bytes \
+             + {} large / {} bytes, but totals claim {} / {}",
+            census.large_objects, census.large_bytes, census.live_objects, census.live_bytes
+        ));
+    }
+    None
 }
 
 /// Runs the full differential check. `None` means all five modes agree;
@@ -180,7 +247,14 @@ pub fn check(source: &str) -> Option<Divergence> {
                 });
             }
         }
-        let r1 = match cvm::run_compiled(&prog, &default_vm()) {
+        let prof = gc_safety::ProfHandle::enabled();
+        let r1 = match cvm::run_compiled(
+            &prog,
+            &cvm::VmOptions {
+                prof: prof.clone(),
+                ..default_vm()
+            },
+        ) {
             Ok(r) => r,
             Err(e) => {
                 return Some(Divergence::Run {
@@ -189,6 +263,9 @@ pub fn check(source: &str) -> Option<Divergence> {
                 })
             }
         };
+        if let Some(d) = prof_consistency(mode, &prof, &r1) {
+            return Some(d);
+        }
         match cvm::run_compiled(&prog, &default_vm()) {
             Ok(r2)
                 if r2.exit_code == r1.exit_code

@@ -14,6 +14,7 @@
 
 use crate::mem::{Memory, HEAP_BASE};
 use crate::pagemap::{PageDesc, PageMap, SmallPage, PAGE_SIZE};
+use gcprof::{ClassCensus, HeapCensus, ProfHandle};
 use gctrace::{Event, TraceHandle};
 use std::collections::HashSet;
 use std::fmt;
@@ -115,6 +116,12 @@ pub struct HeapStats {
     pub total_pause_ns: u64,
     /// Longest single collection pause, in nanoseconds.
     pub max_pause_ns: u64,
+    /// Mark-phase share of the total pause, in nanoseconds.
+    pub total_mark_ns: u64,
+    /// Sweep-phase share of the total pause, in nanoseconds.
+    pub total_sweep_ns: u64,
+    /// High-water mark of [`HeapStats::bytes_live`].
+    pub peak_bytes_live: u64,
 }
 
 impl HeapStats {
@@ -135,6 +142,9 @@ impl HeapStats {
         w.uint_field("blacklisted_pages", self.blacklisted_pages);
         w.uint_field("total_pause_ns", self.total_pause_ns);
         w.uint_field("max_pause_ns", self.max_pause_ns);
+        w.uint_field("total_mark_ns", self.total_mark_ns);
+        w.uint_field("total_sweep_ns", self.total_sweep_ns);
+        w.uint_field("peak_bytes_live", self.peak_bytes_live);
         w.finish()
     }
 
@@ -165,6 +175,9 @@ impl HeapStats {
             blacklisted_pages: get("blacklisted_pages")?,
             total_pause_ns: get("total_pause_ns")?,
             max_pause_ns: get("max_pause_ns")?,
+            total_mark_ns: get("total_mark_ns")?,
+            total_sweep_ns: get("total_sweep_ns")?,
+            peak_bytes_live: get("peak_bytes_live")?,
         })
     }
 }
@@ -210,6 +223,7 @@ pub struct GcHeap {
     bytes_since_gc: u64,
     stats: HeapStats,
     trace: TraceHandle,
+    prof: ProfHandle,
 }
 
 impl GcHeap {
@@ -225,6 +239,7 @@ impl GcHeap {
             bytes_since_gc: 0,
             stats: HeapStats::default(),
             trace: TraceHandle::disabled(),
+            prof: ProfHandle::disabled(),
         }
     }
 
@@ -232,6 +247,18 @@ impl GcHeap {
     /// handle is disabled and costs nothing.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Routes profiling samples (allocation sizes, pause histograms,
+    /// the pause timeline) to `prof`. The default handle is disabled and
+    /// costs one branch per sample site.
+    pub fn set_prof(&mut self, prof: ProfHandle) {
+        self.prof = prof;
+    }
+
+    /// The profiling handle the heap records into.
+    pub fn prof(&self) -> &ProfHandle {
+        &self.prof
     }
 
     /// Creates a collector with the default configuration.
@@ -328,6 +355,8 @@ impl GcHeap {
         self.bytes_since_gc += extent;
         self.stats.objects_live += 1;
         self.stats.bytes_live += extent;
+        self.stats.peak_bytes_live = self.stats.peak_bytes_live.max(self.stats.bytes_live);
+        self.prof.record_alloc_size(size);
         Ok(addr)
     }
 
@@ -432,6 +461,64 @@ impl GcHeap {
         ok
     }
 
+    /// Walks the page map and produces a point-in-time [`HeapCensus`]:
+    /// live objects/bytes per size class, per-page occupancy deciles for
+    /// the fragmentation ratio, large-object totals, and blacklist
+    /// pressure. Free pages that sit in the reuse pool and pages the bump
+    /// allocator has never touched both count as free; blacklisted pages
+    /// are reported separately (they are withdrawn, not occupied).
+    pub fn census(&self) -> HeapCensus {
+        let mut classes: Vec<ClassCensus> = SIZE_CLASSES
+            .iter()
+            .map(|&obj_size| ClassCensus {
+                obj_size,
+                ..ClassCensus::default()
+            })
+            .collect();
+        let mut census = HeapCensus {
+            pages_total: self.map.page_count() as u64,
+            blacklisted_pages: self.blacklist.len() as u64,
+            ..HeapCensus::default()
+        };
+        for idx in 0..self.next_page {
+            match self.map.desc(idx) {
+                PageDesc::Free | PageDesc::LargeCont(_) => {}
+                PageDesc::Small(sp) => {
+                    let ci = SIZE_CLASSES
+                        .iter()
+                        .position(|&c| c == sp.obj_size)
+                        .expect("small page carries a known size class");
+                    let live = sp.alloc.iter().filter(|b| **b).count() as u64;
+                    let slots = sp.slots() as u64;
+                    let c = &mut classes[ci];
+                    c.pages += 1;
+                    c.slots += slots;
+                    c.live_objects += live;
+                    c.live_bytes += live * u64::from(sp.obj_size);
+                    census.small_pages += 1;
+                    census.small_capacity_bytes += slots * u64::from(sp.obj_size);
+                    census.occupancy_deciles[HeapCensus::occupancy_decile(live, slots)] += 1;
+                }
+                PageDesc::LargeHead {
+                    size,
+                    allocated: true,
+                    ..
+                } => {
+                    census.large_objects += 1;
+                    census.large_bytes += size;
+                    census.large_pages += size / PAGE_SIZE;
+                }
+                PageDesc::LargeHead { .. } => {}
+            }
+        }
+        census.free_pages = census.pages_total - census.small_pages - census.large_pages;
+        census.live_objects =
+            census.large_objects + classes.iter().map(|c| c.live_objects).sum::<u64>();
+        census.live_bytes = census.large_bytes + classes.iter().map(|c| c.live_bytes).sum::<u64>();
+        census.classes = classes.into_iter().filter(|c| c.pages > 0).collect();
+        census
+    }
+
     /// Runs a full stop-the-world mark-sweep collection.
     pub fn collect(&mut self, mem: &mut Memory, roots: &RootSet) {
         let t0 = Instant::now();
@@ -463,11 +550,17 @@ impl GcHeap {
                 objects_marked += u64::from(self.mark_candidate(word, false, &mut worklist));
             }
         }
+        let mark_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // --- sweep ---
         let (objects_swept, bytes_swept) = self.sweep(mem);
         let pause_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let sweep_ns = pause_ns.saturating_sub(mark_ns);
         self.stats.total_pause_ns += pause_ns;
         self.stats.max_pause_ns = self.stats.max_pause_ns.max(pause_ns);
+        self.stats.total_mark_ns += mark_ns;
+        self.stats.total_sweep_ns += sweep_ns;
+        self.prof
+            .record_collection(pause_ns, mark_ns, sweep_ns, bytes_swept);
         let stats = self.stats;
         self.trace.emit(|| {
             Event::new("gc", "collection")
@@ -484,6 +577,8 @@ impl GcHeap {
                 .field("objects_live", stats.objects_live)
                 .field("bytes_live", stats.bytes_live)
                 .field("pause_ns", pause_ns)
+                .field("mark_ns", mark_ns)
+                .field("sweep_ns", sweep_ns)
         });
     }
 
@@ -1045,12 +1140,159 @@ mod tests {
             "blacklisted_pages",
             "total_pause_ns",
             "max_pause_ns",
+            "total_mark_ns",
+            "total_sweep_ns",
+            "peak_bytes_live",
         ] {
             assert!(
                 text.contains(&format!("\"{key}\":")),
                 "missing {key} in {text}"
             );
         }
+    }
+
+    #[test]
+    fn pause_splits_into_mark_and_sweep() {
+        let (mut mem, mut heap) = setup();
+        for _ in 0..200 {
+            heap.alloc(&mut mem, 64).unwrap();
+        }
+        heap.collect(&mut mem, &RootSet::new());
+        let s = heap.stats();
+        assert!(s.total_mark_ns > 0, "marking takes nonzero time");
+        assert!(s.total_sweep_ns > 0, "sweeping takes nonzero time");
+        assert!(
+            s.total_mark_ns + s.total_sweep_ns <= s.total_pause_ns,
+            "the phases partition the pause: {} + {} vs {}",
+            s.total_mark_ns,
+            s.total_sweep_ns,
+            s.total_pause_ns
+        );
+    }
+
+    #[test]
+    fn collection_event_carries_the_phase_split() {
+        let (mut mem, mut heap) = setup();
+        let (trace, sink) = TraceHandle::memory();
+        heap.set_trace(trace);
+        heap.alloc(&mut mem, 64).unwrap();
+        heap.collect(&mut mem, &RootSet::new());
+        let evs = sink.snapshot();
+        let e = &evs[0];
+        let get = |k: &str| match e.get(k) {
+            Some(gctrace::Value::UInt(u)) => *u,
+            other => panic!("field {k}: {other:?}"),
+        };
+        assert!(get("mark_ns") > 0);
+        assert_eq!(get("mark_ns") + get("sweep_ns"), get("pause_ns"));
+    }
+
+    #[test]
+    fn peak_bytes_live_is_a_high_water_mark() {
+        let (mut mem, mut heap) = setup();
+        for _ in 0..10 {
+            heap.alloc(&mut mem, 96).unwrap();
+        }
+        let peak = heap.stats().peak_bytes_live;
+        assert_eq!(peak, heap.stats().bytes_live);
+        heap.collect(&mut mem, &RootSet::new()); // drops everything
+        assert_eq!(heap.stats().bytes_live, 0);
+        assert_eq!(heap.stats().peak_bytes_live, peak, "peak survives the drop");
+        heap.alloc(&mut mem, 16).unwrap();
+        assert_eq!(heap.stats().peak_bytes_live, peak);
+    }
+
+    /// The emergency-collection path: a failed allocation that triggers a
+    /// collection must still contribute to the pause accounting and the
+    /// pause histogram — these pauses are real stop-the-world time even
+    /// though the allocation comes back [`OutOfMemory`].
+    #[test]
+    fn failed_allocation_pause_is_accounted() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 14); // 4 pages of heap
+        let mut heap = GcHeap::with_defaults(&mem);
+        let prof = gcprof::ProfHandle::enabled();
+        heap.set_prof(prof.clone());
+        let mut mem = mem;
+        let mut keep = Vec::new();
+        for _ in 0..8 {
+            keep.push(heap.alloc(&mut mem, 1500).unwrap());
+        }
+        let mut roots = RootSet::new();
+        for &a in &keep {
+            roots.add_word(a);
+        }
+        // Heap full, everything rooted, threshold not reached: the alloc
+        // fails, the emergency collection frees nothing, the retry fails.
+        assert!(!heap.should_collect());
+        assert!(heap.alloc_with_roots(&mut mem, 1500, &roots).is_err());
+        let s = heap.stats();
+        assert_eq!(s.collections, 1, "the emergency collection ran");
+        assert!(s.total_pause_ns > 0, "its pause is accounted");
+        assert!(s.max_pause_ns > 0);
+        let d = prof.snapshot().expect("prof enabled");
+        assert_eq!(
+            d.pause_ns.count(),
+            s.collections,
+            "the pause histogram saw the emergency collection"
+        );
+        assert_eq!(d.collections, 1);
+    }
+
+    #[test]
+    fn census_agrees_with_stats() {
+        let (mut mem, mut heap) = setup();
+        let mut keep = Vec::new();
+        for i in 0..60u64 {
+            keep.push(heap.alloc(&mut mem, 16 + (i % 5) * 90).unwrap());
+        }
+        // One byte under the page multiple so the extra byte doesn't
+        // round onto a fourth/third page.
+        let _large = heap.alloc(&mut mem, 3 * 4096 - 1).unwrap(); // unrooted
+        let large_kept = heap.alloc(&mut mem, 2 * 4096 - 1).unwrap();
+        keep.push(large_kept);
+        let mut roots = RootSet::new();
+        for &a in &keep[..30] {
+            roots.add_word(a);
+        }
+        roots.add_word(large_kept);
+        heap.collect(&mut mem, &roots);
+        let census = heap.census();
+        let s = heap.stats();
+        assert_eq!(census.live_objects, s.objects_live);
+        assert_eq!(census.live_bytes, s.bytes_live);
+        assert_eq!(census.large_objects, 1);
+        assert_eq!(census.large_bytes, 2 * 4096);
+        assert_eq!(
+            census.small_pages + census.large_pages + census.free_pages,
+            census.pages_total
+        );
+        let decile_pages: u64 = census.occupancy_deciles.iter().sum();
+        assert_eq!(decile_pages, census.small_pages);
+        for c in &census.classes {
+            assert!(c.pages > 0);
+            assert!(c.live_objects <= c.slots);
+            assert_eq!(c.live_bytes, c.live_objects * u64::from(c.obj_size));
+        }
+        assert!(census.fragmentation_permille() <= 1000);
+    }
+
+    #[test]
+    fn census_sees_blacklisted_pages() {
+        use crate::pagemap::PAGE_SIZE;
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 16);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                blacklisting: true,
+                ..HeapConfig::default()
+            },
+        );
+        let mut mem = mem;
+        let bogus = crate::mem::HEAP_BASE + 3 * PAGE_SIZE + 40;
+        let mut roots = RootSet::new();
+        roots.add_word(bogus);
+        heap.collect(&mut mem, &roots);
+        assert_eq!(heap.census().blacklisted_pages, 1);
     }
 }
 

@@ -1,0 +1,249 @@
+//! # gcprof — low-overhead profiling for the gc-safety pipeline
+//!
+//! Where gctrace answers "what happened, in order", gcprof answers "how
+//! much, and where from": log-bucketed [`Histogram`]s of pause times,
+//! allocation sizes and sweep yields, per-allocation-site counters keyed
+//! by the VM's shadow call stack, a point-in-time [`HeapCensus`] of the
+//! collector's page map, and mutator-utilization ([`mmu_permille`])
+//! windows over the pause timeline.
+//!
+//! The [`ProfHandle`] follows the `TraceHandle` discipline exactly: a
+//! thin `Option<Arc<…>>` whose disabled form costs one branch and never
+//! evaluates the closures that would build stack keys or walk the heap.
+//! Enabled data lives behind a mutex per handle; the measurement matrix
+//! gives every (workload, mode) cell its own handle, so cells never
+//! contend and per-cell data is deterministic regardless of `--jobs`.
+//!
+//! Exports: Prometheus text exposition ([`prom`]), flamegraph-folded
+//! stacks (assembled by gcbench from [`ProfData::sites`]), and the human
+//! `ProfReport` table (also gcbench). Everything timing-free in the
+//! exports is byte-identical between serial and parallel runs.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod census;
+pub mod hist;
+pub mod mmu;
+pub mod prom;
+
+pub use census::{ClassCensus, HeapCensus};
+pub use hist::{decode_buckets, encode_buckets, Histogram};
+pub use mmu::{mmu_permille, Pause, MMU_WINDOWS_NS};
+pub use prom::PromWriter;
+
+/// Per-allocation-site totals. The site key is the VM's shadow call
+/// stack joined with `;`, ending in the `primitive@line:col` site label
+/// — already in flamegraph-folded frame order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteStats {
+    /// Number of allocations attributed to the stack.
+    pub allocs: u64,
+    /// Requested bytes attributed to the stack.
+    pub bytes: u64,
+}
+
+/// Everything one profiled run accumulates.
+#[derive(Debug, Clone, Default)]
+pub struct ProfData {
+    /// Requested allocation sizes (every successful `Heap::alloc`).
+    pub alloc_size: Histogram,
+    /// Stop-the-world pause per collection, nanoseconds.
+    pub pause_ns: Histogram,
+    /// Mark-phase share of each pause, nanoseconds.
+    pub mark_ns: Histogram,
+    /// Sweep-phase share of each pause, nanoseconds.
+    pub sweep_ns: Histogram,
+    /// Bytes returned to free lists per sweep.
+    pub sweep_freed_bytes: Histogram,
+    /// Per-call-stack allocation totals, deterministically ordered.
+    pub sites: BTreeMap<String, SiteStats>,
+    /// Pause timeline for MMU computation (offsets from profile start).
+    pub pauses: Vec<Pause>,
+    /// Completed collections observed.
+    pub collections: u64,
+    /// Final heap census, recorded when the VM run ends.
+    pub census: Option<HeapCensus>,
+}
+
+impl ProfData {
+    /// Minimum mutator utilization in permille for `window_ns`.
+    pub fn mmu_permille(&self, window_ns: u64) -> u64 {
+        mmu_permille(&self.pauses, window_ns)
+    }
+}
+
+struct ProfCell {
+    start: Instant,
+    data: Mutex<ProfData>,
+}
+
+/// The handle the heap and VM record into. Cloning is an `Arc` bump or a
+/// `None` copy; the disabled handle does literally nothing — closures
+/// passed to the `record_*` methods are never evaluated.
+#[derive(Clone, Default)]
+pub struct ProfHandle(Option<Arc<ProfCell>>);
+
+impl ProfHandle {
+    /// The zero-overhead handle: every `record_*` is a single branch.
+    pub fn disabled() -> Self {
+        ProfHandle(None)
+    }
+
+    /// A fresh, enabled profile starting its timeline now.
+    pub fn enabled() -> Self {
+        ProfHandle(Some(Arc::new(ProfCell {
+            start: Instant::now(),
+            data: Mutex::new(ProfData::default()),
+        })))
+    }
+
+    /// Whether samples will actually be recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one successful allocation of `size` requested bytes into
+    /// the size histogram. Called by the heap on the allocation path.
+    #[inline]
+    pub fn record_alloc_size(&self, size: u64) {
+        if let Some(cell) = &self.0 {
+            cell.data.lock().expect("prof lock").alloc_size.record(size);
+        }
+    }
+
+    /// Attributes `bytes` to the allocation site identified by the stack
+    /// key `key` builds. Called by the VM, which owns the shadow call
+    /// stack; when disabled, `key` is never evaluated and no string is
+    /// ever built.
+    #[inline]
+    pub fn record_site(&self, bytes: u64, key: impl FnOnce() -> String) {
+        if let Some(cell) = &self.0 {
+            let site = key();
+            let mut data = cell.data.lock().expect("prof lock");
+            let s = data.sites.entry(site).or_default();
+            s.allocs += 1;
+            s.bytes += bytes;
+        }
+    }
+
+    /// Records one completed collection: total pause, its mark/sweep
+    /// split, and the bytes the sweep returned to the free lists. Also
+    /// appends to the pause timeline for MMU computation.
+    #[inline]
+    pub fn record_collection(&self, pause_ns: u64, mark_ns: u64, sweep_ns: u64, freed_bytes: u64) {
+        if let Some(cell) = &self.0 {
+            let end_ns = cell.start.elapsed().as_nanos() as u64;
+            let mut data = cell.data.lock().expect("prof lock");
+            data.pause_ns.record(pause_ns);
+            data.mark_ns.record(mark_ns);
+            data.sweep_ns.record(sweep_ns);
+            data.sweep_freed_bytes.record(freed_bytes);
+            data.pauses.push(Pause { end_ns, pause_ns });
+            data.collections += 1;
+        }
+    }
+
+    /// Stores the heap census `build` produces. When disabled, the heap
+    /// walk never happens.
+    #[inline]
+    pub fn record_census(&self, build: impl FnOnce() -> HeapCensus) {
+        if let Some(cell) = &self.0 {
+            cell.data.lock().expect("prof lock").census = Some(build());
+        }
+    }
+
+    /// A copy of everything recorded so far; `None` when disabled.
+    pub fn snapshot(&self) -> Option<ProfData> {
+        self.0
+            .as_ref()
+            .map(|cell| cell.data.lock().expect("prof lock").clone())
+    }
+}
+
+impl fmt::Debug for ProfHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "ProfHandle(enabled)"
+        } else {
+            "ProfHandle(disabled)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The zero-cost pin, mirroring gctrace's
+    /// `disabled_handle_never_builds_the_event`: a disabled handle must
+    /// never evaluate the stack-key or census closures, so the hot
+    /// allocation path does no histogram or site work.
+    #[test]
+    fn disabled_handle_never_evaluates_closures() {
+        let h = ProfHandle::disabled();
+        let mut key_built = false;
+        h.record_site(64, || {
+            key_built = true;
+            String::from("main;malloc@1:1")
+        });
+        let mut census_built = false;
+        h.record_census(|| {
+            census_built = true;
+            HeapCensus::default()
+        });
+        h.record_alloc_size(64);
+        h.record_collection(10, 6, 4, 128);
+        assert!(!key_built, "disabled handle must not build stack keys");
+        assert!(!census_built, "disabled handle must not walk the heap");
+        assert!(!h.is_enabled());
+        assert!(h.snapshot().is_none());
+    }
+
+    #[test]
+    fn enabled_handle_accumulates_everything() {
+        let h = ProfHandle::enabled();
+        assert!(h.is_enabled());
+        h.record_alloc_size(64);
+        h.record_alloc_size(100);
+        h.record_site(64, || "main;malloc@3:9".into());
+        h.record_site(100, || "main;push;malloc@7:2".into());
+        h.record_site(36, || "main;push;malloc@7:2".into());
+        h.record_collection(1000, 600, 400, 4096);
+        h.record_census(|| HeapCensus {
+            live_objects: 2,
+            live_bytes: 164,
+            ..HeapCensus::default()
+        });
+        let d = h.snapshot().expect("enabled");
+        assert_eq!(d.alloc_size.count(), 2);
+        assert_eq!(d.alloc_size.sum(), 164);
+        assert_eq!(d.collections, 1);
+        assert_eq!(d.pause_ns.count(), d.collections);
+        assert_eq!(d.mark_ns.sum() + d.sweep_ns.sum(), 1000);
+        assert_eq!(d.pauses.len(), 1);
+        assert_eq!(d.sites.len(), 2);
+        let push = &d.sites["main;push;malloc@7:2"];
+        assert_eq!((push.allocs, push.bytes), (2, 136));
+        assert_eq!(d.census.as_ref().unwrap().live_bytes, 164);
+    }
+
+    #[test]
+    fn clones_share_the_same_profile() {
+        let h = ProfHandle::enabled();
+        let h2 = h.clone();
+        h.record_alloc_size(8);
+        h2.record_alloc_size(8);
+        assert_eq!(h.snapshot().unwrap().alloc_size.count(), 2);
+        assert_eq!(format!("{h:?}"), "ProfHandle(enabled)");
+        assert_eq!(
+            format!("{:?}", ProfHandle::disabled()),
+            "ProfHandle(disabled)"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Minimum mutator utilization (MMU) from a pause timeline.
+//!
+//! The collector records every pause as `(end offset, duration)` relative
+//! to the profile's start. For a window length `w`, the MMU is the worst
+//! fraction of any `w`-long window the mutator got to run in. The minimum
+//! over all window placements is attained with a window edge aligned to a
+//! pause boundary, so only `2·pauses` candidate placements need checking.
+
+/// One stop-the-world pause on the profile timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pause {
+    /// Nanoseconds from profile start to the end of the pause.
+    pub end_ns: u64,
+    /// Pause duration in nanoseconds.
+    pub pause_ns: u64,
+}
+
+impl Pause {
+    fn start_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.pause_ns)
+    }
+}
+
+/// Total pause time overlapping the window `[start, start + window)`.
+fn overlap_ns(pauses: &[Pause], start: u64, window: u64) -> u64 {
+    let end = start.saturating_add(window);
+    pauses
+        .iter()
+        .map(|p| {
+            let lo = p.start_ns().max(start);
+            let hi = p.end_ns.min(end);
+            hi.saturating_sub(lo)
+        })
+        .sum()
+}
+
+/// Minimum mutator utilization over windows of `window_ns`, in permille.
+/// 1000 means the mutator was never interrupted for that window size;
+/// 0 means some window was pure pause. An empty timeline is 1000.
+pub fn mmu_permille(pauses: &[Pause], window_ns: u64) -> u64 {
+    if pauses.is_empty() || window_ns == 0 {
+        return 1000;
+    }
+    let horizon = pauses.iter().map(|p| p.end_ns).max().unwrap_or(0);
+    if horizon <= window_ns {
+        // One window covers the whole timeline.
+        let total: u64 = pauses.iter().map(|p| p.pause_ns).sum();
+        let busy = total.min(horizon);
+        if horizon == 0 {
+            return 1000;
+        }
+        return 1000 - (1000 * busy) / horizon;
+    }
+    let mut worst = 0u64;
+    for p in pauses {
+        // Window starting at a pause start, and window ending at a pause
+        // end — clamped so the window stays inside [0, horizon].
+        let a = p.start_ns().min(horizon - window_ns);
+        let b = p.end_ns.saturating_sub(window_ns);
+        worst = worst.max(overlap_ns(pauses, a, window_ns));
+        worst = worst.max(overlap_ns(pauses, b, window_ns));
+    }
+    let worst = worst.min(window_ns);
+    1000 - (1000 * worst) / window_ns
+}
+
+/// The standard report windows: 1 ms, 10 ms, 100 ms.
+pub const MMU_WINDOWS_NS: [(u64, &str); 3] = [
+    (1_000_000, "1ms"),
+    (10_000_000, "10ms"),
+    (100_000_000, "100ms"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_is_fully_utilized() {
+        assert_eq!(mmu_permille(&[], 1_000_000), 1000);
+    }
+
+    #[test]
+    fn one_pause_dominates_small_windows() {
+        // A 100 µs pause ending at t=200 µs on a 1 ms run.
+        let pauses = [
+            Pause {
+                end_ns: 200_000,
+                pause_ns: 100_000,
+            },
+            Pause {
+                end_ns: 1_000_000,
+                pause_ns: 0,
+            },
+        ];
+        // A 100 µs window can sit entirely inside the pause.
+        assert_eq!(mmu_permille(&pauses, 100_000), 0);
+        // A 200 µs window carries at most the full 100 µs pause.
+        assert_eq!(mmu_permille(&pauses, 200_000), 500);
+        // The whole-run window sees 100 µs of pause in 1 ms.
+        assert_eq!(mmu_permille(&pauses, 1_000_000), 900);
+    }
+
+    #[test]
+    fn adjacent_pauses_accumulate() {
+        // Two 10 µs pauses 20 µs apart: a 40 µs window can cover both.
+        let pauses = [
+            Pause {
+                end_ns: 20_000,
+                pause_ns: 10_000,
+            },
+            Pause {
+                end_ns: 50_000,
+                pause_ns: 10_000,
+            },
+            Pause {
+                end_ns: 400_000,
+                pause_ns: 0,
+            },
+        ];
+        assert_eq!(mmu_permille(&pauses, 40_000), 500);
+    }
+}

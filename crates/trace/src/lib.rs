@@ -87,7 +87,7 @@ impl From<bool> for Value {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Emitting pipeline stage: `"annotate"`, `"opt"`, `"gc"`, `"vm"`,
-    /// `"peephole"`, `"bench"`, …
+    /// `"peephole"`, `"bench"`, `"prof"`, …
     pub stage: &'static str,
     /// Event kind within the stage: `"wrap"`, `"pass"`, `"collection"`, …
     pub kind: &'static str,
@@ -109,6 +109,21 @@ impl Event {
     pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
         self.fields.push((key, value.into()));
         self
+    }
+
+    /// Starts a `("prof", "histogram")` event — the standard shape a
+    /// histogram crosses the trace boundary in: a `name`, the sample
+    /// `count` and `sum`, and the sparse `"index:count ..."` bucket
+    /// encoding (see `gcprof::encode_buckets`). Only *deterministic*
+    /// histograms should travel as events: traces are compared
+    /// byte-for-byte across worker counts, so wall-clock series belong in
+    /// gcprof exports, never here.
+    pub fn histogram(name: &'static str, count: u64, sum: u64, buckets: String) -> Self {
+        Event::new("prof", "histogram")
+            .field("name", name)
+            .field("count", count)
+            .field("sum", sum)
+            .field("buckets", buckets)
     }
 
     /// Looks a field up by key.
@@ -326,6 +341,22 @@ impl fmt::Debug for TraceHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_events_carry_the_standard_shape() {
+        let e = Event::histogram("alloc_size", 3, 96, "5:2 6:1".to_string());
+        assert_eq!((e.stage, e.kind), ("prof", "histogram"));
+        assert_eq!(e.get("name"), Some(&Value::Str("alloc_size".into())));
+        assert_eq!(e.get("count"), Some(&Value::UInt(3)));
+        assert_eq!(e.get("sum"), Some(&Value::UInt(96)));
+        let json = e.to_json();
+        let obj = json::parse_object(&json).expect("round-trips");
+        assert_eq!(
+            obj["buckets"].as_str(),
+            Some("5:2 6:1"),
+            "bucket encoding survives JSON: {json}"
+        );
+    }
 
     #[test]
     fn disabled_handle_never_builds_the_event() {

@@ -21,6 +21,10 @@ use std::collections::BTreeMap;
 
 pub use asmpost::{AsmFunc, CostReport, Machine, PeepholeStats};
 pub use cvm::{CompileOptions, ExecOutcome, ProgramIr, VmError, VmOptions};
+pub use gcprof::{
+    encode_buckets, prom, HeapCensus, Histogram, ProfData, ProfHandle, PromWriter, SiteStats,
+    MMU_WINDOWS_NS,
+};
 pub use gcsafe::Config as AnnotConfig;
 pub use gctrace::{merge_tagged, Event, JsonlSink, MemorySink, Sink, TaggedSink, TraceHandle};
 pub use workloads::{Scale, Workload};
@@ -49,6 +53,20 @@ impl Mode {
             Mode::OSafePost => "-O, safe+post",
             Mode::G => "-g",
             Mode::GChecked => "-g, checked",
+        }
+    }
+
+    /// A short, space-free key for contexts where [`Mode::label`]'s
+    /// punctuation would collide with a line format: flamegraph folded
+    /// stacks (space-separated), Prometheus-friendly label values, file
+    /// names.
+    pub fn key(self) -> &'static str {
+        match self {
+            Mode::O => "O",
+            Mode::OSafe => "O-safe",
+            Mode::OSafePost => "O-safe-post",
+            Mode::G => "g",
+            Mode::GChecked => "g-checked",
         }
     }
 
@@ -97,6 +115,10 @@ pub struct Measured {
     /// build came from [`measure_source_traced`] — kept here so report
     /// code can keep emitting into the same sink.
     pub trace: TraceHandle,
+    /// The profiling handle the run was instrumented with. Disabled
+    /// unless the build came from [`measure_source_instrumented`] —
+    /// snapshot it to assemble reports and exports.
+    pub prof: ProfHandle,
 }
 
 impl Measured {
@@ -133,10 +155,32 @@ pub fn measure_source_traced(
     mode: Mode,
     trace: &TraceHandle,
 ) -> Result<Measured, String> {
+    measure_source_instrumented(source, input, mode, trace, &ProfHandle::disabled())
+}
+
+/// [`measure_source_traced`] with a profiling handle attached to the heap
+/// and VM: allocation-size and sweep histograms, pause phase timings, the
+/// per-site allocation counters, and an end-of-run heap census all land in
+/// `prof`. When both handles are enabled, the deterministic slice of the
+/// profile (size histograms, census — never wall-clock timings) is also
+/// mirrored into the trace as `("prof", "histogram")` and
+/// `("prof", "census")` events so trace artifacts stay reproducible.
+///
+/// # Errors
+///
+/// Same as [`measure_source`].
+pub fn measure_source_instrumented(
+    source: &str,
+    input: &[u8],
+    mode: Mode,
+    trace: &TraceHandle,
+    prof: &ProfHandle,
+) -> Result<Measured, String> {
     let prog = cvm::compile_traced(source, &mode.compile_options(), trace)?;
     let vm_opts = VmOptions {
         input: input.to_vec(),
         trace: trace.clone(),
+        prof: prof.clone(),
         ..VmOptions::default()
     };
     let outcome = cvm::run_compiled(&prog, &vm_opts);
@@ -174,12 +218,41 @@ pub fn measure_source_traced(
             costs.insert(machine.name, cost);
         }
     }
+    if trace.is_enabled() && prof.is_enabled() {
+        if let Some(data) = prof.snapshot() {
+            // Only the deterministic slice crosses into the trace: traces
+            // are compared byte-for-byte in tests and across --jobs, so
+            // wall-clock histograms (pause/mark/sweep) stay out.
+            for (name, h) in [
+                ("alloc_size", &data.alloc_size),
+                ("sweep_freed_bytes", &data.sweep_freed_bytes),
+            ] {
+                trace.emit(|| {
+                    Event::histogram(name, h.count(), h.sum(), encode_buckets(h.counts()))
+                        .field("mode", mode.label())
+                });
+            }
+            if let Some(census) = &data.census {
+                trace.emit(|| {
+                    Event::new("prof", "census")
+                        .field("mode", mode.label())
+                        .field("live_objects", census.live_objects)
+                        .field("live_bytes", census.live_bytes)
+                        .field("small_pages", census.small_pages)
+                        .field("large_pages", census.large_pages)
+                        .field("free_pages", census.free_pages)
+                        .field("fragmentation_permille", census.fragmentation_permille())
+                });
+            }
+        }
+    }
     Ok(Measured {
         mode,
         outcome,
         costs,
         peephole,
         trace: trace.clone(),
+        prof: prof.clone(),
     })
 }
 
@@ -260,8 +333,26 @@ pub fn measure_workload_mode_traced(
     mode: Mode,
     trace: &TraceHandle,
 ) -> Result<Measured, String> {
+    measure_workload_mode_instrumented(w, scale, mode, trace, &ProfHandle::disabled())
+}
+
+/// [`measure_workload_mode_traced`] with a profiling handle (see
+/// [`measure_source_instrumented`]). The parallel bench driver hands each
+/// cell its own enabled handle so profiles never interleave across
+/// workers.
+///
+/// # Errors
+///
+/// Same as [`measure_source`].
+pub fn measure_workload_mode_instrumented(
+    w: &Workload,
+    scale: Scale,
+    mode: Mode,
+    trace: &TraceHandle,
+    prof: &ProfHandle,
+) -> Result<Measured, String> {
     let input = (w.input)(scale);
-    measure_source_traced(w.source, &input, mode, trace)
+    measure_source_instrumented(w.source, &input, mode, trace, prof)
 }
 
 /// The default worker count for parallel drivers (the bench matrix,
@@ -401,6 +492,54 @@ mod tests {
         assert!(Mode::OSafe.compile_options().annotate.is_some());
         assert!(Mode::G.compile_options().lower.all_locals_in_memory);
         assert_eq!(Mode::all().len(), 5);
+    }
+
+    #[test]
+    fn mode_keys_are_flamegraph_safe() {
+        for mode in Mode::all() {
+            let k = mode.key();
+            assert!(
+                k.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "{k}"
+            );
+        }
+        let keys: std::collections::BTreeSet<_> = Mode::all().iter().map(|m| m.key()).collect();
+        assert_eq!(keys.len(), 5, "keys are distinct");
+    }
+
+    #[test]
+    fn instrumented_measurement_profiles_and_traces() {
+        let prof = ProfHandle::enabled();
+        let (trace, sink) = TraceHandle::memory();
+        let m = measure_source_instrumented(TOY, b"", Mode::OSafe, &trace, &prof).expect("builds");
+        assert!(m.prof.is_enabled());
+        let data = prof.snapshot().expect("profile data");
+        assert!(data.alloc_size.count() > 0, "allocation sizes recorded");
+        assert!(!data.sites.is_empty(), "allocation sites attributed");
+        assert!(
+            data.sites.keys().all(|k| k.contains("malloc@")),
+            "{:?}",
+            data.sites
+        );
+        let census = data.census.expect("final census");
+        assert!(census.live_bytes > 0);
+        let events = sink.snapshot();
+        let hists = events
+            .iter()
+            .filter(|e| e.stage == "prof" && e.kind == "histogram")
+            .count();
+        assert_eq!(hists, 2, "alloc_size + sweep_freed_bytes");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.stage == "prof" && e.kind == "census")
+                .count(),
+            1
+        );
+        // The untraced, unprofiled path stays unaffected.
+        let plain = measure_source(TOY, b"", Mode::OSafe).expect("builds");
+        assert!(!plain.prof.is_enabled());
+        assert!(plain.prof.snapshot().is_none());
     }
 
     #[test]

@@ -245,6 +245,118 @@ fn page_reclamation_survives_size_class_phase_shifts() {
     }
 }
 
+/// Histogram bucket placement against an independently computed shadow:
+/// every sample lands in exactly the `floor(log2)+1` bucket, bucket
+/// counts always sum to the sample count, and sum/min/max track exactly.
+#[test]
+fn histogram_buckets_partition_the_samples() {
+    use gcprof::Histogram;
+    for case in 0..64 {
+        let mut rng = Rng::for_case("histogram_invariants", case);
+        let mut h = Histogram::new();
+        let mut shadow = [0u64; gcprof::hist::BUCKETS];
+        let (mut sum, mut min, mut max) = (0u64, u64::MAX, 0u64);
+        let n = 1 + rng.below(200);
+        for _ in 0..n {
+            // Spread samples across the full bucket range without
+            // overflowing the sum accumulator.
+            let v = rng.next_u64() >> (8 + rng.index(56));
+            h.record(v);
+            shadow[if v == 0 {
+                0
+            } else {
+                64 - v.leading_zeros() as usize
+            }] += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert_eq!(h.count(), n, "case {case}");
+        assert_eq!(h.counts().iter().sum::<u64>(), n, "case {case}");
+        assert_eq!(h.counts(), &shadow, "case {case}");
+        assert_eq!(h.sum(), sum, "case {case}");
+        assert_eq!(h.min(), min, "case {case}");
+        assert_eq!(h.max(), max, "case {case}");
+        // Every occupied bucket's bound covers its samples' range.
+        for (i, _) in h.nonzero() {
+            assert!(Histogram::bucket_bound(i) >= min, "case {case} bucket {i}");
+        }
+    }
+}
+
+/// The gcprof invariants the fuzzer's oracle also enforces, here driven
+/// directly against the heap by the op machine: the size histogram counts
+/// exactly the successful allocations, the pause timeline counts exactly
+/// the collections, and the census agrees with the heap's statistics.
+#[test]
+fn prof_instrumentation_matches_heap_statistics() {
+    for case in 0..32 {
+        let mut rng = Rng::for_case("prof_consistency", case);
+        let ops = gen_ops(&mut rng, 80);
+        let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                gc_threshold: u64::MAX,
+                ..HeapConfig::default()
+            },
+        );
+        let prof = gcprof::ProfHandle::enabled();
+        heap.set_prof(prof.clone());
+        let mut rooted: Vec<u64> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(addr) = heap.alloc(&mut mem, *size as u64) {
+                        rooted.push(addr);
+                    }
+                }
+                Op::Unroot(i) => {
+                    if !rooted.is_empty() {
+                        let idx = *i as usize % rooted.len();
+                        rooted.swap_remove(idx);
+                    }
+                }
+                Op::Collect => {
+                    let mut roots = RootSet::new();
+                    for &r in &rooted {
+                        roots.add_word(r);
+                    }
+                    heap.collect(&mut mem, &roots);
+                }
+                // Pointer stores don't touch the profiler.
+                Op::Link(..) | Op::Unlink(..) => {}
+            }
+        }
+        let data = prof.snapshot().expect("enabled handle snapshots");
+        let stats = heap.stats();
+        assert_eq!(data.alloc_size.count(), stats.allocations, "case {case}");
+        assert_eq!(data.alloc_size.sum(), stats.bytes_requested, "case {case}");
+        assert_eq!(data.collections, stats.collections, "case {case}");
+        assert_eq!(data.pause_ns.count(), stats.collections, "case {case}");
+        assert_eq!(data.mark_ns.count(), stats.collections, "case {case}");
+        assert_eq!(data.sweep_ns.count(), stats.collections, "case {case}");
+        assert_eq!(
+            data.sweep_freed_bytes.count(),
+            stats.collections,
+            "case {case}"
+        );
+        assert_eq!(data.pauses.len() as u64, stats.collections, "case {case}");
+        for h in [&data.alloc_size, &data.pause_ns, &data.sweep_freed_bytes] {
+            assert_eq!(h.counts().iter().sum::<u64>(), h.count(), "case {case}");
+        }
+        let census = heap.census();
+        assert_eq!(census.live_objects, stats.objects_live, "case {case}");
+        assert_eq!(census.live_bytes, stats.bytes_live, "case {case}");
+        let class_objects: u64 = census.classes.iter().map(|c| c.live_objects).sum();
+        assert_eq!(
+            class_objects + census.large_objects,
+            census.live_objects,
+            "case {case}"
+        );
+    }
+}
+
 #[test]
 fn base_resolves_everywhere_inside_and_only_inside() {
     for case in 0..96 {
