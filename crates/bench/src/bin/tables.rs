@@ -2,7 +2,8 @@
 //!
 //! Usage: `tables [sparc2|sparc10|pentium90|codesize|postprocessor|analysis|all]
 //!                [--tiny] [--jobs N] [--trace <file.jsonl>]
-//!                [--prof <file.prom>] [--folded <file.txt>]`
+//!                [--prof <file.prom>] [--folded <file.txt>]
+//!                [--bench-json <file.json>]`
 //!
 //! The 4 workloads × 5 modes measurement matrix runs in parallel across
 //! `--jobs N` worker threads (default: all cores); every table and trace
@@ -49,6 +50,11 @@ fn main() {
     let folded_path: Option<&str> = args
         .iter()
         .position(|a| a == "--folded")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let bench_json_path: Option<&str> = args
+        .iter()
+        .position(|a| a == "--bench-json")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
     if folded_path.is_some() && prof_path.is_none() {
@@ -132,6 +138,25 @@ fn main() {
         other => {
             eprintln!("unknown table '{other}'");
             std::process::exit(2);
+        }
+    }
+    if let Some(path) = bench_json_path {
+        // The perf trajectory: matrix-cell collector stats plus the
+        // heap-direct collection microbench, validated before it lands.
+        let micro = gc_microbench(scale == Scale::Tiny);
+        let text = bench_gc_json(&data, &micro);
+        match validate_bench_gc_json(&text) {
+            Ok(cells) => {
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("error: cannot write gc bench json '{path}': {e}");
+                    std::process::exit(1);
+                }
+                println!("\ngc perf trajectory: {cells} cells written to {path}");
+            }
+            Err(e) => {
+                eprintln!("error: generated gc bench json does not validate: {e}");
+                std::process::exit(1);
+            }
         }
     }
     if let Some(path) = prof_path {

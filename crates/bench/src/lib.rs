@@ -13,6 +13,10 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
+pub use micro::{gc_microbench, MicroCell};
+
 use gc_safety::{
     merge_tagged, Cell, Event, Machine, Measured, Mode, ProfData, ProfHandle, Sink, TaggedSink,
     TraceHandle,
@@ -879,9 +883,123 @@ pub fn bench_json(data: &Dataset) -> String {
     format!("[\n{}\n]\n", lines.join(",\n"))
 }
 
+/// The GC perf trajectory (`BENCH_gc.json`): a JSON array with one flat
+/// object per line — first every (workload, mode) matrix cell's collector
+/// statistics, then the [`gc_microbench`] schedules. Schema `gc/1`; every
+/// consumer keys on `"kind"` (`"matrix"` or `"micro"`). Timing fields
+/// (`*_ns`, `allocs_per_sec`) are wall-clock and move run to run; every
+/// count is deterministic.
+pub fn bench_gc_json(data: &Dataset, micro: &[MicroCell]) -> String {
+    let mut lines = Vec::new();
+    let heap_fields = |w: &mut gctrace::json::Writer, h: &gcheap::HeapStats| {
+        w.uint_field("allocations", h.allocations);
+        w.uint_field("bytes_requested", h.bytes_requested);
+        w.uint_field("collections", h.collections);
+        w.uint_field("objects_freed", h.objects_freed);
+        w.uint_field("pages_reclaimed", h.pages_reclaimed);
+        w.uint_field("pages_swept_lazily", h.pages_swept_lazily);
+        w.uint_field("sweep_debt_pages", h.sweep_debt_pages);
+        w.uint_field("total_mark_ns", h.total_mark_ns);
+        w.uint_field("total_sweep_ns", h.total_sweep_ns);
+        w.uint_field("total_pause_ns", h.total_pause_ns);
+        w.uint_field("max_pause_ns", h.max_pause_ns);
+        w.uint_field("peak_bytes_live", h.peak_bytes_live);
+    };
+    for (name, results) in &data.rows {
+        for (mode, m) in results {
+            let Ok(out) = &m.outcome else { continue };
+            let mut w = gctrace::json::Writer::new();
+            w.str_field("schema", "gc/1");
+            w.str_field("kind", "matrix");
+            w.str_field("workload", name);
+            w.str_field("mode", mode.key());
+            heap_fields(&mut w, &out.heap);
+            lines.push(format!("  {}", w.finish()));
+        }
+    }
+    for cell in micro {
+        let mut w = gctrace::json::Writer::new();
+        w.str_field("schema", "gc/1");
+        w.str_field("kind", "micro");
+        w.str_field("workload", cell.name);
+        w.str_field("mode", "heap-direct");
+        heap_fields(&mut w, &cell.stats);
+        w.uint_field("wall_ns", cell.wall_ns);
+        w.uint_field("allocs_per_sec", cell.allocs_per_sec());
+        lines.push(format!("  {}", w.finish()));
+    }
+    format!("[\n{}\n]\n", lines.join(",\n"))
+}
+
+/// Validates a [`bench_gc_json`] document: every line between the array
+/// brackets must parse as a flat JSON object carrying the `gc/1` schema
+/// tag and the fields every trajectory consumer keys on. Returns the
+/// number of cells.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn validate_bench_gc_json(text: &str) -> Result<usize, String> {
+    let mut cells = 0;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let obj = gctrace::json::parse_object(line).map_err(|e| format!("bad cell: {e}"))?;
+        for key in [
+            "schema",
+            "kind",
+            "workload",
+            "mode",
+            "collections",
+            "pages_swept_lazily",
+            "total_mark_ns",
+            "total_sweep_ns",
+            "max_pause_ns",
+        ] {
+            if !obj.contains_key(key) {
+                return Err(format!("cell missing {key:?}: {line}"));
+            }
+        }
+        if obj.get("schema").and_then(gctrace::json::JsonValue::as_str) != Some("gc/1") {
+            return Err(format!("unknown schema in cell: {line}"));
+        }
+        cells += 1;
+    }
+    if cells == 0 {
+        return Err("no cells".into());
+    }
+    Ok(cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_gc_json_is_valid_and_covers_matrix_and_micro() {
+        let data = collect(Scale::Tiny).expect("all workloads run");
+        let micro = gc_microbench(true);
+        let text = bench_gc_json(&data, &micro);
+        let cells = validate_bench_gc_json(&text).expect("parses");
+        // Cells whose VM run traps (g-checked catching a hazard) carry no
+        // heap stats and are skipped, so count from the dataset itself.
+        let measured: usize = data
+            .rows
+            .iter()
+            .map(|(_, results)| results.iter().filter(|(_, m)| m.outcome.is_ok()).count())
+            .sum();
+        assert_eq!(cells, measured + micro.len());
+        assert!(
+            cells >= 19 + 3,
+            "nearly every matrix cell measured: {cells}"
+        );
+        assert!(text.contains("\"kind\":\"micro\""));
+        assert!(text.contains("\"workload\":\"churn-small\""));
+        assert!(validate_bench_gc_json("[\n]\n").is_err(), "empty rejected");
+        assert!(validate_bench_gc_json("[\n  not json\n]\n").is_err());
+    }
 
     #[test]
     fn tiny_dataset_builds_all_tables() {

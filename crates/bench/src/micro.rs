@@ -1,0 +1,230 @@
+//! The collection microbench: deterministic allocation schedules driven
+//! straight against [`gcheap::GcHeap`] (no VM in the loop), so the
+//! mark/sweep costs the matrix cells only brush against — cfrac at paper
+//! scale never even crosses the 256 KiB threshold — are measured under
+//! real collection pressure. Three schedules mirror the paper's workload
+//! shapes:
+//!
+//! * `churn-small` — cfrac-like: a tight loop of short-lived small
+//!   objects with a sliding window of survivors;
+//! * `churn-mixed` — gs-like: small objects plus periodic multi-page
+//!   buffers, some long-lived;
+//! * `graph` — cordtest-like: linked structures the mark phase must
+//!   chase through heap memory, dropped in batches.
+//!
+//! Every schedule uses the default [`HeapConfig`] (256 KiB threshold,
+//! poisoning on), drives collections exactly the way the VM does (check
+//! the threshold at the allocation safe point, collect, retry on OOM),
+//! and is seeded xorshift-deterministic: the allocation/collection
+//! *counts* are byte-identical run to run; only the nanosecond timings
+//! move. The results seed `BENCH_gc.json`, the repo's perf trajectory.
+
+use gcheap::{GcHeap, HeapConfig, HeapStats, Memory, RootSet};
+use std::time::Instant;
+
+/// One measured microbench schedule.
+#[derive(Debug, Clone)]
+pub struct MicroCell {
+    /// Schedule name (`churn-small`, `churn-mixed`, `graph`).
+    pub name: &'static str,
+    /// Final collector statistics for the run.
+    pub stats: HeapStats,
+    /// Wall-clock time for the whole schedule, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl MicroCell {
+    /// Allocations per wall-clock second, rounded down.
+    pub fn allocs_per_sec(&self) -> u64 {
+        if self.wall_ns == 0 {
+            return 0;
+        }
+        (self.stats.allocations as u128 * 1_000_000_000 / self.wall_ns as u128) as u64
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+    fn next(&mut self) -> u64 {
+        // xorshift64*, as in tests/common.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn roots_of(live: &[u64]) -> RootSet {
+    let mut roots = RootSet::new();
+    for &a in live {
+        roots.add_word(a);
+    }
+    roots
+}
+
+/// Allocates like the VM does: collect at the threshold safe point,
+/// retry once through a collection on OOM. Returns `None` only when the
+/// heap is exhausted even after collecting.
+fn alloc_at_safe_point(
+    heap: &mut GcHeap,
+    mem: &mut Memory,
+    size: u64,
+    live: &[u64],
+) -> Option<u64> {
+    if heap.should_collect() {
+        heap.collect(mem, &roots_of(live));
+    }
+    match heap.alloc(mem, size) {
+        Ok(a) => Some(a),
+        Err(_) => {
+            heap.collect(mem, &roots_of(live));
+            heap.alloc(mem, size).ok()
+        }
+    }
+}
+
+fn run_schedule(
+    name: &'static str,
+    allocs: u64,
+    f: impl FnOnce(&mut GcHeap, &mut Memory, u64),
+) -> MicroCell {
+    // 32 MiB of heap: enough bump region that the multi-page objects in
+    // churn-mixed never exhaust contiguity (large pages are not recycled
+    // for large objects), so the schedules measure collection cost, not
+    // out-of-memory thrash.
+    let mut mem = Memory::new(1 << 16, 1 << 16, 32 << 20);
+    let mut heap = GcHeap::new(&mem, HeapConfig::default());
+    let t0 = Instant::now();
+    f(&mut heap, &mut mem, allocs);
+    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    MicroCell {
+        name,
+        stats: heap.stats(),
+        wall_ns,
+    }
+}
+
+fn churn_small(heap: &mut GcHeap, mem: &mut Memory, allocs: u64) {
+    let mut rng = Rng::new(1);
+    let mut live: Vec<u64> = Vec::new();
+    const WINDOW: usize = 512;
+    for _ in 0..allocs {
+        let size = 8 + rng.below(200);
+        if let Some(a) = alloc_at_safe_point(heap, mem, size, &live) {
+            live.push(a);
+            if live.len() > WINDOW {
+                let idx = rng.below(live.len() as u64 / 2) as usize;
+                live.swap_remove(idx);
+            }
+        }
+    }
+}
+
+fn churn_mixed(heap: &mut GcHeap, mem: &mut Memory, allocs: u64) {
+    let mut rng = Rng::new(2);
+    let mut live: Vec<u64> = Vec::new();
+    let mut old: Vec<u64> = Vec::new();
+    for i in 0..allocs {
+        let size = if i % 64 == 63 {
+            4096 + rng.below(3 * 4096)
+        } else {
+            16 + rng.below(480)
+        };
+        let mut all: Vec<u64> = live.clone();
+        all.extend_from_slice(&old);
+        if let Some(a) = alloc_at_safe_point(heap, mem, size, &all) {
+            if i % 16 == 0 && old.len() < 256 {
+                old.push(a); // long-lived
+            } else {
+                live.push(a);
+                if live.len() > 384 {
+                    let idx = rng.below(live.len() as u64) as usize;
+                    live.swap_remove(idx);
+                }
+            }
+        }
+    }
+}
+
+fn graph(heap: &mut GcHeap, mem: &mut Memory, allocs: u64) {
+    let mut rng = Rng::new(3);
+    // Rooted list heads; each head chains nodes through heap words so the
+    // mark phase traverses pointer-filled memory. Chains are dropped often
+    // enough that the live set settles around a few thousand nodes —
+    // heavy mark work without ever filling the heap.
+    let mut heads: Vec<u64> = Vec::new();
+    let mut tails: Vec<u64> = Vec::new();
+    for i in 0..allocs {
+        let size = 24 + rng.below(104);
+        if let Some(a) = alloc_at_safe_point(heap, mem, size, &heads) {
+            if heads.is_empty() || (heads.len() < 32 && rng.below(16) == 0) {
+                heads.push(a);
+                tails.push(a);
+            } else {
+                let h = rng.below(heads.len() as u64) as usize;
+                // Link the previous tail to the new node.
+                mem.write(tails[h], 8, a).expect("node is mapped");
+                tails[h] = a;
+            }
+            // Periodically drop a whole chain.
+            if i % 128 == 127 && heads.len() > 8 {
+                let idx = rng.below(heads.len() as u64) as usize;
+                heads.swap_remove(idx);
+                tails.swap_remove(idx);
+            }
+        }
+    }
+}
+
+/// Runs every microbench schedule at the given size (`tiny` keeps CI
+/// smoke runs under a second) and returns the measured cells in a fixed
+/// order.
+pub fn gc_microbench(tiny: bool) -> Vec<MicroCell> {
+    let n = if tiny { 20_000 } else { 120_000 };
+    vec![
+        run_schedule("churn-small", n, churn_small),
+        run_schedule("churn-mixed", n, churn_mixed),
+        run_schedule("graph", n, graph),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbench_schedules_actually_collect() {
+        for cell in gc_microbench(true) {
+            assert!(
+                cell.stats.collections > 0,
+                "{}: no collections under default threshold",
+                cell.name
+            );
+            assert!(cell.stats.objects_freed > 0, "{}: nothing freed", cell.name);
+            assert!(cell.stats.allocations > 0, "{}", cell.name);
+        }
+    }
+
+    #[test]
+    fn microbench_counts_are_deterministic() {
+        let a = gc_microbench(true);
+        let b = gc_microbench(true);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.stats.allocations, y.stats.allocations, "{}", x.name);
+            assert_eq!(x.stats.collections, y.stats.collections, "{}", x.name);
+            assert_eq!(x.stats.objects_freed, y.stats.objects_freed, "{}", x.name);
+            assert_eq!(x.stats.bytes_live, y.stats.bytes_live, "{}", x.name);
+        }
+    }
+}

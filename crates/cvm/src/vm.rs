@@ -334,6 +334,9 @@ impl<'a> Vm<'a> {
                 return Err(VmError::StepLimit);
             }
         }
+        // End-of-run stats barrier: retire outstanding lazy-sweep debt so
+        // the final HeapStats and census report no pending queue work.
+        self.heap.sweep_all();
         // The end-of-run census: live objects/bytes per size class,
         // fragmentation, blacklist pressure. The walk only happens when
         // profiling is enabled.
@@ -359,6 +362,7 @@ impl<'a> Vm<'a> {
                 .field("builtin_calls", builtin_calls)
                 .field("builtin_byte_work", outcome.profile.builtin_byte_work)
                 .field("collections", outcome.heap.collections)
+                .field("pages_swept_lazily", outcome.heap.pages_swept_lazily)
                 .field("total_pause_ns", outcome.heap.total_pause_ns)
         });
         Ok(outcome)

@@ -13,10 +13,10 @@
 //!   accurate as the rounded size classes (exactly the paper's caveat).
 
 use crate::mem::{Memory, HEAP_BASE};
-use crate::pagemap::{PageDesc, PageMap, SmallPage, PAGE_SIZE};
+use crate::pagemap::{PageDesc, PageMap, SmallPage, PAGE_SHIFT, PAGE_SIZE};
 use gcprof::{ClassCensus, HeapCensus, ProfHandle};
 use gctrace::{Event, TraceHandle};
-use std::collections::HashSet;
+use std::collections::VecDeque;
 use std::fmt;
 use std::time::Instant;
 
@@ -100,6 +100,13 @@ pub struct HeapStats {
     /// Small pages that sweeps found fully empty and returned to the
     /// free page pool for reuse by any size class.
     pub pages_reclaimed: u64,
+    /// Dirty pages adopted by the allocator on demand — the lazy half of
+    /// the sweep, where free-slot discovery is deferred from the
+    /// collection pause to allocation time.
+    pub pages_swept_lazily: u64,
+    /// Pages currently queued for lazy adoption (outstanding sweep
+    /// debt); zero after [`GcHeap::sweep_all`].
+    pub sweep_debt_pages: u64,
     /// Objects reclaimed by sweeps.
     pub objects_freed: u64,
     /// Objects currently live (allocated minus freed).
@@ -134,6 +141,8 @@ impl HeapStats {
         w.uint_field("bytes_requested", self.bytes_requested);
         w.uint_field("failed_allocations", self.failed_allocations);
         w.uint_field("pages_reclaimed", self.pages_reclaimed);
+        w.uint_field("pages_swept_lazily", self.pages_swept_lazily);
+        w.uint_field("sweep_debt_pages", self.sweep_debt_pages);
         w.uint_field("objects_freed", self.objects_freed);
         w.uint_field("objects_live", self.objects_live);
         w.uint_field("bytes_live", self.bytes_live);
@@ -167,6 +176,8 @@ impl HeapStats {
             bytes_requested: get("bytes_requested")?,
             failed_allocations: get("failed_allocations")?,
             pages_reclaimed: get("pages_reclaimed")?,
+            pages_swept_lazily: get("pages_swept_lazily")?,
+            sweep_debt_pages: get("sweep_debt_pages")?,
             objects_freed: get("objects_freed")?,
             objects_live: get("objects_live")?,
             bytes_live: get("bytes_live")?,
@@ -211,15 +222,40 @@ impl RootSet {
     }
 }
 
+/// Flat per-page classification mirroring the page map. The mark hot
+/// path indexes this instead of walking the fixed-height-2 tree and
+/// matching the full descriptor enum; only slot bitmaps and large-object
+/// flags still live in the [`PageMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageKind {
+    Free,
+    Small { ci: u8, obj_size: u32 },
+    LargeHead,
+    LargeCont { back: u32 },
+}
+
 /// The conservative garbage-collected heap.
 #[derive(Debug)]
 pub struct GcHeap {
     map: PageMap,
     config: HeapConfig,
-    free_lists: Vec<Vec<u64>>,
+    heap_base: u64,
+    heap_limit: u64,
+    side: Vec<PageKind>,
+    /// Per-class page currently serving allocations (lowest free bit
+    /// first).
+    cursor: Vec<Option<usize>>,
+    /// Per-class pages with free slots, ready for adoption (filled by
+    /// [`GcHeap::sweep_all`] draining the dirty queues), ascending.
+    partial: Vec<VecDeque<usize>>,
+    /// Per-class pages with free slots queued at the last collection,
+    /// awaiting lazy adoption, ascending.
+    dirty: Vec<VecDeque<usize>>,
     next_page: usize,
     free_pages: Vec<usize>,
-    blacklist: HashSet<usize>,
+    /// Blacklisted pages as a bitmap over page indices.
+    bl: Vec<u64>,
+    bl_count: u64,
     bytes_since_gc: u64,
     stats: HeapStats,
     trace: TraceHandle,
@@ -229,13 +265,21 @@ pub struct GcHeap {
 impl GcHeap {
     /// Creates a collector managing the heap region of `mem`.
     pub fn new(mem: &Memory, config: HeapConfig) -> Self {
+        let map = PageMap::new(HEAP_BASE, mem.heap_size() as u64);
+        let page_count = map.page_count();
         GcHeap {
-            map: PageMap::new(HEAP_BASE, mem.heap_size() as u64),
+            map,
             config,
-            free_lists: vec![Vec::new(); SIZE_CLASSES.len()],
+            heap_base: HEAP_BASE,
+            heap_limit: HEAP_BASE + page_count as u64 * PAGE_SIZE,
+            side: vec![PageKind::Free; page_count],
+            cursor: vec![None; SIZE_CLASSES.len()],
+            partial: vec![VecDeque::new(); SIZE_CLASSES.len()],
+            dirty: vec![VecDeque::new(); SIZE_CLASSES.len()],
             next_page: 0,
             free_pages: Vec::new(),
-            blacklist: HashSet::new(),
+            bl: vec![0; page_count.div_ceil(64)],
+            bl_count: 0,
             bytes_since_gc: 0,
             stats: HeapStats::default(),
             trace: TraceHandle::disabled(),
@@ -286,9 +330,46 @@ impl GcHeap {
         SIZE_CLASSES.iter().position(|&c| c as u64 >= size)
     }
 
+    fn bl_contains(&self, p: usize) -> bool {
+        self.bl[p / 64] >> (p % 64) & 1 != 0
+    }
+
+    /// Blacklists page `p`; returns whether it was newly inserted.
+    fn bl_insert(&mut self, p: usize) -> bool {
+        let (w, bit) = (p / 64, 1u64 << (p % 64));
+        if self.bl[w] & bit != 0 {
+            return false;
+        }
+        self.bl[w] |= bit;
+        self.bl_count += 1;
+        true
+    }
+
+    /// Highest blacklisted page in `[start, end)`, if any — one masked
+    /// word scan per 64 pages instead of a per-page set probe.
+    fn bl_last_in(&self, start: usize, end: usize) -> Option<usize> {
+        let (ws, we) = (start / 64, (end - 1) / 64);
+        for w in (ws..=we).rev() {
+            let mut word = self.bl[w];
+            if w == we {
+                let top = (end - 1) % 64;
+                if top < 63 {
+                    word &= (1u64 << (top + 1)) - 1;
+                }
+            }
+            if w == ws {
+                word &= !((1u64 << (start % 64)) - 1);
+            }
+            if word != 0 {
+                return Some(w * 64 + 63 - word.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
     fn take_page(&mut self) -> Option<usize> {
         while let Some(p) = self.free_pages.pop() {
-            if !self.blacklist.contains(&p) {
+            if !self.bl_contains(p) {
                 return Some(p);
             }
             // Blacklisted recycled pages are simply abandoned — the real
@@ -297,7 +378,7 @@ impl GcHeap {
         while self.next_page < self.map.page_count() {
             let p = self.next_page;
             self.next_page += 1;
-            if !self.blacklist.contains(&p) {
+            if !self.bl_contains(p) {
                 return Some(p);
             }
         }
@@ -306,17 +387,19 @@ impl GcHeap {
 
     fn take_pages(&mut self, n: usize) -> Option<usize> {
         // Large objects need contiguous pages; only the bump region
-        // guarantees contiguity. Skip over blacklisted stretches.
-        'outer: while self.next_page + n <= self.map.page_count() {
-            for i in 0..n {
-                if self.blacklist.contains(&(self.next_page + i)) {
-                    self.next_page += i + 1;
-                    continue 'outer;
+        // guarantees contiguity. A window with any blacklisted page is
+        // skipped wholesale — jumping past its *last* blacklisted page
+        // lands exactly where the old first-hit advance converged, in
+        // one step per stretch instead of one per blacklisted page.
+        while self.next_page + n <= self.map.page_count() {
+            match self.bl_last_in(self.next_page, self.next_page + n) {
+                Some(last) => self.next_page = last + 1,
+                None => {
+                    let p = self.next_page;
+                    self.next_page += n;
+                    return Some(p);
                 }
             }
-            let p = self.next_page;
-            self.next_page += n;
-            return Some(p);
         }
         None
     }
@@ -334,10 +417,12 @@ impl GcHeap {
         let effective = effective.max(1);
         let attempt = if let Some(ci) = Self::class_index(effective) {
             self.alloc_small(ci)
+                .map(|addr| (addr, u64::from(SIZE_CLASSES[ci])))
         } else {
-            self.alloc_large(effective)
+            let extent = effective.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            self.alloc_large(effective).map(|addr| (addr, extent))
         };
-        let Some(addr) = attempt else {
+        let Some((addr, extent)) = attempt else {
             // Failed attempts are counted on their own so `allocations` /
             // `bytes_requested` describe the objects that actually exist.
             self.stats.failed_allocations += 1;
@@ -345,11 +430,6 @@ impl GcHeap {
         };
         self.stats.allocations += 1;
         self.stats.bytes_requested += size;
-        let (base, extent) = self
-            .map
-            .object_extent(addr)
-            .expect("freshly allocated object must have an extent");
-        debug_assert_eq!(base, addr);
         mem.fill(addr, 0, extent as usize)
             .expect("object memory is mapped");
         self.bytes_since_gc += extent;
@@ -392,32 +472,56 @@ impl GcHeap {
         }
     }
 
+    /// Serves the lowest free slot of `page` from its allocation bitmap,
+    /// or `None` when the page is full.
+    fn alloc_in_page(&mut self, page: usize) -> Option<u64> {
+        let page_start = self.map.page_addr(page);
+        let PageDesc::Small(sp) = self.map.desc_mut(page) else {
+            unreachable!("allocation cursor on a non-small page")
+        };
+        let slot = sp.lowest_free_slot()?;
+        sp.set_alloc(slot);
+        Some(page_start + slot as u64 * sp.obj_size as u64)
+    }
+
     fn alloc_small(&mut self, ci: usize) -> Option<u64> {
-        if let Some(addr) = self.free_lists[ci].pop() {
-            let idx = self
-                .map
-                .page_index(addr)
-                .expect("free-list address in heap");
-            let page_start = self.map.page_addr(idx);
-            if let PageDesc::Small(sp) = self.map.desc_mut(idx) {
-                let slot = ((addr - page_start) / sp.obj_size as u64) as usize;
-                debug_assert!(!sp.alloc[slot]);
-                sp.alloc[slot] = true;
-            } else {
-                unreachable!("free-list entry on non-small page");
+        // Fast path: the class's current page serves lowest-free-bit
+        // first, preserving address-ordered allocation.
+        if let Some(page) = self.cursor[ci] {
+            if let Some(addr) = self.alloc_in_page(page) {
+                return Some(addr);
             }
+            // Page full; it resurfaces at the next sweep if it thins out.
+            self.cursor[ci] = None;
+        }
+        // Ready pages first (sweep debt already retired), then the dirty
+        // queue — the lazy half of the sweep, where a page's free slots
+        // are only discovered when its class actually allocates again.
+        let next = self.partial[ci].pop_front().or_else(|| {
+            let page = self.dirty[ci].pop_front()?;
+            self.stats.sweep_debt_pages -= 1;
+            self.stats.pages_swept_lazily += 1;
+            Some(page)
+        });
+        if let Some(page) = next {
+            self.cursor[ci] = Some(page);
+            let addr = self
+                .alloc_in_page(page)
+                .expect("queued page has a free slot");
             return Some(addr);
         }
         // Carve a fresh page.
         let obj_size = SIZE_CLASSES[ci];
         let page = self.take_page()?;
         let mut sp = SmallPage::new(obj_size);
-        sp.alloc[0] = true;
+        sp.set_alloc(0);
         let page_start = self.map.page_addr(page);
-        for slot in (1..sp.slots()).rev() {
-            self.free_lists[ci].push(page_start + slot as u64 * obj_size as u64);
-        }
         *self.map.desc_mut(page) = PageDesc::Small(sp);
+        self.side[page] = PageKind::Small {
+            ci: ci as u8,
+            obj_size,
+        };
+        self.cursor[ci] = Some(page);
         Some(page_start)
     }
 
@@ -429,8 +533,10 @@ impl GcHeap {
             marked: false,
             allocated: true,
         };
+        self.side[head] = PageKind::LargeHead;
         for i in 1..pages {
             *self.map.desc_mut(head + i) = PageDesc::LargeCont(i as u32);
+            self.side[head + i] = PageKind::LargeCont { back: i as u32 };
         }
         Some(self.map.page_addr(head))
     }
@@ -477,7 +583,7 @@ impl GcHeap {
             .collect();
         let mut census = HeapCensus {
             pages_total: self.map.page_count() as u64,
-            blacklisted_pages: self.blacklist.len() as u64,
+            blacklisted_pages: self.bl_count,
             ..HeapCensus::default()
         };
         for idx in 0..self.next_page {
@@ -488,7 +594,7 @@ impl GcHeap {
                         .iter()
                         .position(|&c| c == sp.obj_size)
                         .expect("small page carries a known size class");
-                    let live = sp.alloc.iter().filter(|b| **b).count() as u64;
+                    let live = sp.live_count();
                     let slots = sp.slots() as u64;
                     let c = &mut classes[ci];
                     c.pages += 1;
@@ -529,26 +635,24 @@ impl GcHeap {
         let mut roots_scanned: u64 = 0;
         let mut words_marked: u64 = 0;
         let mut objects_marked: u64 = 0;
-        let mut worklist: Vec<u64> = Vec::new();
+        // Worklist entries carry (base, rounded size) so tracing an
+        // object needs no extent lookup.
+        let mut worklist: Vec<(u64, u64)> = Vec::new();
         for &(start, end) in &roots.ranges {
-            for word in mem.aligned_words(start, end) {
+            mem.scan_words(start, end, |word| {
                 roots_scanned += 1;
                 objects_marked += u64::from(self.mark_candidate(word, true, &mut worklist));
-            }
+            });
         }
         for &word in &roots.words {
             roots_scanned += 1;
             objects_marked += u64::from(self.mark_candidate(word, true, &mut worklist));
         }
-        while let Some(base) = worklist.pop() {
-            let (start, size) = self
-                .map
-                .object_extent(base)
-                .expect("marked object must have an extent");
-            for word in mem.aligned_words(start, start + size) {
+        while let Some((start, size)) = worklist.pop() {
+            mem.scan_words(start, start + size, |word| {
                 words_marked += 1;
                 objects_marked += u64::from(self.mark_candidate(word, false, &mut worklist));
-            }
+            });
         }
         let mark_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // --- sweep ---
@@ -586,63 +690,148 @@ impl GcHeap {
     /// pushes it on the worklist, returning whether the object was newly
     /// marked. `from_root` selects the interior-pointer rule per the
     /// configured policy.
-    fn mark_candidate(&mut self, word: u64, from_root: bool, worklist: &mut Vec<u64>) -> bool {
+    ///
+    /// This is the collector's hottest path: a heap-bounds compare
+    /// rejects most candidate words outright, and the flat side table
+    /// classifies the page without walking the page-map tree, so a real
+    /// pointer costs one descriptor access instead of three.
+    fn mark_candidate(
+        &mut self,
+        word: u64,
+        from_root: bool,
+        worklist: &mut Vec<(u64, u64)>,
+    ) -> bool {
+        if word < self.heap_base || word >= self.heap_limit {
+            return false;
+        }
+        let idx = ((word - self.heap_base) >> PAGE_SHIFT) as usize;
         let interior_ok = from_root || self.config.policy == PointerPolicy::InteriorEverywhere;
-        let Some(base) = self.map.object_base(word) else {
-            // A heap-range bit pattern with no object behind it is a false
-            // pointer in waiting: blacklist its page so nothing is ever
-            // allocated where a spurious root already points.
-            if self.config.blacklisting {
-                if let Some(idx) = self.map.page_index(word) {
-                    if matches!(self.map.desc(idx), PageDesc::Free) && self.blacklist.insert(idx) {
-                        self.stats.blacklisted_pages += 1;
-                    }
+        match self.side[idx] {
+            PageKind::Free => {
+                // A heap-range bit pattern with no object behind it is a
+                // false pointer in waiting: blacklist its page so nothing
+                // is ever allocated where a spurious root already points.
+                if self.config.blacklisting && self.bl_insert(idx) {
+                    self.stats.blacklisted_pages += 1;
                 }
+                false
             }
-            return false;
-        };
-        if !interior_ok && base != word {
-            return false;
+            PageKind::Small { obj_size, .. } => {
+                let page_start = self.map.page_addr(idx);
+                let slot = ((word - page_start) / u64::from(obj_size)) as usize;
+                let PageDesc::Small(sp) = self.map.desc_mut(idx) else {
+                    unreachable!("side table says small page")
+                };
+                if slot >= sp.slots() || !sp.alloc_bit(slot) {
+                    // A free slot (or the tail gap of a ragged class) is
+                    // not an object; pages with live neighbours are never
+                    // blacklisted.
+                    return false;
+                }
+                let base = page_start + slot as u64 * u64::from(obj_size);
+                if (!interior_ok && base != word) || sp.mark_bit(slot) {
+                    return false;
+                }
+                sp.set_mark(slot);
+                worklist.push((base, u64::from(obj_size)));
+                true
+            }
+            PageKind::LargeHead => self.mark_large(idx, word, interior_ok, worklist),
+            PageKind::LargeCont { back } => {
+                self.mark_large(idx - back as usize, word, interior_ok, worklist)
+            }
         }
-        let idx = self.map.page_index(base).expect("object base is in heap");
-        let page_start = self.map.page_addr(idx);
-        match self.map.desc_mut(idx) {
-            PageDesc::Small(sp) => {
-                let slot = ((base - page_start) / sp.obj_size as u64) as usize;
-                if !sp.mark[slot] {
-                    sp.mark[slot] = true;
-                    worklist.push(base);
-                    return true;
-                }
-            }
-            PageDesc::LargeHead { marked, .. } => {
-                if !*marked {
-                    *marked = true;
-                    worklist.push(base);
-                    return true;
-                }
-            }
-            _ => unreachable!("object base resolves to a head page"),
-        }
-        false
     }
 
+    /// Marks the large object headed at page `head` if `word` falls
+    /// inside its allocated extent.
+    fn mark_large(
+        &mut self,
+        head: usize,
+        word: u64,
+        interior_ok: bool,
+        worklist: &mut Vec<(u64, u64)>,
+    ) -> bool {
+        let head_addr = self.map.page_addr(head);
+        let PageDesc::LargeHead {
+            size,
+            marked,
+            allocated,
+        } = self.map.desc_mut(head)
+        else {
+            unreachable!("side table says large head")
+        };
+        if !*allocated || word >= head_addr + *size {
+            return false;
+        }
+        if (!interior_ok && word != head_addr) || *marked {
+            return false;
+        }
+        *marked = true;
+        worklist.push((head_addr, *size));
+        true
+    }
+
+    /// The sweep: a single ascending pass over every carved page.
+    ///
+    /// Per small page this is word arithmetic — `garbage = alloc & !mark`
+    /// drives poisoning (trailing-zeros per dead slot) and a popcount
+    /// keeps the statistics exact, then the mark bitmap folds into the
+    /// allocation bitmap. Fully empty pages (a word compare) are
+    /// reclaimed into the page pool on the spot; pages left with free
+    /// slots are queued per class for *lazy* adoption — the allocator
+    /// discovers their free slots on demand instead of this pause
+    /// rebuilding free lists. Statistics, poisoning, and the census are
+    /// therefore exact the moment `collect` returns; only free-slot
+    /// discovery is deferred, and its backlog is `sweep_debt_pages`.
     fn sweep(&mut self, mem: &mut Memory) -> (u64, u64) {
         let poison = self.config.poison;
-        let mut freed: Vec<(u64, u64)> = Vec::new();
-        let mut large_frees: Vec<(usize, usize)> = Vec::new();
+        let mut objects_swept: u64 = 0;
+        let mut bytes_swept: u64 = 0;
+        for ci in 0..SIZE_CLASSES.len() {
+            self.cursor[ci] = None;
+            self.partial[ci].clear();
+            self.dirty[ci].clear();
+        }
+        let mut debt: u64 = 0;
         for idx in 0..self.next_page {
             let page_start = self.map.page_addr(idx);
+            let mut reclaim_small = false;
+            let mut queue_small = false;
+            let mut free_large_pages = 0usize;
             match self.map.desc_mut(idx) {
                 PageDesc::Free | PageDesc::LargeCont(_) => {}
                 PageDesc::Small(sp) => {
-                    let obj = sp.obj_size as u64;
-                    for slot in 0..sp.slots() {
-                        if sp.alloc[slot] && !sp.mark[slot] {
-                            sp.alloc[slot] = false;
-                            freed.push((page_start + slot as u64 * obj, obj));
+                    let obj = u64::from(sp.obj_size);
+                    let mut freed: u64 = 0;
+                    for w in 0..sp.words() {
+                        let garbage = sp.garbage_word(w);
+                        if garbage == 0 {
+                            continue;
                         }
-                        sp.mark[slot] = false;
+                        freed += u64::from(garbage.count_ones());
+                        if poison {
+                            let mut g = garbage;
+                            while g != 0 {
+                                let slot = w * 64 + g.trailing_zeros() as usize;
+                                g &= g - 1;
+                                mem.fill(page_start + slot as u64 * obj, 0xDD, obj as usize)
+                                    .expect("freed object is mapped");
+                            }
+                        }
+                    }
+                    sp.fold_marks();
+                    objects_swept += freed;
+                    bytes_swept += freed * obj;
+                    if sp.is_empty() {
+                        // Reclaim in the same pass. Without this a
+                        // size-class phase shift (fill with class A, drop
+                        // it, switch to class B) can exhaust the heap
+                        // while every page is pure free slots, because
+                        // free slots only ever serve their own class.
+                        reclaim_small = true;
+                    } else if sp.has_free_slot() {
+                        queue_small = true;
                     }
                 }
                 PageDesc::LargeHead {
@@ -652,68 +841,63 @@ impl GcHeap {
                 } => {
                     if *allocated && !*marked {
                         *allocated = false;
-                        let pages = (*size / PAGE_SIZE) as usize;
-                        freed.push((page_start, *size));
-                        large_frees.push((idx, pages));
+                        objects_swept += 1;
+                        bytes_swept += *size;
+                        free_large_pages = (*size / PAGE_SIZE) as usize;
+                        if poison {
+                            mem.fill(page_start, 0xDD, *size as usize)
+                                .expect("freed object is mapped");
+                        }
                     }
                     *marked = false;
                 }
             }
-        }
-        for (addr, size) in &freed {
-            self.stats.objects_freed += 1;
-            self.stats.objects_live -= 1;
-            self.stats.bytes_live -= size;
-            if poison {
-                mem.fill(*addr, 0xDD, *size as usize)
-                    .expect("freed object is mapped");
-            }
-        }
-        // Return small slots to free lists.
-        for (addr, size) in &freed {
-            if let Some(ci) = SIZE_CLASSES.iter().position(|&c| c as u64 == *size) {
-                self.free_lists[ci].push(*addr);
-            }
-        }
-        // Release large-object pages.
-        for (head, pages) in large_frees {
-            for i in 0..pages {
-                *self.map.desc_mut(head + i) = PageDesc::Free;
-            }
-            // Contiguity cannot be guaranteed once recycled, so these pages
-            // feed small-object allocation only.
-            for i in 0..pages {
-                self.free_pages.push(head + i);
-            }
-        }
-        // Return fully-empty small pages to the page pool. Without this a
-        // size-class phase shift (fill with class A, drop it, switch to
-        // class B) can exhaust the heap while every page is pure free
-        // slots, because free slots only ever serve their own class.
-        for idx in 0..self.next_page {
-            let (obj_size, page_start) = match self.map.desc(idx) {
-                PageDesc::Small(sp) if !sp.alloc.contains(&true) => {
-                    (sp.obj_size, self.map.page_addr(idx))
+            if reclaim_small {
+                *self.map.desc_mut(idx) = PageDesc::Free;
+                self.side[idx] = PageKind::Free;
+                self.stats.pages_reclaimed += 1;
+                if !self.bl_contains(idx) {
+                    self.free_pages.push(idx);
                 }
-                _ => continue,
-            };
-            let ci = SIZE_CLASSES
-                .iter()
-                .position(|&c| c == obj_size)
-                .expect("small page carries a known size class");
-            let page_end = page_start + PAGE_SIZE;
-            self.free_lists[ci].retain(|&a| !(page_start..page_end).contains(&a));
-            *self.map.desc_mut(idx) = PageDesc::Free;
-            self.stats.pages_reclaimed += 1;
-            if !self.blacklist.contains(&idx) {
-                self.free_pages.push(idx);
+                // Blacklisted pages become Free but are never handed out
+                // again — the cost of blacklisting is lost capacity.
+            } else if queue_small {
+                let PageKind::Small { ci, .. } = self.side[idx] else {
+                    unreachable!("queued page is small")
+                };
+                self.dirty[ci as usize].push_back(idx);
+                debt += 1;
             }
-            // Blacklisted pages become Free but are never handed out again
-            // — the cost of blacklisting is lost capacity.
+            // Release large-object pages. Contiguity cannot be guaranteed
+            // once recycled, so these pages feed small-object allocation
+            // only.
+            for i in 0..free_large_pages {
+                *self.map.desc_mut(idx + i) = PageDesc::Free;
+                self.side[idx + i] = PageKind::Free;
+                self.free_pages.push(idx + i);
+            }
         }
-        let objects_swept = freed.len() as u64;
-        let bytes_swept: u64 = freed.iter().map(|(_, size)| size).sum();
+        self.stats.objects_freed += objects_swept;
+        self.stats.objects_live -= objects_swept;
+        self.stats.bytes_live -= bytes_swept;
+        self.stats.sweep_debt_pages = debt;
         (objects_swept, bytes_swept)
+    }
+
+    /// Eagerly retires all outstanding lazy-sweep debt: every page
+    /// queued at the last collection moves to its class's ready list, so
+    /// no future allocation pays an adoption. Statistics and the census
+    /// are exact without this — the sweep folds bitmaps and poisons
+    /// eagerly — so this is a barrier for observation points that must
+    /// report `sweep_debt_pages == 0` (end-of-run [`HeapStats`], the
+    /// fuzz oracle's census check).
+    pub fn sweep_all(&mut self) {
+        for ci in 0..SIZE_CLASSES.len() {
+            while let Some(page) = self.dirty[ci].pop_front() {
+                self.partial[ci].push_back(page);
+            }
+        }
+        self.stats.sweep_debt_pages = 0;
     }
 }
 
@@ -1132,6 +1316,8 @@ mod tests {
             "bytes_requested",
             "failed_allocations",
             "pages_reclaimed",
+            "pages_swept_lazily",
+            "sweep_debt_pages",
             "objects_freed",
             "objects_live",
             "bytes_live",
@@ -1277,6 +1463,98 @@ mod tests {
     }
 
     #[test]
+    fn lazy_sweep_defers_adoption_to_allocation() {
+        let (mut mem, mut heap) = setup();
+        // Two pages of the 32-byte class (128 slots each), alternating
+        // keep/drop so both pages survive with free slots.
+        let mut keep = Vec::new();
+        for i in 0..256 {
+            let a = heap.alloc(&mut mem, 24).unwrap();
+            if i % 2 == 0 {
+                keep.push(a);
+            }
+        }
+        let mut roots = RootSet::new();
+        for &a in &keep {
+            roots.add_word(a);
+        }
+        heap.collect(&mut mem, &roots);
+        let s = heap.stats();
+        assert_eq!(s.objects_freed, 128);
+        assert_eq!(s.sweep_debt_pages, 2, "both half-empty pages queued");
+        assert_eq!(s.pages_swept_lazily, 0, "nothing adopted yet");
+        // The next allocation adopts the lowest dirty page and serves its
+        // lowest free slot: the second-ever object's old address.
+        let a = heap.alloc(&mut mem, 24).unwrap();
+        assert_eq!(a, crate::mem::HEAP_BASE + 32);
+        let s = heap.stats();
+        assert_eq!(s.pages_swept_lazily, 1);
+        assert_eq!(s.sweep_debt_pages, 1, "second page still queued");
+        // 63 more allocations fill page one's holes in address order
+        // before the second page is touched.
+        let mut prev = a;
+        for _ in 0..63 {
+            let b = heap.alloc(&mut mem, 24).unwrap();
+            assert!(b > prev, "address-ordered reuse");
+            assert!(b < crate::mem::HEAP_BASE + PAGE_SIZE);
+            prev = b;
+        }
+        let c = heap.alloc(&mut mem, 24).unwrap();
+        assert!(c >= crate::mem::HEAP_BASE + PAGE_SIZE, "page two adopted");
+        assert_eq!(heap.stats().pages_swept_lazily, 2);
+        assert_eq!(heap.stats().sweep_debt_pages, 0);
+    }
+
+    #[test]
+    fn sweep_all_retires_debt_eagerly() {
+        let (mut mem, mut heap) = setup();
+        let mut keep = Vec::new();
+        for i in 0..256 {
+            let a = heap.alloc(&mut mem, 24).unwrap();
+            if i % 2 == 0 {
+                keep.push(a);
+            }
+        }
+        let mut roots = RootSet::new();
+        for &a in &keep {
+            roots.add_word(a);
+        }
+        heap.collect(&mut mem, &roots);
+        assert_eq!(heap.stats().sweep_debt_pages, 2);
+        heap.sweep_all();
+        assert_eq!(heap.stats().sweep_debt_pages, 0);
+        // Ready pages serve without counting as lazy adoptions, in the
+        // same address order.
+        let a = heap.alloc(&mut mem, 24).unwrap();
+        assert_eq!(a, crate::mem::HEAP_BASE + 32);
+        assert_eq!(heap.stats().pages_swept_lazily, 0);
+    }
+
+    #[test]
+    fn stats_stay_exact_with_debt_outstanding() {
+        let (mut mem, mut heap) = setup();
+        let mut keep = Vec::new();
+        for i in 0..300 {
+            let a = heap.alloc(&mut mem, 50 + (i % 3) * 40).unwrap();
+            if i % 3 == 0 {
+                keep.push(a);
+            }
+        }
+        let mut roots = RootSet::new();
+        for &a in &keep {
+            roots.add_word(a);
+        }
+        heap.collect(&mut mem, &roots);
+        // Debt outstanding, yet census and stats agree exactly.
+        let s = heap.stats();
+        assert!(s.sweep_debt_pages > 0, "collection left dirty pages");
+        let census = heap.census();
+        assert_eq!(census.live_objects, s.objects_live);
+        assert_eq!(census.live_bytes, s.bytes_live);
+        assert_eq!(s.objects_live, keep.len() as u64);
+    }
+
+    #[test]
     fn census_sees_blacklisted_pages() {
         use crate::pagemap::PAGE_SIZE;
         let mem = Memory::new(1 << 12, 1 << 12, 1 << 16);
@@ -1307,7 +1585,7 @@ impl GcHeap {
             "heap: {} pages used, {} free-listed, {} blacklisted; {} objects / {} bytes live",
             self.next_page,
             self.free_pages.len(),
-            self.blacklist.len(),
+            self.bl_count,
             self.stats.objects_live,
             self.stats.bytes_live
         );
@@ -1317,7 +1595,7 @@ impl GcHeap {
                     let _ = writeln!(out, "  page {idx:4}: free");
                 }
                 PageDesc::Small(sp) => {
-                    let used = sp.alloc.iter().filter(|b| **b).count();
+                    let used = sp.live_count();
                     let _ = writeln!(
                         out,
                         "  page {idx:4}: {}-byte objects, {used}/{} slots live",

@@ -40,4 +40,4 @@ pub mod pagemap;
 
 pub use heap::{GcHeap, HeapConfig, HeapStats, OutOfMemory, PointerPolicy, RootSet, SIZE_CLASSES};
 pub use mem::{MemFault, MemResult, Memory, Region, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
-pub use pagemap::{PageDesc, PageMap, SmallPage, PAGE_SIZE};
+pub use pagemap::{PageDesc, PageMap, SmallPage, BITMAP_WORDS, PAGE_SIZE};

@@ -273,14 +273,34 @@ impl Memory {
     /// the way the collector scans roots: only 8-byte-aligned full words.
     pub fn aligned_words(&self, start: u64, end: u64) -> Vec<u64> {
         let mut out = Vec::new();
-        let mut a = (start + 7) & !7;
-        while a + 8 <= end {
-            if let Ok(w) = self.read(a, 8) {
-                out.push(w);
-            }
-            a += 8;
-        }
+        self.scan_words(start, end, |w| out.push(w));
         out
+    }
+
+    /// Calls `f` with each aligned word of the range, without materialising
+    /// a buffer. This is the collector's scan primitive: the range is
+    /// located once and walked as a byte slice, so a traced object costs
+    /// no per-word region lookups and no allocation. Ranges that leave
+    /// mapped memory fall back to per-word reads, skipping faulting words.
+    pub fn scan_words<F: FnMut(u64)>(&self, start: u64, end: u64, mut f: F) {
+        let a = (start + 7) & !7;
+        if a + 8 > end {
+            return;
+        }
+        let len = ((end - a) & !7) as usize;
+        if let Ok((region, off)) = self.locate_range(a, len, false) {
+            for chunk in self.buf(region)[off..off + len].chunks_exact(8) {
+                f(u64::from_le_bytes(chunk.try_into().expect("width 8")));
+            }
+        } else {
+            let mut a = a;
+            while a + 8 <= end {
+                if let Ok(w) = self.read(a, 8) {
+                    f(w);
+                }
+                a += 8;
+            }
+        }
     }
 }
 

@@ -35,31 +35,125 @@ pub enum PageDesc {
     LargeCont(u32),
 }
 
+/// `u64` bitmap words per small page — sized for the smallest size class
+/// (16-byte slots → 256 bits).
+pub const BITMAP_WORDS: usize = 4;
+
 /// Uniformly sized small-object page state.
+///
+/// Allocation and mark state are word-wide bitmaps (one bit per slot, in
+/// slot order), so the sweep is `garbage = alloc & !mark` per word, "page
+/// fully empty" is a word compare, and the allocator finds its next slot
+/// with a trailing-zeros scan. Bits at and beyond [`SmallPage::slots`]
+/// are never set.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SmallPage {
     /// Object slot size in bytes (a size class; divides or tiles the page).
     pub obj_size: u32,
-    /// Per-slot allocation bits.
-    pub alloc: Vec<bool>,
-    /// Per-slot mark bits.
-    pub mark: Vec<bool>,
+    slots: u32,
+    alloc: [u64; BITMAP_WORDS],
+    mark: [u64; BITMAP_WORDS],
 }
 
 impl SmallPage {
     /// Creates a fresh page descriptor for `obj_size`-byte slots.
     pub fn new(obj_size: u32) -> Self {
-        let slots = (PAGE_SIZE / obj_size as u64) as usize;
+        let slots = (PAGE_SIZE / obj_size as u64) as u32;
+        debug_assert!(slots as usize <= BITMAP_WORDS * 64);
         SmallPage {
             obj_size,
-            alloc: vec![false; slots],
-            mark: vec![false; slots],
+            slots,
+            alloc: [0; BITMAP_WORDS],
+            mark: [0; BITMAP_WORDS],
         }
     }
 
     /// Number of slots in the page.
     pub fn slots(&self) -> usize {
-        self.alloc.len()
+        self.slots as usize
+    }
+
+    /// Number of bitmap words covering this page's slots.
+    pub fn words(&self) -> usize {
+        (self.slots as usize).div_ceil(64)
+    }
+
+    /// The valid-slot mask for bitmap word `w` (tail words of size
+    /// classes that don't divide the page cover fewer than 64 slots).
+    fn used_mask(&self, w: usize) -> u64 {
+        let used = (self.slots as usize).saturating_sub(w * 64).min(64);
+        if used == 64 {
+            u64::MAX
+        } else {
+            (1u64 << used) - 1
+        }
+    }
+
+    /// Whether slot `slot` is allocated.
+    pub fn alloc_bit(&self, slot: usize) -> bool {
+        self.alloc[slot / 64] >> (slot % 64) & 1 != 0
+    }
+
+    /// Allocates slot `slot`.
+    pub fn set_alloc(&mut self, slot: usize) {
+        self.alloc[slot / 64] |= 1 << (slot % 64);
+    }
+
+    /// Frees slot `slot`.
+    pub fn clear_alloc(&mut self, slot: usize) {
+        self.alloc[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// Whether slot `slot` is marked.
+    pub fn mark_bit(&self, slot: usize) -> bool {
+        self.mark[slot / 64] >> (slot % 64) & 1 != 0
+    }
+
+    /// Marks slot `slot`.
+    pub fn set_mark(&mut self, slot: usize) {
+        self.mark[slot / 64] |= 1 << (slot % 64);
+    }
+
+    /// The sweep's garbage word for bitmap word `w`: allocated but not
+    /// marked.
+    pub fn garbage_word(&self, w: usize) -> u64 {
+        self.alloc[w] & !self.mark[w]
+    }
+
+    /// Retains only marked slots and clears all marks — the whole
+    /// page's sweep in eight word operations.
+    pub fn fold_marks(&mut self) {
+        for w in 0..BITMAP_WORDS {
+            self.alloc[w] &= self.mark[w];
+            self.mark[w] = 0;
+        }
+    }
+
+    /// Number of allocated slots (bitmap popcount).
+    pub fn live_count(&self) -> u64 {
+        self.alloc.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Whether no slot is allocated (a word compare per bitmap word).
+    pub fn is_empty(&self) -> bool {
+        self.alloc == [0; BITMAP_WORDS]
+    }
+
+    /// Whether at least one slot is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.live_count() < u64::from(self.slots)
+    }
+
+    /// Lowest free slot, if any — the allocator's address-ordered fast
+    /// path.
+    pub fn lowest_free_slot(&self) -> Option<usize> {
+        for w in 0..self.words() {
+            let free = !self.alloc[w] & self.used_mask(w);
+            if free != 0 {
+                return Some(w * 64 + free.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 }
 
@@ -133,7 +227,7 @@ impl PageMap {
             PageDesc::Small(sp) => {
                 let page_start = self.page_addr(idx);
                 let slot = ((addr - page_start) / sp.obj_size as u64) as usize;
-                if slot < sp.slots() && sp.alloc[slot] {
+                if slot < sp.slots() && sp.alloc_bit(slot) {
                     Some(page_start + slot as u64 * sp.obj_size as u64)
                 } else {
                     None
@@ -201,10 +295,52 @@ mod tests {
     fn map_with_small_page(obj_size: u32) -> PageMap {
         let mut pm = PageMap::new(BASE, 1 << 20);
         let mut sp = SmallPage::new(obj_size);
-        sp.alloc[0] = true;
-        sp.alloc[2] = true;
+        sp.set_alloc(0);
+        sp.set_alloc(2);
         *pm.desc_mut(0) = PageDesc::Small(sp);
         pm
+    }
+
+    #[test]
+    fn bitmap_accessors_round_trip() {
+        let mut sp = SmallPage::new(48); // 85 slots: a ragged tail word
+        assert_eq!(sp.slots(), 85);
+        assert_eq!(sp.words(), 2);
+        assert!(sp.is_empty());
+        assert_eq!(sp.lowest_free_slot(), Some(0));
+        for slot in [0, 1, 63, 64, 84] {
+            assert!(!sp.alloc_bit(slot));
+            sp.set_alloc(slot);
+            assert!(sp.alloc_bit(slot));
+        }
+        assert_eq!(sp.live_count(), 5);
+        assert!(!sp.is_empty());
+        assert!(sp.has_free_slot());
+        assert_eq!(sp.lowest_free_slot(), Some(2));
+        sp.clear_alloc(1);
+        assert_eq!(sp.lowest_free_slot(), Some(1));
+        // Marks fold into alloc: only marked slots survive.
+        sp.set_mark(0);
+        sp.set_mark(84);
+        assert_eq!(sp.garbage_word(0), 1 << 63); // slot 63 unmarked
+        assert_eq!(sp.garbage_word(1), 1 << (64 - 64)); // slot 64 unmarked
+        sp.fold_marks();
+        assert!(sp.alloc_bit(0));
+        assert!(sp.alloc_bit(84));
+        assert!(!sp.alloc_bit(63));
+        assert!(!sp.alloc_bit(64));
+        assert!(!sp.mark_bit(0));
+        assert_eq!(sp.live_count(), 2);
+    }
+
+    #[test]
+    fn lowest_free_slot_on_a_full_page() {
+        let mut sp = SmallPage::new(2048);
+        assert_eq!(sp.slots(), 2);
+        sp.set_alloc(0);
+        sp.set_alloc(1);
+        assert_eq!(sp.lowest_free_slot(), None);
+        assert!(!sp.has_free_slot());
     }
 
     #[test]

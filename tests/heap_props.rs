@@ -357,6 +357,219 @@ fn prof_instrumentation_matches_heap_statistics() {
     }
 }
 
+/// The bitmap heap against a `Vec<bool>` reference model. The shadow
+/// keeps one bool per slot of every small page the heap has carved,
+/// mirroring what the page's alloc bitmap must say; large objects are
+/// tracked by extent. Randomized alloc/unroot/collect/sweep_all
+/// sequences then check, at every step:
+///
+/// * a fresh allocation lands in a slot the shadow says is free, and no
+///   *lower* slot of the serving page is free — the cursor and the
+///   lazily swept pages both hand out the lowest set garbage bit, so
+///   reuse is address-ordered within a page;
+/// * after every collection the heap's bitmaps agree with the shadow
+///   bit-for-bit, probed through `base()` (Some exactly on live slots);
+/// * census and `HeapStats` agree with the model exactly — per class
+///   and in total — even while `sweep_debt_pages` is outstanding, since
+///   collections fold bitmaps and counts eagerly and only free-slot
+///   *discovery* is deferred;
+/// * `sweep_all` retires all debt without changing any live state;
+/// * the whole address sequence replays byte-identically.
+#[test]
+fn bitmap_heap_matches_boolean_reference_model() {
+    use gcheap::{HEAP_BASE, PAGE_SIZE, SIZE_CLASSES};
+    let max_small = u64::from(*SIZE_CLASSES.last().expect("classes"));
+    let page_of = |addr: u64| HEAP_BASE + (addr - HEAP_BASE) / PAGE_SIZE * PAGE_SIZE;
+
+    #[derive(Default)]
+    struct Model {
+        /// page start → (slot size, one bool per slot: the alloc bitmap).
+        pages: HashMap<u64, (u64, Vec<bool>)>,
+        /// large object base → page-rounded extent.
+        large: HashMap<u64, u64>,
+        allocations: u64,
+        freed: u64,
+    }
+
+    impl Model {
+        fn live_objects(&self) -> u64 {
+            let small: usize = self
+                .pages
+                .values()
+                .map(|(_, bits)| bits.iter().filter(|b| **b).count())
+                .sum();
+            small as u64 + self.large.len() as u64
+        }
+        fn live_bytes(&self) -> u64 {
+            let small: u64 = self
+                .pages
+                .values()
+                .map(|(sz, bits)| sz * bits.iter().filter(|b| **b).count() as u64)
+                .sum();
+            small + self.large.values().sum::<u64>()
+        }
+    }
+
+    let run = |ops: &[Op]| -> Vec<u64> {
+        let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 21);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                gc_threshold: u64::MAX,
+                ..HeapConfig::default()
+            },
+        );
+        let mut model = Model::default();
+        let mut rooted: Vec<u64> = Vec::new();
+        let mut trace: Vec<u64> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Alloc(size) => {
+                    let Ok(addr) = heap.alloc(&mut mem, u64::from(*size)) else {
+                        continue;
+                    };
+                    trace.push(addr);
+                    model.allocations += 1;
+                    rooted.push(addr);
+                    let (base, extent) = heap.extent(addr).expect("just allocated");
+                    assert_eq!(base, addr, "step {step}: allocation is not a base");
+                    if extent <= max_small {
+                        let page = page_of(addr);
+                        let (sz, bits) = model.pages.entry(page).or_insert_with(|| {
+                            (extent, vec![false; (PAGE_SIZE / extent) as usize])
+                        });
+                        assert_eq!(*sz, extent, "step {step}: page class changed under us");
+                        let slot = ((addr - page) / extent) as usize;
+                        assert!(!bits[slot], "step {step}: served slot {slot} was occupied");
+                        assert!(
+                            bits[..slot].iter().all(|b| *b),
+                            "step {step}: slot {slot} served while a lower slot is free"
+                        );
+                        bits[slot] = true;
+                    } else {
+                        model.large.insert(addr, extent);
+                    }
+                }
+                Op::Unroot(i) => {
+                    if !rooted.is_empty() {
+                        let idx = *i as usize % rooted.len();
+                        rooted.swap_remove(idx);
+                    }
+                }
+                // Rewired as "retire the sweep debt" for this machine:
+                // links don't exercise the bitmaps, barriers do.
+                Op::Link(..) | Op::Unlink(..) => {
+                    heap.sweep_all();
+                    assert_eq!(heap.stats().sweep_debt_pages, 0, "step {step}");
+                }
+                Op::Collect => {
+                    let keep: HashSet<u64> = rooted.iter().copied().collect();
+                    let mut roots = RootSet::new();
+                    for &r in &rooted {
+                        roots.add_word(r);
+                    }
+                    heap.collect(&mut mem, &roots);
+                    for (page, (sz, bits)) in &mut model.pages {
+                        for (slot, bit) in bits.iter_mut().enumerate() {
+                            if *bit && !keep.contains(&(page + slot as u64 * *sz)) {
+                                *bit = false;
+                                model.freed += 1;
+                            }
+                        }
+                    }
+                    let dead: Vec<u64> = model
+                        .large
+                        .keys()
+                        .copied()
+                        .filter(|a| !keep.contains(a))
+                        .collect();
+                    model.freed += dead.len() as u64;
+                    for a in dead {
+                        model.large.remove(&a);
+                    }
+                    // Fully empty pages are reclaimed by the sweep and may
+                    // be re-carved for another class; forget them.
+                    model.pages.retain(|_, (_, bits)| bits.iter().any(|b| *b));
+                    // Bit-for-bit bitmap agreement, probed through base():
+                    // a live slot resolves to its own base, a dead slot
+                    // resolves to nothing.
+                    for (page, (sz, bits)) in &model.pages {
+                        for (slot, bit) in bits.iter().enumerate() {
+                            let addr = page + slot as u64 * sz;
+                            let want = if *bit { Some(addr) } else { None };
+                            assert_eq!(
+                                heap.base(addr + sz / 2),
+                                want,
+                                "step {step}: bitmap disagrees at {addr:#x} slot {slot}"
+                            );
+                        }
+                    }
+                    // Census and stats agree with the model exactly, with
+                    // or without outstanding sweep debt.
+                    let stats = heap.stats();
+                    let census = heap.census();
+                    assert_eq!(stats.allocations, model.allocations, "step {step}");
+                    assert_eq!(stats.objects_freed, model.freed, "step {step}");
+                    assert_eq!(stats.objects_live, model.live_objects(), "step {step}");
+                    assert_eq!(stats.bytes_live, model.live_bytes(), "step {step}");
+                    assert_eq!(census.live_objects, stats.objects_live, "step {step}");
+                    assert_eq!(census.live_bytes, stats.bytes_live, "step {step}");
+                    for c in &census.classes {
+                        let (want_objs, want_pages) =
+                            model
+                                .pages
+                                .values()
+                                .fold((0u64, 0u64), |(o, p), (sz, bits)| {
+                                    if *sz == u64::from(c.obj_size) {
+                                        (o + bits.iter().filter(|b| **b).count() as u64, p + 1)
+                                    } else {
+                                        (o, p)
+                                    }
+                                });
+                        assert_eq!(
+                            c.live_objects, want_objs,
+                            "step {step} class {}",
+                            c.obj_size
+                        );
+                        assert_eq!(c.pages, want_pages, "step {step} class {}", c.obj_size);
+                    }
+                    assert_eq!(
+                        census.large_objects,
+                        model.large.len() as u64,
+                        "step {step}"
+                    );
+                    assert!(
+                        stats.sweep_debt_pages <= census.small_pages,
+                        "step {step}: more debt than carved pages"
+                    );
+                }
+            }
+        }
+        trace
+    };
+
+    for case in 0..48 {
+        let mut rng = Rng::for_case("bitmap_reference_model", case);
+        let ops: Vec<Op> = (0..1 + rng.index(119))
+            .map(|_| match rng.index(8) {
+                // Weight toward allocation so pages fill, with an
+                // occasional large object crossing the page boundary.
+                0..=2 => Op::Alloc(8 + rng.below(592) as u16),
+                3 => Op::Alloc(2048 + rng.below(8192) as u16),
+                4 => Op::Unroot(rng.next_u8()),
+                5 => Op::Link(rng.next_u8(), rng.next_u8()),
+                _ => Op::Collect,
+            })
+            .collect();
+        let first = run(&ops);
+        let second = run(&ops);
+        assert_eq!(
+            first, second,
+            "case {case}: address sequence not deterministic"
+        );
+    }
+}
+
 #[test]
 fn base_resolves_everywhere_inside_and_only_inside() {
     for case in 0..96 {
