@@ -3,7 +3,8 @@
 //! Usage: `tables [sparc2|sparc10|pentium90|codesize|postprocessor|analysis|all]
 //!                [--tiny] [--jobs N] [--trace <file.jsonl>]
 //!                [--prof <file.prom>] [--folded <file.txt>]
-//!                [--bench-json <file.json>]`
+//!                [--bench-json <file.json>] [--repeat N]
+//!                [--timeline <file.json>]`
 //!
 //! The 4 workloads × 5 modes measurement matrix runs in parallel across
 //! `--jobs N` worker threads (default: all cores); every table and trace
@@ -19,6 +20,16 @@
 //! lands), the per-cell summary `BENCH_prof.json` is written next to the
 //! working directory, and the human profile report is printed. `--folded`
 //! additionally writes flamegraph-folded allocation stacks.
+//!
+//! With `--timeline`, the per-collection attribution log is exported as a
+//! Chrome Trace Event Format document (load it at `ui.perfetto.dev`); the
+//! clock is virtual, so the file is byte-identical at any `--jobs`.
+//! `--timeline` implies profiling for the matrix cells.
+//!
+//! `--bench-json --repeat N` reruns the whole measurement N times and
+//! writes the median of every wall-clock field with a `<field>_mad` noise
+//! estimate, asserting every deterministic count identical across
+//! repeats. Cells that never collected are reported on stderr.
 
 use gc_safety::{JsonlSink, TraceHandle};
 use gcbench::*;
@@ -57,10 +68,33 @@ fn main() {
         .position(|a| a == "--bench-json")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let timeline_path: Option<&str> = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
     if folded_path.is_some() && prof_path.is_none() {
         eprintln!("error: --folded requires --prof (profiling must be enabled)");
         std::process::exit(2);
     }
+    let repeat = match args
+        .iter()
+        .position(|a| a == "--repeat")
+        .map(|i| args.get(i + 1))
+    {
+        Some(Some(n)) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --repeat takes a positive integer, got '{n}'");
+                std::process::exit(2);
+            }
+        },
+        Some(None) => {
+            eprintln!("error: --repeat requires a value");
+            std::process::exit(2);
+        }
+        None => 1,
+    };
     let jobs = match args
         .iter()
         .position(|a| a == "--jobs")
@@ -101,7 +135,12 @@ fn main() {
         println!("{}", register_pressure_report());
         return;
     }
-    let data = match collect_instrumented_jobs(scale, &trace, prof_path.is_some(), jobs) {
+    // The timeline and the trajectory's attribution/MMU fields are built
+    // from the per-collection log, so both exports profile the matrix
+    // cells just like --prof does (the overhead is uniform across modes,
+    // keeping the trajectory self-comparable).
+    let prof_on = prof_path.is_some() || timeline_path.is_some() || bench_json_path.is_some();
+    let data = match collect_instrumented_jobs(scale, &trace, prof_on, jobs) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
@@ -140,11 +179,58 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let micro = if bench_json_path.is_some() || timeline_path.is_some() {
+        Some(gc_microbench(scale == Scale::Tiny))
+    } else {
+        None
+    };
     if let Some(path) = bench_json_path {
         // The perf trajectory: matrix-cell collector stats plus the
         // heap-direct collection microbench, validated before it lands.
-        let micro = gc_microbench(scale == Scale::Tiny);
-        let text = bench_gc_json(&data, &micro);
+        let micro = micro
+            .as_deref()
+            .expect("micro runs whenever bench-json is requested");
+        let mut text = bench_gc_json(&data, micro);
+        if repeat > 1 {
+            // Robust statistics: rerun the whole measurement and take the
+            // median of every wall-clock field, with MAD as the noise
+            // estimate the regression gate keys on. Deterministic counts
+            // must not move between repeats; aggregate() enforces that.
+            let mut runs = Vec::with_capacity(repeat);
+            match gcwatch::stats::parse_cells(&text) {
+                Ok(cells) => runs.push(cells),
+                Err(e) => {
+                    eprintln!("error: generated gc bench json does not parse: {e}");
+                    std::process::exit(1);
+                }
+            }
+            for r in 1..repeat {
+                let rerun = collect_instrumented_jobs(
+                    scale,
+                    &gc_safety::TraceHandle::disabled(),
+                    prof_on,
+                    jobs,
+                )
+                .and_then(|d| {
+                    let m = gc_microbench(scale == Scale::Tiny);
+                    gcwatch::stats::parse_cells(&bench_gc_json(&d, &m))
+                });
+                match rerun {
+                    Ok(cells) => runs.push(cells),
+                    Err(e) => {
+                        eprintln!("error: repeat {r} failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            text = match gcwatch::aggregate(&runs) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: aggregating {repeat} repeats: {e}");
+                    std::process::exit(1);
+                }
+            };
+        }
         match validate_bench_gc_json(&text) {
             Ok(cells) => {
                 if let Err(e) = std::fs::write(path, &text) {
@@ -155,6 +241,36 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: generated gc bench json does not validate: {e}");
+                std::process::exit(1);
+            }
+        }
+        match zero_collection_cells(&text) {
+            Ok(zeros) if !zeros.is_empty() => {
+                eprintln!(
+                    "warning: {} cell(s) never collected — their pause budgets are vacuous: {}",
+                    zeros.len(),
+                    zeros.join(", ")
+                );
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("warning: zero-collection scan failed: {e}"),
+        }
+    }
+    if let Some(path) = timeline_path {
+        let micro = micro
+            .as_deref()
+            .expect("micro runs whenever timeline is requested");
+        let text = gcwatch::chrome_trace(&timeline_cells(&data, micro));
+        match gcwatch::validate_chrome_trace(&text) {
+            Ok(events) => {
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("error: cannot write timeline '{path}': {e}");
+                    std::process::exit(1);
+                }
+                println!("\ncollection timeline: {events} trace events written to {path} (load at ui.perfetto.dev)");
+            }
+            Err(e) => {
+                eprintln!("error: generated timeline does not validate: {e}");
                 std::process::exit(1);
             }
         }

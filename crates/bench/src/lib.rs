@@ -670,9 +670,10 @@ pub fn prof_report(data: &Dataset) -> String {
 /// Prometheus text exposition for a profiled [`Dataset`]: every cell's
 /// counters, histograms, site totals, census gauges, and MMU windows,
 /// labelled `{workload=..., mode=...}`. Metric families whose names start
-/// with `gcprof_pause`, `gcprof_mark`, `gcprof_sweep_ns`, or `gcprof_mmu`
-/// carry wall-clock timings; everything else is deterministic across
-/// `--jobs` (the parallel-determinism test relies on that prefix split).
+/// with `gcprof_pause`, `gcprof_mark`, `gcprof_sweep_ns`, `gcprof_mmu`,
+/// or `gc_pause` carry wall-clock timings; everything else is
+/// deterministic across `--jobs` (the parallel-determinism test relies on
+/// that prefix split).
 pub fn prometheus_export(data: &Dataset) -> String {
     let cells = prof_cells(data);
     let mut w = gc_safety::PromWriter::new();
@@ -837,6 +838,34 @@ pub fn prometheus_export(data: &Dataset) -> String {
             );
         }
     }
+    // The SLO-facing pause families under the stable `gc_` prefix: the
+    // log2 bucket histogram alerting rules scrape, plus the p50/p99
+    // summary. Both are wall-clock (covered by the `gc_pause` prefix in
+    // the parallel-determinism strip list).
+    w.family(
+        "gc_pause_ns",
+        "Stop-the-world pause distribution (log2 buckets)",
+        "histogram",
+    );
+    for (name, mode, d) in &cells {
+        w.histogram(
+            "gc_pause_ns",
+            &[("workload", name), ("mode", mode.key())],
+            &d.pause_ns,
+        );
+    }
+    w.family(
+        "gc_pause_quantile_ns",
+        "Stop-the-world pause quantiles",
+        "summary",
+    );
+    for (name, mode, d) in &cells {
+        w.summary(
+            "gc_pause_quantile_ns",
+            &[("workload", name), ("mode", mode.key())],
+            &d.pause_ns,
+        );
+    }
     w.finish()
 }
 
@@ -901,9 +930,27 @@ pub fn bench_gc_json(data: &Dataset, micro: &[MicroCell]) -> String {
         w.uint_field("sweep_debt_pages", h.sweep_debt_pages);
         w.uint_field("total_mark_ns", h.total_mark_ns);
         w.uint_field("total_sweep_ns", h.total_sweep_ns);
+        w.uint_field("total_root_scan_ns", h.total_root_scan_ns);
+        w.uint_field("total_heap_scan_ns", h.total_heap_scan_ns);
         w.uint_field("total_pause_ns", h.total_pause_ns);
         w.uint_field("max_pause_ns", h.max_pause_ns);
         w.uint_field("peak_bytes_live", h.peak_bytes_live);
+        w.uint_field("collections_threshold", h.collections_threshold);
+        w.uint_field("collections_emergency", h.collections_emergency);
+        w.uint_field("collections_explicit", h.collections_explicit);
+    };
+    // Pause attribution and MMU windows ride along whenever the cell was
+    // profiled: the worst pause's cause/site answer "why" for every
+    // max_pause_ns in the trajectory, and the MMU floors in budgets.toml
+    // key on the mmu_* fields.
+    let prof_fields = |w: &mut gctrace::json::Writer, d: &ProfData| {
+        if let Some(worst) = d.collection_log.iter().max_by_key(|r| r.pause_ns) {
+            w.str_field("max_pause_cause", worst.cause.as_str());
+            w.str_field("max_pause_site", worst.site.as_deref().unwrap_or("-"));
+        }
+        for (window_ns, label) in gc_safety::MMU_WINDOWS_NS {
+            w.uint_field(&format!("mmu_{label}_permille"), d.mmu_permille(window_ns));
+        }
     };
     for (name, results) in &data.rows {
         for (mode, m) in results {
@@ -914,6 +961,9 @@ pub fn bench_gc_json(data: &Dataset, micro: &[MicroCell]) -> String {
             w.str_field("workload", name);
             w.str_field("mode", mode.key());
             heap_fields(&mut w, &out.heap);
+            if let Some(d) = m.prof.snapshot() {
+                prof_fields(&mut w, &d);
+            }
             lines.push(format!("  {}", w.finish()));
         }
     }
@@ -926,6 +976,7 @@ pub fn bench_gc_json(data: &Dataset, micro: &[MicroCell]) -> String {
         heap_fields(&mut w, &cell.stats);
         w.uint_field("wall_ns", cell.wall_ns);
         w.uint_field("allocs_per_sec", cell.allocs_per_sec());
+        prof_fields(&mut w, &cell.prof);
         lines.push(format!("  {}", w.finish()));
     }
     format!("[\n{}\n]\n", lines.join(",\n"))
@@ -971,6 +1022,64 @@ pub fn validate_bench_gc_json(text: &str) -> Result<usize, String> {
         return Err("no cells".into());
     }
     Ok(cells)
+}
+
+/// The `workload/mode` keys of [`bench_gc_json`] cells that never
+/// collected. A zero-collection cell contributes nothing to the perf
+/// trajectory — its pause budget is vacuously met — so the harness warns
+/// about every one (this is how the under-scaled cfrac cells were
+/// caught).
+///
+/// # Errors
+///
+/// Propagates parse errors from the document.
+pub fn zero_collection_cells(text: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let obj = gctrace::json::parse_object(line).map_err(|e| format!("bad cell: {e}"))?;
+        let get = |k: &str| obj.get(k).and_then(gctrace::json::JsonValue::as_str);
+        if obj
+            .get("collections")
+            .and_then(gctrace::json::JsonValue::as_u64)
+            == Some(0)
+        {
+            out.push(format!(
+                "{}/{}",
+                get("workload").unwrap_or("?"),
+                get("mode").unwrap_or("?")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the Perfetto timeline cells for `--timeline`: every profiled
+/// matrix cell followed by the microbench schedules, each carrying its
+/// per-collection attribution log. The order (row-major matrix, then
+/// micro) and every record field the Chrome trace consumes are
+/// deterministic, so [`gcwatch::chrome_trace`] over this is byte-identical
+/// at any `--jobs`.
+pub fn timeline_cells(data: &Dataset, micro: &[MicroCell]) -> Vec<gcwatch::TimelineCell> {
+    let mut out = Vec::new();
+    for (name, mode, d) in prof_cells(data) {
+        out.push(gcwatch::TimelineCell {
+            workload: name.to_string(),
+            mode: mode.key().to_string(),
+            records: d.collection_log,
+        });
+    }
+    for cell in micro {
+        out.push(gcwatch::TimelineCell {
+            workload: cell.name.to_string(),
+            mode: "heap-direct".to_string(),
+            records: cell.prof.collection_log.clone(),
+        });
+    }
+    out
 }
 
 #[cfg(test)]

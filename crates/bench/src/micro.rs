@@ -19,7 +19,8 @@
 //! *counts* are byte-identical run to run; only the nanosecond timings
 //! move. The results seed `BENCH_gc.json`, the repo's perf trajectory.
 
-use gcheap::{GcHeap, HeapConfig, HeapStats, Memory, RootSet};
+use gcheap::{CollectCause, GcHeap, HeapConfig, HeapStats, Memory, RootSet};
+use gcprof::{ProfData, ProfHandle};
 use std::time::Instant;
 
 /// One measured microbench schedule.
@@ -31,6 +32,9 @@ pub struct MicroCell {
     pub stats: HeapStats,
     /// Wall-clock time for the whole schedule, in nanoseconds.
     pub wall_ns: u64,
+    /// The schedule's profile: pause timeline (for MMU windows) and the
+    /// per-collection attribution log (for timelines and budgets).
+    pub prof: ProfData,
 }
 
 impl MicroCell {
@@ -81,12 +85,12 @@ fn alloc_at_safe_point(
     live: &[u64],
 ) -> Option<u64> {
     if heap.should_collect() {
-        heap.collect(mem, &roots_of(live));
+        heap.collect_as(mem, &roots_of(live), CollectCause::Threshold, Some("micro"));
     }
     match heap.alloc(mem, size) {
         Ok(a) => Some(a),
         Err(_) => {
-            heap.collect(mem, &roots_of(live));
+            heap.collect_as(mem, &roots_of(live), CollectCause::Emergency, Some("micro"));
             heap.alloc(mem, size).ok()
         }
     }
@@ -103,6 +107,12 @@ fn run_schedule(
     // out-of-memory thrash.
     let mut mem = Memory::new(1 << 16, 1 << 16, 32 << 20);
     let mut heap = GcHeap::new(&mem, HeapConfig::default());
+    // Every schedule runs profiled: the pause timeline feeds the MMU
+    // floors in BENCH_gc.json and the collection log feeds the timeline
+    // export. The overhead is identical across runs, so the trajectory
+    // stays comparable with itself.
+    let prof = ProfHandle::enabled();
+    heap.set_prof(prof.clone());
     let t0 = Instant::now();
     f(&mut heap, &mut mem, allocs);
     let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -110,6 +120,7 @@ fn run_schedule(
         name,
         stats: heap.stats(),
         wall_ns,
+        prof: prof.snapshot().expect("profile is enabled"),
     }
 }
 
@@ -211,6 +222,26 @@ mod tests {
             );
             assert!(cell.stats.objects_freed > 0, "{}: nothing freed", cell.name);
             assert!(cell.stats.allocations > 0, "{}", cell.name);
+            assert_eq!(
+                cell.prof.collection_log.len() as u64,
+                cell.stats.collections,
+                "{}: one attribution record per collection",
+                cell.name
+            );
+            assert!(
+                cell.prof
+                    .collection_log
+                    .iter()
+                    .all(|r| r.site.as_deref() == Some("micro")),
+                "{}: microbench collections carry the harness site",
+                cell.name
+            );
+            assert_eq!(
+                cell.stats.collections_threshold + cell.stats.collections_emergency,
+                cell.stats.collections,
+                "{}: every microbench collection is threshold or emergency",
+                cell.name
+            );
         }
     }
 
@@ -225,6 +256,16 @@ mod tests {
             assert_eq!(x.stats.collections, y.stats.collections, "{}", x.name);
             assert_eq!(x.stats.objects_freed, y.stats.objects_freed, "{}", x.name);
             assert_eq!(x.stats.bytes_live, y.stats.bytes_live, "{}", x.name);
+            assert_eq!(
+                x.stats.collections_threshold, y.stats.collections_threshold,
+                "{}",
+                x.name
+            );
+            assert_eq!(
+                x.stats.collections_emergency, y.stats.collections_emergency,
+                "{}",
+                x.name
+            );
         }
     }
 }

@@ -62,12 +62,15 @@ fn parallel_collect_equals_serial_cell_for_cell() {
 /// Strips the wall-clock fields (collection pauses) that legitimately
 /// differ between two runs of the same deterministic pipeline.
 fn normalized(events: Vec<Event>) -> Vec<Event> {
-    const WALL_CLOCK: [&str; 5] = [
+    const WALL_CLOCK: [&str; 8] = [
         "pause_ns",
         "total_pause_ns",
         "max_pause_ns",
         "mark_ns",
         "sweep_ns",
+        "root_scan_ns",
+        "heap_scan_ns",
+        "class_sweep_ns",
     ];
     events
         .into_iter()
@@ -79,14 +82,15 @@ fn normalized(events: Vec<Event>) -> Vec<Event> {
 }
 
 /// Drops the Prometheus families that carry wall-clock timings
-/// (`gcprof_pause*`, `gcprof_mark*`, `gcprof_sweep_ns*`, `gcprof_mmu*`);
-/// everything left must be byte-identical across schedules.
+/// (`gcprof_pause*`, `gcprof_mark*`, `gcprof_sweep_ns*`, `gcprof_mmu*`,
+/// `gc_pause*`); everything left must be byte-identical across schedules.
 fn strip_timing_metrics(text: &str) -> String {
-    const TIMING: [&str; 4] = [
+    const TIMING: [&str; 5] = [
         "gcprof_pause",
         "gcprof_mark",
         "gcprof_sweep_ns",
         "gcprof_mmu",
+        "gc_pause",
     ];
     let mut out: String = text
         .lines()
@@ -165,6 +169,31 @@ fn instrumented_parallel_exports_match_serial_modulo_timing() {
     assert_eq!(
         strip_timing_json(&bench_json(&serial)),
         strip_timing_json(&bench_json(&parallel))
+    );
+}
+
+#[test]
+fn timeline_export_is_byte_identical_at_any_jobs() {
+    use gcbench::{gc_microbench, timeline_cells};
+    let serial = collect_instrumented_jobs(Scale::Tiny, &TraceHandle::disabled(), true, 1)
+        .expect("serial instrumented collect");
+    let parallel = collect_instrumented_jobs(Scale::Tiny, &TraceHandle::disabled(), true, 4)
+        .expect("parallel instrumented collect");
+    // The microbench is rerun for each trace: its wall-clock fields move,
+    // but the virtual-clock trace must not — only deterministic counters
+    // reach the export.
+    let s = gcwatch::chrome_trace(&timeline_cells(&serial, &gc_microbench(true)));
+    let p = gcwatch::chrome_trace(&timeline_cells(&parallel, &gc_microbench(true)));
+    let events = gcwatch::validate_chrome_trace(&s).expect("timeline is well-formed");
+    assert!(events > 0, "timeline has events");
+    assert_eq!(s, p, "timeline differs between --jobs 1 and --jobs 4");
+    // Every collection slice carries its attribution.
+    assert!(s.contains("\"cause\":\"threshold\""), "causes exported");
+    assert!(s.contains("\"site\":\"micro\""), "sites exported");
+    assert!(s.contains("root-scan"), "phase sub-slices exported");
+    assert!(
+        s.contains("\"name\":\"process_name\"") && s.contains("\"name\":\"thread_name\""),
+        "Perfetto process/thread metadata present"
     );
 }
 

@@ -600,28 +600,43 @@ impl<'a> Vm<'a> {
         roots
     }
 
+    /// The allocation-site key for `site` under the current shadow call
+    /// stack: frame names joined with `;`, ending in the
+    /// `primitive@line:col` site label — flamegraph-folded frame order.
+    fn site_key(&self, site: Option<u32>) -> String {
+        let mut key = String::new();
+        for frame in &self.frames {
+            key.push_str(&self.prog.funcs[frame.func].name);
+            key.push(';');
+        }
+        match site {
+            Some(i) => key.push_str(&self.prog.alloc_sites[i as usize].label()),
+            None => key.push_str("alloc@?"),
+        }
+        key
+    }
+
     fn allocate(&mut self, size: i64, site: Option<u32>) -> Result<i64, VmError> {
         let size = size.max(0) as u64;
+        // Build the site key eagerly only when an attached trace or
+        // profile will consume it — it both attributes the allocation to
+        // its stack and labels any collection this request triggers. The
+        // uninstrumented hot path pays one branch and builds no string.
+        let label = self.heap.attribution_enabled().then(|| self.site_key(site));
         let roots = self.roots();
-        match self.heap.alloc_with_roots(&mut self.mem, size, &roots) {
+        match self
+            .heap
+            .alloc_with_roots_sited(&mut self.mem, size, &roots, label.as_deref())
+        {
             Ok(addr) => {
-                // Attribute the allocation to its source site under the
-                // current shadow call stack. The key closure only runs
-                // when profiling is enabled; the disabled handle costs
-                // one branch and never builds the string.
                 let prof = self.heap.prof().clone();
-                prof.record_site(size, || {
-                    let mut key = String::new();
-                    for frame in &self.frames {
-                        key.push_str(&self.prog.funcs[frame.func].name);
-                        key.push(';');
-                    }
-                    match site {
-                        Some(i) => key.push_str(&self.prog.alloc_sites[i as usize].label()),
-                        None => key.push_str("alloc@?"),
-                    }
-                    key
-                });
+                match label {
+                    Some(l) => prof.record_site(size, move || l),
+                    // Unreachable in practice (an enabled profile implies
+                    // attribution), kept so the closure contract is
+                    // honoured whatever the handle combination.
+                    None => prof.record_site(size, || self.site_key(site)),
+                }
                 Ok(addr as i64)
             }
             Err(_) => Err(VmError::OutOfMemory),

@@ -14,7 +14,7 @@
 
 use crate::mem::{Memory, HEAP_BASE};
 use crate::pagemap::{PageDesc, PageMap, SmallPage, PAGE_SHIFT, PAGE_SIZE};
-use gcprof::{ClassCensus, HeapCensus, ProfHandle};
+use gcprof::{ClassCensus, CollectCause, CollectionRecord, HeapCensus, ProfHandle};
 use gctrace::{Event, TraceHandle};
 use std::collections::VecDeque;
 use std::fmt;
@@ -127,6 +127,17 @@ pub struct HeapStats {
     pub total_mark_ns: u64,
     /// Sweep-phase share of the total pause, in nanoseconds.
     pub total_sweep_ns: u64,
+    /// Root-scan share of the total mark time, in nanoseconds.
+    pub total_root_scan_ns: u64,
+    /// Worklist-drain (heap-scan) share of the total mark time, in
+    /// nanoseconds.
+    pub total_heap_scan_ns: u64,
+    /// Collections triggered by the allocation threshold.
+    pub collections_threshold: u64,
+    /// Collections forced by a failed allocation (collect-and-retry).
+    pub collections_emergency: u64,
+    /// Collections requested explicitly by the program or harness.
+    pub collections_explicit: u64,
     /// High-water mark of [`HeapStats::bytes_live`].
     pub peak_bytes_live: u64,
 }
@@ -153,6 +164,11 @@ impl HeapStats {
         w.uint_field("max_pause_ns", self.max_pause_ns);
         w.uint_field("total_mark_ns", self.total_mark_ns);
         w.uint_field("total_sweep_ns", self.total_sweep_ns);
+        w.uint_field("total_root_scan_ns", self.total_root_scan_ns);
+        w.uint_field("total_heap_scan_ns", self.total_heap_scan_ns);
+        w.uint_field("collections_threshold", self.collections_threshold);
+        w.uint_field("collections_emergency", self.collections_emergency);
+        w.uint_field("collections_explicit", self.collections_explicit);
         w.uint_field("peak_bytes_live", self.peak_bytes_live);
         w.finish()
     }
@@ -188,6 +204,11 @@ impl HeapStats {
             max_pause_ns: get("max_pause_ns")?,
             total_mark_ns: get("total_mark_ns")?,
             total_sweep_ns: get("total_sweep_ns")?,
+            total_root_scan_ns: get("total_root_scan_ns")?,
+            total_heap_scan_ns: get("total_heap_scan_ns")?,
+            collections_threshold: get("collections_threshold")?,
+            collections_emergency: get("collections_emergency")?,
+            collections_explicit: get("collections_explicit")?,
             peak_bytes_live: get("peak_bytes_live")?,
         })
     }
@@ -232,6 +253,23 @@ enum PageKind {
     Small { ci: u8, obj_size: u32 },
     LargeHead,
     LargeCont { back: u32 },
+}
+
+/// What one sweep pass observed: reclamation totals, page counts per
+/// phase, and (when the heap is instrumented) per-class timing.
+#[derive(Debug, Default)]
+struct SweepOutcome {
+    /// Objects returned to the free lists.
+    objects_swept: u64,
+    /// Bytes returned to the free lists (rounded slot sizes).
+    bytes_swept: u64,
+    /// Carved pages the sweep visited (small + large, head and tail).
+    pages_swept: u64,
+    /// Pages left holding at least one live object.
+    pages_live: u64,
+    /// Sweep nanoseconds per size class (`0` = the large-object pass);
+    /// empty unless the sweep ran timed.
+    class_ns: Vec<(u32, u64)>,
 }
 
 /// The conservative garbage-collected heap.
@@ -453,9 +491,28 @@ impl GcHeap {
         size: u64,
         roots: &RootSet,
     ) -> Result<u64, OutOfMemory> {
+        self.alloc_with_roots_sited(mem, size, roots, None)
+    }
+
+    /// [`GcHeap::alloc_with_roots`] carrying the allocation-site label of
+    /// the request, so any collection this allocation triggers is
+    /// attributed to it. Callers should only build the label when
+    /// [`GcHeap::attribution_enabled`] — a `None` site is always correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if the heap is exhausted even after a
+    /// collection.
+    pub fn alloc_with_roots_sited(
+        &mut self,
+        mem: &mut Memory,
+        size: u64,
+        roots: &RootSet,
+        site: Option<&str>,
+    ) -> Result<u64, OutOfMemory> {
         let threshold_collected = self.should_collect();
         if threshold_collected {
-            self.collect(mem, roots);
+            self.collect_as(mem, roots, CollectCause::Threshold, site);
         }
         match self.alloc(mem, size) {
             Ok(a) => Ok(a),
@@ -466,10 +523,18 @@ impl GcHeap {
                 Err(e)
             }
             Err(_) => {
-                self.collect(mem, roots);
+                self.collect_as(mem, roots, CollectCause::Emergency, site);
                 self.alloc(mem, size)
             }
         }
+    }
+
+    /// Whether an attached trace or profile will consume attribution
+    /// detail (trigger cause, site label, per-class sweep timing).
+    /// Callers use this to skip building site strings on the fast path;
+    /// the heap uses it to skip per-page sweep timing.
+    pub fn attribution_enabled(&self) -> bool {
+        self.trace.is_enabled() || self.prof.is_enabled()
     }
 
     /// Serves the lowest free slot of `page` from its allocation bitmap,
@@ -625,13 +690,37 @@ impl GcHeap {
         census
     }
 
-    /// Runs a full stop-the-world mark-sweep collection.
+    /// Runs a full stop-the-world mark-sweep collection, attributed as
+    /// [`CollectCause::Explicit`] (the program or harness asked for it).
     pub fn collect(&mut self, mem: &mut Memory, roots: &RootSet) {
+        self.collect_as(mem, roots, CollectCause::Explicit, None);
+    }
+
+    /// Runs a full stop-the-world mark-sweep collection attributed to
+    /// `cause` — and, when the caller knows it, to the allocation-site
+    /// label whose request triggered it. The per-collection trace event
+    /// and the [`CollectionRecord`] handed to the profile both carry the
+    /// attribution plus a phase breakdown finer than mark/sweep:
+    /// root-scan vs. heap-scan nanoseconds inside the mark, per-size-class
+    /// sweep nanoseconds, and pages visited/live per phase.
+    pub fn collect_as(
+        &mut self,
+        mem: &mut Memory,
+        roots: &RootSet,
+        cause: CollectCause,
+        site: Option<&str>,
+    ) {
         let t0 = Instant::now();
         self.stats.collections += 1;
+        match cause {
+            CollectCause::Threshold => self.stats.collections_threshold += 1,
+            CollectCause::Emergency => self.stats.collections_emergency += 1,
+            CollectCause::Explicit => self.stats.collections_explicit += 1,
+        }
+        let bytes_since_gc = self.bytes_since_gc;
         self.bytes_since_gc = 0;
         let blacklisted_before = self.stats.blacklisted_pages;
-        // --- mark ---
+        // --- mark: root scan ---
         let mut roots_scanned: u64 = 0;
         let mut words_marked: u64 = 0;
         let mut objects_marked: u64 = 0;
@@ -648,6 +737,8 @@ impl GcHeap {
             roots_scanned += 1;
             objects_marked += u64::from(self.mark_candidate(word, true, &mut worklist));
         }
+        let root_scan_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // --- mark: heap scan (worklist drain) ---
         while let Some((start, size)) = worklist.pop() {
             mem.scan_words(start, start + size, |word| {
                 words_marked += 1;
@@ -655,25 +746,54 @@ impl GcHeap {
             });
         }
         let mark_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let heap_scan_ns = mark_ns.saturating_sub(root_scan_ns);
         // --- sweep ---
-        let (objects_swept, bytes_swept) = self.sweep(mem);
+        let detail = self.attribution_enabled();
+        let sw = self.sweep(mem, detail);
         let pause_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let sweep_ns = pause_ns.saturating_sub(mark_ns);
         self.stats.total_pause_ns += pause_ns;
         self.stats.max_pause_ns = self.stats.max_pause_ns.max(pause_ns);
         self.stats.total_mark_ns += mark_ns;
         self.stats.total_sweep_ns += sweep_ns;
-        self.prof
-            .record_collection(pause_ns, mark_ns, sweep_ns, bytes_swept);
+        self.stats.total_root_scan_ns += root_scan_ns;
+        self.stats.total_heap_scan_ns += heap_scan_ns;
+        if !detail {
+            return;
+        }
         let stats = self.stats;
+        let rec = CollectionRecord {
+            cause,
+            site: site.map(str::to_string),
+            bytes_since_gc,
+            bytes_live: stats.bytes_live,
+            freed_bytes: sw.bytes_swept,
+            roots_scanned,
+            words_marked,
+            pages_live: sw.pages_live,
+            pages_swept: sw.pages_swept,
+            sweep_debt_pages: stats.sweep_debt_pages,
+            pause_ns,
+            mark_ns,
+            sweep_ns,
+            root_scan_ns,
+            heap_scan_ns,
+            class_sweep_ns: sw.class_ns,
+        };
         self.trace.emit(|| {
             Event::new("gc", "collection")
                 .field("n", stats.collections)
+                .field("cause", cause.as_str())
+                .field("site", rec.site.clone().unwrap_or_default())
+                .field("bytes_since_gc", bytes_since_gc)
                 .field("roots_scanned", roots_scanned)
                 .field("words_marked", words_marked)
                 .field("objects_marked", objects_marked)
-                .field("objects_swept", objects_swept)
-                .field("bytes_swept", bytes_swept)
+                .field("objects_swept", sw.objects_swept)
+                .field("bytes_swept", sw.bytes_swept)
+                .field("pages_swept", sw.pages_swept)
+                .field("pages_live", sw.pages_live)
+                .field("sweep_debt_pages", stats.sweep_debt_pages)
                 .field(
                     "blacklist_hits",
                     stats.blacklisted_pages - blacklisted_before,
@@ -683,7 +803,11 @@ impl GcHeap {
                 .field("pause_ns", pause_ns)
                 .field("mark_ns", mark_ns)
                 .field("sweep_ns", sweep_ns)
+                .field("root_scan_ns", root_scan_ns)
+                .field("heap_scan_ns", heap_scan_ns)
+                .field("class_sweep_ns", rec.class_sweep_encoded())
         });
+        self.prof.record_collection(move || rec);
     }
 
     /// If `word` looks like a pointer into a live object, marks it and
@@ -784,10 +908,13 @@ impl GcHeap {
     /// rebuilding free lists. Statistics, poisoning, and the census are
     /// therefore exact the moment `collect` returns; only free-slot
     /// discovery is deferred, and its backlog is `sweep_debt_pages`.
-    fn sweep(&mut self, mem: &mut Memory) -> (u64, u64) {
+    fn sweep(&mut self, mem: &mut Memory, timed: bool) -> SweepOutcome {
         let poison = self.config.poison;
-        let mut objects_swept: u64 = 0;
-        let mut bytes_swept: u64 = 0;
+        let mut out = SweepOutcome::default();
+        // Per-class sweep nanoseconds (`timed` only): one slot per size
+        // class plus a trailing slot for the large-object pass.
+        let mut class_ns = vec![0u64; SIZE_CLASSES.len() + 1];
+        let mut class_seen = vec![false; SIZE_CLASSES.len() + 1];
         for ci in 0..SIZE_CLASSES.len() {
             self.cursor[ci] = None;
             self.partial[ci].clear();
@@ -795,6 +922,8 @@ impl GcHeap {
         }
         let mut debt: u64 = 0;
         for idx in 0..self.next_page {
+            let t_page = if timed { Some(Instant::now()) } else { None };
+            let kind = self.side[idx];
             let page_start = self.map.page_addr(idx);
             let mut reclaim_small = false;
             let mut queue_small = false;
@@ -821,8 +950,11 @@ impl GcHeap {
                         }
                     }
                     sp.fold_marks();
-                    objects_swept += freed;
-                    bytes_swept += freed * obj;
+                    out.objects_swept += freed;
+                    out.bytes_swept += freed * obj;
+                    if !sp.is_empty() {
+                        out.pages_live += 1;
+                    }
                     if sp.is_empty() {
                         // Reclaim in the same pass. Without this a
                         // size-class phase shift (fill with class A, drop
@@ -841,13 +973,16 @@ impl GcHeap {
                 } => {
                     if *allocated && !*marked {
                         *allocated = false;
-                        objects_swept += 1;
-                        bytes_swept += *size;
+                        out.objects_swept += 1;
+                        out.bytes_swept += *size;
                         free_large_pages = (*size / PAGE_SIZE) as usize;
                         if poison {
                             mem.fill(page_start, 0xDD, *size as usize)
                                 .expect("freed object is mapped");
                         }
+                    }
+                    if *allocated {
+                        out.pages_live += *size / PAGE_SIZE;
                     }
                     *marked = false;
                 }
@@ -876,12 +1011,36 @@ impl GcHeap {
                 self.side[idx + i] = PageKind::Free;
                 self.free_pages.push(idx + i);
             }
+            let slot = match kind {
+                PageKind::Free => None,
+                PageKind::Small { ci, .. } => Some(ci as usize),
+                PageKind::LargeHead | PageKind::LargeCont { .. } => Some(SIZE_CLASSES.len()),
+            };
+            if let Some(s) = slot {
+                out.pages_swept += 1;
+                class_seen[s] = true;
+                if let Some(t) = t_page {
+                    class_ns[s] += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                }
+            }
         }
-        self.stats.objects_freed += objects_swept;
-        self.stats.objects_live -= objects_swept;
-        self.stats.bytes_live -= bytes_swept;
+        if timed {
+            out.class_ns = class_seen
+                .iter()
+                .enumerate()
+                .filter(|&(_, &seen)| seen)
+                .map(|(s, _)| {
+                    // Size 0 stands for the large-object pass.
+                    let size = SIZE_CLASSES.get(s).copied().unwrap_or(0);
+                    (size, class_ns[s])
+                })
+                .collect();
+        }
+        self.stats.objects_freed += out.objects_swept;
+        self.stats.objects_live -= out.objects_swept;
+        self.stats.bytes_live -= out.bytes_swept;
         self.stats.sweep_debt_pages = debt;
-        (objects_swept, bytes_swept)
+        out
     }
 
     /// Eagerly retires all outstanding lazy-sweep debt: every page
@@ -1328,6 +1487,11 @@ mod tests {
             "max_pause_ns",
             "total_mark_ns",
             "total_sweep_ns",
+            "total_root_scan_ns",
+            "total_heap_scan_ns",
+            "collections_threshold",
+            "collections_emergency",
+            "collections_explicit",
             "peak_bytes_live",
         ] {
             assert!(
@@ -1371,6 +1535,98 @@ mod tests {
         };
         assert!(get("mark_ns") > 0);
         assert_eq!(get("mark_ns") + get("sweep_ns"), get("pause_ns"));
+        assert_eq!(
+            get("root_scan_ns") + get("heap_scan_ns"),
+            get("mark_ns"),
+            "root scan + heap scan partition the mark phase"
+        );
+        let Some(gctrace::Value::Str(cause)) = e.get("cause") else {
+            panic!("collection event without a cause: {e:?}");
+        };
+        assert_eq!(cause, "explicit", "bare collect() is an explicit cause");
+        let Some(gctrace::Value::Str(classes)) = e.get("class_sweep_ns") else {
+            panic!("collection event without class_sweep_ns: {e:?}");
+        };
+        assert!(
+            classes.split(' ').any(|p| p.starts_with("96:")),
+            "the 64-byte request rounds into the 96-byte class: {classes}"
+        );
+        assert!(get("pages_swept") >= 1);
+    }
+
+    /// The attribution pillar: every collection knows why it ran, both in
+    /// the [`HeapStats`] cause counters and in the per-collection
+    /// [`CollectionRecord`] log, and a threshold/emergency collection
+    /// carries the triggering allocation-site label end to end.
+    #[test]
+    fn collections_carry_cause_and_site_attribution() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 20);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                gc_threshold: 2048,
+                ..HeapConfig::default()
+            },
+        );
+        let prof = gcprof::ProfHandle::enabled();
+        heap.set_prof(prof.clone());
+        assert!(heap.attribution_enabled());
+        let mut mem = mem;
+        // Cross the threshold, then allocate with a site label attached.
+        for _ in 0..40 {
+            heap.alloc(&mut mem, 64).unwrap();
+        }
+        assert!(heap.should_collect());
+        heap.alloc_with_roots_sited(&mut mem, 64, &RootSet::new(), Some("main;malloc@9:3"))
+            .unwrap();
+        // And one explicit collection.
+        heap.collect(&mut mem, &RootSet::new());
+        let s = heap.stats();
+        assert_eq!(s.collections, 2);
+        assert_eq!(
+            (
+                s.collections_threshold,
+                s.collections_emergency,
+                s.collections_explicit
+            ),
+            (1, 0, 1),
+            "cause counters partition the collection count"
+        );
+        assert_eq!(
+            s.collections_threshold + s.collections_emergency + s.collections_explicit,
+            s.collections
+        );
+        let d = prof.snapshot().expect("prof enabled");
+        assert_eq!(d.collection_log.len(), 2);
+        let first = &d.collection_log[0];
+        assert_eq!(first.cause, CollectCause::Threshold);
+        assert_eq!(first.site.as_deref(), Some("main;malloc@9:3"));
+        assert!(
+            first.bytes_since_gc >= 2048,
+            "the record captures the allocation debt that tripped the threshold"
+        );
+        assert_eq!(first.root_scan_ns + first.heap_scan_ns, first.mark_ns);
+        assert!(first.pages_swept >= 1);
+        assert!(
+            !first.class_sweep_ns.is_empty(),
+            "instrumented sweeps carry per-class timing"
+        );
+        let second = &d.collection_log[1];
+        assert_eq!(second.cause, CollectCause::Explicit);
+        assert_eq!(second.site, None);
+    }
+
+    /// With neither trace nor prof attached the sweep must skip per-page
+    /// timing and build no records — but cause counters still tally.
+    #[test]
+    fn uninstrumented_collections_still_count_causes() {
+        let (mut mem, mut heap) = setup();
+        assert!(!heap.attribution_enabled());
+        heap.alloc(&mut mem, 64).unwrap();
+        heap.collect(&mut mem, &RootSet::new());
+        let s = heap.stats();
+        assert_eq!(s.collections_explicit, 1);
+        assert!(s.total_root_scan_ns + s.total_heap_scan_ns <= s.total_mark_ns);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod heap;
 pub mod mem;
 pub mod pagemap;
 
+pub use gcprof::{CollectCause, CollectionRecord};
 pub use heap::{GcHeap, HeapConfig, HeapStats, OutOfMemory, PointerPolicy, RootSet, SIZE_CLASSES};
 pub use mem::{MemFault, MemResult, Memory, Region, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
 pub use pagemap::{PageDesc, PageMap, SmallPage, BITMAP_WORDS, PAGE_SIZE};

@@ -109,6 +109,25 @@ impl Histogram {
         }
     }
 
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// inclusive bound of the bucket holding the `⌈q·count⌉`-th sample,
+    /// clamped to the exact observed maximum so a p99 never exceeds it.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Non-empty `(bucket index, count)` pairs in ascending bucket order.
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.counts
@@ -209,6 +228,23 @@ mod tests {
         assert_eq!(a.sum(), 114);
         assert_eq!(a.max(), 100);
         assert_eq!(a.counts()[Histogram::bucket_of(7)], 2);
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for _ in 0..98 {
+            h.record(10); // bucket 4, bound 15
+        }
+        h.record(1000); // bucket 10, bound 1023
+        h.record(5000); // bucket 13, bound 8191
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 5000, "clamped to the observed max");
+        let mut one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.quantile(0.0), 7, "rank is clamped to at least 1");
     }
 
     #[test]

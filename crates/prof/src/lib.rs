@@ -36,6 +36,105 @@ pub use hist::{decode_buckets, encode_buckets, Histogram};
 pub use mmu::{mmu_permille, Pause, MMU_WINDOWS_NS};
 pub use prom::PromWriter;
 
+/// Why a collection ran. Attribution starts here: every pause in an
+/// export can be traced back to the mutator action that triggered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectCause {
+    /// The allocation-byte threshold was crossed at a safe point.
+    #[default]
+    Threshold,
+    /// A failed allocation forced a collect-and-retry.
+    Emergency,
+    /// The program (or harness) asked for a collection directly.
+    Explicit,
+}
+
+impl CollectCause {
+    /// Stable lowercase name used in trace events, JSON exports, and the
+    /// gcwatch diff tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CollectCause::Threshold => "threshold",
+            CollectCause::Emergency => "emergency",
+            CollectCause::Explicit => "explicit",
+        }
+    }
+
+    /// Inverse of [`CollectCause::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threshold" => Some(CollectCause::Threshold),
+            "emergency" => Some(CollectCause::Emergency),
+            "explicit" => Some(CollectCause::Explicit),
+            _ => None,
+        }
+    }
+}
+
+/// Everything one collection reports: the trigger, the deterministic
+/// phase counters, and the wall-clock phase breakdown. The deterministic
+/// fields are safe to export into byte-compared artifacts (traces,
+/// timelines); the `*_ns` fields are wall clock and must stay behind the
+/// same masking discipline as every other timing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CollectionRecord {
+    /// What triggered the collection.
+    pub cause: CollectCause,
+    /// Allocation-site label of the triggering allocation, when the
+    /// caller knows it (VM allocations under an enabled handle).
+    pub site: Option<String>,
+    /// Bytes allocated since the previous collection (captured before
+    /// the counter resets).
+    pub bytes_since_gc: u64,
+    /// Bytes live after the sweep.
+    pub bytes_live: u64,
+    /// Bytes returned to the free lists by the sweep.
+    pub freed_bytes: u64,
+    /// Candidate root words scanned.
+    pub roots_scanned: u64,
+    /// Heap words scanned while draining the mark worklist.
+    pub words_marked: u64,
+    /// Pages left holding at least one live object after the cycle.
+    pub pages_live: u64,
+    /// Carved pages the sweep visited.
+    pub pages_swept: u64,
+    /// Pages queued for lazy adoption when the sweep finished.
+    pub sweep_debt_pages: u64,
+    /// Total stop-the-world pause, nanoseconds.
+    pub pause_ns: u64,
+    /// Mark-phase share of the pause, nanoseconds.
+    pub mark_ns: u64,
+    /// Sweep-phase share of the pause, nanoseconds.
+    pub sweep_ns: u64,
+    /// Root-scan share of the mark phase, nanoseconds.
+    pub root_scan_ns: u64,
+    /// Worklist-drain (heap-scan) share of the mark phase, nanoseconds.
+    pub heap_scan_ns: u64,
+    /// Sweep nanoseconds per size class as `(object size, ns)` pairs;
+    /// object size `0` is the large-object pass. Empty when the heap
+    /// skipped per-class timing (no trace or prof handle attached).
+    pub class_sweep_ns: Vec<(u32, u64)>,
+}
+
+impl CollectionRecord {
+    /// The per-class sweep breakdown in the repo's standard sparse string
+    /// encoding (`"size:ns size:ns …"`, `-` when empty) — the same shape
+    /// `encode_buckets` gives histograms crossing the trace boundary.
+    pub fn class_sweep_encoded(&self) -> String {
+        if self.class_sweep_ns.is_empty() {
+            return "-".to_string();
+        }
+        let mut out = String::new();
+        for (i, (size, ns)) in self.class_sweep_ns.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{size}:{ns}"));
+        }
+        out
+    }
+}
+
 /// Per-allocation-site totals. The site key is the VM's shadow call
 /// stack joined with `;`, ending in the `primitive@line:col` site label
 /// — already in flamegraph-folded frame order.
@@ -66,6 +165,11 @@ pub struct ProfData {
     pub pauses: Vec<Pause>,
     /// Completed collections observed.
     pub collections: u64,
+    /// One attribution record per collection, in collection order: the
+    /// trigger cause + site, the deterministic phase counters, and the
+    /// wall-clock phase breakdown. This is what the gcwatch timeline and
+    /// the per-cell "why" columns are built from.
+    pub collection_log: Vec<CollectionRecord>,
     /// Final heap census, recorded when the VM run ends.
     pub census: Option<HeapCensus>,
 }
@@ -132,20 +236,27 @@ impl ProfHandle {
         }
     }
 
-    /// Records one completed collection: total pause, its mark/sweep
-    /// split, and the bytes the sweep returned to the free lists. Also
-    /// appends to the pause timeline for MMU computation.
+    /// Records one completed collection from the [`CollectionRecord`]
+    /// `build` produces: the pause/mark/sweep/freed histograms, the pause
+    /// timeline for MMU computation, and the attribution log. When
+    /// disabled, `build` is never evaluated — the collector pays one
+    /// branch and builds no record.
     #[inline]
-    pub fn record_collection(&self, pause_ns: u64, mark_ns: u64, sweep_ns: u64, freed_bytes: u64) {
+    pub fn record_collection(&self, build: impl FnOnce() -> CollectionRecord) {
         if let Some(cell) = &self.0 {
             let end_ns = cell.start.elapsed().as_nanos() as u64;
+            let rec = build();
             let mut data = cell.data.lock().expect("prof lock");
-            data.pause_ns.record(pause_ns);
-            data.mark_ns.record(mark_ns);
-            data.sweep_ns.record(sweep_ns);
-            data.sweep_freed_bytes.record(freed_bytes);
-            data.pauses.push(Pause { end_ns, pause_ns });
+            data.pause_ns.record(rec.pause_ns);
+            data.mark_ns.record(rec.mark_ns);
+            data.sweep_ns.record(rec.sweep_ns);
+            data.sweep_freed_bytes.record(rec.freed_bytes);
+            data.pauses.push(Pause {
+                end_ns,
+                pause_ns: rec.pause_ns,
+            });
             data.collections += 1;
+            data.collection_log.push(rec);
         }
     }
 
@@ -198,9 +309,23 @@ mod tests {
             HeapCensus::default()
         });
         h.record_alloc_size(64);
-        h.record_collection(10, 6, 4, 128);
+        let mut record_built = false;
+        h.record_collection(|| {
+            record_built = true;
+            CollectionRecord {
+                pause_ns: 10,
+                mark_ns: 6,
+                sweep_ns: 4,
+                freed_bytes: 128,
+                ..CollectionRecord::default()
+            }
+        });
         assert!(!key_built, "disabled handle must not build stack keys");
         assert!(!census_built, "disabled handle must not walk the heap");
+        assert!(
+            !record_built,
+            "disabled handle must not build collection records"
+        );
         assert!(!h.is_enabled());
         assert!(h.snapshot().is_none());
     }
@@ -214,7 +339,18 @@ mod tests {
         h.record_site(64, || "main;malloc@3:9".into());
         h.record_site(100, || "main;push;malloc@7:2".into());
         h.record_site(36, || "main;push;malloc@7:2".into());
-        h.record_collection(1000, 600, 400, 4096);
+        h.record_collection(|| CollectionRecord {
+            cause: CollectCause::Emergency,
+            site: Some("main;push;malloc@7:2".into()),
+            pause_ns: 1000,
+            mark_ns: 600,
+            sweep_ns: 400,
+            root_scan_ns: 250,
+            heap_scan_ns: 350,
+            freed_bytes: 4096,
+            class_sweep_ns: vec![(16, 300), (0, 100)],
+            ..CollectionRecord::default()
+        });
         h.record_census(|| HeapCensus {
             live_objects: 2,
             live_bytes: 164,
@@ -227,10 +363,29 @@ mod tests {
         assert_eq!(d.pause_ns.count(), d.collections);
         assert_eq!(d.mark_ns.sum() + d.sweep_ns.sum(), 1000);
         assert_eq!(d.pauses.len(), 1);
+        assert_eq!(d.collection_log.len(), 1);
+        let rec = &d.collection_log[0];
+        assert_eq!(rec.cause, CollectCause::Emergency);
+        assert_eq!(rec.site.as_deref(), Some("main;push;malloc@7:2"));
+        assert_eq!(rec.root_scan_ns + rec.heap_scan_ns, rec.mark_ns);
+        assert_eq!(rec.class_sweep_encoded(), "16:300 0:100");
+        assert_eq!(CollectionRecord::default().class_sweep_encoded(), "-");
         assert_eq!(d.sites.len(), 2);
         let push = &d.sites["main;push;malloc@7:2"];
         assert_eq!((push.allocs, push.bytes), (2, 136));
         assert_eq!(d.census.as_ref().unwrap().live_bytes, 164);
+    }
+
+    #[test]
+    fn collect_causes_round_trip() {
+        for c in [
+            CollectCause::Threshold,
+            CollectCause::Emergency,
+            CollectCause::Explicit,
+        ] {
+            assert_eq!(CollectCause::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(CollectCause::parse("bogus"), None);
     }
 
     #[test]

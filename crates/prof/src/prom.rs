@@ -90,16 +90,65 @@ impl PromWriter {
         self.sample(&format!("{name}_count"), labels, h.count());
     }
 
+    /// Exports a [`crate::Histogram`] as a Prometheus summary family:
+    /// one `name{quantile="…"}` line per requested quantile (estimated
+    /// from the log2 buckets, see [`crate::Histogram::quantile`]), then
+    /// `_sum` and `_count`.
+    pub fn summary(&mut self, name: &str, labels: &[(&str, &str)], h: &crate::Histogram) {
+        for q in ["0.5", "0.99"] {
+            let v = h.quantile(q.parse().expect("literal quantile"));
+            let mut ls: Vec<(&str, &str)> = labels.to_vec();
+            ls.push(("quantile", q));
+            self.sample(name, &ls, v);
+        }
+        self.sample(&format!("{name}_sum"), labels, h.sum());
+        self.sample(&format!("{name}_count"), labels, h.count());
+    }
+
     /// The finished document.
     pub fn finish(self) -> String {
         self.out
     }
 }
 
+/// One parsed sample line: metric name, raw label pairs, numeric value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    /// Label value for `key`, if present.
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The label set minus `skip`, canonicalized for grouping the series
+    /// of one histogram/summary family by base labels.
+    fn base_key(&self, skip: &str) -> String {
+        let mut ls: Vec<&(String, String)> =
+            self.labels.iter().filter(|(k, _)| k != skip).collect();
+        ls.sort();
+        ls.iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
 /// Parses exposition text, returning the number of sample lines, or a
-/// description of the first malformed line.
+/// description of the first malformed line. Families declared
+/// `# TYPE … histogram` or `# TYPE … summary` get the structural checks
+/// scrapers rely on: `_bucket` series with increasing `le` bounds and
+/// cumulative counts ending at an `+Inf` bucket that matches `_count`,
+/// quantile labels in `[0, 1]`, and `_sum`/`_count` present per series.
 pub fn validate(text: &str) -> Result<usize, String> {
-    let mut samples = 0usize;
+    let mut samples: Vec<(usize, Sample)> = Vec::new();
+    let mut families: Vec<(String, String)> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let n = lineno + 1;
         if line.is_empty() {
@@ -125,17 +174,130 @@ pub fn validate(text: &str) -> Result<usize, String> {
                 ) {
                     return Err(format!("line {n}: unknown metric type {kind:?}"));
                 }
+                families.push((name.to_string(), kind.to_string()));
             }
             // Other comment lines are legal and ignored.
             continue;
         }
-        parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
-        samples += 1;
+        let s = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        samples.push((n, s));
     }
-    Ok(samples)
+    for (name, kind) in &families {
+        match kind.as_str() {
+            "histogram" => validate_histogram_family(name, &samples)?,
+            "summary" => validate_summary_family(name, &samples)?,
+            _ => {}
+        }
+    }
+    Ok(samples.len())
 }
 
-fn parse_sample(line: &str) -> Result<(), String> {
+/// Structural checks for one declared histogram family.
+fn validate_histogram_family(name: &str, samples: &[(usize, Sample)]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let bucket_name = format!("{name}_bucket");
+    // Base label set -> the `(line, le, value)` series in document order.
+    let mut groups: BTreeMap<String, Vec<(usize, f64, f64)>> = BTreeMap::new();
+    for (n, s) in samples {
+        if s.name != bucket_name {
+            continue;
+        }
+        let le = s
+            .label("le")
+            .ok_or_else(|| format!("line {n}: {bucket_name} sample without le label"))?;
+        let le = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse::<f64>()
+                .map_err(|_| format!("line {n}: bad le bound {le:?}"))?
+        };
+        groups
+            .entry(s.base_key("le"))
+            .or_default()
+            .push((*n, le, s.value));
+    }
+    if groups.is_empty() {
+        return Err(format!(
+            "histogram family {name} declared but has no {bucket_name} samples"
+        ));
+    }
+    let find = |suffix: &str, key: &str| -> Option<f64> {
+        let full = format!("{name}{suffix}");
+        samples
+            .iter()
+            .find(|(_, s)| s.name == full && s.base_key("le") == key)
+            .map(|(_, s)| s.value)
+    };
+    for (key, series) in &groups {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_v = 0.0f64;
+        for (n, le, v) in series {
+            if *le <= prev_le {
+                return Err(format!("line {n}: {bucket_name} le bounds not increasing"));
+            }
+            if *v < prev_v {
+                return Err(format!("line {n}: {bucket_name} counts not cumulative"));
+            }
+            prev_le = *le;
+            prev_v = *v;
+        }
+        let (_, last_le, last_v) = *series.last().expect("non-empty series");
+        if !last_le.is_infinite() {
+            return Err(format!(
+                "histogram {name}{{{key}}} missing le=\"+Inf\" bucket"
+            ));
+        }
+        let count = find("_count", key)
+            .ok_or_else(|| format!("histogram {name}{{{key}}} missing _count"))?;
+        if count != last_v {
+            return Err(format!(
+                "histogram {name}{{{key}}}: +Inf bucket {last_v} != _count {count}"
+            ));
+        }
+        find("_sum", key).ok_or_else(|| format!("histogram {name}{{{key}}} missing _sum"))?;
+    }
+    Ok(())
+}
+
+/// Structural checks for one declared summary family.
+fn validate_summary_family(name: &str, samples: &[(usize, Sample)]) -> Result<(), String> {
+    use std::collections::BTreeSet;
+    let mut keys: BTreeSet<String> = BTreeSet::new();
+    for (n, s) in samples {
+        if s.name != name {
+            continue;
+        }
+        let q = s
+            .label("quantile")
+            .ok_or_else(|| format!("line {n}: summary {name} sample without quantile label"))?;
+        let q: f64 = q
+            .parse()
+            .map_err(|_| format!("line {n}: bad quantile {q:?}"))?;
+        if !(0.0..=1.0).contains(&q) {
+            return Err(format!("line {n}: quantile {q} outside [0, 1]"));
+        }
+        keys.insert(s.base_key("quantile"));
+    }
+    if keys.is_empty() {
+        return Err(format!(
+            "summary family {name} declared but has no quantile samples"
+        ));
+    }
+    for key in &keys {
+        for suffix in ["_sum", "_count"] {
+            let full = format!("{name}{suffix}");
+            if !samples
+                .iter()
+                .any(|(_, s)| s.name == full && s.base_key("quantile") == *key)
+            {
+                return Err(format!("summary {name}{{{key}}} missing {suffix}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
     let bytes = line.as_bytes();
     let mut i = 0;
     while i < bytes.len()
@@ -148,9 +310,10 @@ fn parse_sample(line: &str) -> Result<(), String> {
         return Err(format!("bad metric name {name:?}"));
     }
     let mut rest = &line[i..];
+    let mut labels = Vec::new();
     if let Some(after) = rest.strip_prefix('{') {
         let close = find_label_close(after).ok_or("unterminated label set")?;
-        parse_labels(&after[..close])?;
+        labels = parse_labels(&after[..close])?;
         rest = &after[close + 1..];
     }
     let value = rest.trim();
@@ -160,10 +323,14 @@ fn parse_sample(line: &str) -> Result<(), String> {
     // A value, optionally followed by a timestamp.
     let mut parts = value.split_whitespace();
     let v = parts.next().unwrap();
-    let ok = matches!(v, "+Inf" | "-Inf" | "NaN") || v.parse::<f64>().is_ok();
-    if !ok {
-        return Err(format!("bad sample value {v:?}"));
-    }
+    let parsed = match v {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        _ => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {v:?}"))?,
+    };
     if let Some(ts) = parts.next() {
         ts.parse::<i64>()
             .map_err(|_| format!("bad timestamp {ts:?}"))?;
@@ -171,7 +338,11 @@ fn parse_sample(line: &str) -> Result<(), String> {
     if parts.next().is_some() {
         return Err("trailing garbage after sample".into());
     }
-    Ok(())
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value: parsed,
+    })
 }
 
 /// Index of the `}` closing the label set, skipping quoted values.
@@ -193,9 +364,10 @@ fn find_label_close(s: &str) -> Option<usize> {
     None
 }
 
-fn parse_labels(s: &str) -> Result<(), String> {
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
     if s.is_empty() {
-        return Ok(());
+        return Ok(labels);
     }
     let mut rest = s;
     loop {
@@ -209,10 +381,14 @@ fn parse_labels(s: &str) -> Result<(), String> {
             .ok_or("label value not quoted")?;
         let mut end = None;
         let mut escaped = false;
+        let mut value = String::new();
         for (i, c) in after.char_indices() {
             if escaped {
-                if !matches!(c, '\\' | '"' | 'n') {
-                    return Err(format!("bad escape \\{c} in label value"));
+                match c {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    _ => return Err(format!("bad escape \\{c} in label value")),
                 }
                 escaped = false;
                 continue;
@@ -223,19 +399,20 @@ fn parse_labels(s: &str) -> Result<(), String> {
                     end = Some(i);
                     break;
                 }
-                _ => {}
+                _ => value.push(c),
             }
         }
         let end = end.ok_or("unterminated label value")?;
+        labels.push((name.to_string(), value));
         rest = &after[end + 1..];
         if rest.is_empty() {
-            return Ok(());
+            return Ok(labels);
         }
         rest = rest
             .strip_prefix(',')
             .ok_or("expected ',' between labels")?;
         if rest.is_empty() {
-            return Ok(()); // trailing comma is tolerated by scrapers
+            return Ok(labels); // trailing comma is tolerated by scrapers
         }
     }
 }
@@ -290,6 +467,74 @@ mod tests {
         assert!(validate("# TYPE m flavor").is_err());
         assert!(validate("m 1 2 3").is_err());
         assert_eq!(validate("m{} 4\n\n# just a comment\nm2 0.5 1700"), Ok(2));
+    }
+
+    #[test]
+    fn summary_writer_output_validates() {
+        let mut h = Histogram::new();
+        for _ in 0..98 {
+            h.record(1000);
+        }
+        h.record(70_000);
+        h.record(70_000);
+        let mut w = PromWriter::new();
+        w.family("gc_pause_ns_summary", "Pause quantiles", "summary");
+        w.summary("gc_pause_ns_summary", &[("mode", "g")], &h);
+        let text = w.finish();
+        validate(&text).expect("summary must parse and validate");
+        assert!(
+            text.contains(r#"gc_pause_ns_summary{mode="g",quantile="0.5"} 1023"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"gc_pause_ns_summary{mode="g",quantile="0.99"} 70000"#),
+            "{text}"
+        );
+        assert!(text.contains("gc_pause_ns_summary_count{mode=\"g\"} 100"));
+    }
+
+    #[test]
+    fn validator_enforces_histogram_family_structure() {
+        // Declared histogram with no bucket samples at all.
+        assert!(validate("# TYPE h histogram\nh_sum 1\nh_count 1").is_err());
+        // Bucket counts that go backwards.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5";
+        assert!(validate(bad).unwrap_err().contains("not cumulative"));
+        // le bounds that do not increase.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"4\"} 1\nh_bucket{le=\"2\"} 2\n\
+                   h_bucket{le=\"+Inf\"} 2\nh_sum 9\nh_count 2";
+        assert!(validate(bad).unwrap_err().contains("not increasing"));
+        // Missing the +Inf bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1";
+        assert!(validate(bad).unwrap_err().contains("+Inf"));
+        // +Inf bucket disagrees with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4";
+        assert!(validate(bad).unwrap_err().contains("_count"));
+        // Missing _sum.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3";
+        assert!(validate(bad).unwrap_err().contains("_sum"));
+        // A well-formed family, with two label series, passes.
+        let good = "# TYPE h histogram\n\
+                    h_bucket{mode=\"g\",le=\"1\"} 1\nh_bucket{mode=\"g\",le=\"+Inf\"} 2\n\
+                    h_sum{mode=\"g\"} 9\nh_count{mode=\"g\"} 2\n\
+                    h_bucket{mode=\"O\",le=\"+Inf\"} 0\n\
+                    h_sum{mode=\"O\"} 0\nh_count{mode=\"O\"} 0";
+        assert_eq!(validate(good), Ok(7));
+    }
+
+    #[test]
+    fn validator_enforces_summary_family_structure() {
+        assert!(validate("# TYPE s summary\ns_sum 1\ns_count 1").is_err());
+        let bad = "# TYPE s summary\ns{quantile=\"1.5\"} 2\ns_sum 2\ns_count 1";
+        assert!(validate(bad).unwrap_err().contains("outside"));
+        let bad = "# TYPE s summary\ns{quantile=\"0.5\"} 2\ns_count 1";
+        assert!(validate(bad).unwrap_err().contains("_sum"));
+        let bad = "# TYPE s summary\ns 2\ns_sum 2\ns_count 1";
+        assert!(validate(bad).unwrap_err().contains("quantile"));
+        let good = "# TYPE s summary\ns{quantile=\"0.5\"} 2\ns{quantile=\"0.99\"} 7\n\
+                    s_sum 9\ns_count 2";
+        assert_eq!(validate(good), Ok(4));
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The regression-gate CLI.
+//!
+//! ```text
+//! bench compare <baseline.json|-> <candidate.json> --budgets budgets.toml
+//! bench seed-budgets <bench.json> [--margin-permille 1500] [--out budgets.toml]
+//! bench validate-timeline <timeline.json>
+//! ```
+//!
+//! `compare` prints the diff table and exits 1 when the gate fails;
+//! pass `-` as the baseline for budgets-only mode (cross-machine CI).
+//! `seed-budgets` writes ceilings/floors with margin from a measured
+//! document. Usage errors exit 2.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  bench compare <baseline.json|-> <candidate.json> --budgets <budgets.toml>\n  \
+bench seed-budgets <bench.json> [--margin-permille N] [--out <file>]\n  \
+bench validate-timeline <timeline.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => {
+            let mut budgets_path = None;
+            let mut pos = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--budgets" {
+                    budgets_path = Some(it.next().ok_or("--budgets wants a path")?.clone());
+                } else {
+                    pos.push(a.clone());
+                }
+            }
+            let [base, cand] = pos.as_slice() else {
+                return Ok(usage());
+            };
+            let budgets = match budgets_path {
+                Some(p) => gcwatch::budgets::parse(&read(&p)?)?,
+                None => gcwatch::Budgets::default(),
+            };
+            let base_text = if base == "-" { None } else { Some(read(base)?) };
+            let cand_text = read(cand)?;
+            let verdict = gcwatch::compare(base_text.as_deref(), &cand_text, &budgets)?;
+            print!("{}", verdict.table());
+            Ok(if verdict.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        Some("seed-budgets") => {
+            let mut margin = 1500u64;
+            let mut out = None;
+            let mut pos = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--margin-permille" => {
+                        margin = it
+                            .next()
+                            .ok_or("--margin-permille wants a number")?
+                            .parse()
+                            .map_err(|e| format!("--margin-permille: {e}"))?;
+                    }
+                    "--out" => out = Some(it.next().ok_or("--out wants a path")?.clone()),
+                    _ => pos.push(a.clone()),
+                }
+            }
+            let [bench] = pos.as_slice() else {
+                return Ok(usage());
+            };
+            let budgets = gcwatch::budgets::seed(&read(bench)?, margin)?;
+            let text = gcwatch::budgets::render(&budgets);
+            match out {
+                Some(p) => {
+                    std::fs::write(&p, &text).map_err(|e| format!("{p}: {e}"))?;
+                    eprintln!("wrote {} cell budgets to {p}", budgets.cells.len());
+                }
+                None => print!("{text}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("validate-timeline") => {
+            let [path] = &args[1..] else {
+                return Ok(usage());
+            };
+            let n = gcwatch::validate_chrome_trace(&read(path)?)?;
+            eprintln!("{path}: {n} events, well-formed");
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

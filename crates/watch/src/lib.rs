@@ -1,0 +1,33 @@
+//! gcwatch: perf observability for the GC trajectory.
+//!
+//! Three pillars, all dependency-free and deterministic where the rest of
+//! the repo demands determinism:
+//!
+//! * [`stats`] — robust statistics (`median` + MAD) and the `--repeat N`
+//!   aggregator that folds N `BENCH_gc.json` runs into one document with
+//!   median wall-clock fields, `<field>_mad` noise estimates, and a hard
+//!   assertion that every deterministic count is byte-identical across
+//!   repeats.
+//! * [`chrome`] — a Chrome Trace Event Format (Perfetto-loadable)
+//!   timeline writer fed by the per-collection attribution log. The
+//!   timeline runs on a *virtual clock* derived only from deterministic
+//!   counters (bytes allocated, roots scanned, words marked, pages
+//!   swept), so the exported JSON is byte-identical run to run and at any
+//!   `--jobs` level.
+//! * [`budgets`] / [`compare`] — a noise-aware perf-regression gate:
+//!   per-cell `max_pause_ns` ceilings and MMU floors in a tiny TOML
+//!   subset, compared against a candidate `BENCH_gc.json` with a
+//!   median + k·MAD noise gate, producing a human-readable diff table
+//!   and a nonzero exit for CI.
+
+#![warn(missing_docs)]
+
+pub mod budgets;
+pub mod chrome;
+pub mod compare;
+pub mod stats;
+
+pub use budgets::{Budgets, CellBudget, Gate};
+pub use chrome::{chrome_trace, validate_chrome_trace, TimelineCell};
+pub use compare::{compare, Verdict};
+pub use stats::{aggregate, mad, median};

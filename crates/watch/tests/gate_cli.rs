@@ -1,0 +1,123 @@
+//! The regression gate's acceptance contract, end to end through the
+//! `bench` binary: a baseline aggregated from three noisy repeats plus
+//! seeded budgets must pass a clean candidate, and must fail — nonzero
+//! exit, cell named in the diff table — when one microbench cell's
+//! `max_pause_ns` is inflated 2×.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// One synthetic `BENCH_gc.json` run: two matrix cells and one micro
+/// cell, with wall-clock fields jittered by `noise_ns` and the micro
+/// cell's pause scaled by `inflate_permille`.
+fn run_doc(noise_ns: u64, inflate_permille: u64) -> String {
+    let micro_pause = 2_000_000 * inflate_permille / 1000 + noise_ns;
+    format!(
+        "[\n  \
+{{\"schema\":\"gc/1\",\"kind\":\"matrix\",\"workload\":\"cfrac\",\"mode\":\"O\",\"collections\":13,\
+\"max_pause_ns\":{},\"max_pause_cause\":\"threshold\",\"max_pause_site\":\"factor;big_mod_small;malloc@92:14\"}},\n  \
+{{\"schema\":\"gc/1\",\"kind\":\"matrix\",\"workload\":\"cfrac\",\"mode\":\"g\",\"collections\":13,\
+\"max_pause_ns\":{}}},\n  \
+{{\"schema\":\"gc/1\",\"kind\":\"micro\",\"workload\":\"churn-small\",\"mode\":\"heap-direct\",\"collections\":40,\
+\"max_pause_ns\":{micro_pause},\"max_pause_cause\":\"threshold\",\"max_pause_site\":\"micro\",\"mmu_10ms_permille\":620}}\n]\n",
+        800_000 + noise_ns,
+        900_000 + noise_ns,
+    )
+}
+
+fn write(dir: &std::path::Path, name: &str, text: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, text).expect("write temp file");
+    p
+}
+
+fn bench(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench"))
+        .args(args)
+        .output()
+        .expect("bench binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn gate_passes_clean_rerun_and_fails_doubled_micro_pause() {
+    let dir = std::env::temp_dir().join(format!("gcwatch-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Baseline: three noisy repeats folded by the same aggregator
+    // `tables --bench-json --repeat 3` uses.
+    let repeats: Vec<_> = [0u64, 40_000, 90_000]
+        .iter()
+        .map(|&n| gcwatch::stats::parse_cells(&run_doc(n, 1000)).expect("repeat parses"))
+        .collect();
+    let baseline = gcwatch::aggregate(&repeats).expect("aggregates");
+    assert!(baseline.contains("\"repeats\":3"), "{baseline}");
+    assert!(baseline.contains("max_pause_ns_mad"), "{baseline}");
+    let base_path = write(&dir, "baseline.json", &baseline);
+
+    // Budgets seeded at 1.5× the aggregated baseline.
+    let budgets_path = dir.join("budgets.toml");
+    let (ok, _, err) = bench(&[
+        "seed-budgets",
+        base_path.to_str().unwrap(),
+        "--margin-permille",
+        "1500",
+        "--out",
+        budgets_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "seed-budgets failed: {err}");
+
+    // A clean re-run — fresh wall-clock jitter, same behavior — passes.
+    let clean = write(&dir, "clean.json", &run_doc(60_000, 1000));
+    let (ok, table, err) = bench(&[
+        "compare",
+        base_path.to_str().unwrap(),
+        clean.to_str().unwrap(),
+        "--budgets",
+        budgets_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "clean candidate must pass:\n{table}{err}");
+    assert!(table.contains("gate: PASS"), "{table}");
+
+    // 2× inflation on the micro cell: nonzero exit, cell named.
+    let inflated = write(&dir, "inflated.json", &run_doc(60_000, 2000));
+    let (ok, table, _) = bench(&[
+        "compare",
+        base_path.to_str().unwrap(),
+        inflated.to_str().unwrap(),
+        "--budgets",
+        budgets_path.to_str().unwrap(),
+    ]);
+    assert!(!ok, "doubled pause must fail the gate:\n{table}");
+    assert!(
+        table.contains("FAIL churn-small/heap-direct"),
+        "diff table names the inflated cell:\n{table}"
+    );
+    assert!(table.contains("gate: FAIL"), "{table}");
+    // The untouched matrix cells still read ok.
+    assert!(table.contains("cfrac/O"), "{table}");
+
+    // Budgets-only mode (CI shape): same verdicts without a baseline.
+    let (ok, _, _) = bench(&[
+        "compare",
+        "-",
+        clean.to_str().unwrap(),
+        "--budgets",
+        budgets_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "budgets-only clean pass");
+    let (ok, table, _) = bench(&[
+        "compare",
+        "-",
+        inflated.to_str().unwrap(),
+        "--budgets",
+        budgets_path.to_str().unwrap(),
+    ]);
+    assert!(!ok && table.contains("churn-small/heap-direct"), "{table}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

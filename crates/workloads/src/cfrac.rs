@@ -87,12 +87,17 @@ int big_cmp_small(struct big *b, int s) {
     return 0;
 }
 
-/* remainder of b mod m (m < 10000 * 10000 fits intermediate in long) */
+/* remainder of b mod m (m < 10000 * 10000 fits intermediate in long).
+ * Like the original cfrac's pdiv, the reduction works on a fresh
+ * heap-allocated scratch copy of the digit vector; the resulting churn
+ * of short-lived arrays is what makes the workload a collector test. */
 long big_mod_small(struct big *b, long m) {
+    int *s = (int *) malloc(b->n * sizeof(int));
     long r = 0;
     int i;
+    for (i = 0; i < b->n; i++) s[i] = b->d[i];
     for (i = b->n - 1; i >= 0; i--) {
-        r = (r * 10000 + b->d[i]) % m;
+        r = (r * 10000 + s[i]) % m;
     }
     return r;
 }

@@ -57,9 +57,13 @@ fn cordtest_input(scale: Scale) -> Vec<u8> {
 }
 
 fn cfrac_input(scale: Scale) -> Vec<u8> {
+    // Paper scale is sized so every mode cell crosses the 256 KiB
+    // collection threshold well over ten times — with big_mod_small's
+    // scratch copies, each number factored churns tens of kilobytes of
+    // short-lived digit arrays.
     let numbers = match scale {
         Scale::Tiny => cfrac::default_numbers(3),
-        Scale::Paper => cfrac::default_numbers(30),
+        Scale::Paper => cfrac::default_numbers(120),
     };
     cfrac::input(&numbers)
 }
