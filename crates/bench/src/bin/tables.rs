@@ -27,9 +27,10 @@
 //! `--timeline` implies profiling for the matrix cells.
 //!
 //! `--bench-json --repeat N` reruns the whole measurement N times and
-//! writes the median of every wall-clock field with a `<field>_mad` noise
-//! estimate, asserting every deterministic count identical across
-//! repeats. Cells that never collected are reported on stderr.
+//! writes the median of every wall-clock field (the minimum for
+//! `max_pause_ns`, a per-run maximum that noise can only inflate) with a
+//! `<field>_mad` noise estimate, asserting every deterministic count
+//! identical across repeats. Cells that never collected are reported on stderr.
 
 use gc_safety::{JsonlSink, TraceHandle};
 use gcbench::*;
@@ -192,10 +193,11 @@ fn main() {
             .expect("micro runs whenever bench-json is requested");
         let mut text = bench_gc_json(&data, micro);
         if repeat > 1 {
-            // Robust statistics: rerun the whole measurement and take the
-            // median of every wall-clock field, with MAD as the noise
-            // estimate the regression gate keys on. Deterministic counts
-            // must not move between repeats; aggregate() enforces that.
+            // Robust statistics: rerun the whole measurement and fold
+            // the runs (median wall-clock fields, min for the per-run
+            // maximum max_pause_ns, MAD as the noise estimate the
+            // regression gate keys on). Deterministic counts must not
+            // move between repeats; aggregate() enforces that.
             let mut runs = Vec::with_capacity(repeat);
             match gcwatch::stats::parse_cells(&text) {
                 Ok(cells) => runs.push(cells),

@@ -938,6 +938,14 @@ pub fn bench_gc_json(data: &Dataset, micro: &[MicroCell]) -> String {
         w.uint_field("collections_threshold", h.collections_threshold);
         w.uint_field("collections_emergency", h.collections_emergency);
         w.uint_field("collections_explicit", h.collections_explicit);
+        w.uint_field(
+            "collections_increment_finish",
+            h.collections_increment_finish,
+        );
+        w.uint_field("collections_nursery", h.collections_nursery);
+        w.uint_field("mark_increments", h.mark_increments);
+        w.uint_field("sweep_increments", h.sweep_increments);
+        w.uint_field("barrier_marks", h.barrier_marks);
     };
     // Pause attribution and MMU windows ride along whenever the cell was
     // profiled: the worst pause's cause/site answer "why" for every

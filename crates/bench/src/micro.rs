@@ -10,16 +10,21 @@
 //! * `churn-mixed` — gs-like: small objects plus periodic multi-page
 //!   buffers, some long-lived;
 //! * `graph` — cordtest-like: linked structures the mark phase must
-//!   chase through heap memory, dropped in batches.
+//!   chase through heap memory, dropped in batches;
+//! * `churn-ptr` — barrier-heavy: lists rewired across generations so
+//!   every allocation is chased by pointer stores into existing objects.
 //!
-//! Every schedule uses the default [`HeapConfig`] (256 KiB threshold,
-//! poisoning on), drives collections exactly the way the VM does (check
-//! the threshold at the allocation safe point, collect, retry on OOM),
-//! and is seeded xorshift-deterministic: the allocation/collection
-//! *counts* are byte-identical run to run; only the nanosecond timings
-//! move. The results seed `BENCH_gc.json`, the repo's perf trajectory.
+//! Every schedule uses [`HeapConfig::bounded_pause`] (256 KiB threshold,
+//! incremental marking, nursery collections, poisoning on), drives
+//! allocation exactly the way the VM does
+//! ([`GcHeap::alloc_with_roots_sited`]: threshold/increment work at the
+//! safe point, retry through an emergency collection on OOM), reports
+//! heap pointer stores through [`GcHeap::write_barrier`], and is seeded
+//! xorshift-deterministic: the allocation *counts* are byte-identical
+//! run to run; only the nanosecond timings move. The results seed
+//! `BENCH_gc.json`, the repo's perf trajectory.
 
-use gcheap::{CollectCause, GcHeap, HeapConfig, HeapStats, Memory, RootSet};
+use gcheap::{GcHeap, HeapConfig, HeapStats, Memory, RootSet};
 use gcprof::{ProfData, ProfHandle};
 use std::time::Instant;
 
@@ -75,25 +80,19 @@ fn roots_of(live: &[u64]) -> RootSet {
     roots
 }
 
-/// Allocates like the VM does: collect at the threshold safe point,
-/// retry once through a collection on OOM. Returns `None` only when the
-/// heap is exhausted even after collecting.
+/// Allocates like the VM does: one allocation safe point, which under the
+/// bounded-pause config advances an in-flight mark cycle by one budgeted
+/// increment, begins a cycle or runs a nursery collection at the
+/// threshold, and retries through an emergency collection on OOM. Returns
+/// `None` only when the heap is exhausted even after collecting.
 fn alloc_at_safe_point(
     heap: &mut GcHeap,
     mem: &mut Memory,
     size: u64,
     live: &[u64],
 ) -> Option<u64> {
-    if heap.should_collect() {
-        heap.collect_as(mem, &roots_of(live), CollectCause::Threshold, Some("micro"));
-    }
-    match heap.alloc(mem, size) {
-        Ok(a) => Some(a),
-        Err(_) => {
-            heap.collect_as(mem, &roots_of(live), CollectCause::Emergency, Some("micro"));
-            heap.alloc(mem, size).ok()
-        }
-    }
+    heap.alloc_with_roots_sited(mem, size, &roots_of(live), Some("micro"))
+        .ok()
 }
 
 fn run_schedule(
@@ -106,7 +105,7 @@ fn run_schedule(
     // for large objects), so the schedules measure collection cost, not
     // out-of-memory thrash.
     let mut mem = Memory::new(1 << 16, 1 << 16, 32 << 20);
-    let mut heap = GcHeap::new(&mem, HeapConfig::default());
+    let mut heap = GcHeap::new(&mem, HeapConfig::bounded_pause());
     // Every schedule runs profiled: the pause timeline feeds the MMU
     // floors in BENCH_gc.json and the collection log feeds the timeline
     // export. The overhead is identical across runs, so the trajectory
@@ -182,8 +181,10 @@ fn graph(heap: &mut GcHeap, mem: &mut Memory, allocs: u64) {
                 tails.push(a);
             } else {
                 let h = rng.below(heads.len() as u64) as usize;
-                // Link the previous tail to the new node.
+                // Link the previous tail to the new node (and tell the
+                // collector: the tail may be old or already scanned).
                 mem.write(tails[h], 8, a).expect("node is mapped");
+                heap.write_barrier(tails[h], a);
                 tails[h] = a;
             }
             // Periodically drop a whole chain.
@@ -192,6 +193,53 @@ fn graph(heap: &mut GcHeap, mem: &mut Memory, allocs: u64) {
                 heads.swap_remove(idx);
                 tails.swap_remove(idx);
             }
+        }
+    }
+}
+
+fn churn_ptr(heap: &mut GcHeap, mem: &mut Memory, allocs: u64) {
+    let mut rng = Rng::new(4);
+    // A rooted table of list heads. Every new node is pushed onto a
+    // random list through a heap pointer store, lists are periodically
+    // spliced together (the only reference to a whole chain moves into
+    // heap memory — old→young stores the cards must catch), and whole
+    // lists are dropped. This is the write barrier's microbench: the
+    // mutator's pointer graph churns *while* marking is in flight.
+    const HEADS: usize = 64;
+    let mut heads: Vec<u64> = vec![0; HEADS];
+    for i in 0..allocs {
+        let size = 16 + rng.below(112);
+        let live: Vec<u64> = heads.iter().copied().filter(|&a| a != 0).collect();
+        let Some(a) = alloc_at_safe_point(heap, mem, size, &live) else {
+            continue;
+        };
+        let h = rng.below(HEADS as u64) as usize;
+        mem.write(a, 8, heads[h]).expect("node is mapped");
+        heap.write_barrier(a, heads[h]);
+        heads[h] = a;
+        if i % 32 == 31 {
+            // Splice list `src` onto a node a few links into list `dst`.
+            let src = rng.below(HEADS as u64) as usize;
+            let dst = rng.below(HEADS as u64) as usize;
+            if src != dst && heads[src] != 0 && heads[dst] != 0 {
+                let mut p = heads[dst];
+                let mut steps = rng.below(8);
+                loop {
+                    let next = mem.read(p, 8).expect("node is mapped");
+                    if next == 0 || steps == 0 {
+                        break;
+                    }
+                    p = next;
+                    steps -= 1;
+                }
+                mem.write(p, 8, heads[src]).expect("node is mapped");
+                heap.write_barrier(p, heads[src]);
+                heads[src] = 0; // the chain now hangs off heap memory only
+            }
+        }
+        if i % 96 == 95 {
+            let d = rng.below(HEADS as u64) as usize;
+            heads[d] = 0; // drop a whole list
         }
     }
 }
@@ -205,6 +253,7 @@ pub fn gc_microbench(tiny: bool) -> Vec<MicroCell> {
         run_schedule("churn-small", n, churn_small),
         run_schedule("churn-mixed", n, churn_mixed),
         run_schedule("graph", n, graph),
+        run_schedule("churn-ptr", n, churn_ptr),
     ]
 }
 
@@ -237,9 +286,33 @@ mod tests {
                 cell.name
             );
             assert_eq!(
-                cell.stats.collections_threshold + cell.stats.collections_emergency,
+                cell.stats.collections_threshold
+                    + cell.stats.collections_emergency
+                    + cell.stats.collections_explicit
+                    + cell.stats.collections_increment_finish
+                    + cell.stats.collections_nursery,
                 cell.stats.collections,
-                "{}: every microbench collection is threshold or emergency",
+                "{}: the five cause counters partition the collection count",
+                cell.name
+            );
+            assert!(
+                cell.stats.collections_nursery > 0,
+                "{}: bounded-pause schedules run nursery collections",
+                cell.name
+            );
+            assert!(
+                cell.stats.collections_increment_finish > 0,
+                "{}: full collections arrive as finished mark cycles",
+                cell.name
+            );
+            assert!(
+                cell.stats.mark_increments > cell.stats.collections_increment_finish,
+                "{}: cycles take more than one bounded stop",
+                cell.name
+            );
+            assert!(
+                cell.stats.sweep_increments > cell.stats.collections_increment_finish,
+                "{}: finishing sweeps are retired in chunks",
                 cell.name
             );
         }
@@ -266,6 +339,27 @@ mod tests {
                 "{}",
                 x.name
             );
+            assert_eq!(
+                x.stats.collections_nursery, y.stats.collections_nursery,
+                "{}",
+                x.name
+            );
+            assert_eq!(
+                x.stats.collections_increment_finish, y.stats.collections_increment_finish,
+                "{}",
+                x.name
+            );
+            assert_eq!(
+                x.stats.mark_increments, y.stats.mark_increments,
+                "{}",
+                x.name
+            );
+            assert_eq!(
+                x.stats.sweep_increments, y.stats.sweep_increments,
+                "{}",
+                x.name
+            );
+            assert_eq!(x.stats.barrier_marks, y.stats.barrier_marks, "{}", x.name);
         }
     }
 }

@@ -187,8 +187,22 @@ fn timeline_export_is_byte_identical_at_any_jobs() {
     let events = gcwatch::validate_chrome_trace(&s).expect("timeline is well-formed");
     assert!(events > 0, "timeline has events");
     assert_eq!(s, p, "timeline differs between --jobs 1 and --jobs 4");
-    // Every collection slice carries its attribution.
-    assert!(s.contains("\"cause\":\"threshold\""), "causes exported");
+    // Every collection slice carries its attribution. The microbench
+    // schedules run bounded-pause, so the trajectory must show nursery
+    // collections, finished incremental cycles, and their bounded mark
+    // stops as first-class slices.
+    assert!(
+        s.contains("\"cause\":\"nursery\""),
+        "nursery causes exported"
+    );
+    assert!(
+        s.contains("\"cause\":\"increment-finish\""),
+        "finished cycles exported"
+    );
+    assert!(
+        s.contains("\"name\":\"mark-inc\""),
+        "increment slices exported"
+    );
     assert!(s.contains("\"site\":\"micro\""), "sites exported");
     assert!(s.contains("root-scan"), "phase sub-slices exported");
     assert!(

@@ -451,6 +451,16 @@ impl<'a> Vm<'a> {
                     self.check_base_store(a, v)?;
                 }
                 self.mem.write(a, width as u32, v)?;
+                if self.heap.barrier_active() {
+                    if width == 8 {
+                        self.heap.write_barrier(a, v);
+                    } else {
+                        // A narrow store can still turn the containing
+                        // word into something the conservative scan reads
+                        // as a pointer — re-scan the touched bytes.
+                        self.heap.write_barrier_range(&self.mem, a, width as u64);
+                    }
+                }
                 self.advance();
             }
             Instr::FrameAddr { dst, offset } => {
@@ -468,6 +478,9 @@ impl<'a> Vm<'a> {
                 self.check_heap_access(d)?;
                 self.check_heap_access(s)?;
                 self.mem.copy(d, s, len as usize)?;
+                if self.heap.barrier_active() {
+                    self.heap.write_barrier_range(&self.mem, d, len);
+                }
                 self.advance();
             }
             Instr::KeepLive { dst, value, .. } => {
@@ -658,6 +671,11 @@ impl<'a> Vm<'a> {
                 let new = self.allocate(new_size, site)? as u64;
                 let n = old_extent.min(new_size.max(0) as u64) as usize;
                 self.mem.copy(new, old, n)?;
+                // The new object is allocated black mid-cycle but never
+                // scanned: the copied-in pointers must be greyed.
+                if self.heap.barrier_active() {
+                    self.heap.write_barrier_range(&self.mem, new, n as u64);
+                }
                 Ok(new as i64)
             }
             Builtin::Free => Ok(0), // the collector reclaims
@@ -689,18 +707,29 @@ impl<'a> Vm<'a> {
                     self.mem.write(dst + i as u64, 1, *byte as u64)?;
                 }
                 self.mem.write(dst + src.len() as u64, 1, 0)?;
+                if self.heap.barrier_active() {
+                    self.heap
+                        .write_barrier_range(&self.mem, dst, src.len() as u64 + 1);
+                }
                 self.profile.builtin_byte_work += src.len() as u64 + 1;
                 Ok(args[0])
             }
             Builtin::Memcpy => {
                 let n = args[2].max(0) as usize;
                 self.mem.copy(args[0] as u64, args[1] as u64, n)?;
+                if self.heap.barrier_active() {
+                    self.heap
+                        .write_barrier_range(&self.mem, args[0] as u64, n as u64);
+                }
                 self.profile.builtin_byte_work += n as u64;
                 Ok(args[0])
             }
             Builtin::Memset => {
                 let n = args[2].max(0) as usize;
                 self.mem.fill(args[0] as u64, args[1] as u8, n)?;
+                // No barrier: an 8-byte word of one repeated byte is 0 or
+                // ≥ 0x0101…, never inside the heap range, and merely
+                // overwriting pointers needs no Dijkstra barrier.
                 self.profile.builtin_byte_work += n as u64;
                 Ok(args[0])
             }
@@ -771,6 +800,9 @@ impl<'a> Vm<'a> {
                     self.exec_same_obj_check(new as u64, old as u64)?;
                 }
                 self.mem.write(pp, 8, new as u64)?;
+                if self.heap.barrier_active() {
+                    self.heap.write_barrier(pp, new as u64);
+                }
                 Ok(if b == Builtin::GcPreIncr { new } else { old })
             }
         }
@@ -1067,6 +1099,47 @@ mod vm_behavior_tests {
             ..VmOptions::default()
         };
         compile_and_run(src, &CompileOptions::optimized(), &v).expect("conforming program");
+    }
+
+    #[test]
+    fn safe_mode_survives_the_bounded_pause_paranoid_collector() {
+        // Pointer-churning list reversal: every `->next` store is a heap
+        // pointer store, and with `gc_threshold: 1` under the bounded-pause
+        // collector, marking is in flight at essentially every store. The
+        // write barrier is what keeps the list intact; `trap_uaf` (on by
+        // default) turns any lost node into a hard error.
+        let src = r#"
+            struct node { struct node *next; long v; };
+            int main(void) {
+                struct node *head = 0;
+                struct node *prev = 0;
+                struct node *n;
+                struct node *nx;
+                long i;
+                long sum = 0;
+                for (i = 0; i < 200; i++) {
+                    n = (struct node *) malloc(sizeof(struct node));
+                    n->next = head;
+                    n->v = i;
+                    head = n;
+                }
+                while (head) { nx = head->next; head->next = prev; prev = head; head = nx; }
+                while (prev) { sum = sum + prev->v; prev = prev->next; }
+                putint(sum);
+                return 0;
+            }
+        "#;
+        let v = VmOptions {
+            heap_config: HeapConfig {
+                gc_threshold: 1,
+                ..HeapConfig::bounded_pause()
+            },
+            ..VmOptions::default()
+        };
+        let out = compile_and_run(src, &CompileOptions::debug(), &v).expect("runs");
+        assert_eq!(out.output, b"19900");
+        assert!(out.heap.collections_nursery > 0, "{:?}", out.heap);
+        assert!(out.heap.collections_increment_finish > 0, "{:?}", out.heap);
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //!   code and output. This is the shadow-reachability check: a
 //!   source-reachable object that gets collected surfaces as a
 //!   `UseAfterFree` or a wrong answer. `-O` is exempt by design — the
-//!   paper's point is that it has no such guarantee.
+//!   paper's point is that it has no such guarantee;
+//! * for the safe modes, the same paranoid run again under the
+//!   bounded-pause collector (incremental tri-color marking + nursery,
+//!   [`HeapConfig::bounded_pause`]): with `gc_threshold: 1` a mark cycle
+//!   is in flight across essentially every mutator store, so this is the
+//!   write barrier's adversarial workout — a single missed barrier
+//!   surfaces as a lost object.
 //!
 //! Finally all five `(exit, output)` pairs must agree with the `-O`
 //! baseline.
@@ -174,6 +180,21 @@ fn paranoid_vm() -> cvm::VmOptions {
     }
 }
 
+/// The paranoid collector again, but bounded-pause: incremental marking
+/// with a deliberately tiny budget (so cycles span many mutator stores)
+/// plus nursery collections. Exercises the Dijkstra write barrier and the
+/// remembered-set cards under the least forgiving schedule.
+fn bounded_paranoid_vm() -> cvm::VmOptions {
+    cvm::VmOptions {
+        heap_config: HeapConfig {
+            gc_threshold: 1,
+            mark_budget_bytes: 64,
+            ..HeapConfig::bounded_pause()
+        },
+        ..default_vm()
+    }
+}
+
 /// The gcprof-vs-heap consistency oracle, run once per mode on the first
 /// instrumented run: every successful allocation must land in the size
 /// histogram, every collection in the pause timeline, and the end-of-run
@@ -283,14 +304,16 @@ pub fn check(source: &str) -> Option<Divergence> {
             _ => return Some(Divergence::Nondeterministic { mode }),
         }
         if mode.is_safe() {
-            match cvm::run_compiled(&prog, &paranoid_vm()) {
-                Ok(rp) if rp.exit_code == r1.exit_code && rp.output == r1.output => {}
-                Ok(_) => return Some(Divergence::ParanoidDiffers { mode }),
-                Err(e) => {
-                    return Some(Divergence::Paranoid {
-                        mode,
-                        error: e.to_string(),
-                    })
+            for opts in [paranoid_vm(), bounded_paranoid_vm()] {
+                match cvm::run_compiled(&prog, &opts) {
+                    Ok(rp) if rp.exit_code == r1.exit_code && rp.output == r1.output => {}
+                    Ok(_) => return Some(Divergence::ParanoidDiffers { mode }),
+                    Err(e) => {
+                        return Some(Divergence::Paranoid {
+                            mode,
+                            error: e.to_string(),
+                        })
+                    }
                 }
             }
         }

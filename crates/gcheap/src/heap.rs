@@ -24,6 +24,11 @@ use std::time::Instant;
 /// become multi-page "large" objects.
 pub const SIZE_CLASSES: &[u32] = &[16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048];
 
+/// Nanoseconds elapsed since `t0`, saturating at `u64::MAX`.
+fn elapsed_ns(t0: &Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// How the collector treats interior pointers found in the heap.
 ///
 /// Roots (stack, registers, statics) always recognise interior pointers.
@@ -56,6 +61,28 @@ pub struct HeapConfig {
     /// pre-existing spurious bit pattern. (The paper cites this as what
     /// makes the everywhere-interior-pointer assumption affordable.)
     pub blacklisting: bool,
+    /// Incremental tri-color marking: threshold collections run as a
+    /// sequence of bounded stops at allocation safe points instead of one
+    /// stop-the-world pause. Requires the mutator to report heap pointer
+    /// stores through [`GcHeap::write_barrier`] while
+    /// [`GcHeap::marking_active`].
+    pub incremental: bool,
+    /// Heap bytes scanned per bounded mark increment (incremental mode).
+    pub mark_budget_bytes: u64,
+    /// Generational young/old page split: pages carved since the last
+    /// collection are the nursery, and most collections trace and sweep
+    /// only those, using the write barrier's per-page cards to find old→
+    /// young pointers. Requires [`GcHeap::write_barrier`] like
+    /// `incremental`.
+    pub nursery: bool,
+    /// With `nursery` on, every `full_every`-th collection is a full one;
+    /// the rest are nursery-only.
+    pub full_every: u64,
+    /// Pages visited per bounded sweep stop when an incremental cycle's
+    /// sweep is retired in chunks (incremental mode; the page-walk of a
+    /// finished cycle is spread over allocation safe points instead of
+    /// running inside the stop that ends marking).
+    pub sweep_chunk_pages: usize,
 }
 
 impl Default for HeapConfig {
@@ -66,6 +93,36 @@ impl Default for HeapConfig {
             poison: true,
             gc_threshold: 256 * 1024,
             blacklisting: false,
+            incremental: false,
+            mark_budget_bytes: 64 * 1024,
+            nursery: false,
+            full_every: 4,
+            sweep_chunk_pages: 64,
+        }
+    }
+}
+
+impl HeapConfig {
+    /// The bounded-pause configuration: incremental tri-color marking plus
+    /// nursery collections, defaults otherwise. Callers must route heap
+    /// pointer stores through [`GcHeap::write_barrier`] /
+    /// [`GcHeap::write_barrier_range`] whenever [`GcHeap::barrier_active`].
+    pub fn bounded_pause() -> Self {
+        HeapConfig {
+            incremental: true,
+            nursery: true,
+            // Nursery collections stay stop-the-world, so their young
+            // set (and with it the trace part of their stop) is bounded
+            // by the allocation interval between collections.
+            gc_threshold: 48 * 1024,
+            // A drain stop scans at worst this many bytes of marked
+            // objects; at the measured worst-case scan rate that costs
+            // about what a nursery trace does.
+            mark_budget_bytes: 16 * 1024,
+            // Small sweep chunks: page sweeps poison their garbage, so
+            // per-page cost is dominated by dead slots, not the walk.
+            sweep_chunk_pages: 12,
+            ..HeapConfig::default()
         }
     }
 }
@@ -138,6 +195,22 @@ pub struct HeapStats {
     pub collections_emergency: u64,
     /// Collections requested explicitly by the program or harness.
     pub collections_explicit: u64,
+    /// Incremental cycles that terminated naturally (grey worklist dry
+    /// after the final root re-scan).
+    pub collections_increment_finish: u64,
+    /// Nursery-only (young-generation) collections.
+    pub collections_nursery: u64,
+    /// Bounded mark stops taken by incremental cycles: initial root
+    /// scans, budgeted increments, and the re-scan stop that ends
+    /// marking.
+    pub mark_increments: u64,
+    /// Bounded sweep stops taken by finishing incremental cycles — the
+    /// page-walk of a finished cycle's sweep retired in
+    /// [`HeapConfig::sweep_chunk_pages`]-page chunks at allocation safe
+    /// points.
+    pub sweep_increments: u64,
+    /// Objects newly greyed by the Dijkstra store barrier.
+    pub barrier_marks: u64,
     /// High-water mark of [`HeapStats::bytes_live`].
     pub peak_bytes_live: u64,
 }
@@ -169,6 +242,14 @@ impl HeapStats {
         w.uint_field("collections_threshold", self.collections_threshold);
         w.uint_field("collections_emergency", self.collections_emergency);
         w.uint_field("collections_explicit", self.collections_explicit);
+        w.uint_field(
+            "collections_increment_finish",
+            self.collections_increment_finish,
+        );
+        w.uint_field("collections_nursery", self.collections_nursery);
+        w.uint_field("mark_increments", self.mark_increments);
+        w.uint_field("sweep_increments", self.sweep_increments);
+        w.uint_field("barrier_marks", self.barrier_marks);
         w.uint_field("peak_bytes_live", self.peak_bytes_live);
         w.finish()
     }
@@ -209,6 +290,11 @@ impl HeapStats {
             collections_threshold: get("collections_threshold")?,
             collections_emergency: get("collections_emergency")?,
             collections_explicit: get("collections_explicit")?,
+            collections_increment_finish: get("collections_increment_finish")?,
+            collections_nursery: get("collections_nursery")?,
+            mark_increments: get("mark_increments")?,
+            sweep_increments: get("sweep_increments")?,
+            barrier_marks: get("barrier_marks")?,
             peak_bytes_live: get("peak_bytes_live")?,
         })
     }
@@ -272,6 +358,69 @@ struct SweepOutcome {
     class_ns: Vec<(u32, u64)>,
 }
 
+/// An in-progress incremental mark cycle: the grey worklist plus the
+/// accounting that becomes one [`CollectionRecord`] when the cycle
+/// finishes. Tri-color over the existing structures — white = allocated
+/// and unmarked, grey = marked but still on this worklist, black =
+/// marked and scanned (popped).
+#[derive(Debug)]
+struct MarkCycle {
+    /// Marked-but-unscanned objects as (base, rounded size).
+    grey: Vec<(u64, u64)>,
+    /// Site label of the allocation whose threshold check began the
+    /// cycle.
+    site: Option<String>,
+    /// Allocation debt captured (and reset) when the cycle began.
+    bytes_since_gc: u64,
+    roots_scanned: u64,
+    words_marked: u64,
+    objects_marked: u64,
+    /// Root-scan share across all stops so far (initial scan + re-scans).
+    root_scan_ns: u64,
+    /// Worklist-drain share across all stops so far.
+    heap_scan_ns: u64,
+    /// Total wall clock of completed mark stops (a demanded finish's
+    /// final stop is added by [`GcHeap::finish_now`]; sweep chunk stops
+    /// accumulate in [`SweepCycle::sweep_stops_ns`] instead).
+    steps_ns: u64,
+    /// Bounded stops taken so far (initial root scan + increments).
+    increments: u64,
+    /// Heap words scanned per completed stop.
+    increment_words: Vec<u64>,
+    /// Per-stop pause entries for the MMU timeline (profiled runs only).
+    increment_pauses: Vec<gcprof::Pause>,
+    /// Blacklist level at cycle start, for the trace event's delta.
+    blacklisted_before: u64,
+}
+
+/// A finished mark cycle whose sweep is being retired in bounded chunks.
+///
+/// The stop that ends marking snapshots every carved page and resets the
+/// allocator's per-class queues; each subsequent allocation safe point
+/// sweeps [`HeapConfig::sweep_chunk_pages`] pages from the snapshot, and
+/// the final chunk promotes the nursery and emits the cycle's single
+/// [`CollectionRecord`]. Pages carved while the sweep is in flight are
+/// not in the snapshot, so their (all live-born) objects are never
+/// confused with garbage.
+#[derive(Debug)]
+struct SweepCycle {
+    /// The finished marking's accounting (grey is empty).
+    cycle: MarkCycle,
+    /// Cause the completed collection will be attributed to.
+    cause: CollectCause,
+    /// Carved pages at mark end, ascending; `pos` is the walk cursor.
+    pages: Vec<usize>,
+    pos: usize,
+    /// Reclamation totals accumulated across chunks.
+    out: SweepOutcome,
+    /// Per-class sweep nanoseconds (`SIZE_CLASSES.len()` is the
+    /// large-object slot), accumulated across timed chunks.
+    class_ns: Vec<u64>,
+    class_seen: Vec<bool>,
+    /// Wall clock of completed sweep chunk stops.
+    sweep_stops_ns: u64,
+}
+
 /// The conservative garbage-collected heap.
 #[derive(Debug)]
 pub struct GcHeap {
@@ -298,6 +447,20 @@ pub struct GcHeap {
     stats: HeapStats,
     trace: TraceHandle,
     prof: ProfHandle,
+    /// In-progress incremental mark cycle, if any.
+    cycle: Option<MarkCycle>,
+    /// Finished cycle whose sweep is still being retired in chunks, if
+    /// any. Never `Some` while `cycle` is.
+    sweeping: Option<SweepCycle>,
+    /// Young-generation bit per page: set when the page is carved, cleared
+    /// when a collection promotes the whole nursery.
+    young: Vec<u64>,
+    /// The young pages (small pages and large heads), carve order.
+    young_list: Vec<usize>,
+    /// Remembered-set card bit per old page, set by the write barrier on
+    /// stores into that page; a nursery collection scans carded pages for
+    /// old→young pointers and clearing happens at promotion.
+    cards: Vec<u64>,
 }
 
 impl GcHeap {
@@ -322,6 +485,11 @@ impl GcHeap {
             stats: HeapStats::default(),
             trace: TraceHandle::disabled(),
             prof: ProfHandle::disabled(),
+            cycle: None,
+            sweeping: None,
+            young: vec![0; page_count.div_ceil(64)],
+            young_list: Vec::new(),
+            cards: vec![0; page_count.div_ceil(64)],
         }
     }
 
@@ -405,6 +573,32 @@ impl GcHeap {
         None
     }
 
+    fn is_young(&self, p: usize) -> bool {
+        self.young[p / 64] >> (p % 64) & 1 != 0
+    }
+
+    /// Marks a freshly carved page (small page or large head) as nursery.
+    fn set_young(&mut self, p: usize) {
+        if !self.config.nursery || self.is_young(p) {
+            return;
+        }
+        self.young[p / 64] |= 1 << (p % 64);
+        self.young_list.push(p);
+    }
+
+    /// Promotes the whole nursery: every collection ends with all
+    /// surviving pages old, and the remembered-set cards reset (a full
+    /// collection needs no cards; a nursery collection just scanned them).
+    fn promote_young(&mut self) {
+        for &p in &self.young_list {
+            self.young[p / 64] &= !(1 << (p % 64));
+        }
+        self.young_list.clear();
+        if self.config.nursery {
+            self.cards.iter_mut().for_each(|w| *w = 0);
+        }
+    }
+
     fn take_page(&mut self) -> Option<usize> {
         while let Some(p) = self.free_pages.pop() {
             if !self.bl_contains(p) {
@@ -470,6 +664,13 @@ impl GcHeap {
         self.stats.bytes_requested += size;
         mem.fill(addr, 0, extent as usize)
             .expect("object memory is mapped");
+        if self.cycle.is_some() {
+            // Allocate black: objects born during a mark cycle survive it
+            // (they would all be live had the collection run to completion
+            // at its trigger point), and their stores are barriered, so
+            // they never need scanning by this cycle.
+            self.blacken(addr);
+        }
         self.bytes_since_gc += extent;
         self.stats.objects_live += 1;
         self.stats.bytes_live += extent;
@@ -510,23 +711,62 @@ impl GcHeap {
         roots: &RootSet,
         site: Option<&str>,
     ) -> Result<u64, OutOfMemory> {
-        let threshold_collected = self.should_collect();
-        if threshold_collected {
-            self.collect_as(mem, roots, CollectCause::Threshold, site);
+        // `full_swept` means a complete mark+sweep just ran: a failed
+        // allocation after one is definitive — a second back-to-back
+        // collection cannot free anything more.
+        let mut full_swept = false;
+        if self.cycle.is_some() {
+            // This safe point's share of the in-progress cycle.
+            self.mark_step(mem, roots);
+        } else if self.sweeping.is_some() {
+            // This safe point's chunk of a finished cycle's sweep.
+            self.sweep_step(mem);
+        } else if self.should_collect() {
+            if self.nursery_due() {
+                // Young-only collections stay stop-the-world: the nursery
+                // is bounded by the allocation threshold, so they are
+                // short by construction.
+                self.collect_as(mem, roots, CollectCause::Nursery, site);
+            } else if self.config.incremental {
+                self.begin_cycle(mem, roots, site);
+            } else {
+                self.collect_as(mem, roots, CollectCause::Threshold, site);
+                full_swept = true;
+            }
         }
         match self.alloc(mem, size) {
             Ok(a) => Ok(a),
-            Err(e) if threshold_collected => {
-                // A collection just ran and nothing has been allocated
-                // since; a second back-to-back collection cannot free
-                // anything more.
-                Err(e)
-            }
+            Err(e) if full_swept => Err(e),
             Err(_) => {
+                // Memory is exhausted: finish any in-progress cycle now
+                // (the emergency needs the whole heap swept), else run a
+                // full stop-the-world collection, then retry once.
+                if self.cycle.is_some() {
+                    self.finish_cycle(mem, roots, CollectCause::Emergency);
+                    return self.alloc(mem, size);
+                }
+                if self.sweeping.is_some() {
+                    // A finished cycle's sweep is still in flight: the
+                    // unswept tail may hold exactly the garbage this
+                    // request needs, so retire it before declaring an
+                    // emergency.
+                    self.finish_pending_sweep(mem);
+                    if let Ok(a) = self.alloc(mem, size) {
+                        return Ok(a);
+                    }
+                }
                 self.collect_as(mem, roots, CollectCause::Emergency, site);
                 self.alloc(mem, size)
             }
         }
+    }
+
+    /// Whether the next triggered collection should be nursery-only:
+    /// with the generational split on, every [`HeapConfig::full_every`]-th
+    /// collection is a full one and the rest visit only young pages.
+    fn nursery_due(&self) -> bool {
+        self.config.nursery
+            && !(self.stats.collections + 1).is_multiple_of(self.config.full_every.max(1))
     }
 
     /// Whether an attached trace or profile will consume attribution
@@ -586,6 +826,7 @@ impl GcHeap {
             ci: ci as u8,
             obj_size,
         };
+        self.set_young(page);
         self.cursor[ci] = Some(page);
         Some(page_start)
     }
@@ -599,6 +840,7 @@ impl GcHeap {
             allocated: true,
         };
         self.side[head] = PageKind::LargeHead;
+        self.set_young(head);
         for i in 1..pages {
             *self.map.desc_mut(head + i) = PageDesc::LargeCont(i as u32);
             self.side[head + i] = PageKind::LargeCont { back: i as u32 };
@@ -710,13 +952,26 @@ impl GcHeap {
         cause: CollectCause,
         site: Option<&str>,
     ) {
+        if self.cycle.is_some() {
+            // A collection demanded mid-cycle finishes the cycle under
+            // the demanded cause — two overlapping collections would
+            // break the tri-color invariant (and the statistics).
+            self.finish_cycle(mem, roots, cause);
+            return;
+        }
+        if self.sweeping.is_some() {
+            // A finished cycle's sweep is still in flight: retire it
+            // first (it completes as its own collection), then run the
+            // demanded one on the fully swept heap.
+            self.finish_pending_sweep(mem);
+        }
+        if cause == CollectCause::Nursery {
+            self.collect_nursery(mem, roots, site);
+            return;
+        }
         let t0 = Instant::now();
         self.stats.collections += 1;
-        match cause {
-            CollectCause::Threshold => self.stats.collections_threshold += 1,
-            CollectCause::Emergency => self.stats.collections_emergency += 1,
-            CollectCause::Explicit => self.stats.collections_explicit += 1,
-        }
+        self.bump_cause(cause);
         let bytes_since_gc = self.bytes_since_gc;
         self.bytes_since_gc = 0;
         let blacklisted_before = self.stats.blacklisted_pages;
@@ -730,19 +985,19 @@ impl GcHeap {
         for &(start, end) in &roots.ranges {
             mem.scan_words(start, end, |word| {
                 roots_scanned += 1;
-                objects_marked += u64::from(self.mark_candidate(word, true, &mut worklist));
+                objects_marked += u64::from(self.mark_candidate(word, true, false, &mut worklist));
             });
         }
         for &word in &roots.words {
             roots_scanned += 1;
-            objects_marked += u64::from(self.mark_candidate(word, true, &mut worklist));
+            objects_marked += u64::from(self.mark_candidate(word, true, false, &mut worklist));
         }
         let root_scan_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // --- mark: heap scan (worklist drain) ---
         while let Some((start, size)) = worklist.pop() {
             mem.scan_words(start, start + size, |word| {
                 words_marked += 1;
-                objects_marked += u64::from(self.mark_candidate(word, false, &mut worklist));
+                objects_marked += u64::from(self.mark_candidate(word, false, false, &mut worklist));
             });
         }
         let mark_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -750,6 +1005,7 @@ impl GcHeap {
         // --- sweep ---
         let detail = self.attribution_enabled();
         let sw = self.sweep(mem, detail);
+        self.promote_young();
         let pause_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let sweep_ns = pause_ns.saturating_sub(mark_ns);
         self.stats.total_pause_ns += pause_ns;
@@ -779,6 +1035,7 @@ impl GcHeap {
             root_scan_ns,
             heap_scan_ns,
             class_sweep_ns: sw.class_ns,
+            ..CollectionRecord::default()
         };
         self.trace.emit(|| {
             Event::new("gc", "collection")
@@ -806,14 +1063,30 @@ impl GcHeap {
                 .field("root_scan_ns", root_scan_ns)
                 .field("heap_scan_ns", heap_scan_ns)
                 .field("class_sweep_ns", rec.class_sweep_encoded())
+                .field("increments", 0u64)
+                .field("increment_words", rec.increment_words_encoded())
+                .field("young_pages_swept", 0u64)
         });
         self.prof.record_collection(move || rec);
+    }
+
+    fn bump_cause(&mut self, cause: CollectCause) {
+        match cause {
+            CollectCause::Threshold => self.stats.collections_threshold += 1,
+            CollectCause::Emergency => self.stats.collections_emergency += 1,
+            CollectCause::Explicit => self.stats.collections_explicit += 1,
+            CollectCause::IncrementFinish => self.stats.collections_increment_finish += 1,
+            CollectCause::Nursery => self.stats.collections_nursery += 1,
+        }
     }
 
     /// If `word` looks like a pointer into a live object, marks it and
     /// pushes it on the worklist, returning whether the object was newly
     /// marked. `from_root` selects the interior-pointer rule per the
-    /// configured policy.
+    /// configured policy. With `young_only`, pointers into old pages are
+    /// ignored entirely — the nursery collection neither marks nor traces
+    /// them (old objects are implicitly live, and any old→young pointer
+    /// is found through the remembered-set cards instead).
     ///
     /// This is the collector's hottest path: a heap-bounds compare
     /// rejects most candidate words outright, and the flat side table
@@ -823,6 +1096,7 @@ impl GcHeap {
         &mut self,
         word: u64,
         from_root: bool,
+        young_only: bool,
         worklist: &mut Vec<(u64, u64)>,
     ) -> bool {
         if word < self.heap_base || word >= self.heap_limit {
@@ -838,6 +1112,9 @@ impl GcHeap {
                 if self.config.blacklisting && self.bl_insert(idx) {
                     self.stats.blacklisted_pages += 1;
                 }
+                false
+            }
+            PageKind::Small { .. } | PageKind::LargeHead if young_only && !self.is_young(idx) => {
                 false
             }
             PageKind::Small { obj_size, .. } => {
@@ -862,7 +1139,11 @@ impl GcHeap {
             }
             PageKind::LargeHead => self.mark_large(idx, word, interior_ok, worklist),
             PageKind::LargeCont { back } => {
-                self.mark_large(idx - back as usize, word, interior_ok, worklist)
+                let head = idx - back as usize;
+                if young_only && !self.is_young(head) {
+                    return false;
+                }
+                self.mark_large(head, word, interior_ok, worklist)
             }
         }
     }
@@ -896,95 +1177,846 @@ impl GcHeap {
         true
     }
 
-    /// The sweep: a single ascending pass over every carved page.
+    /// Sets the mark bit of the object at `addr` without scanning it —
+    /// allocate-black for objects born during a mark cycle.
+    fn blacken(&mut self, addr: u64) {
+        let idx = ((addr - self.heap_base) >> PAGE_SHIFT) as usize;
+        match self.side[idx] {
+            PageKind::Small { obj_size, .. } => {
+                let page_start = self.map.page_addr(idx);
+                let slot = ((addr - page_start) / u64::from(obj_size)) as usize;
+                let PageDesc::Small(sp) = self.map.desc_mut(idx) else {
+                    unreachable!("side table says small page")
+                };
+                sp.set_mark(slot);
+            }
+            PageKind::LargeHead => {
+                let PageDesc::LargeHead { marked, .. } = self.map.desc_mut(idx) else {
+                    unreachable!("side table says large head")
+                };
+                *marked = true;
+            }
+            PageKind::Free | PageKind::LargeCont { .. } => {
+                unreachable!("freshly allocated object on a free page")
+            }
+        }
+    }
+
+    /// Whether an incremental mark cycle is in progress (the mutator must
+    /// route heap stores through [`GcHeap::write_barrier`] until it ends).
+    pub fn marking_active(&self) -> bool {
+        self.cycle.is_some()
+    }
+
+    /// Whether heap stores must be reported through
+    /// [`GcHeap::write_barrier`]: during an incremental mark cycle (the
+    /// Dijkstra greying half) and whenever the generational split is on
+    /// (the remembered-set card half).
+    #[inline]
+    pub fn barrier_active(&self) -> bool {
+        self.config.nursery || self.cycle.is_some()
+    }
+
+    /// The store barrier, called with a heap store's target address and
+    /// the value written. Two halves share it:
     ///
-    /// Per small page this is word arithmetic — `garbage = alloc & !mark`
-    /// drives poisoning (trailing-zeros per dead slot) and a popcount
-    /// keeps the statistics exact, then the mark bitmap folds into the
-    /// allocation bitmap. Fully empty pages (a word compare) are
-    /// reclaimed into the page pool on the spot; pages left with free
-    /// slots are queued per class for *lazy* adoption — the allocator
-    /// discovers their free slots on demand instead of this pause
-    /// rebuilding free lists. Statistics, poisoning, and the census are
-    /// therefore exact the moment `collect` returns; only free-slot
-    /// discovery is deferred, and its backlog is `sweep_debt_pages`.
-    fn sweep(&mut self, mem: &mut Memory, timed: bool) -> SweepOutcome {
-        let poison = self.config.poison;
+    /// * **Cards** (generational): the old page written to is remembered,
+    ///   so the next nursery collection re-scans it for old→young
+    ///   pointers.
+    /// * **Dijkstra greying** (incremental): if the value points at a
+    ///   white object while marking is active, the object is greyed —
+    ///   storing the only pointer to a white object into an
+    ///   already-scanned black object can therefore never lose it.
+    ///
+    /// Stores outside the heap need no barrier: non-heap locations are
+    /// roots, and the cycle's final root re-scan sees them.
+    pub fn write_barrier(&mut self, addr: u64, value: u64) {
+        if addr < self.heap_base || addr >= self.heap_limit {
+            return;
+        }
+        if self.config.nursery {
+            let p = ((addr - self.heap_base) >> PAGE_SHIFT) as usize;
+            self.card_page(p);
+        }
+        if self.cycle.is_some() {
+            self.grey_value(value);
+        }
+    }
+
+    /// [`GcHeap::write_barrier`] for a bulk store (memcpy/memset/strcpy):
+    /// cards every old page the range overlaps, and greys every aligned
+    /// word of the written range while marking is active. Call it *after*
+    /// the bytes are written, so the scan sees the stored values.
+    pub fn write_barrier_range(&mut self, mem: &Memory, addr: u64, len: u64) {
+        let end = addr.saturating_add(len);
+        if len == 0 || end <= self.heap_base || addr >= self.heap_limit {
+            return;
+        }
+        if self.config.nursery {
+            let lo = addr.max(self.heap_base);
+            let hi = end.min(self.heap_limit);
+            let first = ((lo - self.heap_base) >> PAGE_SHIFT) as usize;
+            let last = ((hi - 1 - self.heap_base) >> PAGE_SHIFT) as usize;
+            for p in first..=last {
+                self.card_page(p);
+            }
+        }
+        if let Some(mut cycle) = self.cycle.take() {
+            let mut grey = std::mem::take(&mut cycle.grey);
+            let mut marks = 0u64;
+            mem.scan_words(addr & !7, (end + 7) & !7, |word| {
+                marks += u64::from(self.mark_candidate(word, false, false, &mut grey));
+            });
+            cycle.objects_marked += marks;
+            self.stats.barrier_marks += marks;
+            cycle.grey = grey;
+            self.cycle = Some(cycle);
+        }
+    }
+
+    /// Remembers a store into page `p` (continuations resolve to their
+    /// head). Young pages need no card — the nursery collection scans
+    /// them anyway — and free pages hold nothing to scan.
+    fn card_page(&mut self, mut p: usize) {
+        if let PageKind::LargeCont { back } = self.side[p] {
+            p -= back as usize;
+        }
+        if matches!(self.side[p], PageKind::Free) || self.is_young(p) {
+            return;
+        }
+        self.cards[p / 64] |= 1 << (p % 64);
+    }
+
+    /// The Dijkstra half of [`GcHeap::write_barrier`]: greys the stored
+    /// value's object if it is still white.
+    fn grey_value(&mut self, value: u64) {
+        let Some(mut cycle) = self.cycle.take() else {
+            return;
+        };
+        let mut grey = std::mem::take(&mut cycle.grey);
+        if self.mark_candidate(value, false, false, &mut grey) {
+            cycle.objects_marked += 1;
+            self.stats.barrier_marks += 1;
+        }
+        cycle.grey = grey;
+        self.cycle = Some(cycle);
+    }
+
+    /// Starts an incremental mark cycle: one bounded stop that scans the
+    /// roots into the grey worklist. Subsequent allocation safe points
+    /// drive [`GcHeap::mark_step`] until the cycle finishes.
+    fn begin_cycle(&mut self, mem: &Memory, roots: &RootSet, site: Option<&str>) {
+        let t0 = Instant::now();
+        let blacklisted_before = self.stats.blacklisted_pages;
+        let bytes_since_gc = self.bytes_since_gc;
+        self.bytes_since_gc = 0;
+        let mut grey: Vec<(u64, u64)> = Vec::new();
+        let mut roots_scanned = 0u64;
+        let mut objects_marked = 0u64;
+        for &(start, end) in &roots.ranges {
+            mem.scan_words(start, end, |word| {
+                roots_scanned += 1;
+                objects_marked += u64::from(self.mark_candidate(word, true, false, &mut grey));
+            });
+        }
+        for &word in &roots.words {
+            roots_scanned += 1;
+            objects_marked += u64::from(self.mark_candidate(word, true, false, &mut grey));
+        }
+        let root_ns = elapsed_ns(&t0);
+        let mut cycle = MarkCycle {
+            grey,
+            site: site.map(str::to_string),
+            bytes_since_gc,
+            roots_scanned,
+            words_marked: 0,
+            objects_marked,
+            root_scan_ns: root_ns,
+            heap_scan_ns: 0,
+            steps_ns: 0,
+            increments: 0,
+            increment_words: Vec::new(),
+            increment_pauses: Vec::new(),
+            blacklisted_before,
+        };
+        let stop_ns = elapsed_ns(&t0);
+        cycle.steps_ns = stop_ns;
+        cycle.increments = 1;
+        cycle.increment_words.push(0);
+        if self.prof.is_enabled() {
+            cycle.increment_pauses.push(gcprof::Pause {
+                end_ns: self.prof.now_ns(),
+                pause_ns: stop_ns,
+            });
+        }
+        self.stats.total_pause_ns += stop_ns;
+        self.stats.max_pause_ns = self.stats.max_pause_ns.max(stop_ns);
+        self.stats.total_mark_ns += stop_ns;
+        self.stats.total_root_scan_ns += root_ns;
+        self.stats.mark_increments += 1;
+        let n = self.stats.collections + 1;
+        let grey_len = cycle.grey.len() as u64;
+        self.trace.emit(|| {
+            Event::new("gc", "mark-increment")
+                .field("n", n)
+                .field("increment", 1u64)
+                .field("roots_scanned", roots_scanned)
+                .field("words_scanned", 0u64)
+                .field("grey", grey_len)
+                .field("pause_ns", stop_ns)
+        });
+        self.cycle = Some(cycle);
+    }
+
+    /// One bounded stop of an in-progress cycle: drains the grey worklist
+    /// up to the byte budget. A stop that finds the worklist already dry
+    /// re-scans the roots instead, and — if grey stays dry — ends marking
+    /// in the same stop and installs the chunked sweep (retired by
+    /// [`GcHeap::sweep_step`] at the next safe points).
+    ///
+    /// Termination: the grey worklist only ever receives still-white
+    /// objects, objects born mid-cycle are black, and marks are never
+    /// undone, so the white population shrinks monotonically; every stop
+    /// either retires at least one grey object or finds grey dry, and a
+    /// dry worklist that survives a root re-scan proves every object
+    /// reachable at that instant is marked (heap stores were greyed by
+    /// the barrier as they happened).
+    fn mark_step(&mut self, mem: &mut Memory, roots: &RootSet) {
+        let t0 = Instant::now();
+        let mut cycle = self
+            .cycle
+            .take()
+            .expect("mark_step requires an active cycle");
+        let mut grey = std::mem::take(&mut cycle.grey);
+        let budget = self.config.mark_budget_bytes.max(1);
+        let mut scanned = 0u64;
+        let mut words = 0u64;
+        while scanned < budget {
+            let Some((start, size)) = grey.pop() else {
+                break;
+            };
+            // An object bigger than the remaining budget is scanned in
+            // budget-sized segments: the unscanned tail goes back on the
+            // worklist as a bare range, so one large object can never
+            // blow a single stop.
+            let take = size.min((budget - scanned).next_multiple_of(8));
+            if take < size {
+                grey.push((start + take, size - take));
+            }
+            mem.scan_words(start, start + take, |word| {
+                words += 1;
+                cycle.objects_marked +=
+                    u64::from(self.mark_candidate(word, false, false, &mut grey));
+            });
+            scanned += take;
+        }
+        let drain_ns = elapsed_ns(&t0);
+        cycle.words_marked += words;
+        cycle.heap_scan_ns += drain_ns;
+        self.stats.total_heap_scan_ns += drain_ns;
+        // The termination re-scan runs only in a stop whose drain had
+        // nothing to do — piggybacking it on a full-budget drain would
+        // double that stop's cost.
+        if grey.is_empty() && scanned == 0 {
+            // The final (bounded) root re-scan: pointers the mutator kept
+            // only in roots since the initial scan are caught here.
+            let mut rescanned = 0u64;
+            for &(start, end) in &roots.ranges {
+                mem.scan_words(start, end, |word| {
+                    rescanned += 1;
+                    cycle.objects_marked +=
+                        u64::from(self.mark_candidate(word, true, false, &mut grey));
+                });
+            }
+            for &word in &roots.words {
+                rescanned += 1;
+                cycle.objects_marked +=
+                    u64::from(self.mark_candidate(word, true, false, &mut grey));
+            }
+            let rescan_ns = elapsed_ns(&t0).saturating_sub(drain_ns);
+            cycle.roots_scanned += rescanned;
+            cycle.root_scan_ns += rescan_ns;
+            self.stats.total_root_scan_ns += rescan_ns;
+            if grey.is_empty() {
+                cycle.grey = grey;
+                // Marking is over. Still inside this stop: reset the
+                // allocator's recycled-slot queues (their free-slot
+                // knowledge predates the new marks) and snapshot the
+                // carved pages; the sweep walk itself is retired in
+                // chunks at the next safe points instead of here.
+                for ci in 0..SIZE_CLASSES.len() {
+                    self.cursor[ci] = None;
+                    self.partial[ci].clear();
+                    self.dirty[ci].clear();
+                }
+                self.stats.sweep_debt_pages = 0;
+                let pages: Vec<usize> = (0..self.next_page)
+                    .filter(|&i| !matches!(self.side[i], PageKind::Free))
+                    .collect();
+                let stop_ns = elapsed_ns(&t0);
+                cycle.steps_ns += stop_ns;
+                cycle.increments += 1;
+                cycle.increment_words.push(words);
+                if self.prof.is_enabled() {
+                    cycle.increment_pauses.push(gcprof::Pause {
+                        end_ns: self.prof.now_ns(),
+                        pause_ns: stop_ns,
+                    });
+                }
+                self.stats.total_pause_ns += stop_ns;
+                self.stats.max_pause_ns = self.stats.max_pause_ns.max(stop_ns);
+                self.stats.total_mark_ns += stop_ns;
+                self.stats.mark_increments += 1;
+                let n = self.stats.collections + 1;
+                let increment = cycle.increments;
+                self.trace.emit(|| {
+                    Event::new("gc", "mark-increment")
+                        .field("n", n)
+                        .field("increment", increment)
+                        .field("roots_scanned", rescanned)
+                        .field("words_scanned", words)
+                        .field("grey", 0u64)
+                        .field("pause_ns", stop_ns)
+                });
+                self.sweeping = Some(SweepCycle {
+                    cycle,
+                    cause: CollectCause::IncrementFinish,
+                    pages,
+                    pos: 0,
+                    out: SweepOutcome::default(),
+                    class_ns: vec![0; SIZE_CLASSES.len() + 1],
+                    class_seen: vec![false; SIZE_CLASSES.len() + 1],
+                    sweep_stops_ns: 0,
+                });
+                return;
+            }
+        }
+        // A plain increment: record the stop and hand back to the
+        // mutator.
+        let stop_ns = elapsed_ns(&t0);
+        cycle.grey = grey;
+        cycle.steps_ns += stop_ns;
+        cycle.increments += 1;
+        cycle.increment_words.push(words);
+        if self.prof.is_enabled() {
+            cycle.increment_pauses.push(gcprof::Pause {
+                end_ns: self.prof.now_ns(),
+                pause_ns: stop_ns,
+            });
+        }
+        self.stats.total_pause_ns += stop_ns;
+        self.stats.max_pause_ns = self.stats.max_pause_ns.max(stop_ns);
+        self.stats.total_mark_ns += stop_ns;
+        self.stats.mark_increments += 1;
+        let n = self.stats.collections + 1;
+        let increment = cycle.increments;
+        let grey_len = cycle.grey.len() as u64;
+        self.trace.emit(|| {
+            Event::new("gc", "mark-increment")
+                .field("n", n)
+                .field("increment", increment)
+                .field("roots_scanned", 0u64)
+                .field("words_scanned", words)
+                .field("grey", grey_len)
+                .field("pause_ns", stop_ns)
+        });
+        self.cycle = Some(cycle);
+    }
+
+    /// Finishes the in-progress cycle immediately under `cause`
+    /// (an emergency or an externally demanded collection): drains grey
+    /// without a budget, re-scans the roots, drains again, then sweeps.
+    fn finish_cycle(&mut self, mem: &mut Memory, roots: &RootSet, cause: CollectCause) {
+        let t0 = Instant::now();
+        let mut cycle = self
+            .cycle
+            .take()
+            .expect("finish_cycle requires an active cycle");
+        let mut grey = std::mem::take(&mut cycle.grey);
+        let mut words = 0u64;
+        let mut objs = 0u64;
+        while let Some((start, size)) = grey.pop() {
+            mem.scan_words(start, start + size, |word| {
+                words += 1;
+                objs += u64::from(self.mark_candidate(word, false, false, &mut grey));
+            });
+        }
+        let drain1_ns = elapsed_ns(&t0);
+        let mut rescanned = 0u64;
+        for &(start, end) in &roots.ranges {
+            mem.scan_words(start, end, |word| {
+                rescanned += 1;
+                objs += u64::from(self.mark_candidate(word, true, false, &mut grey));
+            });
+        }
+        for &word in &roots.words {
+            rescanned += 1;
+            objs += u64::from(self.mark_candidate(word, true, false, &mut grey));
+        }
+        let rescan_ns = elapsed_ns(&t0).saturating_sub(drain1_ns);
+        while let Some((start, size)) = grey.pop() {
+            mem.scan_words(start, start + size, |word| {
+                words += 1;
+                objs += u64::from(self.mark_candidate(word, false, false, &mut grey));
+            });
+        }
+        let mark_stop_ns = elapsed_ns(&t0);
+        cycle.objects_marked += objs;
+        cycle.words_marked += words;
+        cycle.roots_scanned += rescanned;
+        cycle.root_scan_ns += rescan_ns;
+        cycle.heap_scan_ns += mark_stop_ns.saturating_sub(rescan_ns);
+        self.stats.total_root_scan_ns += rescan_ns;
+        self.stats.total_heap_scan_ns += mark_stop_ns.saturating_sub(rescan_ns);
+        cycle.grey = grey;
+        self.finish_now(mem, cycle, cause, &t0, mark_stop_ns);
+    }
+
+    /// The synchronous tail of a demanded finish: sweep, promotion, and
+    /// the cycle's completion, all in the current stop.
+    fn finish_now(
+        &mut self,
+        mem: &mut Memory,
+        cycle: MarkCycle,
+        cause: CollectCause,
+        t0: &Instant,
+        mark_stop_ns: u64,
+    ) {
+        let detail = self.attribution_enabled();
+        let sw = self.sweep(mem, detail);
+        self.promote_young();
+        let stop_ns = elapsed_ns(t0);
+        self.stats.total_pause_ns += stop_ns;
+        self.stats.max_pause_ns = self.stats.max_pause_ns.max(stop_ns);
+        self.stats.total_mark_ns += mark_stop_ns;
+        self.stats.total_sweep_ns += stop_ns.saturating_sub(mark_stop_ns);
+        let pause_ns = cycle.steps_ns + stop_ns;
+        self.complete_cycle(cycle, cause, &sw, pause_ns);
+    }
+
+    /// Retires one bounded chunk of a pending sweep: pages from the
+    /// mark-end snapshot until [`HeapConfig::sweep_chunk_pages`] pages
+    /// have actually been *touched*. Metering by pages touched rather
+    /// than by list entries matters for large objects: freeing a dead
+    /// run poisons the whole run, so its head entry is charged the run
+    /// length, and one stop frees at most one oversized object instead
+    /// of a chunkful of them. The final chunk promotes the nursery and
+    /// completes the collection (statistics plus the cycle's single
+    /// [`CollectionRecord`]).
+    fn sweep_step(&mut self, mem: &mut Memory) {
+        let t0 = Instant::now();
+        let timed = self.attribution_enabled();
+        let mut sc = self
+            .sweeping
+            .take()
+            .expect("sweep_step requires a pending sweep");
+        let budget = self.config.sweep_chunk_pages.max(1);
         let mut out = SweepOutcome::default();
-        // Per-class sweep nanoseconds (`timed` only): one slot per size
-        // class plus a trailing slot for the large-object pass.
         let mut class_ns = vec![0u64; SIZE_CLASSES.len() + 1];
         let mut class_seen = vec![false; SIZE_CLASSES.len() + 1];
-        for ci in 0..SIZE_CLASSES.len() {
-            self.cursor[ci] = None;
-            self.partial[ci].clear();
-            self.dirty[ci].clear();
+        let mut debt = 0u64;
+        let mut touched = 0usize;
+        while touched < budget && sc.pos < sc.pages.len() {
+            let idx = sc.pages[sc.pos];
+            sc.pos += 1;
+            let (d, t) =
+                self.sweep_one_page(mem, idx, timed, &mut out, &mut class_ns, &mut class_seen);
+            debt += d;
+            touched += t;
         }
-        let mut debt: u64 = 0;
-        for idx in 0..self.next_page {
-            let t_page = if timed { Some(Instant::now()) } else { None };
-            let kind = self.side[idx];
-            let page_start = self.map.page_addr(idx);
-            let mut reclaim_small = false;
-            let mut queue_small = false;
-            let mut free_large_pages = 0usize;
-            match self.map.desc_mut(idx) {
-                PageDesc::Free | PageDesc::LargeCont(_) => {}
-                PageDesc::Small(sp) => {
-                    let obj = u64::from(sp.obj_size);
-                    let mut freed: u64 = 0;
-                    for w in 0..sp.words() {
-                        let garbage = sp.garbage_word(w);
-                        if garbage == 0 {
-                            continue;
-                        }
-                        freed += u64::from(garbage.count_ones());
-                        if poison {
-                            let mut g = garbage;
-                            while g != 0 {
-                                let slot = w * 64 + g.trailing_zeros() as usize;
-                                g &= g - 1;
-                                mem.fill(page_start + slot as u64 * obj, 0xDD, obj as usize)
-                                    .expect("freed object is mapped");
+        self.stats.objects_freed += out.objects_swept;
+        self.stats.objects_live -= out.objects_swept;
+        self.stats.bytes_live -= out.bytes_swept;
+        self.stats.sweep_debt_pages += debt;
+        sc.out.objects_swept += out.objects_swept;
+        sc.out.bytes_swept += out.bytes_swept;
+        sc.out.pages_swept += out.pages_swept;
+        sc.out.pages_live += out.pages_live;
+        for s in 0..class_ns.len() {
+            sc.class_ns[s] += class_ns[s];
+            sc.class_seen[s] |= class_seen[s];
+        }
+        let done = sc.pos >= sc.pages.len();
+        if done {
+            self.promote_young();
+        }
+        let stop_ns = elapsed_ns(&t0);
+        sc.sweep_stops_ns += stop_ns;
+        self.stats.total_pause_ns += stop_ns;
+        self.stats.max_pause_ns = self.stats.max_pause_ns.max(stop_ns);
+        self.stats.total_sweep_ns += stop_ns;
+        self.stats.sweep_increments += 1;
+        if self.prof.is_enabled() {
+            sc.cycle.increment_pauses.push(gcprof::Pause {
+                end_ns: self.prof.now_ns(),
+                pause_ns: stop_ns,
+            });
+        }
+        if done {
+            let mut sw = sc.out;
+            if timed || sc.class_seen.iter().any(|&s| s) {
+                sw.class_ns = sc
+                    .class_seen
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &seen)| seen)
+                    .map(|(s, _)| (SIZE_CLASSES.get(s).copied().unwrap_or(0), sc.class_ns[s]))
+                    .collect();
+            }
+            let pause_ns = sc.cycle.steps_ns + sc.sweep_stops_ns;
+            self.complete_cycle(sc.cycle, sc.cause, &sw, pause_ns);
+        } else {
+            self.sweeping = Some(sc);
+        }
+    }
+
+    /// Retires every remaining chunk of a pending sweep back to back — an
+    /// emergency or a demanded collection needs the heap fully swept now.
+    fn finish_pending_sweep(&mut self, mem: &mut Memory) {
+        while self.sweeping.is_some() {
+            self.sweep_step(mem);
+        }
+    }
+
+    /// The shared completion of a finishing cycle: collection counters
+    /// and the (single) [`CollectionRecord`] covering every stop of the
+    /// cycle — bounded mark stops, sweep chunks, and whatever final stop
+    /// demanded the finish. `pause_ns` is the sum of all of them; the
+    /// sweep share is the remainder after the measured root/heap-scan
+    /// time so the phase partition holds exactly.
+    fn complete_cycle(
+        &mut self,
+        cycle: MarkCycle,
+        cause: CollectCause,
+        sw: &SweepOutcome,
+        pause_ns: u64,
+    ) {
+        self.stats.collections += 1;
+        self.bump_cause(cause);
+        if !self.attribution_enabled() {
+            return;
+        }
+        let stats = self.stats;
+        let root_scan_ns = cycle.root_scan_ns;
+        let heap_scan_ns = cycle.heap_scan_ns;
+        let mark_ns = root_scan_ns + heap_scan_ns;
+        let sweep_ns = pause_ns.saturating_sub(mark_ns);
+        let rec = CollectionRecord {
+            cause,
+            site: cycle.site,
+            bytes_since_gc: cycle.bytes_since_gc,
+            bytes_live: stats.bytes_live,
+            freed_bytes: sw.bytes_swept,
+            roots_scanned: cycle.roots_scanned,
+            words_marked: cycle.words_marked,
+            pages_live: sw.pages_live,
+            pages_swept: sw.pages_swept,
+            sweep_debt_pages: stats.sweep_debt_pages,
+            pause_ns,
+            mark_ns,
+            sweep_ns,
+            root_scan_ns,
+            heap_scan_ns,
+            class_sweep_ns: sw.class_ns.clone(),
+            increments: cycle.increments,
+            increment_words: cycle.increment_words,
+            increment_pauses: cycle.increment_pauses,
+            young_pages_swept: 0,
+        };
+        let objects_marked = cycle.objects_marked;
+        let blacklisted_before = cycle.blacklisted_before;
+        self.trace.emit(|| {
+            Event::new("gc", "collection")
+                .field("n", stats.collections)
+                .field("cause", cause.as_str())
+                .field("site", rec.site.clone().unwrap_or_default())
+                .field("bytes_since_gc", rec.bytes_since_gc)
+                .field("roots_scanned", rec.roots_scanned)
+                .field("words_marked", rec.words_marked)
+                .field("objects_marked", objects_marked)
+                .field("objects_swept", sw.objects_swept)
+                .field("bytes_swept", sw.bytes_swept)
+                .field("pages_swept", sw.pages_swept)
+                .field("pages_live", sw.pages_live)
+                .field("sweep_debt_pages", stats.sweep_debt_pages)
+                .field(
+                    "blacklist_hits",
+                    stats.blacklisted_pages - blacklisted_before,
+                )
+                .field("objects_live", stats.objects_live)
+                .field("bytes_live", stats.bytes_live)
+                .field("pause_ns", pause_ns)
+                .field("mark_ns", mark_ns)
+                .field("sweep_ns", sweep_ns)
+                .field("root_scan_ns", root_scan_ns)
+                .field("heap_scan_ns", heap_scan_ns)
+                .field("class_sweep_ns", rec.class_sweep_encoded())
+                .field("increments", rec.increments)
+                .field("increment_words", rec.increment_words_encoded())
+                .field("young_pages_swept", 0u64)
+        });
+        self.prof.record_collection(move || rec);
+    }
+
+    /// A stop-the-world nursery collection: marks from the roots and the
+    /// remembered-set cards, tracing only young pages (old objects are
+    /// implicitly live), then sweeps only young pages. Old pages are
+    /// neither marked nor touched, so their mark bitmaps stay clear for
+    /// the next full collection.
+    fn collect_nursery(&mut self, mem: &mut Memory, roots: &RootSet, site: Option<&str>) {
+        let t0 = Instant::now();
+        self.stats.collections += 1;
+        self.bump_cause(CollectCause::Nursery);
+        let bytes_since_gc = self.bytes_since_gc;
+        self.bytes_since_gc = 0;
+        let blacklisted_before = self.stats.blacklisted_pages;
+        let mut roots_scanned = 0u64;
+        let mut words_marked = 0u64;
+        let mut objects_marked = 0u64;
+        let mut worklist: Vec<(u64, u64)> = Vec::new();
+        for &(start, end) in &roots.ranges {
+            mem.scan_words(start, end, |word| {
+                roots_scanned += 1;
+                objects_marked += u64::from(self.mark_candidate(word, true, true, &mut worklist));
+            });
+        }
+        for &word in &roots.words {
+            roots_scanned += 1;
+            objects_marked += u64::from(self.mark_candidate(word, true, true, &mut worklist));
+        }
+        let root_scan_ns = elapsed_ns(&t0);
+        // The remembered set: every allocated object on a carded old page
+        // is re-scanned for old→young pointers. Any pointer to a young
+        // object was stored after the page was carved, i.e. after the
+        // last collection, so the barrier carded its page.
+        let mut extents: Vec<(u64, u64)> = Vec::new();
+        for w in 0..self.cards.len() {
+            let mut bits = self.cards[w];
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if idx >= self.next_page {
+                    continue;
+                }
+                let page_start = self.map.page_addr(idx);
+                match self.map.desc(idx) {
+                    PageDesc::Small(sp) => {
+                        let obj = u64::from(sp.obj_size);
+                        for bw in 0..sp.words() {
+                            let mut a = sp.alloc_word(bw);
+                            while a != 0 {
+                                let slot = bw * 64 + a.trailing_zeros() as usize;
+                                a &= a - 1;
+                                extents.push((page_start + slot as u64 * obj, obj));
                             }
                         }
                     }
-                    sp.fold_marks();
-                    out.objects_swept += freed;
-                    out.bytes_swept += freed * obj;
-                    if !sp.is_empty() {
-                        out.pages_live += 1;
-                    }
-                    if sp.is_empty() {
-                        // Reclaim in the same pass. Without this a
-                        // size-class phase shift (fill with class A, drop
-                        // it, switch to class B) can exhaust the heap
-                        // while every page is pure free slots, because
-                        // free slots only ever serve their own class.
+                    PageDesc::LargeHead {
+                        size,
+                        allocated: true,
+                        ..
+                    } => extents.push((page_start, *size)),
+                    _ => {}
+                }
+            }
+        }
+        for &(start, size) in &extents {
+            mem.scan_words(start, start + size, |word| {
+                words_marked += 1;
+                objects_marked += u64::from(self.mark_candidate(word, false, true, &mut worklist));
+            });
+        }
+        while let Some((start, size)) = worklist.pop() {
+            mem.scan_words(start, start + size, |word| {
+                words_marked += 1;
+                objects_marked += u64::from(self.mark_candidate(word, false, true, &mut worklist));
+            });
+        }
+        let mark_ns = elapsed_ns(&t0);
+        let heap_scan_ns = mark_ns.saturating_sub(root_scan_ns);
+        let detail = self.attribution_enabled();
+        let sw = self.sweep_young(mem, detail);
+        self.promote_young();
+        let pause_ns = elapsed_ns(&t0);
+        let sweep_ns = pause_ns.saturating_sub(mark_ns);
+        self.stats.total_pause_ns += pause_ns;
+        self.stats.max_pause_ns = self.stats.max_pause_ns.max(pause_ns);
+        self.stats.total_mark_ns += mark_ns;
+        self.stats.total_sweep_ns += sweep_ns;
+        self.stats.total_root_scan_ns += root_scan_ns;
+        self.stats.total_heap_scan_ns += heap_scan_ns;
+        if !detail {
+            return;
+        }
+        let stats = self.stats;
+        let rec = CollectionRecord {
+            cause: CollectCause::Nursery,
+            site: site.map(str::to_string),
+            bytes_since_gc,
+            bytes_live: stats.bytes_live,
+            freed_bytes: sw.bytes_swept,
+            roots_scanned,
+            words_marked,
+            pages_live: sw.pages_live,
+            pages_swept: sw.pages_swept,
+            sweep_debt_pages: stats.sweep_debt_pages,
+            pause_ns,
+            mark_ns,
+            sweep_ns,
+            root_scan_ns,
+            heap_scan_ns,
+            class_sweep_ns: sw.class_ns,
+            young_pages_swept: sw.pages_swept,
+            ..CollectionRecord::default()
+        };
+        self.trace.emit(|| {
+            Event::new("gc", "collection")
+                .field("n", stats.collections)
+                .field("cause", CollectCause::Nursery.as_str())
+                .field("site", rec.site.clone().unwrap_or_default())
+                .field("bytes_since_gc", bytes_since_gc)
+                .field("roots_scanned", roots_scanned)
+                .field("words_marked", words_marked)
+                .field("objects_marked", objects_marked)
+                .field("objects_swept", sw.objects_swept)
+                .field("bytes_swept", sw.bytes_swept)
+                .field("pages_swept", sw.pages_swept)
+                .field("pages_live", sw.pages_live)
+                .field("sweep_debt_pages", stats.sweep_debt_pages)
+                .field(
+                    "blacklist_hits",
+                    stats.blacklisted_pages - blacklisted_before,
+                )
+                .field("objects_live", stats.objects_live)
+                .field("bytes_live", stats.bytes_live)
+                .field("pause_ns", pause_ns)
+                .field("mark_ns", mark_ns)
+                .field("sweep_ns", sweep_ns)
+                .field("root_scan_ns", root_scan_ns)
+                .field("heap_scan_ns", heap_scan_ns)
+                .field("class_sweep_ns", rec.class_sweep_encoded())
+                .field("increments", 0u64)
+                .field("increment_words", rec.increment_words_encoded())
+                .field("young_pages_swept", sw.pages_swept)
+        });
+        self.prof.record_collection(move || rec);
+    }
+
+    /// Sweeps one small page (shared by the full and nursery sweeps):
+    /// poisons and counts garbage slots, folds marks into the allocation
+    /// bitmap, and accumulates the outcome totals. Returns
+    /// `(now empty, has free slot)`.
+    fn sweep_small_page(
+        &mut self,
+        mem: &mut Memory,
+        idx: usize,
+        out: &mut SweepOutcome,
+    ) -> (bool, bool) {
+        let poison = self.config.poison;
+        let page_start = self.map.page_addr(idx);
+        let PageDesc::Small(sp) = self.map.desc_mut(idx) else {
+            unreachable!("sweeping a non-small page")
+        };
+        let obj = u64::from(sp.obj_size);
+        let mut freed: u64 = 0;
+        for w in 0..sp.words() {
+            let garbage = sp.garbage_word(w);
+            if garbage == 0 {
+                continue;
+            }
+            freed += u64::from(garbage.count_ones());
+            if poison {
+                let mut g = garbage;
+                while g != 0 {
+                    let slot = w * 64 + g.trailing_zeros() as usize;
+                    g &= g - 1;
+                    mem.fill(page_start + slot as u64 * obj, 0xDD, obj as usize)
+                        .expect("freed object is mapped");
+                }
+            }
+        }
+        sp.fold_marks();
+        out.objects_swept += freed;
+        out.bytes_swept += freed * obj;
+        if !sp.is_empty() {
+            out.pages_live += 1;
+        }
+        (sp.is_empty(), sp.has_free_slot())
+    }
+
+    /// Sweeps one large object head (shared by the full and nursery
+    /// sweeps); returns the number of pages to release (zero when the
+    /// object survives).
+    fn sweep_large_head(&mut self, mem: &mut Memory, idx: usize, out: &mut SweepOutcome) -> usize {
+        let poison = self.config.poison;
+        let page_start = self.map.page_addr(idx);
+        let PageDesc::LargeHead {
+            size,
+            marked,
+            allocated,
+        } = self.map.desc_mut(idx)
+        else {
+            unreachable!("sweeping a non-head page")
+        };
+        let mut free_pages = 0usize;
+        if *allocated && !*marked {
+            *allocated = false;
+            out.objects_swept += 1;
+            out.bytes_swept += *size;
+            free_pages = (*size / PAGE_SIZE) as usize;
+            if poison {
+                mem.fill(page_start, 0xDD, *size as usize)
+                    .expect("freed object is mapped");
+            }
+        }
+        if *allocated {
+            out.pages_live += *size / PAGE_SIZE;
+        }
+        *marked = false;
+        free_pages
+    }
+
+    /// The nursery sweep: only pages carved since the last collection are
+    /// visited, ascending. Surviving young pages with free slots join
+    /// their class's dirty queue (adding to the sweep debt rather than
+    /// rebuilding it); empty ones are reclaimed. Old pages are untouched,
+    /// so their mark bitmaps stay clear for the next full mark, and the
+    /// lazy queues they sit on remain valid.
+    fn sweep_young(&mut self, mem: &mut Memory, timed: bool) -> SweepOutcome {
+        let mut out = SweepOutcome::default();
+        let mut class_ns = vec![0u64; SIZE_CLASSES.len() + 1];
+        let mut class_seen = vec![false; SIZE_CLASSES.len() + 1];
+        let mut pages = self.young_list.clone();
+        pages.sort_unstable();
+        // A young page can be referenced by its class's cursor (it was
+        // carved after the last sweep rebuilt the queues, so it cannot
+        // sit in partial/dirty); detach cursors before slots vanish under
+        // them.
+        for ci in 0..SIZE_CLASSES.len() {
+            if let Some(p) = self.cursor[ci] {
+                if self.is_young(p) {
+                    self.cursor[ci] = None;
+                }
+            }
+        }
+        let mut queued: Vec<(usize, usize)> = Vec::new();
+        for idx in pages {
+            let t_page = if timed { Some(Instant::now()) } else { None };
+            let kind = self.side[idx];
+            let mut reclaim_small = false;
+            let mut free_large_pages = 0usize;
+            match kind {
+                PageKind::Free | PageKind::LargeCont { .. } => {}
+                PageKind::Small { ci, .. } => {
+                    let (empty, has_free) = self.sweep_small_page(mem, idx, &mut out);
+                    if empty {
                         reclaim_small = true;
-                    } else if sp.has_free_slot() {
-                        queue_small = true;
+                    } else if has_free {
+                        queued.push((ci as usize, idx));
                     }
                 }
-                PageDesc::LargeHead {
-                    size,
-                    marked,
-                    allocated,
-                } => {
-                    if *allocated && !*marked {
-                        *allocated = false;
-                        out.objects_swept += 1;
-                        out.bytes_swept += *size;
-                        free_large_pages = (*size / PAGE_SIZE) as usize;
-                        if poison {
-                            mem.fill(page_start, 0xDD, *size as usize)
-                                .expect("freed object is mapped");
-                        }
-                    }
-                    if *allocated {
-                        out.pages_live += *size / PAGE_SIZE;
-                    }
-                    *marked = false;
+                PageKind::LargeHead => {
+                    free_large_pages = self.sweep_large_head(mem, idx, &mut out);
                 }
             }
             if reclaim_small {
@@ -994,18 +2026,7 @@ impl GcHeap {
                 if !self.bl_contains(idx) {
                     self.free_pages.push(idx);
                 }
-                // Blacklisted pages become Free but are never handed out
-                // again — the cost of blacklisting is lost capacity.
-            } else if queue_small {
-                let PageKind::Small { ci, .. } = self.side[idx] else {
-                    unreachable!("queued page is small")
-                };
-                self.dirty[ci as usize].push_back(idx);
-                debt += 1;
             }
-            // Release large-object pages. Contiguity cannot be guaranteed
-            // once recycled, so these pages feed small-object allocation
-            // only.
             for i in 0..free_large_pages {
                 *self.map.desc_mut(idx + i) = PageDesc::Free;
                 self.side[idx + i] = PageKind::Free;
@@ -1020,9 +2041,149 @@ impl GcHeap {
                 out.pages_swept += 1;
                 class_seen[s] = true;
                 if let Some(t) = t_page {
-                    class_ns[s] += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    class_ns[s] += elapsed_ns(&t);
                 }
             }
+        }
+        for &(ci, page) in &queued {
+            self.dirty[ci].push_back(page);
+            self.stats.sweep_debt_pages += 1;
+        }
+        // Keep each touched dirty queue in ascending page order — young
+        // indices can interleave with leftovers from the previous full
+        // sweep when recycled pages were carved into the nursery.
+        let mut touched: Vec<usize> = queued.iter().map(|&(ci, _)| ci).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for ci in touched {
+            self.dirty[ci].make_contiguous().sort_unstable();
+        }
+        if timed {
+            out.class_ns = class_seen
+                .iter()
+                .enumerate()
+                .filter(|&(_, &seen)| seen)
+                .map(|(s, _)| (SIZE_CLASSES.get(s).copied().unwrap_or(0), class_ns[s]))
+                .collect();
+        }
+        self.stats.objects_freed += out.objects_swept;
+        self.stats.objects_live -= out.objects_swept;
+        self.stats.bytes_live -= out.bytes_swept;
+        out
+    }
+
+    /// Sweeps one carved page — the body of the full page-walk, shared
+    /// by the stop-the-world sweep and the chunked sweep of a finishing
+    /// incremental cycle. Fully empty small pages are reclaimed into the
+    /// page pool in the same pass (without this, a size-class phase
+    /// shift — fill with class A, drop it, switch to class B — can
+    /// exhaust the heap while every page is pure free slots, because
+    /// free slots only ever serve their own class); blacklisted pages
+    /// become `Free` but are never handed out again — the cost of
+    /// blacklisting is lost capacity. Small pages left with free slots
+    /// join their class's lazy queue; a dead large object's pages are
+    /// all released (contiguity cannot be guaranteed once recycled, so
+    /// those pages feed small-object allocation only). Returns the
+    /// lazy-queue debt added (0 or 1) and the number of pages the call
+    /// actually touched — a dead large object counts its whole run,
+    /// because poisoning it costs proportional to the run, not to the
+    /// single head entry in a page list.
+    fn sweep_one_page(
+        &mut self,
+        mem: &mut Memory,
+        idx: usize,
+        timed: bool,
+        out: &mut SweepOutcome,
+        class_ns: &mut [u64],
+        class_seen: &mut [bool],
+    ) -> (u64, usize) {
+        let t_page = if timed { Some(Instant::now()) } else { None };
+        let kind = self.side[idx];
+        let mut reclaim_small = false;
+        let mut queue_small = false;
+        let mut free_large_pages = 0usize;
+        match kind {
+            PageKind::Free | PageKind::LargeCont { .. } => {}
+            PageKind::Small { .. } => {
+                let (empty, has_free) = self.sweep_small_page(mem, idx, out);
+                if empty {
+                    reclaim_small = true;
+                } else if has_free {
+                    queue_small = true;
+                }
+            }
+            PageKind::LargeHead => {
+                free_large_pages = self.sweep_large_head(mem, idx, out);
+            }
+        }
+        let mut debt = 0u64;
+        if reclaim_small {
+            *self.map.desc_mut(idx) = PageDesc::Free;
+            self.side[idx] = PageKind::Free;
+            self.stats.pages_reclaimed += 1;
+            if !self.bl_contains(idx) {
+                self.free_pages.push(idx);
+            }
+        } else if queue_small {
+            let PageKind::Small { ci, .. } = self.side[idx] else {
+                unreachable!("queued page is small")
+            };
+            self.dirty[ci as usize].push_back(idx);
+            debt = 1;
+        }
+        for i in 0..free_large_pages {
+            *self.map.desc_mut(idx + i) = PageDesc::Free;
+            self.side[idx + i] = PageKind::Free;
+            self.free_pages.push(idx + i);
+        }
+        let slot = match kind {
+            PageKind::Free => None,
+            PageKind::Small { ci, .. } => Some(ci as usize),
+            PageKind::LargeHead | PageKind::LargeCont { .. } => Some(SIZE_CLASSES.len()),
+        };
+        if let Some(s) = slot {
+            out.pages_swept += 1;
+            class_seen[s] = true;
+            if let Some(t) = t_page {
+                class_ns[s] += elapsed_ns(&t);
+            }
+        }
+        let touched = match kind {
+            PageKind::Free | PageKind::LargeCont { .. } => 0,
+            PageKind::Small { .. } => 1,
+            PageKind::LargeHead => free_large_pages.max(1),
+        };
+        (debt, touched)
+    }
+
+    /// The sweep: a single ascending pass over every carved page.
+    ///
+    /// Per small page this is word arithmetic — `garbage = alloc & !mark`
+    /// drives poisoning (trailing-zeros per dead slot) and a popcount
+    /// keeps the statistics exact, then the mark bitmap folds into the
+    /// allocation bitmap. Fully empty pages (a word compare) are
+    /// reclaimed into the page pool on the spot; pages left with free
+    /// slots are queued per class for *lazy* adoption — the allocator
+    /// discovers their free slots on demand instead of this pause
+    /// rebuilding free lists. Statistics, poisoning, and the census are
+    /// therefore exact the moment `collect` returns; only free-slot
+    /// discovery is deferred, and its backlog is `sweep_debt_pages`.
+    fn sweep(&mut self, mem: &mut Memory, timed: bool) -> SweepOutcome {
+        let mut out = SweepOutcome::default();
+        // Per-class sweep nanoseconds (`timed` only): one slot per size
+        // class plus a trailing slot for the large-object pass.
+        let mut class_ns = vec![0u64; SIZE_CLASSES.len() + 1];
+        let mut class_seen = vec![false; SIZE_CLASSES.len() + 1];
+        for ci in 0..SIZE_CLASSES.len() {
+            self.cursor[ci] = None;
+            self.partial[ci].clear();
+            self.dirty[ci].clear();
+        }
+        let mut debt: u64 = 0;
+        for idx in 0..self.next_page {
+            let (d, _) =
+                self.sweep_one_page(mem, idx, timed, &mut out, &mut class_ns, &mut class_seen);
+            debt += d;
         }
         if timed {
             out.class_ns = class_seen
@@ -1243,11 +2404,8 @@ mod tests {
         );
         let mut mem = mem;
         let mut keep = Vec::new();
-        loop {
-            match heap.alloc(&mut mem, 1500) {
-                Ok(a) => keep.push(a),
-                Err(_) => break,
-            }
+        while let Ok(a) = heap.alloc(&mut mem, 1500) {
+            keep.push(a);
         }
         let mut roots = RootSet::new();
         for &a in &keep {
@@ -1492,6 +2650,10 @@ mod tests {
             "collections_threshold",
             "collections_emergency",
             "collections_explicit",
+            "collections_increment_finish",
+            "collections_nursery",
+            "mark_increments",
+            "barrier_marks",
             "peak_bytes_live",
         ] {
             assert!(
@@ -1593,8 +2755,13 @@ mod tests {
             "cause counters partition the collection count"
         );
         assert_eq!(
-            s.collections_threshold + s.collections_emergency + s.collections_explicit,
-            s.collections
+            s.collections_threshold
+                + s.collections_emergency
+                + s.collections_explicit
+                + s.collections_increment_finish
+                + s.collections_nursery,
+            s.collections,
+            "the five cause counters partition the collection count"
         );
         let d = prof.snapshot().expect("prof enabled");
         assert_eq!(d.collection_log.len(), 2);
@@ -1827,6 +2994,229 @@ mod tests {
         roots.add_word(bogus);
         heap.collect(&mut mem, &roots);
         assert_eq!(heap.census().blacklisted_pages, 1);
+    }
+
+    /// The classic tri-color violation, deterministically: during a mark
+    /// cycle the mutator stores the only pointer to a white object into
+    /// an already-scanned (black) object. With the Dijkstra store
+    /// barrier the object survives; without it, the cycle provably loses
+    /// it.
+    #[test]
+    fn store_barrier_keeps_a_white_object_stored_into_a_black_one() {
+        let run = |barrier: bool| {
+            let mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+            let mut heap = GcHeap::new(
+                &mem,
+                HeapConfig {
+                    incremental: true,
+                    mark_budget_bytes: 16,
+                    ..HeapConfig::default()
+                },
+            );
+            let mut mem = mem;
+            let a = heap.alloc(&mut mem, 8).unwrap(); // 16-byte class
+            let b = heap.alloc(&mut mem, 8).unwrap(); // the white victim
+            let d = heap.alloc(&mut mem, 1500).unwrap(); // ballast keeps the cycle open
+            let mut roots = RootSet::new();
+            roots.add_word(d);
+            roots.add_word(a);
+            heap.begin_cycle(&mem, &roots, None); // grey = [d, a]
+            assert!(heap.marking_active());
+            assert!(heap.barrier_active());
+            // One budgeted step scans exactly `a` (16 bytes = the whole
+            // budget): `a` is black, `d` still grey, the cycle open.
+            heap.mark_step(&mut mem, &roots);
+            assert!(heap.marking_active());
+            // The mutator stores the only pointer to white `b` into
+            // black `a`; no root holds `b`.
+            mem.write(a, 8, b).unwrap();
+            if barrier {
+                heap.write_barrier(a, b);
+            }
+            while heap.marking_active() {
+                heap.mark_step(&mut mem, &roots);
+            }
+            // Marking is over; retire the chunked sweep so the verdict
+            // on `b` is final.
+            heap.finish_pending_sweep(&mut mem);
+            (heap.is_allocated(b), heap.stats())
+        };
+        let (b_live, s) = run(true);
+        assert!(b_live, "the barrier greys b; the finish must not sweep it");
+        assert!(s.barrier_marks >= 1, "the barrier mark is counted");
+        assert_eq!(s.collections, 1);
+        assert_eq!(s.collections_increment_finish, 1);
+        assert!(s.mark_increments >= 2, "initial scan plus an increment");
+        let (b_live, _) = run(false);
+        assert!(!b_live, "without the barrier the cycle loses b");
+    }
+
+    #[test]
+    fn incremental_marking_preserves_a_rooted_list_and_frees_garbage() {
+        let mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                incremental: true,
+                mark_budget_bytes: 256,
+                gc_threshold: 4096,
+                ..HeapConfig::default()
+            },
+        );
+        let prof = gcprof::ProfHandle::enabled();
+        heap.set_prof(prof.clone());
+        let mut mem = mem;
+        // A rooted 50-node linked list, built before any cycle starts.
+        let mut nodes = Vec::new();
+        let mut prev = 0u64;
+        for _ in 0..50 {
+            let n = heap.alloc(&mut mem, 64).unwrap();
+            if prev != 0 {
+                mem.write(prev, 8, n).unwrap();
+            }
+            nodes.push(n);
+            prev = n;
+        }
+        let mut roots = RootSet::new();
+        roots.add_word(nodes[0]);
+        // Churn: every allocation is garbage, every safe point advances
+        // the collector by at most one bounded stop.
+        for _ in 0..300 {
+            heap.alloc_with_roots(&mut mem, 64, &roots).unwrap();
+        }
+        let s = heap.stats();
+        assert!(s.collections_increment_finish >= 1, "cycles finished");
+        assert!(
+            s.mark_increments > 2 * s.collections_increment_finish,
+            "cycles take multiple bounded stops ({} stops over {} cycles)",
+            s.mark_increments,
+            s.collections_increment_finish
+        );
+        assert_eq!(
+            s.collections_threshold, 0,
+            "threshold triggers become cycles, not stop-the-world marks"
+        );
+        assert!(s.objects_freed > 0, "garbage is reclaimed at finishes");
+        for &n in &nodes {
+            assert!(heap.is_allocated(n), "the rooted list survives");
+        }
+        assert_eq!(
+            s.collections_threshold
+                + s.collections_emergency
+                + s.collections_explicit
+                + s.collections_increment_finish
+                + s.collections_nursery,
+            s.collections
+        );
+        let d = prof.snapshot().expect("prof enabled");
+        assert_eq!(
+            d.pause_ns.count(),
+            s.collections,
+            "the pause histogram keeps one entry per finished cycle"
+        );
+        assert!(
+            d.pauses.len() as u64 > s.collections,
+            "the MMU timeline sees every bounded stop, not just finishes"
+        );
+    }
+
+    #[test]
+    fn explicit_collect_mid_cycle_finishes_the_cycle() {
+        let mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                incremental: true,
+                mark_budget_bytes: 16,
+                ..HeapConfig::default()
+            },
+        );
+        let mut mem = mem;
+        let a = heap.alloc(&mut mem, 8).unwrap();
+        let lose = heap.alloc(&mut mem, 8).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(a);
+        heap.begin_cycle(&mem, &roots, None);
+        assert!(heap.marking_active());
+        heap.collect(&mut mem, &roots);
+        assert!(!heap.marking_active(), "the demand finished the cycle");
+        let s = heap.stats();
+        assert_eq!(s.collections, 1, "one cycle, one collection");
+        assert_eq!(s.collections_explicit, 1, "under the demanded cause");
+        assert!(heap.is_allocated(a));
+        assert!(!heap.is_allocated(lose));
+    }
+
+    #[test]
+    fn nursery_collections_skip_old_pages_and_cards_catch_old_to_young() {
+        let mem = Memory::new(1 << 16, 1 << 16, 1 << 22);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                nursery: true,
+                ..HeapConfig::default()
+            },
+        );
+        let mut mem = mem;
+        // An object that survives a full collection is old.
+        let old = heap.alloc(&mut mem, 64).unwrap();
+        let mut roots = RootSet::new();
+        roots.add_word(old);
+        heap.collect(&mut mem, &roots);
+        assert!(heap.is_allocated(old));
+        // Young: one object reachable only through `old`, one garbage.
+        let kept = heap.alloc(&mut mem, 8).unwrap();
+        let lost = heap.alloc(&mut mem, 8).unwrap();
+        mem.write(old, 8, kept).unwrap();
+        heap.write_barrier(old, kept);
+        // Nursery collection with *no* roots at all: `old` must survive
+        // (old pages are implicitly live), `kept` must survive through
+        // the remembered-set card, `lost` must go.
+        heap.collect_as(&mut mem, &RootSet::new(), CollectCause::Nursery, None);
+        let s = heap.stats();
+        assert_eq!(s.collections_nursery, 1);
+        assert!(heap.is_allocated(old), "old pages float through a nursery");
+        assert!(heap.is_allocated(kept), "the card kept the old→young edge");
+        assert!(!heap.is_allocated(lost), "young garbage is swept");
+        // A full collection with no roots reclaims the old generation.
+        heap.collect(&mut mem, &RootSet::new());
+        assert!(!heap.is_allocated(old));
+        assert!(!heap.is_allocated(kept));
+    }
+
+    #[test]
+    fn generational_schedule_interleaves_nursery_and_full_collections() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 20);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                nursery: true,
+                gc_threshold: 2048,
+                ..HeapConfig::default()
+            },
+        );
+        let mut mem = mem;
+        for _ in 0..400 {
+            heap.alloc_with_roots(&mut mem, 64, &RootSet::new())
+                .unwrap();
+        }
+        let s = heap.stats();
+        assert!(s.collections_nursery > 0, "most collections are nursery");
+        assert!(
+            s.collections_threshold > 0,
+            "every fourth collection is a full one"
+        );
+        assert!(
+            s.collections_nursery > s.collections_threshold,
+            "nursery collections dominate ({} vs {})",
+            s.collections_nursery,
+            s.collections_threshold
+        );
+        assert_eq!(
+            s.collections_nursery + s.collections_threshold + s.collections_emergency,
+            s.collections
+        );
+        assert!(s.pages_reclaimed > 0, "nursery sweeps recycle pages");
     }
 }
 

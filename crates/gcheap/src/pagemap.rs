@@ -104,6 +104,13 @@ impl SmallPage {
         self.alloc[slot / 64] &= !(1 << (slot % 64));
     }
 
+    /// Allocation bitmap word `w` — the word-wise view of which slots are
+    /// allocated, used by the remembered-set card scan to enumerate a
+    /// page's objects without probing slot by slot.
+    pub fn alloc_word(&self, w: usize) -> u64 {
+        self.alloc[w]
+    }
+
     /// Whether slot `slot` is marked.
     pub fn mark_bit(&self, slot: usize) -> bool {
         self.mark[slot / 64] >> (slot % 64) & 1 != 0

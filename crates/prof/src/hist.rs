@@ -247,6 +247,29 @@ mod tests {
         assert_eq!(one.quantile(0.0), 7, "rank is clamped to at least 1");
     }
 
+    /// Pins the empty-histogram guard in `quantile`: a cell that never
+    /// collected exports pause quantiles, and those must read 0 at every
+    /// `q` rather than indexing into a histogram with no samples. (The
+    /// rank computation divides by nothing, but an unguarded version
+    /// would scan to the fallthrough and return an uninitialized max.)
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty histogram at q={q}");
+        }
+        // Merging an empty into an empty must not fabricate samples or
+        // disturb the min/max sentinels the guard relies on.
+        let mut m = Histogram::new();
+        m.merge(&h);
+        assert!(m.is_empty());
+        assert_eq!(m.quantile(0.99), 0);
+        assert_eq!((m.min(), m.max()), (0, 0));
+        // One sample after the empty merge behaves like a fresh record.
+        m.record(42);
+        assert_eq!(m.quantile(0.5), 42);
+    }
+
     #[test]
     fn bucket_encoding_round_trips() {
         let mut h = Histogram::new();

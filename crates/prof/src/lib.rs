@@ -47,6 +47,13 @@ pub enum CollectCause {
     Emergency,
     /// The program (or harness) asked for a collection directly.
     Explicit,
+    /// An incremental mark cycle drained its worklist and finished with
+    /// the final root re-scan plus sweep. The record's totals cover the
+    /// whole cycle (initial root scan, every increment, the finish step).
+    IncrementFinish,
+    /// A nursery collection: only pages carved since the previous cycle
+    /// were collected, guided by the store barrier's remembered-set cards.
+    Nursery,
 }
 
 impl CollectCause {
@@ -57,6 +64,8 @@ impl CollectCause {
             CollectCause::Threshold => "threshold",
             CollectCause::Emergency => "emergency",
             CollectCause::Explicit => "explicit",
+            CollectCause::IncrementFinish => "increment-finish",
+            CollectCause::Nursery => "nursery",
         }
     }
 
@@ -66,6 +75,8 @@ impl CollectCause {
             "threshold" => Some(CollectCause::Threshold),
             "emergency" => Some(CollectCause::Emergency),
             "explicit" => Some(CollectCause::Explicit),
+            "increment-finish" => Some(CollectCause::IncrementFinish),
+            "nursery" => Some(CollectCause::Nursery),
             _ => None,
         }
     }
@@ -114,6 +125,21 @@ pub struct CollectionRecord {
     /// object size `0` is the large-object pass. Empty when the heap
     /// skipped per-class timing (no trace or prof handle attached).
     pub class_sweep_ns: Vec<(u32, u64)>,
+    /// Bounded mark increments the cycle ran between the initial root
+    /// scan and the finish step. `0` for a stop-the-world collection.
+    pub increments: u64,
+    /// Heap words scanned by each bounded increment, in increment order
+    /// (deterministic — safe for byte-compared timelines). The initial
+    /// root scan and the finish step are not listed here; their work is
+    /// in `roots_scanned`/`words_marked`.
+    pub increment_words: Vec<u64>,
+    /// Wall-clock stop for each bounded increment, as MMU-ready pauses on
+    /// the profile timeline. Same masking discipline as the `*_ns`
+    /// fields. Empty for a stop-the-world collection.
+    pub increment_pauses: Vec<Pause>,
+    /// Young pages the sweep visited (nursery cycles); `0` when the whole
+    /// heap was collected.
+    pub young_pages_swept: u64,
 }
 
 impl CollectionRecord {
@@ -130,6 +156,23 @@ impl CollectionRecord {
                 out.push(' ');
             }
             out.push_str(&format!("{size}:{ns}"));
+        }
+        out
+    }
+
+    /// The per-increment scanned-word counts in the same sparse string
+    /// encoding (`"w w w"`, `-` when the cycle ran stop-the-world).
+    /// Deterministic, so it may cross into byte-compared artifacts.
+    pub fn increment_words_encoded(&self) -> String {
+        if self.increment_words.is_empty() {
+            return "-".to_string();
+        }
+        let mut out = String::new();
+        for (i, w) in self.increment_words.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{w}"));
         }
         out
     }
@@ -236,11 +279,30 @@ impl ProfHandle {
         }
     }
 
+    /// Nanoseconds elapsed since the profile started — the clock
+    /// [`Pause::end_ns`] offsets are measured on. `0` when disabled.
+    /// The heap uses this to timestamp the bounded stops of an
+    /// incremental cycle as they happen, so the MMU windows see each
+    /// short stop where it really fell instead of one summed pause.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.0 {
+            Some(cell) => cell.start.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
     /// Records one completed collection from the [`CollectionRecord`]
     /// `build` produces: the pause/mark/sweep/freed histograms, the pause
     /// timeline for MMU computation, and the attribution log. When
     /// disabled, `build` is never evaluated — the collector pays one
     /// branch and builds no record.
+    ///
+    /// An incremental cycle lands as one record (so `collections` and the
+    /// pause histogram still count cycles), but its MMU timeline entries
+    /// are the individual bounded stops: every pause in
+    /// `increment_pauses`, then the finish step (the record's total minus
+    /// the increments' share).
     #[inline]
     pub fn record_collection(&self, build: impl FnOnce() -> CollectionRecord) {
         if let Some(cell) = &self.0 {
@@ -251,9 +313,11 @@ impl ProfHandle {
             data.mark_ns.record(rec.mark_ns);
             data.sweep_ns.record(rec.sweep_ns);
             data.sweep_freed_bytes.record(rec.freed_bytes);
+            let incremental_ns: u64 = rec.increment_pauses.iter().map(|p| p.pause_ns).sum();
+            data.pauses.extend(rec.increment_pauses.iter().copied());
             data.pauses.push(Pause {
                 end_ns,
-                pause_ns: rec.pause_ns,
+                pause_ns: rec.pause_ns.saturating_sub(incremental_ns),
             });
             data.collections += 1;
             data.collection_log.push(rec);
@@ -382,10 +446,54 @@ mod tests {
             CollectCause::Threshold,
             CollectCause::Emergency,
             CollectCause::Explicit,
+            CollectCause::IncrementFinish,
+            CollectCause::Nursery,
         ] {
             assert_eq!(CollectCause::parse(c.as_str()), Some(c));
         }
         assert_eq!(CollectCause::parse("bogus"), None);
+    }
+
+    #[test]
+    fn incremental_records_split_the_mmu_timeline_but_count_once() {
+        let h = ProfHandle::enabled();
+        h.record_collection(|| CollectionRecord {
+            cause: CollectCause::IncrementFinish,
+            pause_ns: 1000,
+            mark_ns: 900,
+            sweep_ns: 100,
+            increments: 2,
+            increment_words: vec![500, 120],
+            increment_pauses: vec![
+                Pause {
+                    end_ns: 10,
+                    pause_ns: 300,
+                },
+                Pause {
+                    end_ns: 20,
+                    pause_ns: 200,
+                },
+            ],
+            ..CollectionRecord::default()
+        });
+        let d = h.snapshot().expect("enabled");
+        // One cycle: one histogram entry, one collection, one log record.
+        assert_eq!(d.collections, 1);
+        assert_eq!(d.pause_ns.count(), 1);
+        assert_eq!(d.pause_ns.sum(), 1000);
+        assert_eq!(d.collection_log.len(), 1);
+        // Three MMU stops: both increments plus the finish step, and the
+        // stop durations re-sum to the cycle total.
+        assert_eq!(d.pauses.len(), 3);
+        assert_eq!(d.pauses[0].pause_ns, 300);
+        assert_eq!(d.pauses[1].pause_ns, 200);
+        assert_eq!(d.pauses[2].pause_ns, 500);
+        assert_eq!(
+            d.collection_log[0].increment_words_encoded(),
+            "500 120",
+            "deterministic increment encoding"
+        );
+        assert_eq!(CollectionRecord::default().increment_words_encoded(), "-");
     }
 
     #[test]

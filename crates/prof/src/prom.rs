@@ -493,6 +493,33 @@ mod tests {
         assert!(text.contains("gc_pause_ns_summary_count{mode=\"g\"} 100"));
     }
 
+    /// The zero-collection-cell path of the `gc_pause_quantile_ns`
+    /// writer: a cell that never paused still gets a summary family, and
+    /// the empty histogram's quantiles must export as 0 rather than
+    /// panicking in `Histogram::quantile` (rank clamp on `count == 0`).
+    #[test]
+    fn summary_of_a_zero_collection_cell_exports_zeros() {
+        let h = Histogram::new();
+        let mut w = PromWriter::new();
+        w.family("gc_pause_quantile_ns", "Pause quantiles", "summary");
+        let labels = [("workload", "idle"), ("mode", "O")];
+        w.summary("gc_pause_quantile_ns", &labels, &h);
+        let text = w.finish();
+        validate(&text).expect("empty summary must parse and validate");
+        assert!(
+            text.contains(r#"gc_pause_quantile_ns{workload="idle",mode="O",quantile="0.5"} 0"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"gc_pause_quantile_ns{workload="idle",mode="O",quantile="0.99"} 0"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"gc_pause_quantile_ns_count{workload="idle",mode="O"} 0"#),
+            "{text}"
+        );
+    }
+
     #[test]
     fn validator_enforces_histogram_family_structure() {
         // Declared histogram with no bucket samples at all.

@@ -1,21 +1,24 @@
 //! The regression-gate CLI.
 //!
 //! ```text
-//! bench compare <baseline.json|-> <candidate.json> --budgets budgets.toml
+//! bench compare <baseline.json|-> <candidate.json> --budgets budgets.toml [--allow-new-cells]
 //! bench seed-budgets <bench.json> [--margin-permille 1500] [--out budgets.toml]
 //! bench validate-timeline <timeline.json>
 //! ```
 //!
 //! `compare` prints the diff table and exits 1 when the gate fails;
 //! pass `-` as the baseline for budgets-only mode (cross-machine CI).
-//! `seed-budgets` writes ceilings/floors with margin from a measured
-//! document. Usage errors exit 2.
+//! Cells missing from the candidate, or new cells the baseline/budgets
+//! never gated, are hard failures; `--allow-new-cells` accepts the new
+//! ones for the run where the matrix intentionally grew (reseed the
+//! budgets afterwards). `seed-budgets` writes ceilings/floors with
+//! margin from a measured document. Usage errors exit 2.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  bench compare <baseline.json|-> <candidate.json> --budgets <budgets.toml>\n  \
+        "usage:\n  bench compare <baseline.json|-> <candidate.json> --budgets <budgets.toml> [--allow-new-cells]\n  \
 bench seed-budgets <bench.json> [--margin-permille N] [--out <file>]\n  \
 bench validate-timeline <timeline.json>"
     );
@@ -31,11 +34,14 @@ fn run() -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("compare") => {
             let mut budgets_path = None;
+            let mut allow_new_cells = false;
             let mut pos = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 if a == "--budgets" {
                     budgets_path = Some(it.next().ok_or("--budgets wants a path")?.clone());
+                } else if a == "--allow-new-cells" {
+                    allow_new_cells = true;
                 } else {
                     pos.push(a.clone());
                 }
@@ -49,7 +55,8 @@ fn run() -> Result<ExitCode, String> {
             };
             let base_text = if base == "-" { None } else { Some(read(base)?) };
             let cand_text = read(cand)?;
-            let verdict = gcwatch::compare(base_text.as_deref(), &cand_text, &budgets)?;
+            let verdict =
+                gcwatch::compare(base_text.as_deref(), &cand_text, &budgets, allow_new_cells)?;
             print!("{}", verdict.table());
             Ok(if verdict.passed() {
                 ExitCode::SUCCESS

@@ -37,9 +37,13 @@ const TICKS_PER_SWEPT_PAGE: u64 = 32;
 
 fn phase_durs(r: &CollectionRecord) -> (u64, u64, u64) {
     // Every phase lasts at least one tick so zero-work collections still
-    // render as visible slices.
+    // render as visible slices. For an incremental cycle the words the
+    // bounded increments already scanned are rendered as their own
+    // `mark-inc` slices, so the final stop's heap-scan slice only shows
+    // the finish drain.
+    let inc_words: u64 = r.increment_words.iter().sum();
     let root = r.roots_scanned + 1;
-    let heap = r.words_marked + 1;
+    let heap = r.words_marked.saturating_sub(inc_words) + 1;
     let sweep = r.pages_swept * TICKS_PER_SWEPT_PAGE + 1;
     (root, heap, sweep)
 }
@@ -121,8 +125,37 @@ pub fn chrome_trace(cells: &[TimelineCell]) -> String {
         let mut vt: u64 = 0;
         for (n, r) in c.records.iter().enumerate() {
             // Mutator span: the bytes allocated since the last collection
-            // advance the virtual clock before the pause begins.
-            vt += r.bytes_since_gc;
+            // advance the virtual clock before the pause begins. An
+            // incremental cycle interleaves its bounded mark stops with
+            // the mutator: the span is split into equal gaps with one
+            // `mark-inc` slice (duration = words that stop scanned)
+            // between each, and the finish stop renders as the usual
+            // collection slice at the end.
+            let stops = r.increment_words.len() as u64;
+            if stops > 0 {
+                let gap = r.bytes_since_gc / (stops + 1);
+                let mut spent = 0;
+                for (i, &w) in r.increment_words.iter().enumerate() {
+                    vt += gap;
+                    spent += gap;
+                    let mut a = Writer::new();
+                    a.uint_field("increment", i as u64 + 1);
+                    a.uint_field("words_scanned", w);
+                    events.push(event(
+                        "mark-inc",
+                        "X",
+                        pid,
+                        tid,
+                        vt,
+                        Some(w + 1),
+                        Some(a.finish()),
+                    ));
+                    vt += w + 1;
+                }
+                vt += r.bytes_since_gc - spent;
+            } else {
+                vt += r.bytes_since_gc;
+            }
             let (root, heap, sweep) = phase_durs(r);
             let total = root + heap + sweep;
             let mut args = Writer::new();
@@ -136,6 +169,8 @@ pub fn chrome_trace(cells: &[TimelineCell]) -> String {
             args.uint_field("freed_bytes", r.freed_bytes);
             args.uint_field("bytes_live", r.bytes_live);
             args.uint_field("sweep_debt_pages", r.sweep_debt_pages);
+            args.uint_field("increments", r.increments);
+            args.uint_field("young_pages_swept", r.young_pages_swept);
             let name = format!("GC #{n} ({})", r.cause.as_str());
             events.push(event(
                 &name,
@@ -297,6 +332,7 @@ mod tests {
             root_scan_ns: 3000,
             heap_scan_ns: 5000,
             class_sweep_ns: vec![(16, 100), (0, 50)],
+            ..CollectionRecord::default()
         }
     }
 
@@ -332,6 +368,42 @@ mod tests {
         assert!(text.contains("root-scan"));
         assert!(text.contains("heap-scan"));
         assert!(text.contains("bytes_live (O)"));
+    }
+
+    #[test]
+    fn incremental_cycles_render_bounded_mark_slices() {
+        let mut r = rec(0);
+        r.increments = 2;
+        r.increment_words = vec![0, 30]; // initial root scan + one increment
+        r.increment_pauses = vec![
+            gcprof::Pause {
+                end_ns: 1,
+                pause_ns: 77,
+            },
+            gcprof::Pause {
+                end_ns: 2,
+                pause_ns: 88,
+            },
+        ];
+        r.words_marked = 50; // 30 in the increment, 20 in the finish drain
+        let cells = vec![TimelineCell {
+            workload: "micro".into(),
+            mode: "heap-direct".into(),
+            records: vec![r, rec(1)],
+        }];
+        let text = chrome_trace(&cells);
+        validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(text.matches("\"mark-inc\"").count(), 2, "{text}");
+        assert!(text.contains("\"words_scanned\":30"), "{text}");
+        assert!(text.contains("\"increments\":2"), "{text}");
+        // The finish stop's heap-scan slice shows only the finish drain:
+        // 50 total words - 30 already rendered as increments + 1 tick.
+        assert!(text.contains("\"name\":\"heap-scan\""));
+        assert!(text.contains("\"dur\":21"), "{text}");
+        // Increment wall-clock never reaches the virtual-clock trace.
+        for needle in ["77", "88", "increment_pauses"] {
+            assert!(!text.contains(needle), "wall-clock leaked: {needle}");
+        }
     }
 
     #[test]

@@ -15,8 +15,15 @@
 //!    baseline was aggregated with `--repeat`, else 0 (the relative and
 //!    absolute slacks still protect single-run baselines).
 //!
-//! Cells present in the candidate but not the baseline (or vice versa)
-//! are reported but do not fail the gate — the matrix legitimately grows.
+//! Cell-set mismatches are **hard failures**, not notes. A cell present
+//! in the baseline or the budgets file but missing from the candidate
+//! means a workload was silently skipped — the gate cannot vouch for a
+//! run it never saw. A candidate cell absent from the baseline (or
+//! collecting without a budget) has no ceiling gating it. The matrix
+//! does legitimately grow, but exactly once per growth: pass
+//! `allow_new_cells` (`--allow-new-cells` on the CLI) to accept new
+//! cells for that run and then reseed the budgets. Missing cells fail
+//! regardless of the flag.
 
 use crate::budgets::Budgets;
 use crate::stats::{cell_key, parse_cells};
@@ -38,7 +45,8 @@ pub struct CellVerdict {
     pub budget: Option<u64>,
     /// Failure descriptions; empty means the cell passed.
     pub failures: Vec<String>,
-    /// Non-fatal notes (zero collections, unmatched cells).
+    /// Non-fatal notes (zero collections, new cells accepted by
+    /// `allow_new_cells`).
     pub notes: Vec<String>,
 }
 
@@ -121,6 +129,11 @@ fn u(cell: &BTreeMap<String, JsonValue>, key: &str) -> Option<u64> {
 /// Compares a candidate `BENCH_gc.json` against budgets and an optional
 /// baseline document. See the module docs for the checks.
 ///
+/// `allow_new_cells` downgrades the "cell absent from baseline" and
+/// "cell collecting without a budget" failures to notes — for the one
+/// run where the matrix intentionally grew. Cells *missing* from the
+/// candidate fail regardless.
+///
 /// # Errors
 ///
 /// Returns a message if either document fails to parse or the candidate
@@ -129,6 +142,7 @@ pub fn compare(
     baseline: Option<&str>,
     candidate: &str,
     budgets: &Budgets,
+    allow_new_cells: bool,
 ) -> Result<Verdict, String> {
     let cand_cells = parse_cells(candidate)?;
     if cand_cells.is_empty() {
@@ -155,9 +169,23 @@ pub fn compare(
             failures: Vec::new(),
             notes: Vec::new(),
         };
-        if u(cand, "collections").unwrap_or(0) == 0 {
+        let collections = u(cand, "collections").unwrap_or(0);
+        if collections == 0 {
             v.notes
                 .push("zero collections: pause budgets vacuous for this cell".into());
+        }
+        if !budgets.cells.is_empty() && !budgets.cells.contains_key(&key) && collections > 0 {
+            // Zero-collection cells are exempt: `seed-budgets` never
+            // writes ceilings for them, so their absence is expected.
+            let what = "new cell: collects but has no budget, so its pauses are ungated";
+            if allow_new_cells {
+                v.notes
+                    .push(format!("{what} (accepted; reseed budgets to cover it)"));
+            } else {
+                v.failures.push(format!(
+                    "{what} (pass --allow-new-cells, then reseed budgets)"
+                ));
+            }
         }
         if let Some(b) = budgets.cells.get(&key) {
             v.budget = b.max_pause_ns;
@@ -194,21 +222,42 @@ pub fn compare(
                 ));
             }
         } else if baseline.is_some() {
-            v.notes.push("cell absent from baseline".into());
+            let what = "new cell: absent from baseline, so the noise gate cannot see it";
+            if allow_new_cells {
+                v.notes.push(format!("{what} (accepted)"));
+            } else {
+                v.failures.push(format!("{what} (pass --allow-new-cells)"));
+            }
         }
         cells.push(v);
     }
-    for key in base_cells.keys() {
-        if !seen.contains(key) {
-            cells.push(CellVerdict {
-                cell: key.clone(),
-                cand_pause: 0,
-                base_pause: u(&base_cells[key], "max_pause_ns"),
-                budget: None,
-                failures: Vec::new(),
-                notes: vec!["cell absent from candidate".into()],
-            });
-        }
+    // Cells the baseline or the budgets file expects but the candidate
+    // never produced: a silently skipped cell must fail the gate, flag
+    // or no flag — there is no run to vouch for.
+    let absent: std::collections::BTreeSet<&String> = base_cells
+        .keys()
+        .chain(budgets.cells.keys())
+        .filter(|k| !seen.contains(*k))
+        .collect();
+    for key in absent {
+        let origin = match (
+            base_cells.contains_key(key),
+            budgets.cells.contains_key(key),
+        ) {
+            (true, true) => "baseline and budgets",
+            (true, false) => "baseline",
+            _ => "budgets",
+        };
+        cells.push(CellVerdict {
+            cell: key.clone(),
+            cand_pause: 0,
+            base_pause: base_cells.get(key).and_then(|c| u(c, "max_pause_ns")),
+            budget: budgets.cells.get(key).and_then(|b| b.max_pause_ns),
+            failures: vec![format!(
+                "cell present in {origin} but missing from candidate — a skipped cell cannot pass"
+            )],
+            notes: Vec::new(),
+        });
     }
     Ok(Verdict { cells })
 }
@@ -238,11 +287,11 @@ mod tests {
         let baseline = doc(&[("churn-small", "heap-direct", 40, 1_000_000, Some(30_000))]);
         let budgets = budgets::seed(&baseline, 1500).unwrap();
         // Clean candidate: same pause, passes.
-        let clean = compare(Some(&baseline), &baseline, &budgets).unwrap();
+        let clean = compare(Some(&baseline), &baseline, &budgets, false).unwrap();
         assert!(clean.passed(), "{}", clean.table());
         // 2× inflation: fails the ceiling AND the noise gate, names the cell.
         let inflated = doc(&[("churn-small", "heap-direct", 40, 2_000_000, None)]);
-        let v = compare(Some(&baseline), &inflated, &budgets).unwrap();
+        let v = compare(Some(&baseline), &inflated, &budgets, false).unwrap();
         assert!(!v.passed());
         assert_eq!(v.failing_cells(), vec!["churn-small/heap-direct"]);
         let table = v.table();
@@ -260,12 +309,12 @@ mod tests {
         budgets.gate.abs_slack_ns = 0;
         // +4 MAD: inside the allowance.
         let wobble = doc(&[("w", "O", 10, 1_200_000, None)]);
-        assert!(compare(Some(&baseline), &wobble, &budgets)
+        assert!(compare(Some(&baseline), &wobble, &budgets, false)
             .unwrap()
             .passed());
         // +6 MAD: outside.
         let regress = doc(&[("w", "O", 10, 1_300_001, None)]);
-        let v = compare(Some(&baseline), &regress, &budgets).unwrap();
+        let v = compare(Some(&baseline), &regress, &budgets, false).unwrap();
         assert!(!v.passed());
         assert!(v.table().contains("allowance 250000"), "{}", v.table());
     }
@@ -274,31 +323,80 @@ mod tests {
     fn budgets_only_mode_needs_no_baseline() {
         let cand = doc(&[("w", "O", 10, 900_000, None)]);
         let b = budgets::parse("[\"w/O\"]\nmax_pause_ns = 1000000\n").unwrap();
-        assert!(compare(None, &cand, &b).unwrap().passed());
+        assert!(compare(None, &cand, &b, false).unwrap().passed());
         let hot = doc(&[("w", "O", 10, 1_100_000, None)]);
-        assert!(!compare(None, &hot, &b).unwrap().passed());
+        assert!(!compare(None, &hot, &b, false).unwrap().passed());
     }
 
     #[test]
-    fn mmu_floors_and_unmatched_cells_are_reported() {
+    fn mmu_floors_below_budget_fail_the_cell() {
         let cand = "[\n  {\"schema\":\"gc/1\",\"kind\":\"micro\",\"workload\":\"m\",\"mode\":\"heap-direct\",\
 \"collections\":5,\"max_pause_ns\":100,\"mmu_10ms_permille\":300}\n]\n";
         let b = budgets::parse("[\"m/heap-direct\"]\nmmu_10ms_floor_permille = 400\n").unwrap();
-        let v = compare(None, cand, &b).unwrap();
+        let v = compare(None, cand, &b, false).unwrap();
         assert!(!v.passed());
         assert!(v.table().contains("below floor 400"), "{}", v.table());
-        // Unmatched baseline cell: note, not failure.
-        let base = doc(&[("gone", "O", 3, 50, None)]);
-        let v = compare(Some(&base), cand, &Budgets::default()).unwrap();
+    }
+
+    #[test]
+    fn missing_cells_are_hard_failures_with_no_escape_hatch() {
+        // Baseline cell the candidate never produced: fails, flag or not.
+        let base = doc(&[("gone", "O", 3, 50, None), ("w", "O", 10, 1_000, None)]);
+        let cand = doc(&[("w", "O", 10, 1_000, None)]);
+        for allow in [false, true] {
+            let v = compare(Some(&base), &cand, &Budgets::default(), allow).unwrap();
+            assert!(!v.passed(), "allow={allow}: {}", v.table());
+            assert_eq!(v.failing_cells(), vec!["gone/O"]);
+            assert!(
+                v.table().contains("missing from candidate"),
+                "{}",
+                v.table()
+            );
+        }
+        // The same protection in budgets-only mode (CI has no baseline).
+        let b =
+            budgets::parse("[\"gone/O\"]\nmax_pause_ns = 100\n[\"w/O\"]\nmax_pause_ns = 2000\n")
+                .unwrap();
+        let v = compare(None, &cand, &b, true).unwrap();
+        assert!(!v.passed(), "{}", v.table());
+        assert!(
+            v.table().contains("present in budgets but missing"),
+            "{}",
+            v.table()
+        );
+    }
+
+    #[test]
+    fn new_cells_fail_unless_explicitly_allowed() {
+        let base = doc(&[("w", "O", 10, 1_000, None)]);
+        let cand = doc(&[("w", "O", 10, 1_000, None), ("fresh", "g", 4, 900, None)]);
+        // Unbudgeted + absent from baseline: named failure on the new cell.
+        let v = compare(Some(&base), &cand, &Budgets::default(), false).unwrap();
+        assert!(!v.passed(), "{}", v.table());
+        assert_eq!(v.failing_cells(), vec!["fresh/g"]);
+        assert!(v.table().contains("absent from baseline"), "{}", v.table());
+        // The escape hatch downgrades it to a note.
+        let v = compare(Some(&base), &cand, &Budgets::default(), true).unwrap();
         assert!(v.passed(), "{}", v.table());
-        assert!(v.table().contains("absent from candidate"), "{}", v.table());
+        assert!(v.table().contains("note fresh/g"), "{}", v.table());
+        // A collecting cell without a budget is equally ungated.
+        let b = budgets::parse("[\"w/O\"]\nmax_pause_ns = 2000\n").unwrap();
+        let v = compare(None, &cand, &b, false).unwrap();
+        assert!(!v.passed(), "{}", v.table());
+        assert!(v.table().contains("has no budget"), "{}", v.table());
+        assert!(compare(None, &cand, &b, true).unwrap().passed());
     }
 
     #[test]
     fn zero_collection_cells_get_a_note() {
         let cand = doc(&[("idle", "O", 0, 0, None)]);
-        let v = compare(None, &cand, &Budgets::default()).unwrap();
+        let v = compare(None, &cand, &Budgets::default(), false).unwrap();
         assert!(v.passed());
         assert!(v.table().contains("zero collections"), "{}", v.table());
+        // Unbudgeted but vacuous: `seed-budgets` skips zero-collection
+        // cells, so the new-cell check must not fire for them.
+        let b = budgets::parse("[\"w/O\"]\nmax_pause_ns = 2000\n").unwrap();
+        let both = doc(&[("idle", "O", 0, 0, None), ("w", "O", 10, 1_000, None)]);
+        assert!(compare(None, &both, &b, false).unwrap().passed());
     }
 }

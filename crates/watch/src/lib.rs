@@ -5,9 +5,10 @@
 //!
 //! * [`stats`] — robust statistics (`median` + MAD) and the `--repeat N`
 //!   aggregator that folds N `BENCH_gc.json` runs into one document with
-//!   median wall-clock fields, `<field>_mad` noise estimates, and a hard
-//!   assertion that every deterministic count is byte-identical across
-//!   repeats.
+//!   median wall-clock fields (minimum for the per-run-maximum
+//!   `max_pause_ns`, which noise can only inflate), `<field>_mad` noise
+//!   estimates, and a hard assertion that every deterministic count is
+//!   byte-identical across repeats.
 //! * [`chrome`] — a Chrome Trace Event Format (Perfetto-loadable)
 //!   timeline writer fed by the per-collection attribution log. The
 //!   timeline runs on a *virtual clock* derived only from deterministic

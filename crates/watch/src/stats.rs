@@ -7,6 +7,15 @@
 //! keys its thresholds on. Deterministic counts are not averaged — they
 //! are asserted byte-identical across repeats, because a count that moves
 //! between runs is a bug, not noise.
+//!
+//! One field gets a different estimator: `max_pause_ns` is the maximum
+//! over every stop in a run, and a single descheduling event landing in
+//! any one of hundreds of stops inflates it — the per-run maximum is
+//! biased upward in *every* run, so the median across repeats inherits
+//! the bias. The workload is deterministic and noise is strictly
+//! additive, so the **minimum** across repeats is the consistent
+//! estimator of the noise-free worst pause; that is what the aggregate
+//! stores (its MAD companion still reports the observed spread).
 
 use gctrace::json::{JsonValue, Writer};
 use std::collections::BTreeMap;
@@ -81,18 +90,27 @@ pub fn is_wall_clock_field(key: &str) -> bool {
 
 /// Fields that *attribute* a wall-clock extreme (which cause/site owned
 /// the worst pause). They legitimately differ between repeats; the
-/// aggregate keeps the value from the repeat whose `max_pause_ns` is
-/// closest to the median.
+/// aggregate keeps the value from the repeat whose `max_pause_ns` was
+/// smallest — the same repeat the aggregated `max_pause_ns` comes from.
 fn is_attribution_field(key: &str) -> bool {
     key == "max_pause_cause" || key == "max_pause_site"
+}
+
+/// Fields that are a *maximum over many stops within one run*. Additive
+/// noise can only push a per-run maximum up, never down, so the minimum
+/// across repeats is the consistent estimator of the noise-free value
+/// (the median would keep the noise floor of the typical run).
+fn is_extreme_field(key: &str) -> bool {
+    key == "max_pause_ns"
 }
 
 /// Folds N parsed runs of the same benchmark into one document:
 ///
 /// * every wall-clock field becomes its median across repeats plus a
-///   `<field>_mad` companion;
+///   `<field>_mad` companion — except `max_pause_ns`, which takes the
+///   minimum across repeats (see the module docs for why);
 /// * attribution strings come from the repeat whose `max_pause_ns` is
-///   nearest the median;
+///   smallest;
 /// * every other field is asserted identical across repeats (an unequal
 ///   count is an error, not noise);
 /// * each cell gains a `repeats` field.
@@ -131,8 +149,9 @@ pub fn aggregate(runs: &[Vec<BTreeMap<String, JsonValue>>]) -> Result<String, St
                 return Err(format!("{key}: run {ri} is already aggregated"));
             }
         }
-        // The repeat whose max_pause_ns lands nearest the median owns the
-        // attribution strings.
+        // The repeat with the smallest (least noise-inflated) worst pause
+        // owns the attribution strings, matching the aggregated
+        // max_pause_ns itself.
         let pauses: Vec<u64> = runs
             .iter()
             .map(|r| {
@@ -142,11 +161,10 @@ pub fn aggregate(runs: &[Vec<BTreeMap<String, JsonValue>>]) -> Result<String, St
                     .unwrap_or(0)
             })
             .collect();
-        let pause_median = median(&pauses);
         let rep_for_attrib = pauses
             .iter()
             .enumerate()
-            .min_by_key(|(_, &p)| p.abs_diff(pause_median))
+            .min_by_key(|(_, &p)| p)
             .map_or(0, |(i, _)| i);
 
         let mut w = Writer::new();
@@ -156,7 +174,12 @@ pub fn aggregate(runs: &[Vec<BTreeMap<String, JsonValue>>]) -> Result<String, St
                     .iter()
                     .map(|r| r[ci].get(field).and_then(JsonValue::as_u64).unwrap_or(0))
                     .collect();
-                w.uint_field(field, median(&samples));
+                let agg = if is_extreme_field(field) {
+                    samples.iter().copied().min().unwrap_or(0)
+                } else {
+                    median(&samples)
+                };
+                w.uint_field(field, agg);
                 if runs.len() > 1 {
                     w.uint_field(&format!("{field}_mad"), mad(&samples));
                 }
@@ -219,7 +242,7 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_medians_wall_clock_and_pins_counts() {
+    fn aggregate_mins_extremes_medians_wall_clock_and_pins_counts() {
         let runs: Vec<_> = [900u64, 1000, 4000]
             .iter()
             .map(|&p| parse_cells(&doc(p, 12)).unwrap())
@@ -228,7 +251,9 @@ mod tests {
         let cells = parse_cells(&out).unwrap();
         assert_eq!(cells.len(), 1);
         let c = &cells[0];
-        assert_eq!(c.get("max_pause_ns").unwrap().as_u64(), Some(1000));
+        // max_pause_ns is a per-run maximum: noise only inflates it, so
+        // the aggregate takes the least-inflated repeat, not the median.
+        assert_eq!(c.get("max_pause_ns").unwrap().as_u64(), Some(900));
         assert_eq!(c.get("max_pause_ns_mad").unwrap().as_u64(), Some(100));
         assert_eq!(c.get("collections").unwrap().as_u64(), Some(12));
         assert_eq!(c.get("repeats").unwrap().as_u64(), Some(3));
@@ -236,6 +261,26 @@ mod tests {
             c.get("max_pause_cause").unwrap().as_str(),
             Some("threshold")
         );
+    }
+
+    fn doc_with_total(pause: u64, total: u64) -> String {
+        format!(
+            "[\n  {{\"schema\":\"gc/1\",\"kind\":\"matrix\",\"workload\":\"w\",\"mode\":\"O\",\
+\"collections\":3,\"max_pause_ns\":{pause},\"total_pause_ns\":{total}}}\n]\n"
+        )
+    }
+
+    #[test]
+    fn only_extreme_fields_take_the_min() {
+        let runs: Vec<_> = [(900u64, 5000u64), (1000, 6000), (4000, 9000)]
+            .iter()
+            .map(|&(p, t)| parse_cells(&doc_with_total(p, t)).unwrap())
+            .collect();
+        let out = aggregate(&runs).unwrap();
+        let c = &parse_cells(&out).unwrap()[0];
+        assert_eq!(c.get("max_pause_ns").unwrap().as_u64(), Some(900));
+        // Plain wall-clock sums still take the median.
+        assert_eq!(c.get("total_pause_ns").unwrap().as_u64(), Some(6000));
     }
 
     #[test]

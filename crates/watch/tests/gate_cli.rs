@@ -121,3 +121,97 @@ fn gate_passes_clean_rerun_and_fails_doubled_micro_pause() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A run missing a cell the budgets gate, or sprouting a cell nothing
+/// gates, must fail loudly — `--allow-new-cells` accepts only the
+/// latter, for the run where the matrix intentionally grew.
+#[test]
+fn gate_names_missing_and_new_cells_and_honors_allow_new_cells() {
+    let dir = std::env::temp_dir().join(format!("gcwatch-cells-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let base_path = write(&dir, "baseline.json", &run_doc(0, 1000));
+    let budgets_path = dir.join("budgets.toml");
+    let (ok, _, err) = bench(&[
+        "seed-budgets",
+        base_path.to_str().unwrap(),
+        "--out",
+        budgets_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "seed-budgets failed: {err}");
+
+    // Candidate silently drops the micro cell: hard failure naming it,
+    // in both baseline and budgets-only mode, flag or no flag.
+    let full = run_doc(10_000, 1000);
+    let micro_line = full
+        .lines()
+        .find(|l| l.contains("\"kind\":\"micro\""))
+        .expect("doc has the micro cell")
+        .trim_end_matches(',')
+        .to_string();
+    let mut lines: Vec<String> = full
+        .lines()
+        .filter(|l| !l.contains("\"kind\":\"micro\""))
+        .map(str::to_string)
+        .collect();
+    let last_cell = lines.len() - 2; // the cell before the closing "]"
+    lines[last_cell] = lines[last_cell].trim_end_matches(',').to_string();
+    let dropped = lines.join("\n") + "\n";
+    let dropped_path = write(&dir, "dropped.json", &dropped);
+    for extra in [&[][..], &["--allow-new-cells"][..]] {
+        let mut args = vec![
+            "compare",
+            "-",
+            dropped_path.to_str().unwrap(),
+            "--budgets",
+            budgets_path.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let (ok, table, _) = bench(&args);
+        assert!(!ok, "skipped cell must fail (extra={extra:?}):\n{table}");
+        assert!(
+            table.contains("FAIL churn-small/heap-direct")
+                && table.contains("missing from candidate"),
+            "{table}"
+        );
+    }
+
+    // Candidate grows a cell nothing gates: fails by default, passes
+    // with --allow-new-cells (and the note still names it).
+    let grown = full.replace(
+        &micro_line,
+        &format!(
+            "{micro_line},\n{}",
+            micro_line.replace("churn-small", "churn-new")
+        ),
+    );
+    assert_ne!(grown, full, "the grown doc really has an extra cell");
+    let grown_path = write(&dir, "grown.json", &grown);
+    let (ok, table, _) = bench(&[
+        "compare",
+        base_path.to_str().unwrap(),
+        grown_path.to_str().unwrap(),
+        "--budgets",
+        budgets_path.to_str().unwrap(),
+    ]);
+    assert!(!ok, "ungated new cell must fail:\n{table}");
+    assert!(
+        table.contains("FAIL churn-new/heap-direct"),
+        "new cell named:\n{table}"
+    );
+    let (ok, table, _) = bench(&[
+        "compare",
+        base_path.to_str().unwrap(),
+        grown_path.to_str().unwrap(),
+        "--budgets",
+        budgets_path.to_str().unwrap(),
+        "--allow-new-cells",
+    ]);
+    assert!(ok, "--allow-new-cells accepts the growth:\n{table}");
+    assert!(
+        table.contains("note churn-new/heap-direct"),
+        "accepted cell still noted:\n{table}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,54 @@
+/* gcfuzz corpus: barrier_churn
+ * Pins: the Dijkstra write barrier under the bounded-pause collector.
+ * A rooted list is repeatedly rewired while allocation churn keeps a
+ * tiny-budget incremental mark cycle in flight, so the only pointer to
+ * a white node is routinely stored into an already-scanned black node
+ * (and young nodes are hung off old ones, exercising the remembered-set
+ * cards). With the barrier missing, the bounded paranoid oracle run
+ * loses a node and faults; with it, all five modes agree.
+ */
+struct node {
+    struct node *next;
+    long v;
+};
+struct node *cons(long v, struct node *next) {
+    struct node *n;
+    n = (struct node *) malloc(sizeof(struct node));
+    n->v = v;
+    n->next = next;
+    return n;
+}
+int main(void) {
+    struct node *head;
+    struct node *p;
+    struct node *q;
+    struct node *tmp;
+    long i;
+    long sum;
+    head = 0;
+    for (i = 0; i < 40; i = i + 1) {
+        head = cons(i, head);
+    }
+    /* Rotate nodes from the middle to the front, allocating garbage in
+     * between so marking advances mid-rewire. */
+    for (i = 0; i < 120; i = i + 1) {
+        p = head;
+        q = p->next;
+        tmp = (struct node *) malloc(24 + (i % 5) * 16);
+        tmp->v = i;
+        while (q->next != 0 && (q->v % 7) != (i % 7)) {
+            p = q;
+            q = q->next;
+        }
+        p->next = q->next;   /* unlink q: its only reference... */
+        q->next = head;      /* ...is stored into scanned memory */
+        head = q;
+    }
+    sum = 0;
+    for (p = head; p != 0; p = p->next) {
+        sum = sum + p->v;
+    }
+    putint(sum);
+    putchar(10);
+    return (int)(sum % 100);
+}

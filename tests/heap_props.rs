@@ -284,6 +284,49 @@ fn histogram_buckets_partition_the_samples() {
     }
 }
 
+/// The census occupancy-decile bucketing as a law rather than a few
+/// spot values: deciles partition `[0, slots]`, are monotone in the live
+/// count, clamp full (and corrupt, `live > slots`) pages into decile 9,
+/// and — the zero-slot guard at `HeapCensus::occupancy_decile` — a page
+/// reporting zero slots lands in decile 0 instead of dividing by zero.
+#[test]
+fn occupancy_deciles_partition_and_survive_zero_slots() {
+    use gcprof::HeapCensus;
+    for case in 0..64 {
+        let mut rng = Rng::for_case("occupancy_deciles", case);
+        for _ in 0..256 {
+            let slots = rng.below(513);
+            let live = rng.below(slots + 2); // occasionally exceeds slots
+            let d = HeapCensus::occupancy_decile(live, slots);
+            assert!(d < 10, "case {case}: decile {d} out of range");
+            if slots == 0 {
+                assert_eq!(d, 0, "case {case}: zero-slot page must bucket to 0");
+                continue;
+            }
+            // The decile's lower boundary really is below this page's
+            // occupancy, and (unless clamped) the next boundary above it.
+            assert!(
+                10 * live >= d as u64 * slots,
+                "case {case}: live={live}/{slots} under decile {d}"
+            );
+            if d < 9 {
+                assert!(
+                    10 * live < (d as u64 + 1) * slots,
+                    "case {case}: live={live}/{slots} over decile {d}"
+                );
+            }
+            if live >= slots {
+                assert_eq!(d, 9, "case {case}: full page must clamp to 9");
+            }
+            // Monotone: one more live slot never lowers the decile.
+            assert!(
+                HeapCensus::occupancy_decile(live + 1, slots) >= d,
+                "case {case}: decile not monotone at live={live}/{slots}"
+            );
+        }
+    }
+}
+
 /// The gcprof invariants the fuzzer's oracle also enforces, here driven
 /// directly against the heap by the op machine: the size histogram counts
 /// exactly the successful allocations, the pause timeline counts exactly
