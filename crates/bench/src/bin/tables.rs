@@ -4,7 +4,7 @@
 //!                [--tiny] [--jobs N] [--trace <file.jsonl>]
 //!                [--prof <file.prom>] [--folded <file.txt>]
 //!                [--bench-json <file.json>] [--repeat N]
-//!                [--timeline <file.json>]`
+//!                [--timeline <file.json>] [--bench-cache <file.json>]`
 //!
 //! The 4 workloads × 5 modes measurement matrix runs in parallel across
 //! `--jobs N` worker threads (default: all cores); every table and trace
@@ -30,7 +30,17 @@
 //! writes the median of every wall-clock field (the minimum for
 //! `max_pause_ns`, a per-run maximum that noise can only inflate) with a
 //! `<field>_mad` noise estimate, asserting every deterministic count
-//! identical across repeats. Cells that never collected are reported on stderr.
+//! identical across repeats. Cells that collected fewer than
+//! `MIN_COLLECTIONS` times are reported on stderr.
+//!
+//! With `--bench-cache`, the compilation-cache benchmark runs after the
+//! tables: the measurement matrix and a fuzz campaign, each cold (caches
+//! cleared) then warm, writing per-pass wall times and per-stage
+//! hit/miss deltas to `<file.json>` (schema `cache/1`, gated by `bench
+//! compare --budgets budgets-cache.toml`). The warm passes double as a
+//! soundness smoke — byte-identical artifacts, equal fuzz verdicts, zero
+//! misses — so the run fails loudly on any cache unsoundness.
+//! Incompatible with `--repeat` (the cache bench times single passes).
 
 use gc_safety::{JsonlSink, TraceHandle};
 use gcbench::*;
@@ -74,8 +84,17 @@ fn main() {
         .position(|a| a == "--timeline")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let bench_cache_path: Option<&str> = args
+        .iter()
+        .position(|a| a == "--bench-cache")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
     if folded_path.is_some() && prof_path.is_none() {
         eprintln!("error: --folded requires --prof (profiling must be enabled)");
+        std::process::exit(2);
+    }
+    if bench_cache_path.is_some() && args.iter().any(|a| a == "--repeat") {
+        eprintln!("error: --bench-cache is incompatible with --repeat (it times single passes)");
         std::process::exit(2);
     }
     let repeat = match args
@@ -246,16 +265,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        match zero_collection_cells(&text) {
-            Ok(zeros) if !zeros.is_empty() => {
+        match low_collection_cells(&text, MIN_COLLECTIONS) {
+            Ok(low) if !low.is_empty() => {
+                let cells: Vec<String> =
+                    low.iter().map(|(key, n)| format!("{key} ({n})")).collect();
                 eprintln!(
-                    "warning: {} cell(s) never collected — their pause budgets are vacuous: {}",
-                    zeros.len(),
-                    zeros.join(", ")
+                    "warning: {} cell(s) collected fewer than {MIN_COLLECTIONS} times — \
+                     their pause statistics are under-sampled: {}",
+                    low.len(),
+                    cells.join(", ")
                 );
             }
             Ok(_) => {}
-            Err(e) => eprintln!("warning: zero-collection scan failed: {e}"),
+            Err(e) => eprintln!("warning: low-collection scan failed: {e}"),
         }
     }
     if let Some(path) = timeline_path {
@@ -306,6 +328,48 @@ fn main() {
         }
         println!();
         print!("{}", prof_report(&data));
+    }
+    if let Some(path) = bench_cache_path {
+        // The cache trajectory: matrix and fuzz campaign, cold then
+        // warm, with the warm passes doubling as a soundness smoke.
+        let fuzz_seed = 1;
+        let fuzz_count = 64;
+        match run_cache_bench(scale, jobs, fuzz_seed, fuzz_count) {
+            Ok(text) => match validate_bench_cache_json(&text) {
+                Ok(cells) => {
+                    if let Err(e) = std::fs::write(path, &text) {
+                        eprintln!("error: cannot write cache bench json '{path}': {e}");
+                        std::process::exit(1);
+                    }
+                    println!("\ncache trajectory: {cells} cells written to {path}");
+                }
+                Err(e) => {
+                    eprintln!("error: generated cache bench json does not validate: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // The process-cumulative cache counters, one ("cache", "stats")
+    // event per stage plus a total, so traces record how much of the run
+    // the compilation cache absorbed. Emitted last: the counters cover
+    // everything above, including the cache bench passes.
+    if trace.is_enabled() {
+        let stats = gc_safety::cache_stats();
+        for s in stats.iter().chain(std::iter::once(&gccache::total(&stats))) {
+            trace.emit(|| {
+                gc_safety::Event::new("cache", "stats")
+                    .field("stage", s.stage)
+                    .field("hits", s.hits)
+                    .field("misses", s.misses)
+                    .field("evictions", s.evictions)
+                    .field("entries", s.entries)
+            });
+        }
     }
     if let Some(path) = trace_path {
         // `File` writes are unbuffered, so the JSONL is already on disk

@@ -83,14 +83,17 @@ fn normalized(events: Vec<Event>) -> Vec<Event> {
 
 /// Drops the Prometheus families that carry wall-clock timings
 /// (`gcprof_pause*`, `gcprof_mark*`, `gcprof_sweep_ns*`, `gcprof_mmu*`,
-/// `gc_pause*`); everything left must be byte-identical across schedules.
+/// `gc_pause*`) or process-cumulative run-history counters
+/// (`gccache_*`, which depend on what compiled earlier in the process);
+/// everything left must be byte-identical across schedules.
 fn strip_timing_metrics(text: &str) -> String {
-    const TIMING: [&str; 5] = [
+    const TIMING: [&str; 6] = [
         "gcprof_pause",
         "gcprof_mark",
         "gcprof_sweep_ns",
         "gcprof_mmu",
         "gc_pause",
+        "gccache_",
     ];
     let mut out: String = text
         .lines()
@@ -209,6 +212,67 @@ fn timeline_export_is_byte_identical_at_any_jobs() {
         s.contains("\"name\":\"process_name\"") && s.contains("\"name\":\"thread_name\""),
         "Perfetto process/thread metadata present"
     );
+}
+
+#[test]
+fn warm_cache_exports_are_byte_identical_to_cold() {
+    use gcbench::{gc_microbench, timeline_cells};
+    // The first pass may or may not be cold (tests share the process-
+    // global caches), but the second is fully warm for everything the
+    // first compiled — so any divergence below is cache unsoundness.
+    gc_safety::cache_clear();
+    let cold = collect_instrumented_jobs(Scale::Tiny, &TraceHandle::disabled(), true, 2)
+        .expect("cold instrumented collect");
+    let warm = collect_instrumented_jobs(Scale::Tiny, &TraceHandle::disabled(), true, 2)
+        .expect("warm instrumented collect");
+    for key in ["sparc2", "sparc10", "pentium90"] {
+        assert_eq!(
+            slowdown_table(&cold, key),
+            slowdown_table(&warm, key),
+            "slowdown table {key} differs cold vs warm"
+        );
+    }
+    assert_eq!(codesize_table(&cold), codesize_table(&warm));
+    assert_eq!(postprocessor_table(&cold), postprocessor_table(&warm));
+    let folded = folded_export(&cold);
+    assert!(!folded.is_empty());
+    assert_eq!(folded, folded_export(&warm), "folded stacks differ");
+    assert_eq!(
+        strip_timing_metrics(&prometheus_export(&cold)),
+        strip_timing_metrics(&prometheus_export(&warm)),
+        "deterministic metric families differ cold vs warm"
+    );
+    assert_eq!(
+        strip_timing_report(&prof_report(&cold)),
+        strip_timing_report(&prof_report(&warm))
+    );
+    assert_eq!(
+        strip_timing_json(&bench_json(&cold)),
+        strip_timing_json(&bench_json(&warm))
+    );
+    assert_eq!(
+        gcwatch::chrome_trace(&timeline_cells(&cold, &gc_microbench(true))),
+        gcwatch::chrome_trace(&timeline_cells(&warm, &gc_microbench(true))),
+        "timeline differs cold vs warm"
+    );
+}
+
+#[test]
+fn warm_cache_replays_the_cold_trace_stream() {
+    // Traced builds either run live or replay a stored stream captured
+    // from an identical source — so modulo wall-clock fields the two
+    // runs' merged streams must be event-for-event identical.
+    let (cold_trace, cold_sink) = TraceHandle::memory();
+    collect_traced_jobs(Scale::Tiny, &cold_trace, 2).expect("cold traced collect");
+    let (warm_trace, warm_sink) = TraceHandle::memory();
+    collect_traced_jobs(Scale::Tiny, &warm_trace, 2).expect("warm traced collect");
+    let cold = normalized(cold_sink.snapshot());
+    let warm = normalized(warm_sink.snapshot());
+    assert!(!cold.is_empty());
+    assert_eq!(cold.len(), warm.len(), "streams have the same event count");
+    for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        assert_eq!(c, w, "event #{i} differs between cold and warm runs");
+    }
 }
 
 #[test]

@@ -1,0 +1,352 @@
+//! # gccache — concurrent memoization for the compilation pipeline
+//!
+//! A dependency-free sharded cache: each stage of the pipeline keeps a
+//! [`Cache`] keyed by the structural hash of its input (plus an options
+//! fingerprint) and memoizes the stage artifact. The paper's preprocessor
+//! is a pure function of its input, so so is every downstream stage — a
+//! hit is behaviourally indistinguishable from a recompute, provided the
+//! caller re-binds any *positional* data (spans, `line:col` labels) to
+//! the requesting program; see `DESIGN.md` §13.
+//!
+//! Design points:
+//!
+//! * **Sharded `Mutex<HashMap>`** — no new dependencies, no lock-free
+//!   subtlety. Shard selection hashes the key, so unrelated compiles
+//!   rarely contend.
+//! * **FIFO eviction** with a per-shard capacity bound: fuzz campaigns
+//!   push tens of thousands of distinct programs through the pipeline,
+//!   and insertion-order eviction keeps memory flat while the bench
+//!   matrix's tiny working set never evicts.
+//! * **Per-stage counters** (hits / misses / evictions / entries) behind
+//!   relaxed atomics, snapshot via [`Cache::stats`]. Counters are *not*
+//!   deterministic across `--jobs` levels — racing workers legitimately
+//!   both miss the same key — so exports treat them like wall-clock data.
+//! * A process-global **kill switch** ([`set_enabled`]): disabling turns
+//!   every lookup into a silent miss and every insert into a no-op, which
+//!   is how cold runs and A/B measurements are taken in-process.
+
+#![warn(missing_docs)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables every [`Cache`] in the process.
+///
+/// While disabled, `get*` returns `None` without counting and `insert`
+/// drops its value, so a disabled run is byte-for-byte a cold pipeline.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether caching is currently enabled (the default).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// A point-in-time snapshot of one stage cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage label (`"annotate"`, `"lower"`, `"compile"`, `"asm"`, …).
+    pub stage: &'static str,
+    /// Lookups that returned a usable artifact.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including predicate rejections).
+    pub misses: u64,
+    /// Entries dropped by FIFO eviction.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl StageStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in permille of lookups (0 when there were none).
+    pub fn hit_rate_permille(&self) -> u64 {
+        match self.lookups() {
+            0 => 0,
+            n => self.hits * 1000 / n,
+        }
+    }
+}
+
+/// Sums a slice of stage snapshots into one aggregate row.
+pub fn total(stats: &[StageStats]) -> StageStats {
+    let mut t = StageStats {
+        stage: "total",
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        entries: 0,
+    };
+    for s in stats {
+        t.hits += s.hits;
+        t.misses += s.misses;
+        t.evictions += s.evictions;
+        t.entries += s.entries;
+    }
+    t
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    // FIFO order of first insertion; re-inserting an existing key keeps
+    // its slot (the value is refreshed in place).
+    order: VecDeque<K>,
+}
+
+/// A sharded, bounded, counted memoization table.
+pub struct Cache<K, V> {
+    stage: &'static str,
+    shards: Vec<Mutex<Shard<K, V>>>,
+    cap_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+const SHARDS: usize = 16;
+
+impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
+    /// Creates a cache named `stage` holding at most `capacity` entries
+    /// (rounded up to a multiple of the shard count).
+    pub fn new(stage: &'static str, capacity: usize) -> Self {
+        Cache {
+            stage,
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            cap_per_shard: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.get_if(key, |_| true)
+    }
+
+    /// Looks `key` up, but only accepts the stored value when `usable`
+    /// approves it; a rejected value counts as a miss (the caller must
+    /// recompute). Used for trace-carrying entries that only replay for
+    /// an exact source-text match.
+    pub fn get_if(&self, key: &K, usable: impl FnOnce(&V) -> bool) -> Option<V> {
+        if !enabled() {
+            return None;
+        }
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        let found = shard.map.get(key).filter(|v| usable(v)).cloned();
+        drop(shard);
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the oldest entry of the
+    /// shard when the capacity bound is exceeded.
+    pub fn insert(&self, key: K, value: V) {
+        if !enabled() {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.map.insert(key.clone(), value).is_none() {
+            shard.order.push_back(key);
+            if shard.order.len() > self.cap_per_shard {
+                if let Some(old) = shard.order.pop_front() {
+                    shard.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Drops every entry (counters are preserved; they are cumulative).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> StageStats {
+        StageStats {
+            stage: self.stage,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+/// A deterministic 64-bit FNV-1a hasher, exposed so callers can
+/// fingerprint source text and options without pulling in a hashing
+/// dependency. Implements [`std::hash::Hasher`], so `#[derive(Hash)]`
+/// types feed it directly.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a byte string (used for exact source-text
+/// identity checks on trace-carrying cache entries).
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The kill switch is process-global and the test harness is threaded:
+    // every test that depends on the enabled state serializes on this.
+    static SWITCH: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let _g = SWITCH.lock().unwrap();
+        let c: Cache<u64, String> = Cache::new("t", 64);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one".into());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.hit_rate_permille(), 500);
+    }
+
+    #[test]
+    fn predicate_rejection_counts_as_miss() {
+        let _g = SWITCH.lock().unwrap();
+        let c: Cache<u64, u64> = Cache::new("t", 64);
+        c.insert(7, 42);
+        assert_eq!(c.get_if(&7, |v| *v != 42), None);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.get_if(&7, |v| *v == 42), Some(42));
+    }
+
+    #[test]
+    fn fifo_eviction_is_bounded_and_counted() {
+        let _g = SWITCH.lock().unwrap();
+        let c: Cache<u64, u64> = Cache::new("t", SHARDS); // one entry per shard
+        for k in 0..(SHARDS as u64 * 4) {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= SHARDS, "capacity bound holds: {}", c.len());
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating_order() {
+        let _g = SWITCH.lock().unwrap();
+        let c: Cache<u64, u64> = Cache::new("t", 64);
+        c.insert(1, 10);
+        c.insert(1, 20);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(20));
+    }
+
+    #[test]
+    fn kill_switch_makes_every_lookup_a_silent_miss() {
+        let _g = SWITCH.lock().unwrap();
+        let c: Cache<u64, u64> = Cache::new("t", 64);
+        c.insert(1, 10);
+        set_enabled(false);
+        assert_eq!(c.get(&1), None);
+        c.insert(2, 20);
+        set_enabled(true);
+        assert_eq!(c.get(&2), None, "insert while disabled dropped");
+        assert_eq!(c.get(&1), Some(10), "prior entries survive the toggle");
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
+        assert_ne!(fingerprint(b""), fingerprint(b"\0"));
+    }
+
+    #[test]
+    fn totals_sum_stage_rows() {
+        let a = StageStats {
+            stage: "a",
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            entries: 4,
+        };
+        let t = total(&[a, a]);
+        assert_eq!((t.hits, t.misses, t.evictions, t.entries), (2, 4, 6, 8));
+    }
+}

@@ -21,7 +21,7 @@ use gctrace::{Event, TraceHandle};
 use std::collections::HashMap;
 
 /// Optimizer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptOptions {
     /// Master switch (false = `-g`-style unoptimized code).
     pub enabled: bool,

@@ -1,0 +1,177 @@
+//! The pipeline caches' soundness contract, pinned from outside the
+//! crate: structurally-equal sources share memoized artifacts, but
+//! everything positional — alloc-site labels, spans, trace streams — is
+//! bound to the *requesting* source text, never to whichever formatting
+//! happened to populate the cache first.
+//!
+//! The caches and their counters are process-global, and the test
+//! harness is threaded, so every test takes `SERIAL` and asserts on
+//! counter *deltas* around its own compiles.
+
+use cvm::{compile, compile_traced, pipeline_cache_stats, CompileOptions};
+use gccache::StageStats;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn stage(stats: &[StageStats], name: &str) -> StageStats {
+    *stats
+        .iter()
+        .find(|s| s.stage == name)
+        .unwrap_or_else(|| panic!("no {name:?} stage in {stats:?}"))
+}
+
+/// (hits, misses) accrued on `name` between the two snapshots.
+fn delta(before: &[StageStats], after: &[StageStats], name: &str) -> (u64, u64) {
+    let b = stage(before, name);
+    let a = stage(after, name);
+    (a.hits - b.hits, a.misses - b.misses)
+}
+
+/// 1-based (line, col) of the first occurrence of `needle` — what an
+/// alloc-site label bound against `src` must report.
+fn pos_of(src: &str, needle: &str) -> (usize, usize) {
+    let off = src.find(needle).expect("needle present");
+    let line = src[..off].matches('\n').count() + 1;
+    let col = off - src[..off].rfind('\n').map_or(0, |i| i + 1) + 1;
+    (line, col)
+}
+
+#[test]
+fn hash_equal_sources_share_cached_ir_but_rebind_site_labels() {
+    let _guard = SERIAL.lock().unwrap();
+    let src_a =
+        "int main(void) {\n    char *p = (char *) malloc(24);\n    p[0] = 1;\n    return 0;\n}\n";
+    // Same program, different formatting: a leading comment and deeper
+    // indentation move the malloc to a different line and column.
+    let src_b = "/* rebind pin: formatting only */\nint main(void)\n{\n        char *p = (char *) malloc(24);\n        p[0] = 1;\n        return 0;\n}\n";
+    let pa = cfront::parse(src_a).unwrap();
+    let pb = cfront::parse(src_b).unwrap();
+    assert_eq!(
+        cfront::program_hash(&pa),
+        cfront::program_hash(&pb),
+        "the two formattings must be structurally equal for this pin"
+    );
+    assert_ne!(
+        pos_of(src_a, "malloc"),
+        pos_of(src_b, "malloc"),
+        "the formatting must actually move the call site"
+    );
+
+    let opts = CompileOptions::optimized();
+    let prog_a = compile(src_a, &opts).unwrap();
+    let before = pipeline_cache_stats();
+    let prog_b = compile(src_b, &opts).unwrap();
+    let after = pipeline_cache_stats();
+    assert_eq!(
+        delta(&before, &after, "compile"),
+        (1, 0),
+        "the second formatting must be served from the compile cache"
+    );
+
+    // Shared artifact, per-requester coordinates: the IRs agree on the
+    // stable AST node, and each label lands where *that* source put the
+    // call.
+    assert_eq!(prog_a.alloc_sites.len(), 1);
+    assert_eq!(prog_b.alloc_sites.len(), 1);
+    assert_eq!(prog_a.alloc_sites[0].node, prog_b.alloc_sites[0].node);
+    let (la, ca) = pos_of(src_a, "malloc");
+    let (lb, cb) = pos_of(src_b, "malloc");
+    assert_eq!(prog_a.alloc_sites[0].label(), format!("malloc@{la}:{ca}"));
+    assert_eq!(prog_b.alloc_sites[0].label(), format!("malloc@{lb}:{cb}"));
+    assert_eq!(
+        prog_a.alloc_sites[0].span_start,
+        src_a.find("malloc").unwrap()
+    );
+    assert_eq!(
+        prog_b.alloc_sites[0].span_start,
+        src_b.find("malloc").unwrap()
+    );
+}
+
+#[test]
+fn warm_recompile_is_pure_compile_hits_and_skips_earlier_stages() {
+    let _guard = SERIAL.lock().unwrap();
+    // Unique to this test so the first pass is genuinely cold.
+    let src =
+        "int warm_pin(int n) { return n + 41; }\nint main(void) { return warm_pin(1) - 42; }\n";
+    let option_sets = [
+        CompileOptions::optimized(),
+        CompileOptions::optimized_safe(), // also OSafePost's options
+        CompileOptions::debug(),
+        CompileOptions::debug_checked(),
+    ];
+    let cold: Vec<_> = option_sets
+        .iter()
+        .map(|o| compile(src, o).unwrap())
+        .collect();
+    let before = pipeline_cache_stats();
+    let warm: Vec<_> = option_sets
+        .iter()
+        .map(|o| compile(src, o).unwrap())
+        .collect();
+    let after = pipeline_cache_stats();
+    assert_eq!(
+        delta(&before, &after, "compile"),
+        (option_sets.len() as u64, 0),
+        "every warm recompile must be a compile-cache hit"
+    );
+    // A compile hit returns before annotate/lower are even consulted —
+    // the stage-skipping the incremental pipeline exists for.
+    assert_eq!(delta(&before, &after, "annotate"), (0, 0));
+    assert_eq!(delta(&before, &after, "lower"), (0, 0));
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.funcs.len(), w.funcs.len());
+        assert_eq!(c.alloc_sites, w.alloc_sites);
+    }
+}
+
+#[test]
+fn traced_warm_compile_replays_the_cold_event_stream() {
+    let _guard = SERIAL.lock().unwrap();
+    let src =
+        "int main(void) {\n    char *p = (char *) malloc(48);\n    p[1] = 7;\n    return 0;\n}\n";
+    let opts = CompileOptions::optimized_safe();
+    let (cold_trace, cold_sink) = gctrace::TraceHandle::memory();
+    compile_traced(src, &opts, &cold_trace).unwrap();
+    let before = pipeline_cache_stats();
+    let (warm_trace, warm_sink) = gctrace::TraceHandle::memory();
+    compile_traced(src, &opts, &warm_trace).unwrap();
+    let after = pipeline_cache_stats();
+    assert_eq!(delta(&before, &after, "compile"), (1, 0));
+    let cold = cold_sink.snapshot();
+    let warm = warm_sink.snapshot();
+    assert!(!cold.is_empty(), "an annotated traced compile emits events");
+    assert!(
+        cold.iter().any(|e| e.stage == "annotate"),
+        "audit events present: {cold:?}"
+    );
+    assert_eq!(
+        cold, warm,
+        "the warm compile must replay the stream verbatim"
+    );
+}
+
+#[test]
+fn traced_requests_reject_entries_from_other_formattings() {
+    let _guard = SERIAL.lock().unwrap();
+    let src_a =
+        "int main(void) {\n    char *q = (char *) calloc(3, 9);\n    q[2] = 5;\n    return 0;\n}\n";
+    let src_b = "/* moved */\nint main(void) {\n        char *q = (char *) calloc(3, 9);\n        q[2] = 5;\n        return 0;\n}\n";
+    let opts = CompileOptions::optimized_safe();
+    let (trace_a, _sink_a) = gctrace::TraceHandle::memory();
+    compile_traced(src_a, &opts, &trace_a).unwrap();
+    // A traced request for a different formatting must not replay A's
+    // stream (audit events are positional): the fingerprint gate turns
+    // the lookup into a miss and the stages run live.
+    let before = pipeline_cache_stats();
+    let (trace_b, sink_b) = gctrace::TraceHandle::memory();
+    compile_traced(src_b, &opts, &trace_b).unwrap();
+    let after = pipeline_cache_stats();
+    assert_eq!(
+        delta(&before, &after, "compile"),
+        (0, 1),
+        "an exact-text-gated entry must not serve another formatting"
+    );
+    assert!(!sink_b.snapshot().is_empty(), "B's own stream was emitted");
+}

@@ -1,0 +1,85 @@
+//! Hash-soundness property test over the fuzz generator's corpus: the
+//! structural hash every pipeline cache keys on must be (a) invariant
+//! under formatting — comment/whitespace edits and a pretty-print →
+//! re-parse round trip — and (b) sound as a cache key: if two distinct
+//! generated programs ever land on the same hash, sharing a compiled
+//! artifact between them is only correct if they behave identically, so
+//! the test builds and runs both and fails on any behavioral
+//! divergence. (With a 64-bit structural FNV over a few hundred
+//! programs, collisions are not expected at all; the run-both check is
+//! the safety net that keeps this test honest if that ever changes.)
+
+use cvm::{compile, run_compiled, CompileOptions, VmOptions};
+use std::collections::HashMap;
+
+fn behavior(source: &str) -> Vec<(Vec<u8>, i64)> {
+    // Two option sets bracket the pipeline: the full optimizer and the
+    // checked debug build exercise different lowering and annotation.
+    [CompileOptions::optimized(), CompileOptions::debug_checked()]
+        .iter()
+        .map(|opts| {
+            let prog = compile(source, opts).expect("generated programs compile");
+            let out = run_compiled(&prog, &VmOptions::default()).expect("generated programs run");
+            (out.output, out.exit_code)
+        })
+        .collect()
+}
+
+#[test]
+fn generator_corpus_hashes_are_format_invariant_and_collision_sound() {
+    let mut by_hash: HashMap<u64, String> = HashMap::new();
+    let mut corpus = 0u64;
+    for seed in [1, 2] {
+        for case in 0..150 {
+            let src = gcfuzz::gen::generate(seed, case);
+            let parsed = cfront::parse(&src).expect("generator output parses");
+            let h = cfront::program_hash(&parsed);
+            corpus += 1;
+
+            // Formatting edits must not move the hash: a comment header,
+            // blank lines, and trailing whitespace are all invisible.
+            let reformatted = format!(
+                "/* corpus {seed}/{case} */\n\n{}\n",
+                src.replace('\n', " \n")
+            );
+            let reparsed = cfront::parse(&reformatted).expect("reformatted source parses");
+            assert_eq!(
+                h,
+                cfront::program_hash(&reparsed),
+                "formatting edit moved the hash (seed {seed} case {case})"
+            );
+
+            // Pretty-print → re-parse round trip is hash-invariant.
+            let pretty = cfront::pretty::program_to_c(&parsed);
+            let round = cfront::parse(&pretty).expect("pretty output parses");
+            assert_eq!(
+                h,
+                cfront::program_hash(&round),
+                "pretty round trip moved the hash (seed {seed} case {case})"
+            );
+
+            match by_hash.insert(h, src.clone()) {
+                None => {}
+                Some(prev) if prev == src => {}
+                Some(prev) => {
+                    // A genuine cross-program collision: the cache would
+                    // serve one program's artifact for the other, which
+                    // is only sound if they behave identically.
+                    assert_eq!(
+                        behavior(&prev),
+                        behavior(&src),
+                        "hash collision between behaviorally distinct programs \
+                         (seed {seed} case {case}) — the cache key is unsound"
+                    );
+                }
+            }
+        }
+    }
+    // The property is vacuous unless the corpus was diverse: almost
+    // every generated program should have its own hash.
+    assert!(
+        by_hash.len() as u64 > corpus * 9 / 10,
+        "corpus too degenerate: {} distinct hashes from {corpus} programs",
+        by_hash.len()
+    );
+}

@@ -1,5 +1,6 @@
-//! Perf budgets: per-cell pause ceilings and MMU floors, plus the noise
-//! gate's knobs, in a deliberately tiny TOML subset.
+//! Perf budgets: per-cell pause ceilings and permille floors (MMU, cache
+//! hit rate), plus the noise gate's knobs, in a deliberately tiny TOML
+//! subset.
 //!
 //! The subset is: `#` comments, `[section]` headers (quotes around the
 //! section name are stripped, so `["cfrac/O"]` addresses the cell keyed
@@ -54,16 +55,18 @@ impl Gate {
     }
 }
 
-/// One cell's budget: an optional hard pause ceiling and MMU floors keyed
-/// by window label (`1ms`, `10ms`, `100ms`).
+/// One cell's budget: an optional hard pause ceiling plus floors on
+/// permille-valued fields (`mmu_10ms`, `hit_rate`, …).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CellBudget {
     /// Hard ceiling on the cell's `max_pause_ns`; exceeding it fails the
     /// gate regardless of noise.
     pub max_pause_ns: Option<u64>,
-    /// Floors on `mmu_<window>_permille`: utilisation below the floor
-    /// fails the gate.
-    pub mmu_floors_permille: Vec<(String, u64)>,
+    /// Floors keyed by field base name: `("mmu_10ms", 400)` means the
+    /// candidate cell's `mmu_10ms_permille` must be ≥ 400, `("hit_rate",
+    /// 990)` floors `hit_rate_permille`. A value below its floor fails
+    /// the gate.
+    pub floors_permille: Vec<(String, u64)>,
 }
 
 /// A parsed budgets file.
@@ -123,11 +126,11 @@ pub fn parse(text: &str) -> Result<Budgets, String> {
                 let entry = budgets.cells.entry(cell.to_string()).or_default();
                 if key == "max_pause_ns" {
                     entry.max_pause_ns = Some(uint()?);
-                } else if let Some(win) = key
-                    .strip_prefix("mmu_")
-                    .and_then(|k| k.strip_suffix("_floor_permille"))
-                {
-                    entry.mmu_floors_permille.push((win.to_string(), uint()?));
+                } else if let Some(base) = key.strip_suffix("_floor_permille") {
+                    if base.is_empty() {
+                        return Err(format!("line {}: unknown cell key {key:?}", ln + 1));
+                    }
+                    entry.floors_permille.push((base.to_string(), uint()?));
                 } else {
                     return Err(format!("line {}: unknown cell key {key:?}", ln + 1));
                 }
@@ -157,8 +160,8 @@ pub fn render(budgets: &Budgets) -> String {
         if let Some(p) = b.max_pause_ns {
             out.push_str(&format!("max_pause_ns = {p}\n"));
         }
-        for (win, floor) in &b.mmu_floors_permille {
-            out.push_str(&format!("mmu_{win}_floor_permille = {floor}\n"));
+        for (base, floor) in &b.floors_permille {
+            out.push_str(&format!("{base}_floor_permille = {floor}\n"));
         }
     }
     out
@@ -193,18 +196,15 @@ pub fn seed(bench_json: &str, margin_permille: u64) -> Result<Budgets, String> {
             b.max_pause_ns = Some((p.max(1) as u128 * margin_permille as u128 / 1000) as u64);
         }
         for (field, _) in cell.iter().filter(|(k, _)| k.starts_with("mmu_")) {
-            let Some(win) = field
-                .strip_prefix("mmu_")
-                .and_then(|k| k.strip_suffix("_permille"))
-            else {
+            let Some(base) = field.strip_suffix("_permille") else {
                 continue;
             };
-            if win.ends_with("_mad") {
+            if base.ends_with("_mad") {
                 continue;
             }
             if let Some(v) = cell.get(field).and_then(gctrace::json::JsonValue::as_u64) {
                 let floor = v * 1000 / margin_permille.max(1);
-                b.mmu_floors_permille.push((win.to_string(), floor));
+                b.floors_permille.push((base.to_string(), floor));
             }
         }
         budgets.cells.insert(key, b);
@@ -239,8 +239,8 @@ mmu_10ms_floor_permille = 400
         assert_eq!(b.cells.len(), 2);
         assert_eq!(b.cells["cfrac/O"].max_pause_ns, Some(2_000_000));
         assert_eq!(
-            b.cells["churn-small/heap-direct"].mmu_floors_permille,
-            vec![("10ms".to_string(), 400)]
+            b.cells["churn-small/heap-direct"].floors_permille,
+            vec![("mmu_10ms".to_string(), 400)]
         );
         let again = parse(&render(&b)).expect("render output parses");
         assert_eq!(b, again);
@@ -281,6 +281,6 @@ mmu_10ms_floor_permille = 400
         assert!(!b.cells.contains_key("idle/O"));
         let cell = &b.cells["churn-small/heap-direct"];
         assert_eq!(cell.max_pause_ns, Some(1_500_000));
-        assert_eq!(cell.mmu_floors_permille, vec![("10ms".to_string(), 400)]);
+        assert_eq!(cell.floors_permille, vec![("mmu_10ms".to_string(), 400)]);
     }
 }

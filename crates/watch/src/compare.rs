@@ -6,8 +6,11 @@
 //! 1. **Budget ceiling** — `max_pause_ns` above the cell's budgeted
 //!    ceiling fails outright. Ceilings are seeded with margin
 //!    (`seed-budgets`), so only a real regression crosses one.
-//! 2. **MMU floor** — `mmu_<window>_permille` below the budgeted floor
-//!    fails: the collector is eating more of the mutator's time.
+//! 2. **Permille floor** — a budgeted `<name>_floor_permille` checks the
+//!    candidate's `<name>_permille` field: below the floor fails. MMU
+//!    floors (`mmu_10ms_floor_permille`) catch the collector eating more
+//!    of the mutator's time; cache floors (`hit_rate_floor_permille`)
+//!    catch warm passes that stopped hitting.
 //! 3. **Noise gate** (only with a baseline) — the candidate's
 //!    `max_pause_ns` may exceed the baseline median by at most
 //!    `max(k·MAD, rel_slack, abs_slack)`; see [`crate::budgets::Gate`].
@@ -196,8 +199,8 @@ pub fn compare(
                     ));
                 }
             }
-            for (win, floor) in &b.mmu_floors_permille {
-                let field = format!("mmu_{win}_permille");
+            for (base, floor) in &b.floors_permille {
+                let field = format!("{base}_permille");
                 match u(cand, &field) {
                     Some(got) if got < *floor => v
                         .failures

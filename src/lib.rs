@@ -18,9 +18,11 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 pub use asmpost::{AsmFunc, CostReport, Machine, PeepholeStats};
 pub use cvm::{CompileOptions, ExecOutcome, ProgramIr, VmError, VmOptions};
+pub use gccache::StageStats;
 pub use gcprof::{
     encode_buckets, prom, HeapCensus, Histogram, ProfData, ProfHandle, PromWriter, SiteStats,
     MMU_WINDOWS_NS,
@@ -158,6 +160,37 @@ pub fn measure_source_traced(
     measure_source_instrumented(source, input, mode, trace, &ProfHandle::disabled())
 }
 
+/// The per-machine assembly cache: pristine code-generator output keyed
+/// by the compilation key (structural program hash + options fingerprint,
+/// from [`cvm::compile_keyed_traced`]) and machine name. The peephole
+/// postprocessor mutates assembly in place and emits trace events, so
+/// only *un*-postprocessed output is memoized; postprocessing re-runs on
+/// every build, keeping hits byte-identical to cold runs.
+type AsmKey = (u64, &'static str);
+
+fn asm_cache() -> &'static gccache::Cache<AsmKey, Arc<Vec<AsmFunc>>> {
+    static CACHE: OnceLock<gccache::Cache<AsmKey, Arc<Vec<AsmFunc>>>> = OnceLock::new();
+    CACHE.get_or_init(|| gccache::Cache::new("asm", 512))
+}
+
+/// Counter snapshots for every compilation cache in the pipeline, in
+/// stage order: `annotate`, `lower`, `compile`, `asm`. Counters are
+/// cumulative for the process and — like wall-clock timings — are *not*
+/// deterministic across `--jobs` levels (racing workers may both miss the
+/// same key), so exports treat them as timing-class data.
+pub fn cache_stats() -> Vec<StageStats> {
+    let mut stats = cvm::pipeline_cache_stats();
+    stats.push(asm_cache().stats());
+    stats
+}
+
+/// Drops every memoized compilation artifact, pipeline-wide (counters
+/// are preserved). Results never change — only compile time does.
+pub fn cache_clear() {
+    cvm::pipeline_cache_clear();
+    asm_cache().clear();
+}
+
 /// [`measure_source_traced`] with a profiling handle attached to the heap
 /// and VM: allocation-size and sweep histograms, pause phase timings, the
 /// per-site allocation counters, and an end-of-run heap census all land in
@@ -165,6 +198,9 @@ pub fn measure_source_traced(
 /// profile (size histograms, census — never wall-clock timings) is also
 /// mirrored into the trace as `("prof", "histogram")` and
 /// `("prof", "census")` events so trace artifacts stay reproducible.
+///
+/// Compilation is served from the process-global content-hashed cache
+/// (see [`cache_stats`]); hits are byte-identical to cold compiles.
 ///
 /// # Errors
 ///
@@ -176,7 +212,7 @@ pub fn measure_source_instrumented(
     trace: &TraceHandle,
     prof: &ProfHandle,
 ) -> Result<Measured, String> {
-    let prog = cvm::compile_traced(source, &mode.compile_options(), trace)?;
+    let (prog, ckey) = cvm::compile_keyed_traced(source, &mode.compile_options(), trace)?;
     let vm_opts = VmOptions {
         input: input.to_vec(),
         trace: trace.clone(),
@@ -187,7 +223,15 @@ pub fn measure_source_instrumented(
     let mut costs = BTreeMap::new();
     let mut peephole = None;
     for machine in Machine::all() {
-        let mut asm = asmpost::codegen_program(&prog, &machine);
+        let akey = (ckey, machine.name);
+        let mut asm = match asm_cache().get(&akey) {
+            Some(asm) => (*asm).clone(),
+            None => {
+                let asm = asmpost::codegen_program(&prog, &machine);
+                asm_cache().insert(akey, Arc::new(asm.clone()));
+                asm
+            }
+        };
         // The `-O` baseline is postprocessed as well: gcc's -O2 output (the
         // paper's baseline) is already peephole-clean, while our one-pass
         // code generator leaves generic copy/fusion slack that would
