@@ -4,7 +4,8 @@
 //!                [--tiny] [--jobs N] [--trace <file.jsonl>]
 //!                [--prof <file.prom>] [--folded <file.txt>]
 //!                [--bench-json <file.json>] [--repeat N]
-//!                [--timeline <file.json>] [--bench-cache <file.json>]`
+//!                [--timeline <file.json>] [--bench-cache <file.json>]
+//!                [--snap-dir <dir>]`
 //!
 //! The 4 workloads × 5 modes measurement matrix runs in parallel across
 //! `--jobs N` worker threads (default: all cores); every table and trace
@@ -32,6 +33,14 @@
 //! `<field>_mad` noise estimate, asserting every deterministic count
 //! identical across repeats. Cells that collected fewer than
 //! `MIN_COLLECTIONS` times are reported on stderr.
+//!
+//! With `--snap-dir`, every matrix cell records deterministic heap-graph
+//! snapshots at its first allocation (`begin`) and end of run (`end`),
+//! and each is written to `<dir>/{workload}__{mode}__{label}.json` in
+//! the versioned `snap/1` schema, round-trip validated before it lands.
+//! Snapshots carry no wall-clock data, so the files are byte-identical
+//! at any `--jobs` and across cold/warm compilation caches. Diff a pair
+//! with `bench snap diff`.
 //!
 //! With `--bench-cache`, the compilation-cache benchmark runs after the
 //! tables: the measurement matrix and a fuzz campaign, each cold (caches
@@ -87,6 +96,11 @@ fn main() {
     let bench_cache_path: Option<&str> = args
         .iter()
         .position(|a| a == "--bench-cache")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let snap_dir: Option<&str> = args
+        .iter()
+        .position(|a| a == "--snap-dir")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
     if folded_path.is_some() && prof_path.is_none() {
@@ -160,7 +174,7 @@ fn main() {
     // cells just like --prof does (the overhead is uniform across modes,
     // keeping the trajectory self-comparable).
     let prof_on = prof_path.is_some() || timeline_path.is_some() || bench_json_path.is_some();
-    let data = match collect_instrumented_jobs(scale, &trace, prof_on, jobs) {
+    let data = match collect_snapped_jobs(scale, &trace, prof_on, snap_dir.is_some(), jobs) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
@@ -328,6 +342,31 @@ fn main() {
         }
         println!();
         print!("{}", prof_report(&data));
+    }
+    if let Some(dir) = snap_dir {
+        // Heap-graph snapshots, one `snap/1` document per (cell, label),
+        // each round-trip validated before it lands on disk.
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create snapshot dir '{dir}': {e}");
+            std::process::exit(1);
+        }
+        match snap_exports(&data) {
+            Ok(exports) => {
+                let n = exports.len();
+                for (name, json) in exports {
+                    let path = format!("{dir}/{name}");
+                    if let Err(e) = std::fs::write(&path, &json) {
+                        eprintln!("error: cannot write snapshot '{path}': {e}");
+                        std::process::exit(1);
+                    }
+                }
+                println!("\nheap snapshots: {n} snap/1 documents written to {dir}/");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(path) = bench_cache_path {
         // The cache trajectory: matrix and fuzz campaign, cold then

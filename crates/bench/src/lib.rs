@@ -117,6 +117,26 @@ pub fn collect_instrumented_jobs(
     prof: bool,
     jobs: usize,
 ) -> Result<Dataset, String> {
+    collect_snapped_jobs(scale, trace, prof, false, jobs)
+}
+
+/// [`collect_instrumented_jobs`] with optional heap-graph snapshots.
+/// When `snap` is true every (workload, mode) cell runs under its own
+/// enabled `gcsnap::SnapHandle`, so the VM's `begin`/`end` snapshots
+/// never interleave across workers; snapshots carry no wall-clock data,
+/// so the `snap/1` exports built from the [`Dataset`] are byte-identical
+/// at any `jobs` and across cold/warm compilation caches.
+///
+/// # Errors
+///
+/// Same as [`collect`].
+pub fn collect_snapped_jobs(
+    scale: Scale,
+    trace: &TraceHandle,
+    prof: bool,
+    snap: bool,
+    jobs: usize,
+) -> Result<Dataset, String> {
     let ws = workloads::all();
     let modes = Mode::all();
     let cells: Vec<(usize, usize)> = (0..ws.len())
@@ -153,6 +173,16 @@ pub fn collect_instrumented_jobs(
             }
         })
         .collect();
+    let cell_snaps: Vec<gcsnap::SnapHandle> = cells
+        .iter()
+        .map(|_| {
+            if snap {
+                gcsnap::SnapHandle::enabled()
+            } else {
+                gcsnap::SnapHandle::disabled()
+            }
+        })
+        .collect();
     let slots: Vec<Mutex<Option<Result<Measured, String>>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -162,12 +192,13 @@ pub fn collect_instrumented_jobs(
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(wi, mi)) = cells.get(i) else { break };
-                let r = gc_safety::measure_workload_mode_instrumented(
+                let r = gc_safety::measure_workload_mode_snapped(
                     &ws[wi],
                     scale,
                     modes[mi],
                     &cell_traces[i],
                     &cell_profs[i],
+                    &cell_snaps[i],
                 );
                 *slots[i].lock().expect("cell slot") = Some(r);
             });
@@ -867,6 +898,29 @@ pub fn prometheus_export(data: &Dataset) -> String {
             &d.pause_ns,
         );
     }
+    // Dominator-retained bytes per allocation site, from each cell's
+    // `end` heap snapshot (top 5 sites by retained size, the same cut
+    // `prof_report` applies to shallow site totals). Snapshots carry no
+    // wall-clock data, so unlike the pause families this one is
+    // deterministic across `--jobs` and stays out of the strip list.
+    w.family(
+        "gc_retained_bytes",
+        "Dominator-retained bytes per allocation site (top 5, end-of-run snapshot)",
+        "gauge",
+    );
+    for (name, mode, snaps) in snap_cells(data) {
+        let Some((_, snap)) = snaps.iter().find(|(l, _)| l == "end") else {
+            continue;
+        };
+        let a = gcsnap::analyze(snap);
+        for r in gcsnap::site_rollup(snap, &a).iter().take(5) {
+            w.sample(
+                "gc_retained_bytes",
+                &[("workload", name), ("mode", mode.key()), ("site", &r.site)],
+                r.retained_bytes,
+            );
+        }
+    }
     // Compilation-cache counters. These are cumulative for the process
     // (not per-cell) and schedule-dependent — racing workers may both
     // miss one key — which is why every family sits under the stripped
@@ -922,6 +976,53 @@ pub fn prometheus_export(data: &Dataset) -> String {
         );
     }
     w.finish()
+}
+
+/// Every snapped cell in row order: `(workload, mode, snapshots)` for
+/// cells whose [`gcsnap::SnapHandle`] collected anything.
+fn snap_cells(data: &Dataset) -> Vec<(&'static str, Mode, Vec<(String, gcsnap::Snapshot)>)> {
+    let mut out = Vec::new();
+    for (name, results) in &data.rows {
+        for (mode, m) in results {
+            if let Some(snaps) = m.snap.snapshots() {
+                if !snaps.is_empty() {
+                    out.push((*name, *mode, snaps));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The `snap/1` heap-graph exports of a snapped [`Dataset`]: one
+/// `(file_name, json)` pair per recorded snapshot, named
+/// `{workload}__{mode}__{label}.json` in deterministic row order. Every
+/// document is round-tripped through [`gcsnap::validate`] before it is
+/// returned, so a corrupt export fails here rather than downstream.
+/// Snapshots carry no wall-clock data, so the whole export set is
+/// byte-identical at any `--jobs` and across cold/warm compilation
+/// caches.
+///
+/// # Errors
+///
+/// Returns the validator's message for the first export that fails
+/// round-trip validation (which would indicate a serializer bug).
+pub fn snap_exports(data: &Dataset) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for (name, mode, snaps) in snap_cells(data) {
+        for (label, snap) in &snaps {
+            let a = gcsnap::analyze(snap);
+            let json = gcsnap::to_json(label, snap, &a);
+            gcsnap::validate(&json).map_err(|e| {
+                format!(
+                    "snapshot export {name}/{}/{label} failed validation: {e}",
+                    mode.key()
+                )
+            })?;
+            out.push((format!("{name}__{}__{label}.json", mode.key()), json));
+        }
+    }
+    Ok(out)
 }
 
 /// Flamegraph-folded stacks of allocated bytes: one line per

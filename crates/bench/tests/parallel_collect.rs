@@ -310,3 +310,39 @@ fn merged_parallel_trace_matches_the_serial_stream() {
         "one marker per workload, in paper row order"
     );
 }
+
+#[test]
+fn snapshot_exports_are_byte_identical_at_any_jobs() {
+    use gcbench::{collect_snapped_jobs, snap_exports};
+    let serial = collect_snapped_jobs(Scale::Tiny, &TraceHandle::disabled(), false, true, 1)
+        .expect("serial snapped collect");
+    let parallel = collect_snapped_jobs(Scale::Tiny, &TraceHandle::disabled(), false, true, 2)
+        .expect("parallel snapped collect");
+    let s = snap_exports(&serial).expect("serial exports validate");
+    let p = snap_exports(&parallel).expect("parallel exports validate");
+    assert!(!s.is_empty(), "the matrix produced snapshots");
+    assert_eq!(
+        s.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        p.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "same documents in the same order"
+    );
+    // Snapshots carry no wall-clock fields, so no stripping: the whole
+    // document is the determinism contract.
+    for ((name, sd), (_, pd)) in s.iter().zip(&p) {
+        assert_eq!(sd, pd, "{name} differs between --jobs 1 and --jobs 2");
+    }
+}
+
+#[test]
+fn snapshot_exports_are_byte_identical_cold_vs_warm_cache() {
+    use gcbench::{collect_snapped_jobs, snap_exports};
+    gc_safety::cache_clear();
+    let cold = collect_snapped_jobs(Scale::Tiny, &TraceHandle::disabled(), false, true, 2)
+        .expect("cold snapped collect");
+    let warm = collect_snapped_jobs(Scale::Tiny, &TraceHandle::disabled(), false, true, 2)
+        .expect("warm snapped collect");
+    let c = snap_exports(&cold).expect("cold exports validate");
+    let w = snap_exports(&warm).expect("warm exports validate");
+    assert!(!c.is_empty(), "the matrix produced snapshots");
+    assert_eq!(c, w, "snapshot documents differ cold vs warm");
+}

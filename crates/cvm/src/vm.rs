@@ -51,6 +51,18 @@ pub struct VmOptions {
     /// stack) by the VM, and a final heap census when the run ends.
     /// Disabled by default; the disabled handle never builds a stack key.
     pub prof: gcprof::ProfHandle,
+    /// Snapshot sink: when enabled, the VM records a `begin` heap-graph
+    /// snapshot at its first allocation and an `end` snapshot when the
+    /// run completes (before the final sweep, so floating garbage is
+    /// still visible). Disabled by default; the disabled handle never
+    /// walks the heap.
+    pub snap: gcsnap::SnapHandle,
+    /// Cross-check the snapshot's reachable set against the collector's
+    /// shadow liveness at the end of the run: after a full collection
+    /// and sweep, every surviving object must be reachable in the
+    /// snapshot graph (and vice versa, trivially). A divergence is a
+    /// [`VmError::SnapshotOracle`]. Used by the fuzzer's paranoid modes.
+    pub snapshot_oracle: bool,
 }
 
 impl Default for VmOptions {
@@ -65,9 +77,16 @@ impl Default for VmOptions {
             stack_bytes: 1 << 20,
             trace: gctrace::TraceHandle::disabled(),
             prof: gcprof::ProfHandle::disabled(),
+            snap: gcsnap::SnapHandle::disabled(),
+            snapshot_oracle: false,
         }
     }
 }
+
+/// Positional labels for the root ranges [`Vm::roots`] builds: the
+/// globals region first, the live stack second. Precise root words
+/// (live temps) are labeled `reg` by the snapshot walk itself.
+const ROOT_LABELS: &[&str] = &["globals", "stack"];
 
 /// Dynamic execution counts used for cycle accounting.
 #[derive(Debug, Clone, Default)]
@@ -157,6 +176,10 @@ pub enum VmError {
     },
     /// Malformed program (bad function pointer, missing target, …).
     Malformed(String),
+    /// The end-of-run snapshot oracle found a disagreement between the
+    /// snapshot graph's reachable set and the collector's shadow
+    /// liveness (objects that survived a full collection).
+    SnapshotOracle(String),
 }
 
 impl fmt::Display for VmError {
@@ -182,6 +205,9 @@ impl fmt::Display for VmError {
                 write!(f, "'{func}' returned no value but its caller uses one")
             }
             VmError::Malformed(m) => write!(f, "malformed program: {m}"),
+            VmError::SnapshotOracle(m) => {
+                write!(f, "snapshot oracle divergence: {m}")
+            }
         }
     }
 }
@@ -226,6 +252,8 @@ struct Vm<'a> {
     steps: u64,
     gc_maps: Vec<HashMap<(u32, u32), Vec<Temp>>>,
     exit: Option<i64>,
+    /// Whether the `begin` heap-graph snapshot has been recorded.
+    begin_snapped: bool,
 }
 
 impl<'a> Vm<'a> {
@@ -241,6 +269,7 @@ impl<'a> Vm<'a> {
         let mut heap = GcHeap::new(&mem, opts.heap_config.clone());
         heap.set_trace(opts.trace.clone());
         heap.set_prof(opts.prof.clone());
+        heap.set_snap_sites(opts.snap.is_enabled() || opts.snapshot_oracle);
         let gc_maps = prog.funcs.iter().map(gc_root_maps).collect();
         let profile = Profile {
             block_counts: prog.funcs.iter().map(|f| vec![0; f.blocks.len()]).collect(),
@@ -260,6 +289,7 @@ impl<'a> Vm<'a> {
             steps: 0,
             gc_maps,
             exit: None,
+            begin_snapped: false,
         })
     }
 
@@ -333,6 +363,24 @@ impl<'a> Vm<'a> {
             if self.steps > self.opts.max_steps {
                 return Err(VmError::StepLimit);
             }
+        }
+        // Heap-graph snapshots: `begin` was recorded at the first
+        // allocation (or now, for a program that never allocated), `end`
+        // before the final sweep so floating garbage is still visible.
+        if self.opts.snap.is_enabled() {
+            let roots = self.roots();
+            if !self.begin_snapped {
+                self.begin_snapped = true;
+                self.opts.snap.record("begin", || {
+                    self.heap.snapshot(&self.mem, &roots, ROOT_LABELS)
+                });
+            }
+            self.opts
+                .snap
+                .record("end", || self.heap.snapshot(&self.mem, &roots, ROOT_LABELS));
+        }
+        if self.opts.snapshot_oracle {
+            self.check_snapshot_oracle()?;
         }
         // End-of-run stats barrier: retire outstanding lazy-sweep debt so
         // the final HeapStats and census report no pending queue work.
@@ -629,8 +677,70 @@ impl<'a> Vm<'a> {
         key
     }
 
+    /// The snapshot's shadow-liveness cross-check: run a full collection
+    /// and retire all sweep debt, so the heap holds exactly what the
+    /// marker proves live, then snapshot it with the same roots. Every
+    /// surviving object must be reachable in the snapshot graph — the
+    /// snapshot resolves pointer words with the marker's own rules, so
+    /// any floating node here means the two walks disagree about
+    /// liveness. (The other direction is structural: reachable nodes are
+    /// snapshot nodes, and every snapshot node survived the collection.)
+    fn check_snapshot_oracle(&mut self) -> Result<(), VmError> {
+        let roots = self.roots();
+        // Two collections on purpose: the first one may merely *finish*
+        // an in-flight incremental cycle, whose snapshot-at-the-beginning
+        // marks (taken against mid-run roots, plus allocate-black births)
+        // legitimately keep mid-cycle garbage alive. The second runs
+        // against the retired heap, so afterwards the heap holds exactly
+        // what the marker proves live from the end-of-run roots.
+        self.heap.collect(&mut self.mem, &roots);
+        self.heap.collect(&mut self.mem, &roots);
+        self.heap.sweep_all();
+        let snap = self.heap.snapshot(&self.mem, &roots, ROOT_LABELS);
+        let a = gcsnap::analyze(&snap);
+        if a.floating_objects != 0 {
+            let first = snap
+                .nodes
+                .iter()
+                .enumerate()
+                .find(|&(i, _)| !a.reachable[i])
+                .map(|(i, n)| {
+                    let referrers: Vec<u32> = snap
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.edges.contains(&(i as u32)))
+                        .map(|(j, _)| j as u32)
+                        .collect();
+                    format!(
+                        "node {i} at {:#x} ({} bytes, marked={}, young={}, site={:?}, \
+                         referrers={referrers:?})",
+                        n.addr,
+                        n.size,
+                        n.marked,
+                        n.young,
+                        snap.site_of(i as u32)
+                    )
+                })
+                .unwrap_or_default();
+            return Err(VmError::SnapshotOracle(format!(
+                "{} shadow-live objects ({} bytes) are unreachable in the \
+                 snapshot graph; first: {first}",
+                a.floating_objects, a.floating_bytes
+            )));
+        }
+        Ok(())
+    }
+
     fn allocate(&mut self, size: i64, site: Option<u32>) -> Result<i64, VmError> {
         let size = size.max(0) as u64;
+        if self.opts.snap.is_enabled() && !self.begin_snapped {
+            self.begin_snapped = true;
+            let roots = self.roots();
+            self.opts.snap.record("begin", || {
+                self.heap.snapshot(&self.mem, &roots, ROOT_LABELS)
+            });
+        }
         // Build the site key eagerly only when an attached trace or
         // profile will consume it — it both attributes the allocation to
         // its stack and labels any collection this request triggers. The

@@ -176,6 +176,10 @@ fn paranoid_vm() -> cvm::VmOptions {
             gc_threshold: 1,
             ..HeapConfig::default()
         },
+        // Cross-check the snapshot graph against the VM's shadow
+        // liveness at end of run: after a full collect + sweep, every
+        // surviving object must be reachable in the snapshot.
+        snapshot_oracle: true,
         ..default_vm()
     }
 }
@@ -191,6 +195,7 @@ fn bounded_paranoid_vm() -> cvm::VmOptions {
             mark_budget_bytes: 64,
             ..HeapConfig::bounded_pause()
         },
+        snapshot_oracle: true,
         ..default_vm()
     }
 }

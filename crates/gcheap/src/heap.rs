@@ -16,7 +16,7 @@ use crate::mem::{Memory, HEAP_BASE};
 use crate::pagemap::{PageDesc, PageMap, SmallPage, PAGE_SHIFT, PAGE_SIZE};
 use gcprof::{ClassCensus, CollectCause, CollectionRecord, HeapCensus, ProfHandle};
 use gctrace::{Event, TraceHandle};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::Instant;
 
@@ -461,6 +461,16 @@ pub struct GcHeap {
     /// stores into that page; a nursery collection scans carded pages for
     /// old→young pointers and clearing happens at promotion.
     cards: Vec<u64>,
+    /// Interned allocation-site labels, first-use order.
+    site_names: Vec<String>,
+    /// Label → index into `site_names`.
+    site_ids: HashMap<String, u32>,
+    /// Object base → interned site id, maintained only while attribution
+    /// is enabled (the empty map costs one branch per allocation).
+    obj_sites: HashMap<u64, u32>,
+    /// Whether a snapshot consumer asked for site tagging even without a
+    /// trace or profile attached.
+    snap_sites: bool,
 }
 
 impl GcHeap {
@@ -490,6 +500,10 @@ impl GcHeap {
             young: vec![0; page_count.div_ceil(64)],
             young_list: Vec::new(),
             cards: vec![0; page_count.div_ceil(64)],
+            site_names: Vec::new(),
+            site_ids: HashMap::new(),
+            obj_sites: HashMap::new(),
+            snap_sites: false,
         }
     }
 
@@ -662,6 +676,11 @@ impl GcHeap {
         };
         self.stats.allocations += 1;
         self.stats.bytes_requested += size;
+        if !self.obj_sites.is_empty() {
+            // A reclaimed base must not inherit the site of the object
+            // that used to live there; sited callers re-tag after this.
+            self.obj_sites.remove(&addr);
+        }
         mem.fill(addr, 0, extent as usize)
             .expect("object memory is mapped");
         if self.cycle.is_some() {
@@ -705,6 +724,37 @@ impl GcHeap {
     /// Returns [`OutOfMemory`] if the heap is exhausted even after a
     /// collection.
     pub fn alloc_with_roots_sited(
+        &mut self,
+        mem: &mut Memory,
+        size: u64,
+        roots: &RootSet,
+        site: Option<&str>,
+    ) -> Result<u64, OutOfMemory> {
+        let res = self.alloc_sited_inner(mem, size, roots, site);
+        if let (Ok(addr), Some(label)) = (&res, site) {
+            if self.attribution_enabled() {
+                self.tag_site(*addr, label);
+            }
+        }
+        res
+    }
+
+    /// Interns `label` and tags the object at `addr` with it, so heap
+    /// snapshots can attribute the object to its allocation site.
+    fn tag_site(&mut self, addr: u64, label: &str) {
+        let id = match self.site_ids.get(label) {
+            Some(&id) => id,
+            None => {
+                let id = self.site_names.len() as u32;
+                self.site_names.push(label.to_string());
+                self.site_ids.insert(label.to_string(), id);
+                id
+            }
+        };
+        self.obj_sites.insert(addr, id);
+    }
+
+    fn alloc_sited_inner(
         &mut self,
         mem: &mut Memory,
         size: u64,
@@ -769,12 +819,19 @@ impl GcHeap {
             && !(self.stats.collections + 1).is_multiple_of(self.config.full_every.max(1))
     }
 
-    /// Whether an attached trace or profile will consume attribution
-    /// detail (trigger cause, site label, per-class sweep timing).
-    /// Callers use this to skip building site strings on the fast path;
-    /// the heap uses it to skip per-page sweep timing.
+    /// Whether an attached trace, profile, or snapshot consumer will use
+    /// attribution detail (trigger cause, site label, per-class sweep
+    /// timing). Callers use this to skip building site strings on the
+    /// fast path; the heap uses it to skip per-page sweep timing.
     pub fn attribution_enabled(&self) -> bool {
-        self.trace.is_enabled() || self.prof.is_enabled()
+        self.trace.is_enabled() || self.prof.is_enabled() || self.snap_sites
+    }
+
+    /// Declares that heap snapshots will be taken, so allocation sites
+    /// must be tagged even without a trace or profile attached (the
+    /// snapshot graph attributes retained sizes to sites).
+    pub fn set_snap_sites(&mut self, on: bool) {
+        self.snap_sites = on;
     }
 
     /// Serves the lowest free slot of `page` from its allocation bitmap,
@@ -3221,10 +3278,216 @@ mod tests {
 }
 
 impl GcHeap {
+    /// Resolves a candidate pointer word to the base of the allocated
+    /// object it references, under the same conservative rules as
+    /// [`GcHeap::mark_candidate`] — heap bounds, allocation bits, the
+    /// interior-pointer policy (roots always allow interior pointers) —
+    /// but strictly read-only: no mark bits are set and no pages are
+    /// blacklisted. This is the snapshot walk's edge resolver; keeping it
+    /// side-effect free is what lets a snapshot be taken mid-cycle
+    /// without perturbing the collection it observes.
+    fn resolve_candidate(&self, word: u64, from_root: bool) -> Option<u64> {
+        if word < self.heap_base || word >= self.heap_limit {
+            return None;
+        }
+        let idx = ((word - self.heap_base) >> PAGE_SHIFT) as usize;
+        let interior_ok = from_root || self.config.policy == PointerPolicy::InteriorEverywhere;
+        match self.side[idx] {
+            PageKind::Free => None,
+            PageKind::Small { obj_size, .. } => {
+                let page_start = self.map.page_addr(idx);
+                let slot = ((word - page_start) / u64::from(obj_size)) as usize;
+                let PageDesc::Small(sp) = self.map.desc(idx) else {
+                    unreachable!("side table says small page")
+                };
+                if slot >= sp.slots() || !sp.alloc_bit(slot) {
+                    return None;
+                }
+                let base = page_start + slot as u64 * u64::from(obj_size);
+                if !interior_ok && base != word {
+                    return None;
+                }
+                Some(base)
+            }
+            PageKind::LargeHead => self.resolve_large(idx, word, interior_ok),
+            PageKind::LargeCont { back } => {
+                self.resolve_large(idx - back as usize, word, interior_ok)
+            }
+        }
+    }
+
+    /// Read-only counterpart of [`GcHeap::mark_large`].
+    fn resolve_large(&self, head: usize, word: u64, interior_ok: bool) -> Option<u64> {
+        let head_addr = self.map.page_addr(head);
+        let PageDesc::LargeHead {
+            size, allocated, ..
+        } = self.map.desc(head)
+        else {
+            unreachable!("side table says large head")
+        };
+        if !*allocated || word >= head_addr + *size {
+            return None;
+        }
+        if !interior_ok && word != head_addr {
+            return None;
+        }
+        Some(head_addr)
+    }
+
+    /// One snapshot node per allocated object — ascending page order,
+    /// ascending slot order within a page, so node ids are stable across
+    /// identical heaps — plus the interned site table in first-use
+    /// order. Edges are left empty; [`GcHeap::snapshot`] fills them.
+    ///
+    /// The walk enumerates allocation bits exactly the way
+    /// [`GcHeap::census`] counts them, so the two views agree at every
+    /// observation point, including with lazy-sweep debt outstanding and
+    /// mid-`MarkCycle`.
+    fn snapshot_skeleton(&self) -> (Vec<gcsnap::Node>, Vec<String>) {
+        let mut nodes: Vec<gcsnap::Node> = Vec::new();
+        let mut sites: Vec<String> = Vec::new();
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut site_of =
+            |obj_sites: &HashMap<u64, u32>, site_names: &[String], addr: u64| -> Option<u32> {
+                let &hid = obj_sites.get(&addr)?;
+                Some(*remap.entry(hid).or_insert_with(|| {
+                    sites.push(site_names[hid as usize].clone());
+                    (sites.len() - 1) as u32
+                }))
+            };
+        for idx in 0..self.next_page {
+            match self.map.desc(idx) {
+                PageDesc::Free | PageDesc::LargeCont(_) => {}
+                PageDesc::Small(sp) => {
+                    let page_start = self.map.page_addr(idx);
+                    let young = self.is_young(idx);
+                    for slot in 0..sp.slots() {
+                        if !sp.alloc_bit(slot) {
+                            continue;
+                        }
+                        let addr = page_start + slot as u64 * u64::from(sp.obj_size);
+                        nodes.push(gcsnap::Node {
+                            addr,
+                            size: u64::from(sp.obj_size),
+                            class: sp.obj_size,
+                            large: false,
+                            young,
+                            marked: sp.mark_bit(slot),
+                            site: site_of(&self.obj_sites, &self.site_names, addr),
+                            edges: Vec::new(),
+                        });
+                    }
+                }
+                PageDesc::LargeHead {
+                    size,
+                    marked,
+                    allocated: true,
+                } => {
+                    let addr = self.map.page_addr(idx);
+                    nodes.push(gcsnap::Node {
+                        addr,
+                        size: *size,
+                        class: 0,
+                        large: true,
+                        young: self.is_young(idx),
+                        marked: *marked,
+                        site: site_of(&self.obj_sites, &self.site_names, addr),
+                        edges: Vec::new(),
+                    });
+                }
+                PageDesc::LargeHead { .. } => {}
+            }
+        }
+        (nodes, sites)
+    }
+
+    /// The heap graph without edges or roots: every allocated object as
+    /// an address-ordered snapshot node. This is the walk behind
+    /// [`GcHeap::dump`] and the census-agreement property tests.
+    pub fn snapshot_nodes(&self) -> gcsnap::Snapshot {
+        let (nodes, sites) = self.snapshot_skeleton();
+        gcsnap::Snapshot {
+            sites,
+            nodes,
+            roots: Vec::new(),
+        }
+    }
+
+    /// Takes a deterministic heap-graph snapshot: one node per allocated
+    /// object, one edge per in-bounds pointer word (resolved with the
+    /// marker's conservative rules, read-only), and one root reference
+    /// per resolved root word. `range_labels` names `roots.ranges`
+    /// positionally (e.g. `["globals", "stack"]`); precise root words are
+    /// labeled `reg`. The snapshot carries no wall-clock data: identical
+    /// heaps produce identical snapshots.
+    pub fn snapshot(
+        &self,
+        mem: &Memory,
+        roots: &RootSet,
+        range_labels: &[&str],
+    ) -> gcsnap::Snapshot {
+        let (mut nodes, sites) = self.snapshot_skeleton();
+        let id_of = |nodes: &[gcsnap::Node], base: u64| -> u32 {
+            nodes
+                .binary_search_by(|n| n.addr.cmp(&base))
+                .expect("resolved base is an enumerated node") as u32
+        };
+        for i in 0..nodes.len() {
+            let (addr, size) = (nodes[i].addr, nodes[i].size);
+            let mut edges: Vec<u32> = Vec::new();
+            mem.scan_words(addr, addr + size, |w| {
+                if let Some(base) = self.resolve_candidate(w, false) {
+                    edges.push(id_of(&nodes, base));
+                }
+            });
+            edges.sort_unstable();
+            edges.dedup();
+            nodes[i].edges = edges;
+        }
+        let mut rr: Vec<gcsnap::RootRef> = Vec::new();
+        for (i, &(start, end)) in roots.ranges.iter().enumerate() {
+            let label = range_labels.get(i).copied().unwrap_or("root");
+            mem.scan_words(start, end, |w| {
+                if let Some(base) = self.resolve_candidate(w, true) {
+                    rr.push(gcsnap::RootRef {
+                        label: label.to_string(),
+                        node: id_of(&nodes, base),
+                    });
+                }
+            });
+        }
+        for &w in &roots.words {
+            if let Some(base) = self.resolve_candidate(w, true) {
+                rr.push(gcsnap::RootRef {
+                    label: "reg".to_string(),
+                    node: id_of(&nodes, base),
+                });
+            }
+        }
+        rr.sort_by(|a, b| a.node.cmp(&b.node).then_with(|| a.label.cmp(&b.label)));
+        rr.dedup();
+        gcsnap::Snapshot {
+            sites,
+            nodes,
+            roots: rr,
+        }
+    }
+
     /// Renders a one-line-per-page summary of heap occupancy — a
-    /// diagnostic analogous to the Boehm collector's `GC_dump`.
+    /// diagnostic analogous to the Boehm collector's `GC_dump` — from
+    /// the snapshot walk: the live counts, byte totals, and per-site
+    /// roll-up all come from [`GcHeap::snapshot_nodes`], so this view
+    /// cannot drift from what snapshots export.
     pub fn dump(&self) -> String {
         use std::fmt::Write;
+        let snap = self.snapshot_nodes();
+        // Per-page object counts from the snapshot walk.
+        let mut page_live: HashMap<usize, u64> = HashMap::new();
+        for n in &snap.nodes {
+            *page_live
+                .entry(((n.addr - self.heap_base) >> PAGE_SHIFT) as usize)
+                .or_insert(0) += 1;
+        }
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -3232,16 +3495,16 @@ impl GcHeap {
             self.next_page,
             self.free_pages.len(),
             self.bl_count,
-            self.stats.objects_live,
-            self.stats.bytes_live
+            snap.objects(),
+            snap.bytes()
         );
         for idx in 0..self.next_page {
+            let used = page_live.get(&idx).copied().unwrap_or(0);
             match self.map.desc(idx) {
                 PageDesc::Free => {
                     let _ = writeln!(out, "  page {idx:4}: free");
                 }
                 PageDesc::Small(sp) => {
-                    let used = sp.live_count();
                     let _ = writeln!(
                         out,
                         "  page {idx:4}: {}-byte objects, {used}/{} slots live",
@@ -3263,6 +3526,14 @@ impl GcHeap {
                 }
             }
         }
+        for (i, site) in snap.sites.iter().enumerate() {
+            let (objs, bytes) = snap
+                .nodes
+                .iter()
+                .filter(|n| n.site == Some(i as u32))
+                .fold((0u64, 0u64), |(o, b), n| (o + 1, b + n.size));
+            let _ = writeln!(out, "  site {site}: {objs} objects / {bytes} bytes");
+        }
         out
     }
 }
@@ -3283,5 +3554,73 @@ mod dump_tests {
         assert!(d.contains("32-byte objects, 2/"), "{d}");
         assert!(d.contains("large head, 8192 bytes, live"), "{d}");
         assert!(d.contains("3 pages used"), "pages counted: {d}");
+    }
+
+    /// The drift pin: every number `dump` renders must be re-derivable
+    /// from `snapshot_nodes`, and the snapshot walk in turn must agree
+    /// with the page descriptors' own live counts — so the textual view,
+    /// the snapshot view, and the bitmaps cannot diverge unnoticed.
+    #[test]
+    fn dump_agrees_with_the_snapshot_walk() {
+        let mem = Memory::new(1 << 12, 1 << 12, 1 << 18);
+        let mut heap = GcHeap::with_defaults(&mem);
+        heap.set_prof(ProfHandle::enabled()); // attribution on: sites stick
+        let mut mem = mem;
+        let roots = RootSet::new();
+        for i in 0..20 {
+            let site = if i % 2 == 0 { "even@1:1" } else { "odd@2:2" };
+            heap.alloc_with_roots_sited(&mut mem, 40 + (i % 3) * 100, &roots, Some(site))
+                .unwrap();
+        }
+        heap.alloc_with_roots_sited(&mut mem, 5000, &roots, Some("big@3:3"))
+            .unwrap();
+        let snap = heap.snapshot_nodes();
+        let d = heap.dump();
+        // Header totals come from the snapshot.
+        assert!(
+            d.contains(&format!(
+                "{} objects / {} bytes live",
+                snap.objects(),
+                snap.bytes()
+            )),
+            "{d}"
+        );
+        // Each small-page line's live count equals both the snapshot's
+        // node count for that page and the bitmap's live count.
+        for idx in 0..heap.next_page {
+            let PageDesc::Small(sp) = heap.map.desc(idx) else {
+                continue;
+            };
+            let page_start = heap.map.page_addr(idx);
+            let in_page = snap
+                .nodes
+                .iter()
+                .filter(|n| n.addr >= page_start && n.addr < page_start + PAGE_SIZE)
+                .count() as u64;
+            assert_eq!(in_page, sp.live_count(), "page {idx}");
+            assert!(
+                d.contains(&format!(
+                    "page {idx:4}: {}-byte objects, {in_page}/{} slots live",
+                    sp.obj_size,
+                    sp.slots()
+                )),
+                "page {idx} line missing or drifted: {d}"
+            );
+        }
+        // The per-site roll-up renders every tagged site with the
+        // snapshot's own counts.
+        for (i, site) in snap.sites.iter().enumerate() {
+            let (objs, bytes) = snap
+                .nodes
+                .iter()
+                .filter(|n| n.site == Some(i as u32))
+                .fold((0u64, 0u64), |(o, b), n| (o + 1, b + n.size));
+            assert!(objs > 0, "site {site} tagged nothing");
+            assert!(
+                d.contains(&format!("site {site}: {objs} objects / {bytes} bytes")),
+                "{d}"
+            );
+        }
+        assert_eq!(snap.sites.len(), 3, "all three sites interned");
     }
 }

@@ -1,0 +1,215 @@
+//! Leak-diff attribution: given two validated snapshots of the same
+//! program (typically `begin` and `end`), attribute heap growth to
+//! allocation sites by comparing per-site retained sizes, and gate on a
+//! byte budget so a CI job can fail when a schedule starts leaking.
+
+use crate::dominators::site_rollup;
+use crate::ParsedSnap;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One site's before/after aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteDelta {
+    /// The site label (or `(unattributed)`).
+    pub site: String,
+    /// Allocated objects carrying the site, before.
+    pub objects_a: u64,
+    /// Allocated objects carrying the site, after.
+    pub objects_b: u64,
+    /// Shallow bytes, before.
+    pub shallow_a: u64,
+    /// Shallow bytes, after.
+    pub shallow_b: u64,
+    /// Retained bytes, before.
+    pub retained_a: u64,
+    /// Retained bytes, after.
+    pub retained_b: u64,
+}
+
+impl SiteDelta {
+    /// Retained growth (after − before), signed.
+    pub fn retained_delta(&self) -> i64 {
+        self.retained_b as i64 - self.retained_a as i64
+    }
+}
+
+/// The diff of two snapshots: per-site rows plus heap-level growth.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diff {
+    /// Per-site rows, sorted by retained growth descending, then label.
+    pub rows: Vec<SiteDelta>,
+    /// Reachable-byte growth of the whole heap (after − before); this is
+    /// the number the budget gate compares.
+    pub reachable_growth: i64,
+    /// Floating-garbage byte growth (after − before).
+    pub floating_growth: i64,
+}
+
+impl Diff {
+    /// Whether reachable growth exceeds the byte budget.
+    pub fn over_budget(&self, budget_bytes: u64) -> bool {
+        self.reachable_growth > budget_bytes as i64
+    }
+
+    /// The row with the largest retained growth, if any grew.
+    pub fn top_growth(&self) -> Option<&SiteDelta> {
+        self.rows.first().filter(|r| r.retained_delta() > 0)
+    }
+}
+
+/// Diffs two validated snapshots per allocation site.
+pub fn diff(a: &ParsedSnap, b: &ParsedSnap) -> Diff {
+    let mut rows: BTreeMap<String, SiteDelta> = BTreeMap::new();
+    for r in site_rollup(&a.snapshot, &a.analysis) {
+        let e = rows.entry(r.site.clone()).or_default();
+        e.site = r.site;
+        (e.objects_a, e.shallow_a, e.retained_a) = (r.objects, r.shallow_bytes, r.retained_bytes);
+    }
+    for r in site_rollup(&b.snapshot, &b.analysis) {
+        let e = rows.entry(r.site.clone()).or_default();
+        e.site = r.site;
+        (e.objects_b, e.shallow_b, e.retained_b) = (r.objects, r.shallow_bytes, r.retained_bytes);
+    }
+    let mut rows: Vec<SiteDelta> = rows.into_values().collect();
+    rows.sort_by(|x, y| {
+        y.retained_delta()
+            .cmp(&x.retained_delta())
+            .then_with(|| x.site.cmp(&y.site))
+    });
+    Diff {
+        rows,
+        reachable_growth: b.analysis.reachable_bytes as i64 - a.analysis.reachable_bytes as i64,
+        floating_growth: b.analysis.floating_bytes as i64 - a.analysis.floating_bytes as i64,
+    }
+}
+
+fn signed(v: i64) -> String {
+    if v > 0 {
+        format!("+{v}")
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders the diff as an aligned table with a totals footer.
+pub fn render_table(d: &Diff, a_label: &str, b_label: &str) -> String {
+    let header = [
+        "site".to_string(),
+        "objects".to_string(),
+        "shallow B".to_string(),
+        "retained B".to_string(),
+        "Δretained".to_string(),
+    ];
+    let mut body: Vec<[String; 5]> = Vec::new();
+    for r in &d.rows {
+        body.push([
+            r.site.clone(),
+            format!("{} -> {}", r.objects_a, r.objects_b),
+            format!("{} -> {}", r.shallow_a, r.shallow_b),
+            format!("{} -> {}", r.retained_a, r.retained_b),
+            signed(r.retained_delta()),
+        ]);
+    }
+    let mut w = [0usize; 5];
+    for row in std::iter::once(&header).chain(body.iter()) {
+        for (i, cell) in row.iter().enumerate() {
+            w[i] = w[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "snapshot diff: {a_label} -> {b_label}");
+    for row in std::iter::once(&header).chain(body.iter()) {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let pad = w[i] - cell.chars().count();
+            if i == 0 {
+                // Left-align the label column, right-align the numbers.
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            } else {
+                line.push_str(&" ".repeat(pad));
+                line.push_str(cell);
+            }
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    let _ = writeln!(
+        out,
+        "reachable growth: {} bytes; floating-garbage growth: {} bytes",
+        signed(d.reachable_growth),
+        signed(d.floating_growth)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, to_json, validate, Node, RootRef, Snapshot};
+
+    fn snap(sizes_and_sites: &[(u64, Option<u32>)], roots: &[u32]) -> ParsedSnap {
+        let nodes: Vec<Node> = sizes_and_sites
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, site))| Node {
+                addr: 0x1000_0000 + i as u64 * 64,
+                size,
+                class: size as u32,
+                large: false,
+                young: false,
+                marked: false,
+                site,
+                edges: Vec::new(),
+            })
+            .collect();
+        let snapshot = Snapshot {
+            sites: vec!["steady@1:1".into(), "leak@2:2".into()],
+            nodes,
+            roots: roots
+                .iter()
+                .map(|&r| RootRef {
+                    label: "stack".into(),
+                    node: r,
+                })
+                .collect(),
+        };
+        let analysis = analyze(&snapshot);
+        // Route through the schema so the diff operates on exactly what
+        // the CLI would read back from disk.
+        validate(&to_json("t", &snapshot, &analysis)).expect("validates")
+    }
+
+    #[test]
+    fn self_diff_is_all_zero_and_under_any_budget() {
+        let s = snap(&[(32, Some(0)), (64, Some(1))], &[0, 1]);
+        let d = diff(&s, &s);
+        assert_eq!(d.reachable_growth, 0);
+        assert_eq!(d.floating_growth, 0);
+        assert!(!d.over_budget(0));
+        assert!(d.top_growth().is_none());
+        assert!(d.rows.iter().all(|r| r.retained_delta() == 0));
+    }
+
+    #[test]
+    fn growth_is_attributed_to_the_growing_site() {
+        let before = snap(&[(32, Some(0)), (64, Some(1))], &[0, 1]);
+        let after = snap(
+            &[(32, Some(0)), (64, Some(1)), (64, Some(1)), (64, Some(1))],
+            &[0, 1, 2, 3],
+        );
+        let d = diff(&before, &after);
+        assert_eq!(d.reachable_growth, 128);
+        assert!(d.over_budget(100));
+        assert!(!d.over_budget(128));
+        let top = d.top_growth().expect("something grew");
+        assert_eq!(top.site, "leak@2:2");
+        assert_eq!(top.retained_delta(), 128);
+        let table = render_table(&d, "begin", "end");
+        assert!(table.contains("leak@2:2"), "{table}");
+        assert!(table.contains("+128"), "{table}");
+    }
+}

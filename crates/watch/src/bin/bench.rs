@@ -4,6 +4,7 @@
 //! bench compare <baseline.json|-> <candidate.json> --budgets budgets.toml [--allow-new-cells]
 //! bench seed-budgets <bench.json> [--margin-permille 1500] [--out budgets.toml]
 //! bench validate-timeline <timeline.json>
+//! bench snap diff <a.json> <b.json> [--budget-bytes N]
 //! ```
 //!
 //! `compare` prints the diff table and exits 1 when the gate fails;
@@ -12,7 +13,10 @@
 //! never gated, are hard failures; `--allow-new-cells` accepts the new
 //! ones for the run where the matrix intentionally grew (reseed the
 //! budgets afterwards). `seed-budgets` writes ceilings/floors with
-//! margin from a measured document. Usage errors exit 2.
+//! margin from a measured document. `snap diff` validates two `snap/1`
+//! heap snapshots, prints per-site retained-size growth, and exits 1
+//! when reachable growth exceeds `--budget-bytes` (default 0, i.e. any
+//! reachable growth fails the gate). Usage errors exit 2.
 
 use std::process::ExitCode;
 
@@ -20,7 +24,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bench compare <baseline.json|-> <candidate.json> --budgets <budgets.toml> [--allow-new-cells]\n  \
 bench seed-budgets <bench.json> [--margin-permille N] [--out <file>]\n  \
-bench validate-timeline <timeline.json>"
+bench validate-timeline <timeline.json>\n  \
+bench snap diff <a.json> <b.json> [--budget-bytes N]"
     );
     ExitCode::from(2)
 }
@@ -95,6 +100,51 @@ fn run() -> Result<ExitCode, String> {
                 None => print!("{text}"),
             }
             Ok(ExitCode::SUCCESS)
+        }
+        Some("snap") => {
+            if args.get(1).map(String::as_str) != Some("diff") {
+                return Ok(usage());
+            }
+            let mut budget_bytes = 0u64;
+            let mut pos = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                if a == "--budget-bytes" {
+                    budget_bytes = it
+                        .next()
+                        .ok_or("--budget-bytes wants a number")?
+                        .parse()
+                        .map_err(|e| format!("--budget-bytes: {e}"))?;
+                } else {
+                    pos.push(a.clone());
+                }
+            }
+            let [a_path, b_path] = pos.as_slice() else {
+                return Ok(usage());
+            };
+            let a = gcsnap::validate(&read(a_path)?).map_err(|e| format!("{a_path}: {e}"))?;
+            let b = gcsnap::validate(&read(b_path)?).map_err(|e| format!("{b_path}: {e}"))?;
+            let d = gcsnap::diff::diff(&a, &b);
+            print!("{}", gcsnap::diff::render_table(&d, &a.label, &b.label));
+            Ok(if d.over_budget(budget_bytes) {
+                if let Some(top) = d.top_growth() {
+                    eprintln!(
+                        "bench: reachable growth {} bytes exceeds budget {budget_bytes}; \
+largest retained growth at site {} ({:+} bytes)",
+                        d.reachable_growth,
+                        top.site,
+                        top.retained_delta()
+                    );
+                } else {
+                    eprintln!(
+                        "bench: reachable growth {} bytes exceeds budget {budget_bytes}",
+                        d.reachable_growth
+                    );
+                }
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         Some("validate-timeline") => {
             let [path] = &args[1..] else {

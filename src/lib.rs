@@ -121,6 +121,10 @@ pub struct Measured {
     /// unless the build came from [`measure_source_instrumented`] —
     /// snapshot it to assemble reports and exports.
     pub prof: ProfHandle,
+    /// The heap-snapshot handle the run recorded into: the VM's `begin`
+    /// and `end` heap-graph snapshots land here. Disabled unless the
+    /// build came from [`measure_source_snapped`].
+    pub snap: gcsnap::SnapHandle,
 }
 
 impl Measured {
@@ -212,11 +216,38 @@ pub fn measure_source_instrumented(
     trace: &TraceHandle,
     prof: &ProfHandle,
 ) -> Result<Measured, String> {
+    measure_source_snapped(
+        source,
+        input,
+        mode,
+        trace,
+        prof,
+        &gcsnap::SnapHandle::disabled(),
+    )
+}
+
+/// [`measure_source_instrumented`] with a heap-snapshot handle: the VM
+/// records deterministic `begin`/`end` heap-graph snapshots into `snap`
+/// (see `gcsnap`). Snapshots carry no wall-clock data, so they are
+/// byte-identical across repeated runs and any `--jobs` level.
+///
+/// # Errors
+///
+/// Same as [`measure_source`].
+pub fn measure_source_snapped(
+    source: &str,
+    input: &[u8],
+    mode: Mode,
+    trace: &TraceHandle,
+    prof: &ProfHandle,
+    snap: &gcsnap::SnapHandle,
+) -> Result<Measured, String> {
     let (prog, ckey) = cvm::compile_keyed_traced(source, &mode.compile_options(), trace)?;
     let vm_opts = VmOptions {
         input: input.to_vec(),
         trace: trace.clone(),
         prof: prof.clone(),
+        snap: snap.clone(),
         ..VmOptions::default()
     };
     let outcome = cvm::run_compiled(&prog, &vm_opts);
@@ -297,6 +328,7 @@ pub fn measure_source_instrumented(
         peephole,
         trace: trace.clone(),
         prof: prof.clone(),
+        snap: snap.clone(),
     })
 }
 
@@ -395,8 +427,27 @@ pub fn measure_workload_mode_instrumented(
     trace: &TraceHandle,
     prof: &ProfHandle,
 ) -> Result<Measured, String> {
+    measure_workload_mode_snapped(w, scale, mode, trace, prof, &gcsnap::SnapHandle::disabled())
+}
+
+/// [`measure_workload_mode_instrumented`] with a heap-snapshot handle
+/// (see [`measure_source_snapped`]). The parallel bench driver hands
+/// each cell its own handle so snapshots never interleave across
+/// workers.
+///
+/// # Errors
+///
+/// Same as [`measure_source`].
+pub fn measure_workload_mode_snapped(
+    w: &Workload,
+    scale: Scale,
+    mode: Mode,
+    trace: &TraceHandle,
+    prof: &ProfHandle,
+    snap: &gcsnap::SnapHandle,
+) -> Result<Measured, String> {
     let input = (w.input)(scale);
-    measure_source_instrumented(w.source, &input, mode, trace, prof)
+    measure_source_snapped(w.source, &input, mode, trace, prof, snap)
 }
 
 /// The default worker count for parallel drivers (the bench matrix,

@@ -651,3 +651,106 @@ fn same_obj_is_an_equivalence_within_an_object() {
         assert!(heap.same_obj(pb, pa), "symmetric");
     }
 }
+
+/// The snapshot walk and the census walk must agree exactly: both
+/// enumerate the same allocation bits, so per-class object/byte totals
+/// (and the large-object and grand totals) match at *every* observation
+/// point — not just at quiescence, but with lazy-sweep debt outstanding
+/// and in the middle of an incremental mark cycle.
+fn assert_snapshot_matches_census(heap: &GcHeap, when: &str) {
+    let census = heap.census();
+    let snap = heap.snapshot_nodes();
+    let mut by_class: HashMap<u32, (u64, u64)> = HashMap::new();
+    let mut large = (0u64, 0u64);
+    for n in &snap.nodes {
+        if n.large {
+            large.0 += 1;
+            large.1 += n.size;
+        } else {
+            let e = by_class.entry(n.class).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += n.size;
+        }
+    }
+    assert_eq!(census.live_objects, snap.objects(), "total objects {when}");
+    assert_eq!(census.live_bytes, snap.bytes(), "total bytes {when}");
+    assert_eq!(census.large_objects, large.0, "large objects {when}");
+    assert_eq!(census.large_bytes, large.1, "large bytes {when}");
+    for c in &census.classes {
+        let (objects, bytes) = by_class.remove(&c.obj_size).unwrap_or((0, 0));
+        assert_eq!(
+            c.live_objects, objects,
+            "class {} objects {when}",
+            c.obj_size
+        );
+        assert_eq!(c.live_bytes, bytes, "class {} bytes {when}", c.obj_size);
+    }
+    assert!(
+        by_class.is_empty(),
+        "snapshot has classes the census omits {when}: {by_class:?}"
+    );
+}
+
+#[test]
+fn snapshot_totals_agree_with_census_at_every_observation_point() {
+    // Interesting observation points only arise under the incremental
+    // config: a tiny threshold and mark budget make collections start
+    // (and *not* finish) inside ordinary allocation, and the lazy sweep
+    // leaves debt pages behind. Count both states to prove the schedule
+    // actually exercised them.
+    let mut saw_marking = 0u32;
+    let mut saw_debt = 0u32;
+    for case in 0..24 {
+        let mut rng = Rng::for_case("snapshot_census", case);
+        let mut mem = Memory::new(1 << 14, 1 << 14, 1 << 22);
+        let mut heap = GcHeap::new(
+            &mem,
+            HeapConfig {
+                gc_threshold: 2048,
+                mark_budget_bytes: 256,
+                ..HeapConfig::bounded_pause()
+            },
+        );
+        heap.set_snap_sites(true);
+        let mut live: Vec<u64> = Vec::new();
+        for step in 0..200 {
+            let size = match rng.index(8) {
+                // An occasional large object so the large side of the
+                // census is exercised too.
+                0 => 4096 + rng.below(8192),
+                _ => 8 + rng.below(592),
+            };
+            let mut roots = RootSet::new();
+            for &a in &live {
+                roots.add_word(a);
+            }
+            let addr = heap
+                .alloc_with_roots_sited(&mut mem, size, &roots, Some("prop@1:1"))
+                .expect("schedule fits the heap");
+            live.push(addr);
+            // A sliding window of survivors: unrooted objects become
+            // garbage that the next collection turns into sweep debt.
+            if live.len() > 24 {
+                live.remove(rng.index(live.len()));
+            }
+            if heap.marking_active() {
+                saw_marking += 1;
+            }
+            if heap.stats().sweep_debt_pages > 0 {
+                saw_debt += 1;
+            }
+            assert_snapshot_matches_census(&heap, &format!("case {case} step {step}"));
+        }
+        // And at the stable points a profiler would export from.
+        let mut roots = RootSet::new();
+        for &a in &live {
+            roots.add_word(a);
+        }
+        heap.collect(&mut mem, &roots);
+        assert_snapshot_matches_census(&heap, &format!("case {case} post-collect"));
+        heap.sweep_all();
+        assert_snapshot_matches_census(&heap, &format!("case {case} post-sweep"));
+    }
+    assert!(saw_marking > 0, "schedule never observed a mid-mark cycle");
+    assert!(saw_debt > 0, "schedule never observed lazy-sweep debt");
+}
