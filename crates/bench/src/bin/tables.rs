@@ -5,7 +5,7 @@
 //!                [--prof <file.prom>] [--folded <file.txt>]
 //!                [--bench-json <file.json>] [--repeat N]
 //!                [--timeline <file.json>] [--bench-cache <file.json>]
-//!                [--snap-dir <dir>]`
+//!                [--bench-opt <file.json>] [--snap-dir <dir>]`
 //!
 //! The 4 workloads × 5 modes measurement matrix runs in parallel across
 //! `--jobs N` worker threads (default: all cores); every table and trace
@@ -50,6 +50,13 @@
 //! soundness smoke — byte-identical artifacts, equal fuzz verdicts, zero
 //! misses — so the run fails loudly on any cache unsoundness.
 //! Incompatible with `--repeat` (the cache bench times single passes).
+//!
+//! With `--bench-opt`, the optimizer benchmark writes `<file.json>`
+//! (schema `opt/1`, gated by `bench compare --budgets budgets-opt.toml`):
+//! per-pass fire totals over the matrix's optimizer modes, fixpoint
+//! driver statistics, and seed-vs-full cycle comparisons per workload ×
+//! machine. The document carries no wall-clock fields, so it is
+//! byte-identical at any `--jobs` and across cold/warm caches.
 
 use gc_safety::{JsonlSink, TraceHandle};
 use gcbench::*;
@@ -96,6 +103,11 @@ fn main() {
     let bench_cache_path: Option<&str> = args
         .iter()
         .position(|a| a == "--bench-cache")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let bench_opt_path: Option<&str> = args
+        .iter()
+        .position(|a| a == "--bench-opt")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
     let snap_dir: Option<&str> = args
@@ -206,6 +218,21 @@ fn main() {
             );
             println!("{}", register_pressure_report());
 
+            match opt_pass_fires() {
+                Ok(sweep) => {
+                    println!("{}", opt_report(&sweep));
+                    let zero = zero_fire_passes(&sweep);
+                    if !zero.is_empty() {
+                        eprintln!(
+                            "warning: {} registered pass(es) never fired across the matrix \
+                             (regressed matching or an unexercised registry entry): {}",
+                            zero.len(),
+                            zero.join(", ")
+                        );
+                    }
+                }
+                Err(e) => eprintln!("warning: optimizer fire sweep failed: {e}"),
+            }
             println!("Analysis listing (F1):\n{}", analysis_listing());
         }
         other => {
@@ -384,6 +411,29 @@ fn main() {
                 }
                 Err(e) => {
                     eprintln!("error: generated cache bench json does not validate: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = bench_opt_path {
+        // The optimizer trajectory: per-pass fire totals, fixpoint
+        // statistics, and seed-vs-full cycle cells, all deterministic.
+        match run_opt_bench(scale) {
+            Ok(text) => match validate_bench_opt_json(&text) {
+                Ok(cells) => {
+                    if let Err(e) = std::fs::write(path, &text) {
+                        eprintln!("error: cannot write opt bench json '{path}': {e}");
+                        std::process::exit(1);
+                    }
+                    println!("\nopt trajectory: {cells} cells written to {path}");
+                }
+                Err(e) => {
+                    eprintln!("error: generated opt bench json does not validate: {e}");
                     std::process::exit(1);
                 }
             },

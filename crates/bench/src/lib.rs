@@ -921,6 +921,33 @@ pub fn prometheus_export(data: &Dataset) -> String {
             );
         }
     }
+    // Optimizer pass fires and fixpoint-driver statistics over the
+    // matrix's optimizer modes. These are a pure function of the sources
+    // and the pass registry — no wall-clock, no thread schedule — so the
+    // families stay out of the stripped prefixes and must be
+    // byte-identical at any `--jobs`.
+    if let Ok(sweep) = opt_pass_fires() {
+        w.family(
+            "opt_pass_fires",
+            "Optimizer pass fires over the matrix's optimizer modes (fixpoint driver)",
+            "counter",
+        );
+        for (pass, fires) in &sweep.fires {
+            w.sample("opt_pass_fires", &[("pass", pass)], *fires);
+        }
+        w.family(
+            "opt_fixpoint_sweeps",
+            "Fixpoint driver statistics over the matrix's optimizer modes",
+            "gauge",
+        );
+        for (stat, v) in [
+            ("functions", sweep.functions),
+            ("total", sweep.sweeps_total),
+            ("max", sweep.sweeps_max),
+        ] {
+            w.sample("opt_fixpoint_sweeps", &[("stat", stat)], v);
+        }
+    }
     // Compilation-cache counters. These are cumulative for the process
     // (not per-cell) and schedule-dependent — racing workers may both
     // miss one key — which is why every family sits under the stripped
@@ -1504,6 +1531,342 @@ pub fn run_cache_bench(
     Ok(bench_cache_json(&passes))
 }
 
+/// A deterministic synthetic kernel folded into the optimizer fire-count
+/// sweep alongside the paper workloads. Each region is shaped for one of
+/// the registry's gated passes — back-to-back stores for dse, a branch
+/// that binds the same constant on both arms for sccp, a loop-carried
+/// scaled index for strength reduction, and a dominated recomputation
+/// for gvn — so the fire-count gate never depends on the paper sources
+/// happening to contain every shape.
+const OPT_KERNEL_SOURCE: &str = r#"
+int main(void) {
+    long n = 64;
+    long *a = (long *) malloc(n * sizeof(long));
+    long *t = (long *) malloc(2 * sizeof(long));
+    long i; long s = 0; long f = 0; long m = 0; long x = 0; long y = 0;
+    for (i = 0; i < n; i++) a[i] = i * 2 + 1;
+    /* dse: the first store to t[0] is overwritten before any read or
+       call can observe it. */
+    for (i = 0; i < n; i++) {
+        t[0] = s + 7;
+        t[0] = i * 3;
+        s = s + t[0] + a[i];
+    }
+    /* sccp: both arms bind the same constant, so only constant
+       propagation through the branch proves the loop-body condition. */
+    if (n > 4) f = 5; else f = 5;
+    for (i = 0; i < n; i++) {
+        if (f > 4) s = s + a[i]; else s = s - a[i] * 2;
+    }
+    /* strength: a loop-carried scaled index becomes a strided pointer. */
+    m = n / 3;
+    for (i = 0; i < m; i++) s = s + a[i * 3];
+    /* gvn: the entry computation of x*9+1 dominates the recomputation
+       inside the loop. */
+    x = s / 7;
+    y = x * 9 + 1;
+    for (i = 0; i < 4; i++) s = s + x * 9 + 1 - y;
+    putint(s & 0xffffff);
+    return 0;
+}
+"#;
+
+/// Per-pass fire totals and fixpoint-driver statistics over the
+/// optimizer sweep: every paper workload plus [`OPT_KERNEL_SOURCE`],
+/// compiled to pre-optimizer IR under each optimizer-running mode, then
+/// driven to fixpoint with a ledger attached. Everything here is a
+/// deterministic function of the sources and the pass registry — no
+/// wall-clock, no thread schedule — so the numbers are byte-identical
+/// at any `--jobs` and across cold/warm compilation caches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptSweep {
+    /// `(pass name, total fires)` in registry order, summed over the sweep.
+    pub fires: Vec<(&'static str, u64)>,
+    /// Functions driven to fixpoint.
+    pub functions: u64,
+    /// Total driver sweeps across all functions (each includes the final
+    /// all-zero sweep that proves the fixpoint).
+    pub sweeps_total: u64,
+    /// Maximum sweeps any single function needed.
+    pub sweeps_max: u64,
+}
+
+/// Runs the optimizer fire-count sweep (see [`OptSweep`]).
+///
+/// The optimizer-running modes are `-O` and `-O safe`; `-O safe+post`
+/// shares the safe build's optimizer configuration (the postprocessor
+/// runs after codegen), so counting it would only double the safe rows.
+/// Each source is compiled with the optimizer disabled to obtain the
+/// exact pre-optimizer IR, then every function is cloned and driven
+/// through [`cvm::optimize_func_ledger`] under the mode's real options.
+///
+/// # Errors
+///
+/// Returns a message naming the source/mode whose front-end failed.
+pub fn opt_pass_fires() -> Result<OptSweep, String> {
+    let mut sweep = OptSweep {
+        fires: cvm::pass_names().iter().map(|n| (*n, 0u64)).collect(),
+        functions: 0,
+        sweeps_total: 0,
+        sweeps_max: 0,
+    };
+    let mut sources: Vec<(&str, &str)> = workloads::all()
+        .iter()
+        .map(|w| (w.name, w.source))
+        .collect();
+    sources.push(("optkernel", OPT_KERNEL_SOURCE));
+    for (name, source) in sources {
+        for mode in [Mode::O, Mode::OSafe] {
+            let copts = mode.compile_options();
+            let mut front = mode.compile_options();
+            front.opt.enabled = false;
+            let prog = cvm::compile(source, &front)
+                .map_err(|e| format!("opt bench: {name}/{} front-end: {e}", mode.key()))?;
+            for f in &prog.funcs {
+                let mut again = f.clone();
+                let ledger = cvm::optimize_func_ledger(&mut again, copts.opt);
+                sweep.functions += 1;
+                sweep.sweeps_total += ledger.sweeps as u64;
+                sweep.sweeps_max = sweep.sweeps_max.max(ledger.sweeps as u64);
+                for (slot, (pass, fires)) in sweep.fires.iter_mut().zip(&ledger.fires) {
+                    debug_assert_eq!(slot.0, *pass);
+                    slot.1 += *fires as u64;
+                }
+            }
+        }
+    }
+    Ok(sweep)
+}
+
+/// Registered passes that never fired across the sweep — the signal the
+/// tables runner warns on, and the CI smoke fails on: a zero-fire pass
+/// is either regressed pattern matching or a registry entry nothing
+/// exercises.
+pub fn zero_fire_passes(sweep: &OptSweep) -> Vec<&'static str> {
+    sweep
+        .fires
+        .iter()
+        .filter(|(_, fires)| *fires == 0)
+        .map(|(pass, _)| *pass)
+        .collect()
+}
+
+/// Human-readable per-pass fire summary for the tables output.
+pub fn opt_report(sweep: &OptSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Optimizer pass fires (paper workloads + kernel, -O and -O safe):"
+    );
+    for (pass, fires) in &sweep.fires {
+        let _ = writeln!(out, "  {pass:16}{fires:>8}");
+    }
+    let _ = writeln!(
+        out,
+        "  {} functions to fixpoint in {} sweeps (max {} per function, cap {})",
+        sweep.functions,
+        sweep.sweeps_total,
+        sweep.sweeps_max,
+        cvm::opt::FIXPOINT_SWEEP_CAP,
+    );
+    out
+}
+
+/// One `-O` cycle-comparison cell: a workload's measured cycles with the
+/// seed pipeline (the four PR-10 passes disabled) against the full
+/// registry, on one machine model.
+#[derive(Debug, Clone)]
+pub struct OptCycles {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Machine key (`sparc2`, `sparc10`, `pentium90`).
+    pub machine: &'static str,
+    /// Cycles with gvn/sccp/dse/strength disabled.
+    pub cycles_base: u64,
+    /// Cycles with the full registry.
+    pub cycles_full: u64,
+}
+
+impl OptCycles {
+    /// Cycles saved by the new passes, in permille of the base (0 when
+    /// the full pipeline is not an improvement).
+    pub fn saved_permille(&self) -> u64 {
+        if self.cycles_base == 0 {
+            return 0;
+        }
+        self.cycles_base.saturating_sub(self.cycles_full) * 1000 / self.cycles_base
+    }
+}
+
+/// Measures every paper workload under `-O` with the seed pipeline
+/// (gvn/sccp/dse/strength off) and with the full registry, and reports
+/// cycles per machine model. Deterministic: the VM's cycle model has no
+/// wall-clock input.
+///
+/// # Errors
+///
+/// Returns a message naming the workload whose build or run failed.
+pub fn opt_cycles(scale: Scale) -> Result<Vec<OptCycles>, String> {
+    let mut out = Vec::new();
+    for w in workloads::all() {
+        let input = (w.input)(scale);
+        let measure = |opt: cvm::OptOptions| -> Result<BTreeMap<&'static str, u64>, String> {
+            let mut copts = Mode::O.compile_options();
+            copts.opt = opt;
+            let prog = cvm::compile(w.source, &copts)
+                .map_err(|e| format!("opt bench: {} does not compile: {e}", w.name))?;
+            let vm = cvm::VmOptions {
+                input: input.clone(),
+                ..cvm::VmOptions::default()
+            };
+            let outcome = cvm::run_compiled(&prog, &vm)
+                .map_err(|e| format!("opt bench: {} failed to run: {e}", w.name))?;
+            let mut cycles = BTreeMap::new();
+            for key in ["sparc2", "sparc10", "pentium90"] {
+                let machine = Machine::by_key(key).expect("known machine key");
+                let asm = asmpost::codegen_program(&prog, &machine);
+                cycles.insert(
+                    key,
+                    asmpost::measure(&asm, &outcome.profile, &machine).cycles,
+                );
+            }
+            Ok(cycles)
+        };
+        let mut seed = Mode::O.compile_options().opt;
+        seed.gvn = false;
+        seed.sccp = false;
+        seed.dse = false;
+        seed.strength = false;
+        let base = measure(seed)?;
+        let full = measure(Mode::O.compile_options().opt)?;
+        for key in ["sparc2", "sparc10", "pentium90"] {
+            out.push(OptCycles {
+                workload: w.name,
+                machine: key,
+                cycles_base: base[key],
+                cycles_full: full[key],
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The optimizer trajectory (`BENCH_opt.json`), schema `opt/1`:
+///
+/// * one `kind: "pass"` cell per registered pass (cell key
+///   `pass/<name>`) with its sweep-wide fire total and `fired_permille`
+///   (1000 or 0) — the field `budgets-opt.toml` floors at 1000;
+/// * one `kind: "fixpoint"` cell with the driver statistics;
+/// * one `kind: "cycles"` cell per workload × machine (cell key
+///   `<workload>/O-<machine>`) with seed-vs-full cycles and
+///   `saved_permille` for the improvement floors.
+///
+/// No cell carries wall-clock or a `collections` field, so the document
+/// is byte-identical at any `--jobs` and exempt from the perf gate's
+/// new-cell pause check.
+pub fn bench_opt_json(sweep: &OptSweep, cycles: &[OptCycles]) -> String {
+    let mut lines = Vec::new();
+    for (pass, fires) in &sweep.fires {
+        let mut w = gctrace::json::Writer::new();
+        w.str_field("schema", "opt/1");
+        w.str_field("kind", "pass");
+        w.str_field("workload", "pass");
+        w.str_field("mode", pass);
+        w.uint_field("fires", *fires);
+        w.uint_field("fired_permille", if *fires > 0 { 1000 } else { 0 });
+        lines.push(format!("  {}", w.finish()));
+    }
+    {
+        let mut w = gctrace::json::Writer::new();
+        w.str_field("schema", "opt/1");
+        w.str_field("kind", "fixpoint");
+        w.str_field("workload", "fixpoint");
+        w.str_field("mode", "all");
+        w.uint_field("functions", sweep.functions);
+        w.uint_field("sweeps_total", sweep.sweeps_total);
+        w.uint_field("sweeps_max", sweep.sweeps_max);
+        lines.push(format!("  {}", w.finish()));
+    }
+    for c in cycles {
+        let mut w = gctrace::json::Writer::new();
+        w.str_field("schema", "opt/1");
+        w.str_field("kind", "cycles");
+        w.str_field("workload", c.workload);
+        w.str_field("mode", &format!("O-{}", c.machine));
+        w.uint_field("cycles_base", c.cycles_base);
+        w.uint_field("cycles_full", c.cycles_full);
+        w.uint_field("saved_permille", c.saved_permille());
+        lines.push(format!("  {}", w.finish()));
+    }
+    format!("[\n{}\n]\n", lines.join(",\n"))
+}
+
+/// Validates a [`bench_opt_json`] document: every line between the array
+/// brackets must parse as a flat object carrying the `opt/1` schema tag
+/// and the fields its `kind` is gated on. Returns the number of cells.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn validate_bench_opt_json(text: &str) -> Result<usize, String> {
+    let mut cells = 0;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let obj = gctrace::json::parse_object(line).map_err(|e| format!("bad cell: {e}"))?;
+        if obj.get("schema").and_then(gctrace::json::JsonValue::as_str) != Some("opt/1") {
+            return Err(format!("unknown schema in cell: {line}"));
+        }
+        let kind = obj
+            .get("kind")
+            .and_then(gctrace::json::JsonValue::as_str)
+            .ok_or_else(|| format!("cell missing \"kind\": {line}"))?;
+        let required: &[&str] = match kind {
+            "pass" => &["workload", "mode", "fires", "fired_permille"],
+            "fixpoint" => &[
+                "workload",
+                "mode",
+                "functions",
+                "sweeps_total",
+                "sweeps_max",
+            ],
+            "cycles" => &[
+                "workload",
+                "mode",
+                "cycles_base",
+                "cycles_full",
+                "saved_permille",
+            ],
+            other => return Err(format!("unknown cell kind {other:?}: {line}")),
+        };
+        for key in required {
+            if !obj.contains_key(*key) {
+                return Err(format!("{kind} cell missing {key:?}: {line}"));
+            }
+        }
+        cells += 1;
+    }
+    if cells == 0 {
+        return Err("no cells".into());
+    }
+    Ok(cells)
+}
+
+/// Runs the optimizer benchmark and returns the [`bench_opt_json`]
+/// document: the fire-count sweep plus the seed-vs-full cycle
+/// comparison. Fully deterministic — see [`OptSweep`].
+///
+/// # Errors
+///
+/// Build or run failures are reported as messages.
+pub fn run_opt_bench(scale: Scale) -> Result<String, String> {
+    let sweep = opt_pass_fires()?;
+    let cycles = opt_cycles(scale)?;
+    Ok(bench_opt_json(&sweep, &cycles))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1637,6 +2000,42 @@ mod tests {
     fn annotated_example_matches_paper_form() {
         let a = annotated_example();
         assert!(a.contains("KEEP_LIVE"), "{a}");
+    }
+
+    #[test]
+    fn every_registered_pass_fires_in_the_opt_sweep() {
+        // The fire-count gate's core claim: the paper workloads plus the
+        // synthetic kernel give every registered pass — in particular
+        // the second crop (gvn, sccp, dse, strength) — at least one
+        // firing opportunity, and the sweep is deterministic.
+        let sweep = opt_pass_fires().expect("sweep runs");
+        assert_eq!(zero_fire_passes(&sweep), Vec::<&str>::new());
+        for pass in ["gvn", "sccp", "dse", "strength"] {
+            let (_, fires) = sweep
+                .fires
+                .iter()
+                .find(|(p, _)| *p == pass)
+                .expect("registered");
+            assert!(*fires > 0, "{pass} never fired");
+        }
+        assert!(sweep.functions > 0 && sweep.sweeps_max >= 2);
+        assert!(sweep.sweeps_max as usize <= cvm::opt::FIXPOINT_SWEEP_CAP);
+        assert_eq!(sweep, opt_pass_fires().expect("sweep reruns"));
+    }
+
+    #[test]
+    fn bench_opt_json_is_valid_and_deterministic() {
+        let text = run_opt_bench(Scale::Tiny).expect("opt bench runs");
+        let cells = validate_bench_opt_json(&text).expect("validates");
+        // One cell per registered pass, one fixpoint cell, one cycles
+        // cell per workload × machine.
+        assert_eq!(cells, cvm::pass_names().len() + 1 + 4 * 3);
+        assert_eq!(text, run_opt_bench(Scale::Tiny).expect("opt bench reruns"));
+        assert!(validate_bench_opt_json("[\n]\n").is_err(), "empty rejected");
+        assert!(
+            validate_bench_opt_json("[\n  {\"schema\":\"opt/1\",\"kind\":\"pass\"}\n]\n").is_err(),
+            "pass cell without fires rejected"
+        );
     }
 }
 

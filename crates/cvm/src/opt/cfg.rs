@@ -1,0 +1,140 @@
+//! Small CFG analyses shared by the loop and global passes.
+
+use crate::ir::*;
+use std::collections::HashSet;
+
+/// Dominator sets per block (iterative dataflow; CFGs here are tiny).
+pub(super) fn dominators(f: &FuncIr) -> Vec<HashSet<usize>> {
+    dominators_masked(f, &vec![true; f.blocks.len()])
+}
+
+/// [`dominators`] restricted to the subgraph where `mask` holds: masked
+/// blocks are ignored as predecessors, so an unreachable edge into a
+/// merge point does not dilute the dominators of the reachable path
+/// (SCCP queries this with its executable-block set). Masked blocks
+/// keep the full set — callers must not query them.
+pub(super) fn dominators_masked(f: &FuncIr, mask: &[bool]) -> Vec<HashSet<usize>> {
+    let n = f.blocks.len();
+    let all: HashSet<usize> = (0..n).collect();
+    let mut dom: Vec<HashSet<usize>> = vec![all; n];
+    if n == 0 || !mask[0] {
+        return dom;
+    }
+    dom[0] = HashSet::from([0]);
+    let preds: Vec<Vec<usize>> = (0..n)
+        .map(|b| {
+            preds(f, b)
+                .into_iter()
+                .filter(|&p| mask[p])
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            if !mask[b] {
+                continue;
+            }
+            let mut new: Option<HashSet<usize>> = None;
+            for &p in &preds[b] {
+                new = Some(match new {
+                    None => dom[p].clone(),
+                    Some(acc) => acc.intersection(&dom[p]).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(b);
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+pub(super) fn preds(f: &FuncIr, target: usize) -> Vec<usize> {
+    (0..f.blocks.len())
+        .filter(|&bi| {
+            f.blocks[bi]
+                .successors()
+                .iter()
+                .any(|s| s.0 as usize == target)
+        })
+        .collect()
+}
+
+/// True back edges (latch, header): u→v with v dominating u (switch
+/// lowering also produces harmless backward-numbered forward edges).
+pub(super) fn back_edges(f: &FuncIr, dom: &[HashSet<usize>]) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for s in b.successors() {
+            let h = s.0 as usize;
+            if dom[bi].contains(&h) {
+                edges.push((bi, h));
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    edges
+}
+
+/// Natural loop of the back edge latch→header: header plus every block
+/// that reaches the latch without passing through the header.
+pub(super) fn loop_blocks(f: &FuncIr, latch: usize, header: usize) -> Vec<usize> {
+    let mut in_loop = vec![false; f.blocks.len()];
+    in_loop[header] = true;
+    let mut work = vec![latch];
+    while let Some(b) = work.pop() {
+        if in_loop[b] {
+            continue;
+        }
+        in_loop[b] = true;
+        for p in preds(f, b) {
+            work.push(p);
+        }
+    }
+    (0..f.blocks.len()).filter(|&b| in_loop[b]).collect()
+}
+
+/// Appends a preheader block holding `instrs` followed by a jump to
+/// `header`, and redirects every predecessor of `header` outside
+/// `in_loop` to it. Returns the new block's id.
+pub(super) fn insert_preheader(
+    f: &mut FuncIr,
+    header: usize,
+    in_loop: impl Fn(usize) -> bool,
+    mut instrs: Vec<Instr>,
+) -> BlockId {
+    let pre_id = BlockId(f.blocks.len() as u32);
+    instrs.push(Instr::Jump {
+        target: BlockId(header as u32),
+    });
+    f.blocks.push(Block { instrs });
+    for bi in 0..f.blocks.len() - 1 {
+        if in_loop(bi) {
+            continue;
+        }
+        let block = &mut f.blocks[bi];
+        if let Some(last) = block.instrs.last_mut() {
+            match last {
+                Instr::Jump { target } if target.0 as usize == header => *target = pre_id,
+                Instr::Branch {
+                    if_true, if_false, ..
+                } => {
+                    if if_true.0 as usize == header {
+                        *if_true = pre_id;
+                    }
+                    if if_false.0 as usize == header {
+                        *if_false = pre_id;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    pre_id
+}

@@ -1,0 +1,72 @@
+//! Dead-store elimination.
+//!
+//! A store is dead when the same address is overwritten by at least as
+//! wide a store, in the same block, with nothing in between that could
+//! observe memory. "Observe" is deliberately conservative about the
+//! collector: besides loads and memcopies, every *call* is a barrier,
+//! because a call is a collection point — the conservative collector
+//! scans the heap during a collection, so a store of the last pointer to
+//! an object may be exactly what makes that object findable (the paper's
+//! scariest disguise). By refusing to eliminate across calls, no
+//! collection can ever run between the elided store and the overwrite
+//! that justified it, and the heap the collector sees is identical with
+//! and without the pass. The store's *address* computation usually dies
+//! with it (dce), which shortens pointer live ranges before the call —
+//! that liveness shift is the hazard surface the annotator's `KeepLive`
+//! base operands must absorb, and the fuzz soak exercises.
+//!
+//! `KeepLive`/`CheckSame` are not barriers: they inspect object
+//! identity and the page map, never stored contents — but they are also
+//! never removed by this pass (only plain `Store`s are candidates).
+
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Runs dead-store elimination; returns the number of stores removed.
+pub fn dse(f: &mut FuncIr) -> usize {
+    let mut fires = 0usize;
+    for b in &mut f.blocks {
+        // (address operand, width) of stores seen later in the block with
+        // no intervening observer.
+        let mut pending: HashMap<Operand, u8> = HashMap::new();
+        let mut dead: Vec<usize> = Vec::new();
+        for ii in (0..b.instrs.len()).rev() {
+            let ins = &b.instrs[ii];
+            match ins {
+                Instr::Store { addr, width, .. } => {
+                    match pending.get(addr) {
+                        Some(&w) if w >= *width => {
+                            // Overwritten before any possible read (or
+                            // collection): dead.
+                            dead.push(ii);
+                            fires += 1;
+                            continue;
+                        }
+                        _ => {
+                            // Track the widest pending store per address.
+                            let w = pending.entry(*addr).or_insert(0);
+                            *w = (*w).max(*width);
+                        }
+                    }
+                }
+                // Reads — and collection points — invalidate everything:
+                // loads and memcopies may alias any address, and a call
+                // may trigger a collection that scans the heap.
+                Instr::Load { .. } | Instr::MemCopy { .. } | Instr::Call { .. } => {
+                    pending.clear();
+                }
+                _ => {
+                    // A redefinition of an address temp means earlier
+                    // stores through it hit a different location.
+                    if let Some(d) = ins.dst() {
+                        pending.retain(|a, _| a.as_temp() != Some(d));
+                    }
+                }
+            }
+        }
+        for ii in dead {
+            b.instrs.remove(ii);
+        }
+    }
+    fires
+}

@@ -1,0 +1,71 @@
+//! Eager scheduling.
+
+use crate::ir::*;
+
+/// Eager scheduling: moves pure instructions as early in their block as
+/// their operands allow — in particular above calls (conventional latency
+/// hiding). `KeepLive` / `CheckSame` are ordering points and never move;
+/// loads don't move above stores/calls. Returns the number of
+/// instructions moved.
+///
+/// A move is only committed when it crosses at least one non-movable
+/// instruction (a call or memory op — the latency win), and it lands
+/// directly above the topmost one crossed. Crossing nothing but pure
+/// instructions would reorder without gain, and is exactly the move that
+/// oscillates: two independent pure instructions leapfrog each other on
+/// every run, which would spin the fixpoint driver to its sweep cap.
+/// With gainless moves skipped the pass is idempotent.
+pub fn schedule_early(f: &mut FuncIr) -> usize {
+    let mut moves = 0usize;
+    for b in &mut f.blocks {
+        let n = b.instrs.len();
+        if n < 2 {
+            continue;
+        }
+        let mut i = 1;
+        while i < n {
+            if movable(&b.instrs[i]) {
+                // Find the earliest legal slot, honouring true, anti, and
+                // output dependences.
+                let mut deps = Vec::new();
+                b.instrs[i].uses(&mut deps);
+                let our_dst = b.instrs[i].dst();
+                let mut slot = i;
+                while slot > 0 {
+                    let prev = &b.instrs[slot - 1];
+                    let prev_dst = prev.dst();
+                    let true_dep = prev_dst.map(|d| deps.contains(&d)).unwrap_or(false);
+                    let mut prev_uses = Vec::new();
+                    prev.uses(&mut prev_uses);
+                    let anti_dep = our_dst.map(|d| prev_uses.contains(&d)).unwrap_or(false);
+                    let output_dep = our_dst.is_some() && prev_dst == our_dst;
+                    if true_dep || anti_dep || output_dep || is_ordering_point(prev) {
+                        break;
+                    }
+                    slot -= 1;
+                }
+                // Land directly above the topmost non-movable crossed.
+                if let Some(target) = (slot..i).find(|&s| !movable(&b.instrs[s])) {
+                    let ins = b.instrs.remove(i);
+                    b.instrs.insert(target, ins);
+                    moves += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+    moves
+}
+
+fn movable(ins: &Instr) -> bool {
+    matches!(
+        ins,
+        Instr::Bin { .. } | Instr::Const { .. } | Instr::FrameAddr { .. } | Instr::Mov { .. }
+    )
+}
+
+fn is_ordering_point(ins: &Instr) -> bool {
+    // KeepLive/CheckSame pin the schedule (the paper's "explicit program
+    // point"); terminators end blocks.
+    matches!(ins, Instr::KeepLive { .. } | Instr::CheckSame { .. }) || ins.is_terminator()
+}

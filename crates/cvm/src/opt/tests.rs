@@ -1,0 +1,1187 @@
+use super::*;
+
+fn t(n: u32) -> Temp {
+    Temp(n)
+}
+
+fn func(instrs: Vec<Instr>, temp_count: u32) -> FuncIr {
+    FuncIr {
+        name: "test".into(),
+        blocks: vec![Block { instrs }],
+        temp_count,
+        param_temps: vec![],
+        frame_size: 0,
+        returns_value: true,
+    }
+}
+
+#[test]
+fn const_fold_arithmetic() {
+    let mut f = func(
+        vec![
+            Instr::Const {
+                dst: t(0),
+                value: 6,
+            },
+            Instr::Const {
+                dst: t(1),
+                value: 7,
+            },
+            Instr::Bin {
+                dst: t(2),
+                op: BinIr::Mul,
+                a: t(0).into(),
+                b: t(1).into(),
+            },
+            Instr::Ret {
+                value: Some(t(2).into()),
+            },
+        ],
+        3,
+    );
+    copy_prop(&mut f);
+    const_fold(&mut f);
+    copy_prop(&mut f);
+    dce(&mut f);
+    assert_eq!(
+        f.blocks[0].instrs,
+        vec![Instr::Ret {
+            value: Some(Operand::Const(42))
+        }]
+    );
+}
+
+#[test]
+fn mul_by_power_of_two_becomes_shift() {
+    let mut f = func(
+        vec![
+            Instr::Bin {
+                dst: t(1),
+                op: BinIr::Mul,
+                a: t(0).into(),
+                b: Operand::Const(8),
+            },
+            Instr::Ret {
+                value: Some(t(1).into()),
+            },
+        ],
+        2,
+    );
+    const_fold(&mut f);
+    assert!(matches!(
+        f.blocks[0].instrs[0],
+        Instr::Bin {
+            op: BinIr::Shl,
+            b: Operand::Const(3),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn cse_merges_repeated_address_computation() {
+    let mut f = func(
+        vec![
+            Instr::Bin {
+                dst: t(1),
+                op: BinIr::Add,
+                a: t(0).into(),
+                b: Operand::Const(8),
+            },
+            Instr::Bin {
+                dst: t(2),
+                op: BinIr::Add,
+                a: t(0).into(),
+                b: Operand::Const(8),
+            },
+            Instr::Bin {
+                dst: t(3),
+                op: BinIr::Add,
+                a: t(1).into(),
+                b: t(2).into(),
+            },
+            Instr::Ret {
+                value: Some(t(3).into()),
+            },
+        ],
+        4,
+    );
+    cse(&mut f);
+    copy_prop(&mut f);
+    dce(&mut f);
+    let adds = f.blocks[0]
+        .instrs
+        .iter()
+        .filter(|i| {
+            matches!(
+                i,
+                Instr::Bin {
+                    op: BinIr::Add,
+                    b: Operand::Const(8),
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(adds, 1, "duplicate add folded: {:?}", f.blocks[0].instrs);
+}
+
+#[test]
+fn redundant_load_removed_until_store() {
+    let mut f = func(
+        vec![
+            Instr::Load {
+                dst: t(1),
+                addr: t(0).into(),
+                width: 8,
+                signed: false,
+            },
+            Instr::Load {
+                dst: t(2),
+                addr: t(0).into(),
+                width: 8,
+                signed: false,
+            },
+            Instr::Store {
+                addr: t(0).into(),
+                value: Operand::Const(1),
+                width: 8,
+            },
+            Instr::Load {
+                dst: t(3),
+                addr: t(0).into(),
+                width: 8,
+                signed: false,
+            },
+            Instr::Bin {
+                dst: t(4),
+                op: BinIr::Add,
+                a: t(1).into(),
+                b: t(2).into(),
+            },
+            Instr::Bin {
+                dst: t(5),
+                op: BinIr::Add,
+                a: t(4).into(),
+                b: t(3).into(),
+            },
+            Instr::Ret {
+                value: Some(t(5).into()),
+            },
+        ],
+        6,
+    );
+    cse(&mut f);
+    let load_count = f.blocks[0]
+        .instrs
+        .iter()
+        .filter(|i| matches!(i, Instr::Load { .. }))
+        .count();
+    assert_eq!(load_count, 2, "second load folded, post-store load kept");
+}
+
+#[test]
+fn dce_removes_dead_but_keeps_side_effects() {
+    let mut f = func(
+        vec![
+            Instr::Const {
+                dst: t(0),
+                value: 1,
+            },
+            Instr::Const {
+                dst: t(1),
+                value: 2,
+            },
+            Instr::Store {
+                addr: Operand::Const(0x10000),
+                value: t(1).into(),
+                width: 8,
+            },
+            Instr::Ret { value: None },
+        ],
+        2,
+    );
+    dce(&mut f);
+    assert_eq!(
+        f.blocks[0].instrs.len(),
+        3,
+        "dead const removed, store kept"
+    );
+}
+
+#[test]
+fn dead_keep_live_is_removable() {
+    let mut f = func(
+        vec![
+            Instr::KeepLive {
+                dst: t(1),
+                value: t(0).into(),
+                base: None,
+            },
+            Instr::Ret { value: None },
+        ],
+        2,
+    );
+    dce(&mut f);
+    assert_eq!(f.blocks[0].instrs.len(), 1);
+}
+
+#[test]
+fn reassociate_creates_displaced_base() {
+    // t1 = i - 1000 ; t2 = p + t1  →  t3 = p - 1000 ; t2 = t3 + i
+    let mut f = func(
+        vec![
+            Instr::Bin {
+                dst: t(2),
+                op: BinIr::Sub,
+                a: t(1).into(),
+                b: Operand::Const(1000),
+            },
+            Instr::Bin {
+                dst: t(3),
+                op: BinIr::Add,
+                a: t(0).into(),
+                b: t(2).into(),
+            },
+            Instr::Ret {
+                value: Some(t(3).into()),
+            },
+        ],
+        4,
+    );
+    reassociate(&mut f);
+    let dump = f.dump();
+    assert!(
+        dump.contains("Sub(t0, 1000)"),
+        "displaced base created:\n{dump}"
+    );
+}
+
+#[test]
+fn schedule_hoists_arithmetic_above_calls() {
+    let mut f = func(
+        vec![
+            Instr::Bin {
+                dst: t(1),
+                op: BinIr::Sub,
+                a: t(0).into(),
+                b: Operand::Const(4),
+            },
+            Instr::Call {
+                dst: Some(t(2)),
+                target: CallTarget::Builtin(cfront::Builtin::Malloc),
+                args: vec![Operand::Const(8)],
+                site: None,
+            },
+            Instr::Bin {
+                dst: t(3),
+                op: BinIr::Add,
+                a: t(1).into(),
+                b: Operand::Const(1),
+            },
+            Instr::Ret {
+                value: Some(t(3).into()),
+            },
+        ],
+        4,
+    );
+    schedule_early(&mut f);
+    // The add depending only on t1 moves above the call.
+    assert!(matches!(
+        f.blocks[0].instrs[1],
+        Instr::Bin { op: BinIr::Add, .. }
+    ));
+    assert!(matches!(f.blocks[0].instrs[2], Instr::Call { .. }));
+}
+
+#[test]
+fn schedule_respects_keep_live_ordering() {
+    let mut f = func(
+        vec![
+            Instr::KeepLive {
+                dst: t(1),
+                value: t(0).into(),
+                base: Some(t(0).into()),
+            },
+            Instr::Call {
+                dst: Some(t(2)),
+                target: CallTarget::Builtin(cfront::Builtin::Malloc),
+                args: vec![Operand::Const(8)],
+                site: None,
+            },
+            Instr::Bin {
+                dst: t(3),
+                op: BinIr::Add,
+                a: t(1).into(),
+                b: Operand::Const(1),
+            },
+            Instr::Ret {
+                value: Some(t(3).into()),
+            },
+        ],
+        4,
+    );
+    schedule_early(&mut f);
+    // t3's add uses t1 (the keep_live result): it may hoist above the
+    // call but never above the keep_live.
+    let kl_pos = f.blocks[0]
+        .instrs
+        .iter()
+        .position(|i| matches!(i, Instr::KeepLive { .. }))
+        .expect("keep_live kept");
+    let add_pos = f.blocks[0]
+        .instrs
+        .iter()
+        .position(|i| matches!(i, Instr::Bin { op: BinIr::Add, .. }))
+        .expect("add kept");
+    assert!(add_pos > kl_pos);
+}
+
+#[test]
+fn copy_prop_through_chain() {
+    let mut f = func(
+        vec![
+            Instr::Const {
+                dst: t(0),
+                value: 5,
+            },
+            Instr::Mov {
+                dst: t(1),
+                src: t(0).into(),
+            },
+            Instr::Mov {
+                dst: t(2),
+                src: t(1).into(),
+            },
+            Instr::Ret {
+                value: Some(t(2).into()),
+            },
+        ],
+        3,
+    );
+    copy_prop(&mut f);
+    dce(&mut f);
+    assert_eq!(
+        f.blocks[0].instrs,
+        vec![Instr::Ret {
+            value: Some(Operand::Const(5))
+        }]
+    );
+}
+
+#[test]
+fn optimizer_never_folds_through_keep_live() {
+    // t1 = keeplive(7); t2 = t1 + 1 — t2 must not become Const(8).
+    let mut f = func(
+        vec![
+            Instr::KeepLive {
+                dst: t(1),
+                value: Operand::Const(7),
+                base: None,
+            },
+            Instr::Bin {
+                dst: t(2),
+                op: BinIr::Add,
+                a: t(1).into(),
+                b: Operand::Const(1),
+            },
+            Instr::Ret {
+                value: Some(t(2).into()),
+            },
+        ],
+        3,
+    );
+    optimize_func(&mut f, OptOptions::full());
+    let dump = f.dump();
+    assert!(dump.contains("keep_live"), "keep_live survives: {dump}");
+    assert!(
+        !dump.contains("ret 8"),
+        "no folding through the barrier: {dump}"
+    );
+}
+
+#[test]
+fn registry_names_are_unique_and_ledger_matches() {
+    let names = pass_names();
+    let mut sorted = names.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate pass name registered");
+    let mut f = func(vec![Instr::Ret { value: None }], 0);
+    let ledger = optimize_func_ledger(&mut f, OptOptions::full());
+    assert_eq!(
+        ledger.fires.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        names,
+        "ledger rows follow registry order"
+    );
+    assert!(ledger.sweeps >= 1);
+}
+
+#[test]
+fn disabled_passes_never_fire() {
+    let mut opts = OptOptions::full();
+    opts.gvn = false;
+    opts.sccp = false;
+    opts.dse = false;
+    opts.strength = false;
+    // A shape every gated pass would fire on: a dead store pair plus a
+    // branch-constant condition.
+    let mut f = func(
+        vec![
+            Instr::Store {
+                addr: t(0).into(),
+                value: Operand::Const(1),
+                width: 8,
+            },
+            Instr::Store {
+                addr: t(0).into(),
+                value: Operand::Const(2),
+                width: 8,
+            },
+            Instr::Ret { value: None },
+        ],
+        1,
+    );
+    let ledger = optimize_func_ledger(&mut f, opts);
+    for pass in ["gvn", "sccp", "dse", "strength"] {
+        assert_eq!(ledger.fires_for(pass), 0, "{pass} fired while disabled");
+    }
+    assert_eq!(
+        f.blocks[0].instrs.len(),
+        3,
+        "dead store survives with dse off"
+    );
+}
+
+#[test]
+fn driver_reaches_fixpoint_and_is_idempotent() {
+    // A little bit of everything: constants to fold, a dead store, and a
+    // redundant add.
+    let instrs = vec![
+        Instr::Const {
+            dst: t(1),
+            value: 6,
+        },
+        Instr::Bin {
+            dst: t(2),
+            op: BinIr::Mul,
+            a: t(1).into(),
+            b: Operand::Const(7),
+        },
+        Instr::Store {
+            addr: t(0).into(),
+            value: t(2).into(),
+            width: 8,
+        },
+        Instr::Store {
+            addr: t(0).into(),
+            value: Operand::Const(0),
+            width: 8,
+        },
+        Instr::Ret {
+            value: Some(t(2).into()),
+        },
+    ];
+    let mut f = func(instrs, 3);
+    let first = optimize_func_ledger(&mut f, OptOptions::full());
+    assert!(first.sweeps < FIXPOINT_SWEEP_CAP, "driver converged");
+    let second = optimize_func_ledger(&mut f, OptOptions::full());
+    for (pass, fires) in &second.fires {
+        assert_eq!(*fires, 0, "{pass} fired on a second driver run");
+    }
+    assert_eq!(second.sweeps, 1);
+}
+
+mod gvn_tests {
+    use super::*;
+
+    /// bb0: t1 = t0 + 8; br t0 ? bb1 : bb2
+    /// bb1: t2 = t0 + 8; ret t2   (same value, dominated by bb0)
+    /// bb2: ret t1
+    #[test]
+    fn merges_recomputation_across_blocks() {
+        let mut f = FuncIr {
+            name: "g".into(),
+            blocks: vec![
+                Block {
+                    instrs: vec![
+                        Instr::Bin {
+                            dst: t(1),
+                            op: BinIr::Add,
+                            a: t(0).into(),
+                            b: Operand::Const(8),
+                        },
+                        Instr::Branch {
+                            cond: t(0).into(),
+                            if_true: BlockId(1),
+                            if_false: BlockId(2),
+                        },
+                    ],
+                },
+                Block {
+                    instrs: vec![
+                        Instr::Bin {
+                            dst: t(2),
+                            op: BinIr::Add,
+                            a: t(0).into(),
+                            b: Operand::Const(8),
+                        },
+                        Instr::Ret {
+                            value: Some(t(2).into()),
+                        },
+                    ],
+                },
+                Block {
+                    instrs: vec![Instr::Ret {
+                        value: Some(t(1).into()),
+                    }],
+                },
+            ],
+            temp_count: 3,
+            param_temps: vec![t(0)],
+            frame_size: 0,
+            returns_value: true,
+        };
+        assert_eq!(gvn(&mut f), 1);
+        assert!(
+            matches!(
+                f.blocks[1].instrs[0],
+                Instr::Mov {
+                    dst: Temp(2),
+                    src: Operand::Temp(Temp(1))
+                }
+            ),
+            "recomputation became a copy:\n{}",
+            f.dump()
+        );
+        // Second run finds nothing.
+        assert_eq!(gvn(&mut f), 0);
+    }
+
+    #[test]
+    fn commutative_operands_share_a_value() {
+        let mut f = func(
+            vec![
+                Instr::Bin {
+                    dst: t(2),
+                    op: BinIr::Add,
+                    a: t(0).into(),
+                    b: t(1).into(),
+                },
+                Instr::Bin {
+                    dst: t(3),
+                    op: BinIr::Add,
+                    a: t(1).into(),
+                    b: t(0).into(),
+                },
+                Instr::Bin {
+                    dst: t(4),
+                    op: BinIr::Add,
+                    a: t(2).into(),
+                    b: t(3).into(),
+                },
+                Instr::Ret {
+                    value: Some(t(4).into()),
+                },
+            ],
+            5,
+        );
+        assert_eq!(gvn(&mut f), 1, "{}", f.dump());
+    }
+
+    #[test]
+    fn redefined_temps_never_merge() {
+        // t1 is redefined between the two computations: no merge.
+        let mut f = func(
+            vec![
+                Instr::Bin {
+                    dst: t(2),
+                    op: BinIr::Add,
+                    a: t(1).into(),
+                    b: Operand::Const(8),
+                },
+                Instr::Const {
+                    dst: t(1),
+                    value: 3,
+                },
+                Instr::Bin {
+                    dst: t(3),
+                    op: BinIr::Add,
+                    a: t(1).into(),
+                    b: Operand::Const(8),
+                },
+                Instr::Bin {
+                    dst: t(4),
+                    op: BinIr::Add,
+                    a: t(2).into(),
+                    b: t(3).into(),
+                },
+                Instr::Ret {
+                    value: Some(t(4).into()),
+                },
+            ],
+            5,
+        );
+        assert_eq!(gvn(&mut f), 0, "{}", f.dump());
+    }
+}
+
+mod sccp_tests {
+    use super::*;
+
+    /// bb0: t0 = 1; br t0 ? bb1 : bb2
+    /// bb1: t1 = 5; jump bb3
+    /// bb2: t1 = 9; jump bb3    (unreachable once the branch folds)
+    /// bb3: t2 = t1 + 1; ret t2
+    fn diamond() -> FuncIr {
+        FuncIr {
+            name: "s".into(),
+            blocks: vec![
+                Block {
+                    instrs: vec![
+                        Instr::Const {
+                            dst: t(0),
+                            value: 1,
+                        },
+                        Instr::Branch {
+                            cond: t(0).into(),
+                            if_true: BlockId(1),
+                            if_false: BlockId(2),
+                        },
+                    ],
+                },
+                Block {
+                    instrs: vec![
+                        Instr::Const {
+                            dst: t(1),
+                            value: 5,
+                        },
+                        Instr::Jump { target: BlockId(3) },
+                    ],
+                },
+                Block {
+                    instrs: vec![
+                        Instr::Const {
+                            dst: t(1),
+                            value: 9,
+                        },
+                        Instr::Jump { target: BlockId(3) },
+                    ],
+                },
+                Block {
+                    instrs: vec![
+                        Instr::Bin {
+                            dst: t(2),
+                            op: BinIr::Add,
+                            a: t(1).into(),
+                            b: Operand::Const(1),
+                        },
+                        Instr::Ret {
+                            value: Some(t(2).into()),
+                        },
+                    ],
+                },
+            ],
+            temp_count: 3,
+            param_temps: vec![],
+            frame_size: 0,
+            returns_value: true,
+        }
+    }
+
+    #[test]
+    fn constants_flow_through_taken_edges_only() {
+        // Plain per-def reasoning would join {5, 9} to varying; SCCP sees
+        // bb2 is unreachable and folds t1 to 5.
+        let mut f = diamond();
+        let fires = sccp(&mut f);
+        assert!(fires > 0, "{}", f.dump());
+        assert!(
+            matches!(
+                f.blocks[3].instrs[0],
+                Instr::Bin {
+                    a: Operand::Const(5),
+                    ..
+                }
+            ),
+            "merge-point use folded to the reachable constant:\n{}",
+            f.dump()
+        );
+    }
+
+    #[test]
+    fn varying_merges_do_not_fold() {
+        let mut f = diamond();
+        // Make the branch genuinely two-way: cond becomes a param.
+        f.blocks[0].instrs = vec![Instr::Branch {
+            cond: t(0).into(),
+            if_true: BlockId(1),
+            if_false: BlockId(2),
+        }];
+        f.param_temps = vec![t(0)];
+        sccp(&mut f);
+        assert!(
+            matches!(
+                f.blocks[3].instrs[0],
+                Instr::Bin {
+                    a: Operand::Temp(Temp(1)),
+                    ..
+                }
+            ),
+            "two reachable constants stay a temp:\n{}",
+            f.dump()
+        );
+    }
+
+    #[test]
+    fn keep_live_results_stay_opaque() {
+        let mut f = func(
+            vec![
+                Instr::KeepLive {
+                    dst: t(0),
+                    value: Operand::Const(7),
+                    base: None,
+                },
+                Instr::Bin {
+                    dst: t(1),
+                    op: BinIr::Add,
+                    a: t(0).into(),
+                    b: Operand::Const(1),
+                },
+                Instr::Ret {
+                    value: Some(t(1).into()),
+                },
+            ],
+            2,
+        );
+        assert_eq!(sccp(&mut f), 0, "{}", f.dump());
+    }
+}
+
+mod dse_tests {
+    use super::*;
+
+    #[test]
+    fn overwritten_store_is_removed() {
+        let mut f = func(
+            vec![
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: Operand::Const(1),
+                    width: 8,
+                },
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: Operand::Const(2),
+                    width: 8,
+                },
+                Instr::Ret { value: None },
+            ],
+            1,
+        );
+        assert_eq!(dse(&mut f), 1);
+        assert!(matches!(
+            f.blocks[0].instrs[0],
+            Instr::Store {
+                value: Operand::Const(2),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn call_is_a_collection_point_barrier() {
+        // The call between the stores may collect — the first store could
+        // be what makes a pointer findable, so it must survive.
+        let mut f = func(
+            vec![
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: t(1).into(),
+                    width: 8,
+                },
+                Instr::Call {
+                    dst: Some(t(2)),
+                    target: CallTarget::Builtin(cfront::Builtin::Malloc),
+                    args: vec![Operand::Const(8)],
+                    site: None,
+                },
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: t(2).into(),
+                    width: 8,
+                },
+                Instr::Ret { value: None },
+            ],
+            3,
+        );
+        assert_eq!(dse(&mut f), 0, "{}", f.dump());
+    }
+
+    #[test]
+    fn load_between_stores_blocks_elimination() {
+        let mut f = func(
+            vec![
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: Operand::Const(1),
+                    width: 8,
+                },
+                Instr::Load {
+                    dst: t(1),
+                    addr: t(0).into(),
+                    width: 8,
+                    signed: false,
+                },
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: t(1).into(),
+                    width: 8,
+                },
+                Instr::Ret { value: None },
+            ],
+            2,
+        );
+        assert_eq!(dse(&mut f), 0);
+    }
+
+    #[test]
+    fn narrower_overwrite_keeps_the_wide_store() {
+        let mut f = func(
+            vec![
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: Operand::Const(1),
+                    width: 8,
+                },
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: Operand::Const(2),
+                    width: 1,
+                },
+                Instr::Ret { value: None },
+            ],
+            1,
+        );
+        assert_eq!(dse(&mut f), 0, "bytes 1..8 still observable");
+    }
+
+    #[test]
+    fn redefined_address_blocks_elimination() {
+        let mut f = func(
+            vec![
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: Operand::Const(1),
+                    width: 8,
+                },
+                Instr::Bin {
+                    dst: t(0),
+                    op: BinIr::Add,
+                    a: t(0).into(),
+                    b: Operand::Const(8),
+                },
+                Instr::Store {
+                    addr: t(0).into(),
+                    value: Operand::Const(2),
+                    width: 8,
+                },
+                Instr::Ret { value: None },
+            ],
+            1,
+        );
+        assert_eq!(dse(&mut f), 0, "same temp, different address");
+    }
+}
+
+mod strength_tests {
+    use super::*;
+
+    /// bb0: t1 = 0; jump bb1
+    /// bb1: t2 = t1 * 8; t3 = t0 + t2; t4 = load t3; t1 = t1 + 1;
+    ///      t5 = t1 < 10; br t5 ? bb1 : bb2
+    /// bb2: ret t4
+    fn indexed_loop(scale_op: BinIr, scale: i64) -> FuncIr {
+        FuncIr {
+            name: "sr".into(),
+            blocks: vec![
+                Block {
+                    instrs: vec![
+                        Instr::Const {
+                            dst: t(1),
+                            value: 0,
+                        },
+                        Instr::Jump { target: BlockId(1) },
+                    ],
+                },
+                Block {
+                    instrs: vec![
+                        Instr::Bin {
+                            dst: t(2),
+                            op: scale_op,
+                            a: t(1).into(),
+                            b: Operand::Const(scale),
+                        },
+                        Instr::Bin {
+                            dst: t(3),
+                            op: BinIr::Add,
+                            a: t(0).into(),
+                            b: t(2).into(),
+                        },
+                        Instr::Load {
+                            dst: t(4),
+                            addr: t(3).into(),
+                            width: 8,
+                            signed: false,
+                        },
+                        Instr::Bin {
+                            dst: t(1),
+                            op: BinIr::Add,
+                            a: t(1).into(),
+                            b: Operand::Const(1),
+                        },
+                        Instr::Bin {
+                            dst: t(5),
+                            op: BinIr::CmpLt,
+                            a: t(1).into(),
+                            b: Operand::Const(10),
+                        },
+                        Instr::Branch {
+                            cond: t(5).into(),
+                            if_true: BlockId(1),
+                            if_false: BlockId(2),
+                        },
+                    ],
+                },
+                Block {
+                    instrs: vec![Instr::Ret {
+                        value: Some(t(4).into()),
+                    }],
+                },
+            ],
+            temp_count: 6,
+            param_temps: vec![t(0)],
+            frame_size: 0,
+            returns_value: true,
+        }
+    }
+
+    #[test]
+    fn reduces_scaled_index_to_pointer_increment() {
+        let mut f = indexed_loop(BinIr::Mul, 8);
+        assert_eq!(strength_reduce(&mut f), 1, "{}", f.dump());
+        // A preheader block appeared, entered from bb0.
+        assert_eq!(f.blocks.len(), 4, "{}", f.dump());
+        assert_eq!(f.blocks[0].successors(), vec![BlockId(3)]);
+        // The address computation is now a copy of the running pointer,
+        // and a pointer increment by 8 follows the IV increment.
+        let body = &f.blocks[1].instrs;
+        assert!(
+            body.iter()
+                .any(|i| matches!(i, Instr::Mov { dst: Temp(3), .. })),
+            "address became a copy:\n{}",
+            f.dump()
+        );
+        assert!(
+            body.iter().any(|i| matches!(
+                i,
+                Instr::Bin {
+                    op: BinIr::Add,
+                    b: Operand::Const(8),
+                    ..
+                }
+            )),
+            "pointer increment inserted:\n{}",
+            f.dump()
+        );
+        // dce retires the multiply once its only use is gone.
+        dce(&mut f);
+        assert!(
+            !f.blocks[1]
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Bin { op: BinIr::Mul, .. })),
+            "multiply left the loop:\n{}",
+            f.dump()
+        );
+        // Idempotent: the matched multiply is gone.
+        assert_eq!(strength_reduce(&mut f), 0);
+    }
+
+    #[test]
+    fn shift_only_chain_is_not_reduced() {
+        // const_fold turns `i*8` into `i<<3` before this pass runs on
+        // real programs. A shift is as cheap as the add that would
+        // replace it, so reducing a shift-only chain would buy nothing
+        // and cost a loop-long pointer live range — the pass must leave
+        // it alone.
+        let mut f = indexed_loop(BinIr::Shl, 3);
+        assert_eq!(strength_reduce(&mut f), 0, "{}", f.dump());
+    }
+
+    #[test]
+    fn reduces_two_level_stride_chain() {
+        // `a[i * 3]` on a long array lowers to `m1 = i*3; m2 = m1<<3;
+        // addr = a + m2` — the chain must reduce with combined scale 24.
+        let mut f = indexed_loop(BinIr::Mul, 3);
+        f.blocks[1].instrs.insert(
+            1,
+            Instr::Bin {
+                dst: t(6),
+                op: BinIr::Shl,
+                a: t(2).into(),
+                b: Operand::Const(3),
+            },
+        );
+        f.temp_count = 7;
+        // Retarget the add at the outer scale.
+        let Instr::Bin { b, .. } = &mut f.blocks[1].instrs[2] else {
+            panic!()
+        };
+        *b = t(6).into();
+        assert_eq!(strength_reduce(&mut f), 1, "{}", f.dump());
+        assert!(
+            f.blocks[1].instrs.iter().any(|i| matches!(
+                i,
+                Instr::Bin {
+                    op: BinIr::Add,
+                    b: Operand::Const(24),
+                    ..
+                }
+            )),
+            "pointer advances by the combined scale:\n{}",
+            f.dump()
+        );
+        // Both chain levels die once the add is a copy.
+        dce(&mut f);
+        assert!(
+            !f.blocks[1]
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Bin { op: BinIr::Mul, .. })
+                    || matches!(i, Instr::Bin { op: BinIr::Shl, .. })),
+            "scale chain left the loop:\n{}",
+            f.dump()
+        );
+    }
+
+    #[test]
+    fn variant_base_is_not_reduced() {
+        let mut f = indexed_loop(BinIr::Mul, 8);
+        // Redefine the base inside the loop: no longer invariant.
+        f.blocks[1].instrs.insert(
+            3,
+            Instr::Bin {
+                dst: t(0),
+                op: BinIr::Add,
+                a: t(0).into(),
+                b: Operand::Const(0),
+            },
+        );
+        assert_eq!(strength_reduce(&mut f), 0, "{}", f.dump());
+    }
+
+    #[test]
+    fn executes_identically_after_reduction() {
+        // Run the loop shape through the VM before and after the pass on
+        // a frame-backed array and compare the sums.
+        use crate::{compile, run_compiled, CompileOptions, VmOptions};
+        let src = r#"
+            long sum(long *a, long n) {
+                long s; long i;
+                s = 0;
+                for (i = 0; i < n; i++) {
+                    s = s + a[i * 2];
+                }
+                return s;
+            }
+            int main(void) {
+                long a[16]; long i;
+                for (i = 0; i < 16; i++) { a[i] = i * 3; }
+                putint(sum(a, 8));
+                return 0;
+            }
+        "#;
+        let unopt = {
+            let prog = compile(src, &CompileOptions::debug()).expect("compiles");
+            run_compiled(&prog, &VmOptions::default()).expect("runs")
+        };
+        let opt = {
+            let prog = compile(src, &CompileOptions::optimized()).expect("compiles");
+            run_compiled(&prog, &VmOptions::default()).expect("runs")
+        };
+        assert_eq!(unopt.output, opt.output);
+        assert_eq!(unopt.exit_code, opt.exit_code);
+    }
+}
+
+mod allocation_preservation_tests {
+    use super::*;
+    use crate::{compile, CompileOptions};
+
+    fn count_mallocs(src: &str, opts: &CompileOptions) -> usize {
+        let prog = compile(src, opts).expect("compiles");
+        let main = &prog.funcs[prog.main];
+        main.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Call {
+                        target: CallTarget::Builtin(cfront::Builtin::Malloc),
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    /// The paper's compiler assumption (0): "Every allocation call in the
+    /// source results in a corresponding call to an allocation function in
+    /// the object code." Our DCE must never elide a malloc whose result is
+    /// unused.
+    #[test]
+    fn unused_allocation_calls_survive_optimization() {
+        let src = r#"
+            int main(void) {
+                malloc(64);
+                (void *) malloc(128);
+                return 0;
+            }
+        "#;
+        assert_eq!(count_mallocs(src, &CompileOptions::optimized()), 2);
+    }
+
+    /// The same assumption, checked per new pass: each of the second-crop
+    /// passes enabled alone must preserve allocation calls whose results
+    /// feed stores that die, branches that fold, or addresses that reduce.
+    #[test]
+    fn each_new_pass_preserves_allocations_alone() {
+        let src = r#"
+            int main(void) {
+                long *p; long *q; long i;
+                p = (long *) malloc(64);
+                q = (long *) malloc(64);
+                p[0] = 1;
+                p[0] = 2;           /* dead store */
+                if (1) { q[0] = 3; } else { q[0] = 4; }  /* branch-constant */
+                for (i = 0; i < 4; i++) { p[i * 2] = i; }  /* induction addr */
+                putint(p[0] + q[0]);
+                return 0;
+            }
+        "#;
+        for pass in ["gvn", "sccp", "dse", "strength"] {
+            let mut opts = CompileOptions::optimized();
+            opts.opt.gvn = pass == "gvn";
+            opts.opt.sccp = pass == "sccp";
+            opts.opt.dse = pass == "dse";
+            opts.opt.strength = pass == "strength";
+            assert_eq!(
+                count_mallocs(src, &opts),
+                2,
+                "pass {pass} elided an allocation"
+            );
+        }
+    }
+}

@@ -49,6 +49,17 @@ enum Kernel {
     DoWhileWalk,
     /// NUL-terminated byte cursor over a `char` array.
     CharWalk,
+    /// Stores overwritten before any use — dead-store elimination bait;
+    /// the surviving store writes through a derived pointer while a
+    /// fresh allocation sits between iterations.
+    DeadStore { pad: i64 },
+    /// Loop-carried `a[i * stride]` address arithmetic: strength
+    /// reduction rewrites the scaled index into a running pointer — a
+    /// manufactured interior pointer live across the churn allocation.
+    StrideIndex { stride: i64 },
+    /// A branch whose condition is constant only after constants merge
+    /// across a join — SCCP bait; one arm of the inner branch is dead.
+    ConstBranch { c: i64 },
     /// `strlen` plus a byte peek over a `char` array.
     StrLenSum,
 }
@@ -236,6 +247,76 @@ impl Kernel {
                      }}\n\n"
                 );
             }
+            Kernel::DeadStore { pad } => {
+                // `t[0] = s + pad` is overwritten before any use; only
+                // `t[0] = i * 3` survives. The RHS of the surviving store
+                // is load-free so no load sits between the two stores.
+                let _ = write!(
+                    out,
+                    "long {name}(long *a, long n) {{\n\
+                     \x20   long *t;\n\
+                     \x20   long i;\n\
+                     \x20   long s;\n\
+                     \x20   t = (long *) malloc(32);\n\
+                     \x20   s = 0;\n\
+                     \x20   for (i = 0; i < n; i = i + 1) {{\n\
+                     \x20       t[0] = s + {pad};\n\
+                     \x20       t[0] = i * 3;\n\
+                     \x20       s = s + t[0] + a[i];\n\
+                     \x20   }}\n\
+                     \x20   return s;\n\
+                     }}\n\n"
+                );
+            }
+            Kernel::StrideIndex { stride } => {
+                let _ = write!(
+                    out,
+                    "long {name}(long *a, long n) {{\n\
+                     \x20   long i;\n\
+                     \x20   long s;\n\
+                     \x20   long m;\n\
+                     \x20   s = 0;\n\
+                     \x20   m = n / {stride};\n\
+                     \x20   for (i = 0; i < m; i = i + 1) {{\n\
+                     \x20       long *t;\n\
+                     \x20       t = (long *) malloc(16);\n\
+                     \x20       t[0] = i;\n\
+                     \x20       s = s + a[i * {stride}] + t[0] - i;\n\
+                     \x20   }}\n\
+                     \x20   return s;\n\
+                     }}\n\n"
+                );
+            }
+            Kernel::ConstBranch { c } => {
+                // Both arms of the join bind the same constant, so only
+                // SCCP (not plain folding) proves the inner condition.
+                let _ = write!(
+                    out,
+                    "long {name}(long *a, long n) {{\n\
+                     \x20   long f;\n\
+                     \x20   long i;\n\
+                     \x20   long s;\n\
+                     \x20   long *t;\n\
+                     \x20   t = (long *) malloc(16);\n\
+                     \x20   t[0] = n;\n\
+                     \x20   if (n > 4) {{\n\
+                     \x20       f = {c};\n\
+                     \x20   }} else {{\n\
+                     \x20       f = {c};\n\
+                     \x20   }}\n\
+                     \x20   s = t[0] - n;\n\
+                     \x20   for (i = 0; i < n; i = i + 1) {{\n\
+                     \x20       if (f > {lim}) {{\n\
+                     \x20           s = s + a[i];\n\
+                     \x20       }} else {{\n\
+                     \x20           s = s - a[i] * 2;\n\
+                     \x20       }}\n\
+                     \x20   }}\n\
+                     \x20   return s;\n\
+                     }}\n\n",
+                    lim = c - 1
+                );
+            }
             Kernel::StrLenSum => {
                 let _ = write!(
                     out,
@@ -253,7 +334,7 @@ impl Kernel {
 fn pick_kernel(r: &mut Rng, has_chars: bool) -> Kernel {
     // Weighted toward the disguising patterns the paper is about.
     let disp = [5i64, 64, 1000][r.index(3)];
-    match r.index(if has_chars { 13 } else { 11 }) {
+    match r.index(if has_chars { 16 } else { 14 }) {
         0 | 1 => Kernel::SumDisplaced { disp },
         2 | 3 => Kernel::LoopAllocDisplaced { disp },
         4 => Kernel::CursorWalk,
@@ -266,7 +347,16 @@ fn pick_kernel(r: &mut Rng, has_chars: bool) -> Kernel {
         8 => Kernel::MemCopySum,
         9 => Kernel::SwitchMix,
         10 => Kernel::DoWhileWalk,
-        11 => Kernel::CharWalk,
+        11 => Kernel::DeadStore {
+            pad: r.range_i64(1, 9),
+        },
+        12 => Kernel::StrideIndex {
+            stride: [2i64, 3, 4][r.index(3)],
+        },
+        13 => Kernel::ConstBranch {
+            c: r.range_i64(1, 7),
+        },
+        14 => Kernel::CharWalk,
         _ => Kernel::StrLenSum,
     }
 }

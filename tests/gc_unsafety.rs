@@ -124,7 +124,11 @@ fn safe_ir_keeps_the_base_alive_across_the_call() {
 // The loop form of the hazard: LICM hoists the displaced base to the
 // preheader, so inside the loop the only derived value points outside
 // the object while allocations trigger collections — the paper's
-// "induction variable optimizations" scenario.
+// "induction variable optimizations" scenario. The variant part of the
+// index flows through a load so it stays opaque: were it `t[0] + 1500`,
+// a second reassociation sweep would merge the constants into `p + 500`
+// — an *interior* pointer the conservative scan recognises — and the
+// demonstration would quietly stop demonstrating anything.
 // ---------------------------------------------------------------------
 
 const LOOP_SRC: &str = r#"
@@ -133,7 +137,8 @@ const LOOP_SRC: &str = r#"
         long j;
         for (j = 0; j < 3; j++) {
             char *t = (char *) malloc(32);   /* GC trigger inside the loop */
-            long i = (long) t[0] + 1500;
+            t[0] = 15;
+            long i = (long) t[0] * 100;      /* 1500, opaque to the optimizer */
             s += p[i - 1000];
         }
         return s;

@@ -185,16 +185,55 @@ fn optimizer_ablations_agree() {
         let baseline = run_mode(&src, &CompileOptions::optimized())
             .unwrap_or_else(|e| panic!("-O failed on:\n{src}\n{e}"));
         // Each disguising pass individually disabled must not change results.
-        for (reassoc, sched) in [(false, true), (true, false), (false, false)] {
+        type Ablate = fn(&mut cvm::OptOptions);
+        let single: [(&str, Ablate); 6] = [
+            ("reassociate", |o| o.reassociate = false),
+            ("schedule", |o| o.schedule = false),
+            ("licm", |o| o.licm = false),
+            ("gvn", |o| o.gvn = false),
+            ("sccp", |o| o.sccp = false),
+            ("dse", |o| o.dse = false),
+        ];
+        for (name, ablate) in single {
             let mut opts = CompileOptions::optimized();
-            opts.opt.reassociate = reassoc;
-            opts.opt.schedule = sched;
+            ablate(&mut opts.opt);
             let got =
                 run_mode(&src, &opts).unwrap_or_else(|e| panic!("ablation failed:\n{src}\n{e}"));
-            assert_eq!(
-                got, baseline,
-                "ablation ({reassoc}, {sched}) diverges on:\n{src}"
-            );
+            assert_eq!(got, baseline, "ablation (no {name}) diverges on:\n{src}");
+        }
+        // And the strength+schedule pair: the pass most likely to
+        // interact with later scheduling sweeps.
+        let mut opts = CompileOptions::optimized();
+        opts.opt.strength = false;
+        opts.opt.schedule = false;
+        let got = run_mode(&src, &opts).unwrap_or_else(|e| panic!("ablation failed:\n{src}\n{e}"));
+        assert_eq!(got, baseline, "ablation (no strength+schedule) diverges");
+    }
+}
+
+#[test]
+fn optimizer_is_idempotent_on_generated_programs() {
+    // The fixpoint driver stops when a sweep reports zero changes, so a
+    // program that already went through `-O` must be a fixed point: a
+    // second driver run reports zero fires for *every* registered pass,
+    // on every function of any generator program.
+    let opts = CompileOptions::optimized();
+    for case in 0..40 {
+        let src = gcfuzz::generate(11, case);
+        let prog = cvm::compile(&src, &opts).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        for f in &prog.funcs {
+            let mut again = f.clone();
+            let ledger = cvm::optimize_func_ledger(&mut again, opts.opt);
+            for (pass, fires) in &ledger.fires {
+                assert_eq!(
+                    *fires,
+                    0,
+                    "case {case}: pass {pass} fired {fires}x on a second run over `{}`:\n{}",
+                    f.name,
+                    f.dump()
+                );
+            }
+            assert_eq!(&again, f, "case {case}: second run changed `{}`", f.name);
         }
     }
 }
